@@ -1,0 +1,37 @@
+# bgpsim — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test vet fuzz bench reproduce reproduce-paper-scale clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Short fuzz pass over every parser (CI-friendly).
+fuzz:
+	$(GO) test ./internal/bgpwire -fuzz FuzzUnmarshal -fuzztime 15s
+	$(GO) test ./internal/prefix  -fuzz FuzzParse     -fuzztime 10s
+	$(GO) test ./internal/topology -fuzz FuzzParse    -fuzztime 10s
+	$(GO) test ./internal/irr     -fuzz FuzzParse     -fuzztime 10s
+
+# One benchmark per paper table/figure; metrics double as reproduction
+# evidence (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Every figure and table at the default working scale.
+reproduce:
+	scripts/reproduce.sh 10000 reproduction
+
+# The paper's own dimensions (42,697 ASes); takes minutes on one core.
+reproduce-paper-scale:
+	scripts/reproduce.sh 42697 reproduction-full
+
+clean:
+	rm -rf reproduction reproduction-full polar-frames view.mrt

@@ -1,0 +1,108 @@
+// Command deployscan reproduces the paper's Section V incremental-defense
+// study: the Figure 5/6 deployment ladders plus the "top still-potent
+// attacks" residual tables.
+//
+// Usage:
+//
+//	deployscan -target depth1        # Figure 5 (resistant target)
+//	deployscan -target deep          # Figure 6 (vulnerable target)
+//	deployscan -target both -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deployscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("deployscan", flag.ExitOnError)
+	wf := cli.AddWorldFlags(fs)
+	target := fs.String("target", "both", "which target panel to run: depth1 | deep | both")
+	sample := fs.Int("sample", 0, "transit-attacker sample (0 = all transit ASes)")
+	top := fs.Int("top", 5, "residual-attack table size")
+	subprefix := fs.Bool("subprefix", false, "also run the sub-prefix-vs-origin hijack study")
+	sbgpStudy := fs.Bool("sbgp", false, "also run the S*BGP security-rank study")
+	svgPrefix := fs.String("svg", "", "render each panel's chart to <prefix>-depth1.svg / <prefix>-deep.svg")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		return err
+	}
+	cli.Describe(w)
+	cfg := experiments.DeploymentConfig{AttackerSample: *sample, Seed: *wf.Seed, ResidualTop: *top}
+
+	emit := func(res *experiments.DeploymentResult, tag string) error {
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if *svgPrefix != "" {
+			name := *svgPrefix + "-" + tag + ".svg"
+			fh, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			if err := res.RenderSVG(fh); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "chart written to %s\n", name)
+		}
+		return nil
+	}
+	if *target == "depth1" || *target == "both" {
+		res, err := experiments.Fig5(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res, "depth1"); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *target == "deep" || *target == "both" {
+		res, err := experiments.Fig6(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res, "deep"); err != nil {
+			return err
+		}
+	}
+	if *target != "depth1" && *target != "deep" && *target != "both" {
+		return fmt.Errorf("unknown -target %q (want depth1, deep or both)", *target)
+	}
+	if *subprefix {
+		fmt.Println()
+		res, err := experiments.SubPrefixStudy(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *sbgpStudy {
+		fmt.Println()
+		res, err := experiments.SBGPStudy(w, cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

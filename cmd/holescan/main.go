@@ -1,0 +1,87 @@
+// Command holescan runs the paper's future-work analysis: which attacks
+// still get through a partial filter deployment AND escape a detector
+// configuration, and why each probe stayed blind (never reached /
+// LOCAL_PREF / shorter legitimate path / tie-break).
+//
+// Usage:
+//
+//	holescan -scale 10000 -attacks 4000
+//	holescan -filters tier1 -probes tier1     # the weakest configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/deploy"
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "holescan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("holescan", flag.ExitOnError)
+	wf := cli.AddWorldFlags(fs)
+	attacks := fs.Int("attacks", 2000, "random attack workload size")
+	minPollution := fs.Int("min-pollution", 0, "success threshold in polluted ASes (0 = 1% of ASes)")
+	filtersKind := fs.String("filters", "core", "deployed filters: core | tier1 | none")
+	probesKind := fs.String("probes", "core", "detector probes: core | tier1 | bgpmon")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		return err
+	}
+	cli.Describe(w)
+
+	coreK := 62 * w.Graph.N() / 42697
+	if coreK < len(w.Class.Tier1)+3 {
+		coreK = len(w.Class.Tier1) + 3
+	}
+	cfg := experiments.HoleConfig{
+		Attacks:      *attacks,
+		Seed:         *wf.Seed,
+		MinPollution: *minPollution,
+	}
+	switch *filtersKind {
+	case "core":
+		f := deploy.TopDegree(w.Graph, coreK)
+		cfg.Filters = &f
+	case "tier1":
+		f := deploy.Tier1(w.Class)
+		cfg.Filters = &f
+	case "none":
+		f := deploy.None()
+		cfg.Filters = &f
+	default:
+		return fmt.Errorf("unknown -filters %q", *filtersKind)
+	}
+	switch *probesKind {
+	case "core":
+		p := detect.TopDegreeProbes(w.Graph, coreK)
+		cfg.Probes = &p
+	case "tier1":
+		p := detect.Tier1Probes(w.Class)
+		cfg.Probes = &p
+	case "bgpmon":
+		p := detect.BGPmonLikeProbes(w.Graph, w.Class, 24, *wf.Seed)
+		cfg.Probes = &p
+	default:
+		return fmt.Errorf("unknown -probes %q", *probesKind)
+	}
+
+	res, err := experiments.HoleAnalysis(w, cfg)
+	if err != nil {
+		return err
+	}
+	return res.WriteText(os.Stdout, func(n int) string { return w.Graph.ASN(n).String() })
+}

@@ -1,0 +1,61 @@
+// Command polarviz renders the paper's Figure 1: polar graphs of an
+// origin attack propagating generation by generation, one SVG per
+// generation (red = bogus announcement accepted, green = rejected; radius
+// = AS depth band, circle size = announced address space).
+//
+// Usage:
+//
+//	polarviz -scale 3000 -out frames/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "polarviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("polarviz", flag.ExitOnError)
+	wf := cli.AddWorldFlags(fs)
+	outDir := fs.String("out", "polar-frames", "output directory for SVG frames")
+	size := fs.Float64("size", 900, "SVG canvas size in pixels")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		return err
+	}
+	cli.Describe(w)
+
+	res, err := experiments.Fig1(w)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteText(os.Stdout, func(n int) string { return w.Graph.ASN(n).String() }); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	err = res.RenderFrames(w, *size, func(gen int, svg []byte) error {
+		name := filepath.Join(*outDir, fmt.Sprintf("generation-%02d.svg", gen))
+		return os.WriteFile(name, svg, 0o644)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d frames to %s/\n", res.Trace.Generations, *outDir)
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command vulnscan reproduces the paper's Section IV vulnerability
+// analysis: Figure 2 (targets under tier-1 hierarchies), Figure 3
+// (tier-2 hierarchies) and Figure 4 (the effect of defensive stub
+// filters).
+//
+// Usage:
+//
+//	vulnscan -scale 5000                     # Figure 2
+//	vulnscan -hierarchy tier2                # Figure 3
+//	vulnscan -stubfilter                     # Figure 4
+//	vulnscan -sample 2000                    # cap attackers per target
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vulnscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("vulnscan", flag.ExitOnError)
+	wf := cli.AddWorldFlags(fs)
+	hierarchy := fs.String("hierarchy", "tier1", "target hierarchy for the depth panel: tier1 | tier2")
+	stubFilter := fs.Bool("stubfilter", false, "run the Figure 4 stub-filter comparison instead")
+	sample := fs.Int("sample", 0, "attacker sample per target (0 = every AS)")
+	svgOut := fs.String("svg", "", "also render the panel as an SVG chart to this file")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		return err
+	}
+	cli.Describe(w)
+
+	cfg := experiments.VulnerabilityConfig{AttackerSample: *sample, Seed: *wf.Seed}
+	if *stubFilter {
+		res, err := experiments.Fig4(w, cfg)
+		if err != nil {
+			return err
+		}
+		return res.WriteText(os.Stdout)
+	}
+	var res *experiments.VulnerabilityResult
+	switch *hierarchy {
+	case "tier1":
+		res, err = experiments.Fig2(w, cfg)
+	case "tier2":
+		res, err = experiments.Fig3(w, cfg)
+	default:
+		return fmt.Errorf("unknown -hierarchy %q (want tier1 or tier2)", *hierarchy)
+	}
+	if err != nil {
+		return err
+	}
+	if *svgOut != "" {
+		fh, err := os.Create(*svgOut)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		if err := res.RenderSVG(fh); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "chart written to %s\n", *svgOut)
+	}
+	return res.WriteText(os.Stdout)
+}

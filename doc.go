@@ -1,0 +1,43 @@
+// Package bgpsim is a simulation library for studying incremental
+// deployment of BGP origin-hijack prevention and detection, reproducing
+// Gersch, Massey & Papadopoulos, "Incremental Deployment Strategies for
+// Effective Detection and Prevention of BGP Origin Hijacks" (IEEE ICDCS
+// 2014).
+//
+// The library contains, from the bottom up:
+//
+//   - an AS-level topology substrate: CAIDA AS-relationship parsing, a
+//     synthetic Internet generator with matching macro-structure, tier
+//     classification, and the paper's depth/reach metrics;
+//   - a BGP routing simulator with Gao–Rexford policy (LOCAL_PREF
+//     customer > peer > provider, valley-free export, tier-1
+//     shortest-path override) available both as an O(V+E) converged-state
+//     solver and as a faithful generation-stepped message engine;
+//   - origin-hijack attack machinery: pollution measurement, attack
+//     sweeps, vulnerability (CCDF) analysis;
+//   - prevention: filter-deployment strategies (random, tier-1,
+//     degree-threshold core) and their evaluation;
+//   - detection: probe-set configurations and miss analysis;
+//   - origin-authorization substrates the defenses consume: an RPKI ROA
+//     store with an Ed25519 certificate chain, and ROVER (reverse-DNS
+//     origin publication under DNSSEC-lite);
+//   - the paper's Section VII self-interest toolkit: regional exposure
+//     measurement, re-homing, and targeted hub filters.
+//
+// # Quick start
+//
+//	sim, err := bgpsim.New(bgpsim.WithScale(5000), bgpsim.WithSeed(42))
+//	if err != nil { ... }
+//	rep, err := sim.Hijack(bgpsim.HijackSpec{
+//		Attacker: sim.MustASNAt(10),
+//		Target:   sim.MustASNAt(4000),
+//	})
+//	fmt.Printf("%d ASes polluted (%.0f%% of address space)\n",
+//		rep.PollutedASes, 100*rep.AddrSpaceFrac)
+//
+// Every figure and table in the paper is reproducible through the
+// Simulator's Run* methods (RunVulnerabilityPanel, RunDeploymentPanel,
+// RunDetectionPanel, RunSectionVII, RunHoleAnalysis, …) or the cmd/ tools
+// built on the same runners; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package bgpsim

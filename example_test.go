@@ -1,0 +1,81 @@
+package bgpsim_test
+
+import (
+	"fmt"
+	"log"
+
+	bgpsim "github.com/bgpsim/bgpsim"
+)
+
+// Build a small deterministic internet and run one origin hijack.
+func ExampleSimulator_Hijack() {
+	sim, err := bgpsim.New(bgpsim.WithScale(500), bgpsim.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := sim.FindAS(bgpsim.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker := sim.Tier1ASNs()[0]
+	rep, err := sim.Hijack(bgpsim.HijackSpec{Attacker: attacker, Target: victim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("polluted ASes: %d\n", rep.PollutedASes)
+	fmt.Printf("filters armed: %v\n", rep.FiltersArmed)
+	// Output:
+	// polluted ASes: 89
+	// filters armed: false
+}
+
+// Publishing a ROA is what lets deployed filters act (the paper's
+// Section VII "publish route origins" step).
+func ExampleSimulator_PublishROA() {
+	sim, err := bgpsim.New(bgpsim.WithScale(500), bgpsim.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, _ := sim.FindAS(bgpsim.TargetQuery{Depth: 2, Stub: true})
+	attacker := sim.Tier1ASNs()[0]
+	victimPrefix, _ := bgpsim.ParsePrefix("129.82.0.0/16")
+
+	spec := bgpsim.HijackSpec{
+		Attacker:        attacker,
+		Target:          victim,
+		Filters:         sim.FiltersOf(sim.TopDegreeDeployment(10)),
+		ValidateAgainst: sim.ROAStore(),
+		HijackedPrefix:  victimPrefix,
+	}
+	before, _ := sim.Hijack(spec)
+
+	if err := sim.PublishROA(bgpsim.ROA{Prefix: victimPrefix, MaxLength: 24, Origin: victim}); err != nil {
+		log.Fatal(err)
+	}
+	after, _ := sim.Hijack(spec)
+	fmt.Printf("armed before publication: %v\n", before.FiltersArmed)
+	fmt.Printf("armed after publication:  %v\n", after.FiltersArmed)
+	fmt.Printf("pollution reduced: %v\n", after.PollutedASes < before.PollutedASes)
+	// Output:
+	// armed before publication: false
+	// armed after publication:  true
+	// pollution reduced: true
+}
+
+// Depth — hops to the nearest tier-1 or tier-2 — is the paper's central
+// vulnerability metric.
+func ExampleSimulator_DepthOf() {
+	sim, err := bgpsim.New(bgpsim.WithScale(500), bgpsim.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := sim.Tier1ASNs()[0]
+	d, _ := sim.DepthOf(t1)
+	fmt.Printf("tier-1 depth: %d\n", d)
+	stub, _ := sim.FindAS(bgpsim.TargetQuery{Depth: 3, Stub: true})
+	d, _ = sim.DepthOf(stub)
+	fmt.Printf("deep stub depth: %d\n", d)
+	// Output:
+	// tier-1 depth: 0
+	// deep stub depth: 3
+}

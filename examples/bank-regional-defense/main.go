@@ -1,0 +1,166 @@
+// Bank-regional-defense walks the paper's Section VII self-interest
+// process end to end for a "bank" AS whose customers live in one region:
+//
+//  1. analyze the relevant AS topology (depth, degree, reach);
+//  2. reduce vulnerability by re-homing;
+//  3. publish route origins (ROVER/RPKI) — creating leverage;
+//  4. incorporate a filter at the regional hub;
+//  5. use detection and check for blind spots.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bgpsim "github.com/bgpsim/bgpsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim, err := bgpsim.New(bgpsim.WithScale(4000), bgpsim.WithSeed(7))
+	if err != nil {
+		return err
+	}
+
+	// The "bank": the deepest stub in the island region (the generated
+	// topology's New Zealand analog — a bounded regional mesh behind one
+	// hub transit provider).
+	island := sim.IslandRegion()
+	members := sim.RegionASNs(island)
+	var bank bgpsim.ASN
+	bankDepth := -1
+	for _, a := range members {
+		if d, _ := sim.DepthOf(a); d > bankDepth {
+			if deg, _ := sim.DegreeOf(a); deg <= 2 { // a stub, not the hub
+				bank, bankDepth = a, d
+			}
+		}
+	}
+	hub, err := sim.RegionHub(island)
+	if err != nil {
+		return err
+	}
+
+	// Step 1 — analysis.
+	reach, _ := sim.ReachOf(bank)
+	fmt.Printf("STEP 1 analyze: bank %v sits at depth %d (reach %d) in region %d (%d ASes), behind hub %v\n",
+		bank, bankDepth, reach, island, len(members), hub)
+	base, err := sim.MeasureRegional(bank, 150, 1, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  baseline exposure: regional attacks pollute %.1f of %d region ASes (%.0f%%); outside attacks %.1f (%.0f%%)\n",
+		base.InsideMean, base.RegionSize, 100*base.InsideFrac, base.OutsideMean, 100*base.OutsideFrac)
+
+	// Step 2 — reduce vulnerability by re-homing up the provider chain.
+	if bankDepth >= 2 {
+		rehomed, err := sim.Rehome(bank, 2)
+		if err != nil {
+			return err
+		}
+		newDepth, _ := rehomed.DepthOf(bank)
+		after, err := rehomed.MeasureRegional(bank, 150, 1, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("STEP 2 re-home: depth %d → %d; regional pollution %.1f → %.1f ASes per inside attack\n",
+			bankDepth, newDepth, base.InsideMean, after.InsideMean)
+	} else {
+		fmt.Println("STEP 2 re-home: bank already at depth 1; nothing to gain")
+	}
+
+	// Step 3 — publish the route origin. Until this happens, filters have
+	// no authoritative data and cannot arm.
+	bankPrefix, err := bgpsim.ParsePrefix("203.97.0.0/16")
+	if err != nil {
+		return err
+	}
+	attacker := sim.Tier1ASNs()[len(sim.Tier1ASNs())-1]
+	spec := bgpsim.HijackSpec{
+		Attacker:        attacker,
+		Target:          bank,
+		Filters:         []bgpsim.ASN{hub},
+		ValidateAgainst: sim.ROAStore(),
+		HijackedPrefix:  bankPrefix,
+	}
+	before, err := sim.Hijack(spec)
+	if err != nil {
+		return err
+	}
+	if err := sim.PublishROA(bgpsim.ROA{Prefix: bankPrefix, MaxLength: 24, Origin: bank}); err != nil {
+		return err
+	}
+	fmt.Printf("STEP 3 publish: ROA for %v signed; before publication the hub filter could not arm (armed=%v)\n",
+		bankPrefix, before.FiltersArmed)
+
+	// Step 4 — the hub filter, now armed by the published origin. One
+	// filter cannot save the wider internet, and even regionally it only
+	// guards routes that cross the hub: attacks slipping in through the
+	// island's other border links still pollute (the paper's "where
+	// attacks are still getting through"). The aggregate regional
+	// measurement below shows where it does win.
+	after, err := sim.Hijack(spec)
+	if err != nil {
+		return err
+	}
+	inIsland := make(map[bgpsim.ASN]bool, len(members))
+	for _, a := range members {
+		inIsland[a] = true
+	}
+	regionalPolluted := func(rep *bgpsim.HijackReport) int {
+		n := 0
+		for _, a := range sim.PollutedASNs(rep.Outcome) {
+			if inIsland[a] {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("STEP 4 filter: hub filter armed=%v; this particular attack pollutes %d → %d region members (it enters via the island's side doors; global pollution stays %d)\n",
+		after.FiltersArmed, regionalPolluted(before), regionalPolluted(after), after.PollutedASes)
+	withFilter, err := sim.MeasureRegional(bank, 150, 1, []bgpsim.ASN{hub})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  regional exposure with hub filter: inside %.1f → %.1f, outside %.1f → %.1f ASes\n",
+		base.InsideMean, withFilter.InsideMean, base.OutsideMean, withFilter.OutsideMean)
+
+	// Step 5 — detection: subscribe to probes, then check for blind spots
+	// with the simulator ("run simulations to see if there are any blind
+	// spots regarding relevant AS endpoints").
+	probes := sim.BGPmonLikeProbes(24, 3)
+	det, err := sim.EvaluateDetection(probes, 800, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("STEP 5 detect: %s misses %.1f%% of random attacks", probes.Name, 100*det.MissRate())
+	// Improve the blind spots by adding the island hub as a probe.
+	better, err := sim.ProbesAt("probes + regional hub", append(sim.ProbeASNs(probes), hub))
+	if err != nil {
+		return err
+	}
+	det2, err := sim.EvaluateDetection(better, 800, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("; adding the hub as a vantage point: %.1f%%\n", 100*det2.MissRate())
+
+	// Step 6 — have an operational plan if an alert fires: the classic
+	// reactive mitigation is a sub-prefix counter-announcement. Beware the
+	// interaction with step 3: a ROA whose MaxLength equals the covering
+	// prefix makes the bank's own more-specifics Invalid, so validators
+	// would drop the cure. We published MaxLength 24 above, so the /17
+	// halves stay valid.
+	mit, err := sim.Mitigate(bank, attacker, bankPrefix, sim.FiltersOf(sim.TopDegreeDeployment(20)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("STEP 6 mitigate: counter-announce %v and %v (valid=%v): %d ASes recovered, %d stranded\n",
+		mit.Halves[0], mit.Halves[1], mit.MitigationValid, mit.RecoveredASes, mit.StrandedASes)
+	return nil
+}

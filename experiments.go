@@ -1,0 +1,156 @@
+package bgpsim
+
+import (
+	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// Experiment-result re-exports: every figure and table of the paper is
+// runnable through the Simulator (the cmd/ tools are thin wrappers over
+// the same runners).
+type (
+	// VulnerabilityPanel is a Figure 2/3 result (CCDF per depth class).
+	VulnerabilityPanel = experiments.VulnerabilityResult
+	// StubFilterPanel is the Figure 4 result.
+	StubFilterPanel = experiments.Fig4Result
+	// DeploymentPanel is a Figure 5/6 result with the residual table.
+	DeploymentPanel = experiments.DeploymentResult
+	// DetectionPanel is the Figure 7 result with the Section VI tables.
+	DetectionPanel = experiments.DetectionResult
+	// SelfInterestPanel is the Section VII result.
+	SelfInterestPanel = experiments.SelfInterestResult
+	// ValidationPanel is the Section III RIB-comparison result.
+	ValidationPanel = experiments.ValidationResult
+	// PropagationPanel is the Figure 1 result (trace + frames).
+	PropagationPanel = experiments.PropagationResult
+	// HolePanel is the future-work undetected-residual-attack analysis.
+	HolePanel = experiments.HoleResult
+	// SubPrefixPanel contrasts origin and sub-prefix hijacks.
+	SubPrefixPanel = experiments.SubPrefixResult
+	// SBGPPanel compares S*BGP security-rank policies under partial
+	// deployment.
+	SBGPPanel = experiments.SBGPResult
+	// FalseAlarmPanel compares detector data-source freshness.
+	FalseAlarmPanel = experiments.FalseAlarmResult
+)
+
+// ExperimentOptions tunes the experiment runners. Zero values select
+// sensible defaults (documented per field).
+type ExperimentOptions struct {
+	// AttackerSample caps sweep attacker populations (0 = all).
+	AttackerSample int
+	// Attacks is the random-workload size for detection-style experiments
+	// (0 = 2000).
+	Attacks int
+	// Seed drives workload generation and sampling (0 = 1).
+	Seed int64
+}
+
+func (o ExperimentOptions) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// RunVulnerabilityPanel reproduces Figure 2 (underTier2=false) or
+// Figure 3 (underTier2=true).
+func (s *Simulator) RunVulnerabilityPanel(underTier2 bool, o ExperimentOptions) (*VulnerabilityPanel, error) {
+	cfg := experiments.VulnerabilityConfig{AttackerSample: o.AttackerSample, Seed: o.seed()}
+	if underTier2 {
+		return experiments.Fig3(s.world, cfg)
+	}
+	return experiments.Fig2(s.world, cfg)
+}
+
+// RunStubFilterStudy reproduces Figure 4.
+func (s *Simulator) RunStubFilterStudy(o ExperimentOptions) (*StubFilterPanel, error) {
+	return experiments.Fig4(s.world, experiments.VulnerabilityConfig{
+		AttackerSample: o.AttackerSample, Seed: o.seed(),
+	})
+}
+
+// RunDeploymentPanel reproduces Figure 5 (deep=false, resistant target)
+// or Figure 6 (deep=true, vulnerable target), including the Section V
+// residual-attack table.
+func (s *Simulator) RunDeploymentPanel(deep bool, o ExperimentOptions) (*DeploymentPanel, error) {
+	cfg := experiments.DeploymentConfig{AttackerSample: o.AttackerSample, Seed: o.seed()}
+	if deep {
+		return experiments.Fig6(s.world, cfg)
+	}
+	return experiments.Fig5(s.world, cfg)
+}
+
+// RunDetectionPanel reproduces Figure 7 and the Section VI tables.
+func (s *Simulator) RunDetectionPanel(o ExperimentOptions) (*DetectionPanel, error) {
+	return experiments.Fig7(s.world, experiments.DetectionConfig{
+		Attacks: o.Attacks, Seed: o.seed(),
+	})
+}
+
+// RunSectionVII reproduces the Section VII island-region case study.
+func (s *Simulator) RunSectionVII(o ExperimentOptions) (*SelfInterestPanel, error) {
+	return experiments.SectionVII(s.world, experiments.SelfInterestConfig{
+		OutsideSample: o.Attacks, Seed: o.seed(),
+	})
+}
+
+// RunValidationStudy reproduces the Section III RIB-comparison study.
+func (s *Simulator) RunValidationStudy(o ExperimentOptions) (*ValidationPanel, error) {
+	origins := o.Attacks
+	if origins == 0 {
+		origins = 5
+	}
+	return experiments.ValidationStudy(s.world, experiments.ValidationConfig{
+		Origins: origins, Seed: o.seed(),
+	})
+}
+
+// RunPropagationStudy reproduces Figure 1 (engine trace of an aggressive
+// attack on the deepest target).
+func (s *Simulator) RunPropagationStudy() (*PropagationPanel, error) {
+	return experiments.Fig1(s.world)
+}
+
+// RunHoleAnalysis reproduces the paper's future-work study of successful
+// undetected attacks under default (scaled 62-core) filters and probes.
+func (s *Simulator) RunHoleAnalysis(o ExperimentOptions) (*HolePanel, error) {
+	return experiments.HoleAnalysis(s.world, experiments.HoleConfig{
+		Attacks: o.Attacks, Seed: o.seed(),
+	})
+}
+
+// RunSubPrefixStudy contrasts origin and sub-prefix hijacks under the
+// deployment ladder.
+func (s *Simulator) RunSubPrefixStudy(o ExperimentOptions) (*SubPrefixPanel, error) {
+	return experiments.SubPrefixStudy(s.world, experiments.DeploymentConfig{
+		AttackerSample: o.AttackerSample, Seed: o.seed(),
+	})
+}
+
+// RunSBGPStudy compares S*BGP security-1st/2nd/3rd route selection under
+// a partial core deployment (plus the victim's upstream chain) — the
+// Lychev et al. §4 study the paper corroborates.
+func (s *Simulator) RunSBGPStudy(o ExperimentOptions) (*SBGPPanel, error) {
+	return experiments.SBGPStudy(s.world, experiments.DeploymentConfig{
+		AttackerSample: o.AttackerSample, Seed: o.seed(),
+	})
+}
+
+// RunFalseAlarmStudy compares a promptly-updated origin publication
+// against a stale snapshot: false alarms on legitimate origin transfers
+// versus hijack detection — the paper's argument for publishing route
+// origins rather than relying on historical data.
+func (s *Simulator) RunFalseAlarmStudy(o ExperimentOptions) (*FalseAlarmPanel, error) {
+	return experiments.FalseAlarmStudy(s.world, experiments.FalseAlarmConfig{
+		Prefixes: o.Attacks, Seed: o.seed(),
+	})
+}
+
+// UnderTier1 and UnderTier2 re-export the hierarchy selectors used by
+// TargetQuery.
+const (
+	AnyHierarchy = topology.AnyHierarchy
+	UnderTier1   = topology.UnderTier1
+	UnderTier2   = topology.UnderTier2
+)

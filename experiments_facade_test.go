@@ -1,0 +1,112 @@
+package bgpsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentRunnersFacade drives every paper experiment through the
+// public API on a small world, checking each produces coherent output.
+func TestExperimentRunnersFacade(t *testing.T) {
+	sim := newSim(t)
+	opts := ExperimentOptions{AttackerSample: 60, Attacks: 120, Seed: 3}
+
+	t.Run("vulnerability", func(t *testing.T) {
+		for _, underT2 := range []bool{false, true} {
+			panel, err := sim.RunVulnerabilityPanel(underT2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(panel.Curves) < 3 {
+				t.Errorf("underTier2=%v: %d curves", underT2, len(panel.Curves))
+			}
+			var buf bytes.Buffer
+			if err := panel.RenderSVG(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Error("empty SVG")
+			}
+		}
+	})
+	t.Run("stubfilter", func(t *testing.T) {
+		panel, err := sim.RunStubFilterStudy(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(panel.Panels) != 2 {
+			t.Errorf("panels = %d", len(panel.Panels))
+		}
+	})
+	t.Run("deployment", func(t *testing.T) {
+		shallow, err := sim.RunDeploymentPanel(false, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deep, err := sim.RunDeploymentPanel(true, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deep.Rungs[0].Result.Summary().Mean <= shallow.Rungs[0].Result.Summary().Mean {
+			t.Error("deep target not more vulnerable than shallow")
+		}
+	})
+	t.Run("detection", func(t *testing.T) {
+		panel, err := sim.RunDetectionPanel(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(panel.Cases) != 3 {
+			t.Errorf("cases = %d", len(panel.Cases))
+		}
+	})
+	t.Run("sectionvii", func(t *testing.T) {
+		panel, err := sim.RunSectionVII(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if panel.RegionSize == 0 {
+			t.Error("empty island")
+		}
+	})
+	t.Run("validation", func(t *testing.T) {
+		panel, err := sim.RunValidationStudy(ExperimentOptions{Attacks: 3, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(panel.Reports) != 3 {
+			t.Errorf("reports = %d", len(panel.Reports))
+		}
+	})
+	t.Run("propagation", func(t *testing.T) {
+		panel, err := sim.RunPropagationStudy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if panel.Polluted == 0 || panel.Trace.Generations < 2 {
+			t.Error("degenerate propagation study")
+		}
+	})
+	t.Run("holes", func(t *testing.T) {
+		panel, err := sim.RunHoleAnalysis(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if panel.Succeeded < panel.Undetected {
+			t.Error("undetected exceeds succeeded")
+		}
+	})
+	t.Run("subprefix", func(t *testing.T) {
+		panel, err := sim.RunSubPrefixStudy(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(panel.Rows) == 0 {
+			t.Fatal("no rows")
+		}
+		base := panel.Rows[0]
+		if base.SubPrefix.Mean <= base.Origin.Mean {
+			t.Error("subprefix should out-pollute origin hijack undefended")
+		}
+	})
+}

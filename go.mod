@@ -1,0 +1,3 @@
+module github.com/bgpsim/bgpsim
+
+go 1.22

@@ -1,0 +1,146 @@
+package asn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    ASN
+		wantErr bool
+	}{
+		{"0", 0, false},
+		{"64512", 64512, false},
+		{"AS7018", 7018, false},
+		{"as4826", 4826, false},
+		{"4294967295", 4294967295, false},
+		{"4294967296", 0, true},
+		{"", 0, true},
+		{"AS", 0, true},
+		{"-1", 0, true},
+		{"seven", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Parse(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestASNString(t *testing.T) {
+	if got := ASN(7018).String(); got != "AS7018" {
+		t.Errorf("String() = %q, want AS7018", got)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := ASN(v)
+		back, err := Parse(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(3, 1, 2, 3)
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	if !s.Contains(2) || s.Contains(9) {
+		t.Error("Contains gave wrong answers")
+	}
+	s.Add(9)
+	if !s.Contains(9) {
+		t.Error("Add(9) not visible")
+	}
+	got := s.Sorted()
+	want := []ASN{1, 2, 3, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIndexSetBasics(t *testing.T) {
+	s := NewIndexSet(200)
+	if s.Count() != 0 {
+		t.Fatalf("empty set Count = %d", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 65, 127, 128, 199} {
+		s.Add(i)
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+	if !s.Contains(64) || s.Contains(66) {
+		t.Error("Contains wrong after Add")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 6 {
+		t.Error("Remove(64) did not take effect")
+	}
+	members := s.Members(nil)
+	want := []int{0, 63, 65, 127, 128, 199}
+	if len(members) != len(want) {
+		t.Fatalf("Members = %v, want %v", members, want)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", members, want)
+		}
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("Clear left members behind")
+	}
+}
+
+// TestIndexSetMatchesMap property-tests the bitset against a map-based model.
+func TestIndexSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const size = 500
+	s := NewIndexSet(size)
+	model := make(map[int]bool)
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(size)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(i)
+			model[i] = true
+		case 1:
+			s.Remove(i)
+			delete(model, i)
+		case 2:
+			if s.Contains(i) != model[i] {
+				t.Fatalf("step %d: Contains(%d) = %v, model %v", step, i, s.Contains(i), model[i])
+			}
+		}
+		if s.Count() != len(model) {
+			t.Fatalf("step %d: Count = %d, model %d", step, s.Count(), len(model))
+		}
+	}
+}
+
+func TestIndexSetIdempotentAdd(t *testing.T) {
+	s := NewIndexSet(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Errorf("double Add changed Count = %d", s.Count())
+	}
+}

@@ -1,0 +1,56 @@
+package bgpwire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+)
+
+// FuzzUnmarshal exercises the BGP message decoder with arbitrary bytes; it
+// must never panic, and anything it accepts must re-marshal to bytes that
+// decode to the same message.
+func FuzzUnmarshal(f *testing.F) {
+	seed, err := Marshal(&Update{
+		Origin: OriginIGP, ASPath: []asn.ASN{7018, 12145}, NextHop: 7,
+		NLRI: []prefix.Prefix{mp("129.82.0.0/16")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	open, err := Marshal(&Open{Version: 4, AS: 4200000000, HoldTime: 90, RouterID: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(open)
+	ka, err := Marshal(Keepalive{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ka)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages must round-trip.
+		out, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v", err)
+		}
+		msg2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshaled message failed to decode: %v", err)
+		}
+		out2, err := Marshal(msg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("marshal not a fixed point after one round trip")
+		}
+	})
+}

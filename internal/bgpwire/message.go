@@ -1,0 +1,485 @@
+// Package bgpwire implements the BGP-4 wire format (RFC 4271) for the
+// message types a hijack-detection pipeline consumes: OPEN, UPDATE,
+// NOTIFICATION and KEEPALIVE encoding/decoding with the path attributes
+// that carry origin information (ORIGIN, AS_PATH with four-octet ASNs per
+// RFC 6793, NEXT_HOP). The paper's detectors "work by collecting real-time
+// BGP data sources by peering with routers in multiple ASes"; this package
+// is the codec those feeds run on (see internal/feed).
+package bgpwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Header sizes and limits.
+const (
+	HeaderLen     = 19
+	MaxMessageLen = 4096
+	markerLen     = 16
+)
+
+// Path attribute type codes (RFC 4271 §5.1).
+const (
+	AttrOrigin  = 1
+	AttrASPath  = 2
+	AttrNextHop = 3
+)
+
+// ORIGIN attribute values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	SegmentSet      = 1
+	SegmentSequence = 2
+)
+
+// Open is a BGP OPEN message (RFC 4271 §4.2). Optional parameters are
+// not modeled; four-octet AS numbers are carried directly (the simulator's
+// peers are all RFC 6793-capable).
+type Open struct {
+	Version  uint8
+	AS       asn.ASN
+	HoldTime uint16
+	RouterID uint32
+}
+
+// Update is a BGP UPDATE message (RFC 4271 §4.3) restricted to the
+// attributes origin validation needs.
+type Update struct {
+	Withdrawn []prefix.Prefix
+	// Origin is the ORIGIN attribute (IGP/EGP/INCOMPLETE).
+	Origin uint8
+	// ASPath is a single AS_SEQUENCE; the final element is the route's
+	// origin AS.
+	ASPath []asn.ASN
+	// NextHop is the NEXT_HOP attribute in host byte order.
+	NextHop uint32
+	// NLRI lists the announced prefixes.
+	NLRI []prefix.Prefix
+}
+
+// OriginAS returns the announcement's origin AS (last AS_PATH element).
+func (u *Update) OriginAS() (asn.ASN, bool) {
+	if len(u.ASPath) == 0 {
+		return 0, false
+	}
+	return u.ASPath[len(u.ASPath)-1], true
+}
+
+// Notification is a BGP NOTIFICATION message (RFC 4271 §4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Keepalive is a BGP KEEPALIVE message (header only).
+type Keepalive struct{}
+
+// Marshal encodes a message with its BGP header. Supported payload types:
+// *Open, *Update, *Notification, Keepalive.
+func Marshal(msg any) ([]byte, error) {
+	var body []byte
+	var typ uint8
+	switch m := msg.(type) {
+	case *Open:
+		typ = TypeOpen
+		body = marshalOpen(m)
+	case *Update:
+		typ = TypeUpdate
+		var err error
+		body, err = marshalUpdate(m)
+		if err != nil {
+			return nil, err
+		}
+	case *Notification:
+		typ = TypeNotification
+		body = append([]byte{m.Code, m.Subcode}, m.Data...)
+	case Keepalive, *Keepalive:
+		typ = TypeKeepalive
+	default:
+		return nil, fmt.Errorf("bgpwire: cannot marshal %T", msg)
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("bgpwire: message length %d exceeds %d", total, MaxMessageLen)
+	}
+	out := make([]byte, total)
+	for i := 0; i < markerLen; i++ {
+		out[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(out[16:18], uint16(total))
+	out[18] = typ
+	copy(out[HeaderLen:], body)
+	return out, nil
+}
+
+func marshalOpen(o *Open) []byte {
+	body := make([]byte, 10)
+	body[0] = o.Version
+	// RFC 6793: a four-octet speaker puts AS_TRANS (23456) here when its
+	// ASN does not fit; we encode the low 16 bits or AS_TRANS.
+	my16 := uint16(23456)
+	if o.AS <= 0xffff {
+		my16 = uint16(o.AS)
+	}
+	binary.BigEndian.PutUint16(body[1:3], my16)
+	binary.BigEndian.PutUint16(body[3:5], o.HoldTime)
+	binary.BigEndian.PutUint32(body[5:9], o.RouterID)
+	// Optional-parameters: one capability-style parameter carrying the
+	// four-octet ASN (simplified capability 65, RFC 6793).
+	opt := make([]byte, 0, 8)
+	opt = append(opt, 2 /* param type: capability */, 6, 65, 4)
+	var as4 [4]byte
+	binary.BigEndian.PutUint32(as4[:], uint32(o.AS))
+	opt = append(opt, as4[:]...)
+	body[9] = byte(len(opt))
+	return append(body, opt...)
+}
+
+func marshalUpdate(u *Update) ([]byte, error) {
+	var buf bytes.Buffer
+	withdrawn, err := marshalNLRI(u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(withdrawn)))
+	buf.Write(lenBuf[:])
+	buf.Write(withdrawn)
+
+	var attrs bytes.Buffer
+	if len(u.NLRI) > 0 {
+		if u.Origin > OriginIncomplete {
+			return nil, fmt.Errorf("bgpwire: invalid ORIGIN %d", u.Origin)
+		}
+		writeAttr(&attrs, AttrOrigin, []byte{u.Origin})
+		writeAttr(&attrs, AttrASPath, marshalASPath(u.ASPath))
+		var nh [4]byte
+		binary.BigEndian.PutUint32(nh[:], u.NextHop)
+		writeAttr(&attrs, AttrNextHop, nh[:])
+	}
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(attrs.Len()))
+	buf.Write(lenBuf[:])
+	buf.Write(attrs.Bytes())
+
+	nlri, err := marshalNLRI(u.NLRI)
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(nlri)
+	return buf.Bytes(), nil
+}
+
+// writeAttr emits one path attribute with flags chosen automatically
+// (well-known transitive, extended length when needed).
+func writeAttr(w *bytes.Buffer, typ uint8, val []byte) {
+	flags := uint8(0x40) // transitive
+	if len(val) > 255 {
+		flags |= 0x10 // extended length
+		w.WriteByte(flags)
+		w.WriteByte(typ)
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(val)))
+		w.Write(l[:])
+	} else {
+		w.WriteByte(flags)
+		w.WriteByte(typ)
+		w.WriteByte(uint8(len(val)))
+	}
+	w.Write(val)
+}
+
+// marshalASPath encodes one AS_SEQUENCE with four-octet ASNs (RFC 6793
+// "new speaker" encoding).
+func marshalASPath(path []asn.ASN) []byte {
+	if len(path) == 0 {
+		return nil
+	}
+	out := make([]byte, 2+4*len(path))
+	out[0] = SegmentSequence
+	out[1] = uint8(len(path))
+	for i, a := range path {
+		binary.BigEndian.PutUint32(out[2+4*i:], uint32(a))
+	}
+	return out
+}
+
+// marshalNLRI encodes prefixes in the (length, truncated address) NLRI
+// form.
+func marshalNLRI(ps []prefix.Prefix) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, p := range ps {
+		if p.Len > 32 {
+			return nil, fmt.Errorf("bgpwire: prefix length %d invalid", p.Len)
+		}
+		buf.WriteByte(p.Len)
+		nBytes := int(p.Len+7) / 8
+		var addr [4]byte
+		binary.BigEndian.PutUint32(addr[:], p.Addr)
+		buf.Write(addr[:nBytes])
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes one full BGP message (header included) and returns the
+// payload as *Open, *Update, *Notification or Keepalive.
+func Unmarshal(data []byte) (any, error) {
+	if len(data) < HeaderLen {
+		return nil, fmt.Errorf("bgpwire: short message (%d bytes)", len(data))
+	}
+	for i := 0; i < markerLen; i++ {
+		if data[i] != 0xff {
+			return nil, fmt.Errorf("bgpwire: bad marker at byte %d", i)
+		}
+	}
+	total := int(binary.BigEndian.Uint16(data[16:18]))
+	if total < HeaderLen || total > MaxMessageLen {
+		return nil, fmt.Errorf("bgpwire: invalid length %d", total)
+	}
+	if total != len(data) {
+		return nil, fmt.Errorf("bgpwire: length field %d != buffer %d", total, len(data))
+	}
+	body := data[HeaderLen:]
+	switch data[18] {
+	case TypeOpen:
+		return unmarshalOpen(body)
+	case TypeUpdate:
+		return unmarshalUpdate(body)
+	case TypeNotification:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("bgpwire: short NOTIFICATION")
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("bgpwire: KEEPALIVE with body")
+		}
+		return Keepalive{}, nil
+	default:
+		return nil, fmt.Errorf("bgpwire: unknown message type %d", data[18])
+	}
+}
+
+func unmarshalOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("bgpwire: short OPEN")
+	}
+	o := &Open{
+		Version:  body[0],
+		AS:       asn.ASN(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		RouterID: binary.BigEndian.Uint32(body[5:9]),
+	}
+	optLen := int(body[9])
+	opts := body[10:]
+	if optLen != len(opts) {
+		return nil, fmt.Errorf("bgpwire: OPEN optional-parameter length mismatch")
+	}
+	// Scan for the four-octet-AS capability.
+	for len(opts) >= 2 {
+		pType, pLen := opts[0], int(opts[1])
+		if len(opts) < 2+pLen {
+			return nil, fmt.Errorf("bgpwire: truncated OPEN parameter")
+		}
+		if pType == 2 && pLen >= 6 && opts[2] == 65 && opts[3] == 4 {
+			o.AS = asn.ASN(binary.BigEndian.Uint32(opts[4:8]))
+		}
+		opts = opts[2+pLen:]
+	}
+	return o, nil
+}
+
+func unmarshalUpdate(body []byte) (*Update, error) {
+	u := &Update{}
+	if len(body) < 2 {
+		return nil, fmt.Errorf("bgpwire: short UPDATE")
+	}
+	wLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if len(body) < 2+wLen+2 {
+		return nil, fmt.Errorf("bgpwire: UPDATE withdrawn length overruns")
+	}
+	var err error
+	u.Withdrawn, err = unmarshalNLRI(body[2 : 2+wLen])
+	if err != nil {
+		return nil, err
+	}
+	rest := body[2+wLen:]
+	aLen := int(binary.BigEndian.Uint16(rest[0:2]))
+	if len(rest) < 2+aLen {
+		return nil, fmt.Errorf("bgpwire: UPDATE attribute length overruns")
+	}
+	if err := u.unmarshalAttrs(rest[2 : 2+aLen]); err != nil {
+		return nil, err
+	}
+	u.NLRI, err = unmarshalNLRI(rest[2+aLen:])
+	if err != nil {
+		return nil, err
+	}
+	if len(u.NLRI) > 0 && len(u.ASPath) == 0 {
+		return nil, fmt.Errorf("bgpwire: UPDATE announces routes without AS_PATH")
+	}
+	return u, nil
+}
+
+func (u *Update) unmarshalAttrs(data []byte) error {
+	for len(data) > 0 {
+		if len(data) < 3 {
+			return fmt.Errorf("bgpwire: truncated path attribute")
+		}
+		flags, typ := data[0], data[1]
+		var aLen, hdr int
+		if flags&0x10 != 0 { // extended length
+			if len(data) < 4 {
+				return fmt.Errorf("bgpwire: truncated extended attribute")
+			}
+			aLen, hdr = int(binary.BigEndian.Uint16(data[2:4])), 4
+		} else {
+			aLen, hdr = int(data[2]), 3
+		}
+		if len(data) < hdr+aLen {
+			return fmt.Errorf("bgpwire: attribute %d overruns message", typ)
+		}
+		val := data[hdr : hdr+aLen]
+		switch typ {
+		case AttrOrigin:
+			if aLen != 1 || val[0] > OriginIncomplete {
+				return fmt.Errorf("bgpwire: malformed ORIGIN")
+			}
+			u.Origin = val[0]
+		case AttrASPath:
+			path, err := unmarshalASPath(val)
+			if err != nil {
+				return err
+			}
+			u.ASPath = path
+		case AttrNextHop:
+			if aLen != 4 {
+				return fmt.Errorf("bgpwire: malformed NEXT_HOP")
+			}
+			u.NextHop = binary.BigEndian.Uint32(val)
+		default:
+			// Unknown attributes are skipped (we only need the origin
+			// trio); real routers apply the transitive bit here.
+		}
+		data = data[hdr+aLen:]
+	}
+	return nil
+}
+
+func unmarshalASPath(data []byte) ([]asn.ASN, error) {
+	var path []asn.ASN
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("bgpwire: truncated AS_PATH segment")
+		}
+		segType, count := data[0], int(data[1])
+		if segType != SegmentSequence && segType != SegmentSet {
+			return nil, fmt.Errorf("bgpwire: unknown AS_PATH segment type %d", segType)
+		}
+		need := 2 + 4*count
+		if len(data) < need {
+			return nil, fmt.Errorf("bgpwire: AS_PATH segment overruns")
+		}
+		for i := 0; i < count; i++ {
+			path = append(path, asn.ASN(binary.BigEndian.Uint32(data[2+4*i:])))
+		}
+		data = data[need:]
+	}
+	return path, nil
+}
+
+func unmarshalNLRI(data []byte) ([]prefix.Prefix, error) {
+	var out []prefix.Prefix
+	for len(data) > 0 {
+		l := data[0]
+		if l > 32 {
+			return nil, fmt.Errorf("bgpwire: NLRI length %d invalid", l)
+		}
+		nBytes := int(l+7) / 8
+		if len(data) < 1+nBytes {
+			return nil, fmt.Errorf("bgpwire: truncated NLRI")
+		}
+		var addr [4]byte
+		copy(addr[:], data[1:1+nBytes])
+		p := prefix.New(binary.BigEndian.Uint32(addr[:]), l)
+		if p.Addr != binary.BigEndian.Uint32(addr[:]) {
+			return nil, fmt.Errorf("bgpwire: NLRI %v has host bits set", p)
+		}
+		out = append(out, p)
+		data = data[1+nBytes:]
+	}
+	return out, nil
+}
+
+// EncodeAttributes encodes the ORIGIN/AS_PATH/NEXT_HOP path-attribute
+// block as it appears in UPDATE messages and MRT RIB entries.
+func EncodeAttributes(origin uint8, asPath []asn.ASN, nextHop uint32) ([]byte, error) {
+	if origin > OriginIncomplete {
+		return nil, fmt.Errorf("bgpwire: invalid ORIGIN %d", origin)
+	}
+	var attrs bytes.Buffer
+	writeAttr(&attrs, AttrOrigin, []byte{origin})
+	writeAttr(&attrs, AttrASPath, marshalASPath(asPath))
+	var nh [4]byte
+	binary.BigEndian.PutUint32(nh[:], nextHop)
+	writeAttr(&attrs, AttrNextHop, nh[:])
+	return attrs.Bytes(), nil
+}
+
+// DecodeAttributes parses a path-attribute block (the inverse of
+// EncodeAttributes; unknown attributes are skipped).
+func DecodeAttributes(data []byte) (origin uint8, asPath []asn.ASN, nextHop uint32, err error) {
+	var u Update
+	if err := u.unmarshalAttrs(data); err != nil {
+		return 0, nil, 0, err
+	}
+	return u.Origin, u.ASPath, u.NextHop, nil
+}
+
+// ReadMessage reads exactly one framed BGP message from r.
+func ReadMessage(r io.Reader) (any, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	total := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if total < HeaderLen || total > MaxMessageLen {
+		return nil, fmt.Errorf("bgpwire: invalid framed length %d", total)
+	}
+	buf := make([]byte, total)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("bgpwire: short body: %w", err)
+	}
+	return Unmarshal(buf)
+}
+
+// WriteMessage marshals and writes one message to w.
+func WriteMessage(w io.Writer, msg any) error {
+	data, err := Marshal(msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,63 @@
+// Package cli holds the flag plumbing shared by the cmd/ tools: every
+// tool runs against a World that is either generated (-scale/-seed) or
+// loaded from a CAIDA AS-relationship file (-topo).
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// WorldFlags declares the shared topology flags on a FlagSet.
+type WorldFlags struct {
+	Scale    *int
+	Seed     *int64
+	TopoFile *string
+	NoSPF    *bool
+}
+
+// AddWorldFlags registers -scale, -seed, -topo and -no-tier1-spf.
+func AddWorldFlags(fs *flag.FlagSet) *WorldFlags {
+	return &WorldFlags{
+		Scale:    fs.Int("scale", 5000, "approximate AS count for the generated internet (42697 = paper scale)"),
+		Seed:     fs.Int64("seed", 1, "topology generator seed"),
+		TopoFile: fs.String("topo", "", "CAIDA AS-relationship file to load instead of generating"),
+		NoSPF:    fs.Bool("no-tier1-spf", false, "disable the tier-1 shortest-path import override"),
+	}
+}
+
+// BuildWorld materializes the World the flags describe.
+func (f *WorldFlags) BuildWorld() (*experiments.World, error) {
+	var opts []core.PolicyOption
+	if *f.NoSPF {
+		opts = append(opts, core.WithTier1ShortestPath(false))
+	}
+	if *f.TopoFile != "" {
+		fh, err := os.Open(*f.TopoFile)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		g, err := topology.Parse(fh)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", *f.TopoFile, err)
+		}
+		return experiments.WorldFromGraph(g, opts...)
+	}
+	p := topology.DefaultParams(*f.Scale)
+	p.Seed = *f.Seed
+	return experiments.NewWorldWithParams(p, opts...)
+}
+
+// Describe prints a one-line world summary to stderr so experiment output
+// stays clean on stdout.
+func Describe(w *experiments.World) {
+	fmt.Fprintf(os.Stderr, "world: %d ASes, %d links, %d tier-1s, %d tier-2s, max depth %d, %d transit\n",
+		w.Graph.N(), w.Graph.Edges(), len(w.Class.Tier1), len(w.Class.Tier2),
+		w.Class.MaxDepth(), len(w.Graph.TransitNodes()))
+}

@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildWorldGenerated(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	wf := AddWorldFlags(fs)
+	if err := fs.Parse([]string{"-scale", "300", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph.N() < 250 {
+		t.Errorf("N = %d", w.Graph.N())
+	}
+	if !w.Policy.Tier1ShortestPath() {
+		t.Error("tier-1 SPF should default on")
+	}
+	Describe(w) // must not panic
+}
+
+func TestBuildWorldNoSPF(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	wf := AddWorldFlags(fs)
+	if err := fs.Parse([]string{"-scale", "200", "-no-tier1-spf"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Policy.Tier1ShortestPath() {
+		t.Error("-no-tier1-spf did not take effect")
+	}
+}
+
+func TestBuildWorldFromTopoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.txt")
+	content := "1|2|0\n1|10|-1\n2|11|-1\n10|20|-1\n11|21|-1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	wf := AddWorldFlags(fs)
+	if err := fs.Parse([]string{"-topo", path}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := wf.BuildWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph.N() != 6 {
+		t.Errorf("N = %d, want 6", w.Graph.N())
+	}
+}
+
+func TestBuildWorldErrors(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	wf := AddWorldFlags(fs)
+	if err := fs.Parse([]string{"-topo", "/nonexistent/file"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.BuildWorld(); err == nil {
+		t.Error("missing topo file accepted")
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("not|a|topology|at|all|x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	wf2 := AddWorldFlags(fs2)
+	if err := fs2.Parse([]string{"-topo", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf2.BuildWorld(); err == nil {
+		t.Error("malformed topo file accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func mustRun(t *testing.T, e *Engine, at Attack, blocked *asn.IndexSet, trace bool) (*Outcome, *Trace) {
+	t.Helper()
+	o, tr, err := e.Run(at, blocked, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, tr
+}
+
+func outcomesEqual(a, b *Outcome) (string, bool) {
+	if a.N() != b.N() {
+		return "node count differs", false
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.HasRoute(i) != b.HasRoute(i) {
+			return "HasRoute differs", false
+		}
+		if !a.HasRoute(i) {
+			continue
+		}
+		if a.Origin(i) != b.Origin(i) || a.Class(i) != b.Class(i) ||
+			a.Dist(i) != b.Dist(i) || a.NextHop(i) != b.NextHop(i) {
+			return "route differs", false
+		}
+	}
+	return "", true
+}
+
+func TestEngineValidation(t *testing.T) {
+	pol, _ := buildPolicy(t, diamond)
+	e := NewEngine(pol)
+	if _, _, err := e.Run(Attack{Target: 1, Attacker: 1}, nil, false); err == nil {
+		t.Error("target==attacker accepted")
+	}
+	if _, _, err := e.Run(Attack{Target: -1, Attacker: 1}, nil, false); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestEngineMatchesSolverDiamond(t *testing.T) {
+	pol, g := buildPolicy(t, diamond)
+	s := NewSolver(pol)
+	e := NewEngine(pol)
+	for target := 0; target < g.N(); target++ {
+		for attacker := 0; attacker < g.N(); attacker++ {
+			if target == attacker {
+				continue
+			}
+			at := Attack{Target: target, Attacker: attacker}
+			so := mustSolve(t, s, at, nil)
+			eo, _ := mustRun(t, e, at, nil, false)
+			if msg, ok := outcomesEqual(so, eo); !ok {
+				t.Fatalf("attack %d→%d: %s", attacker, target, msg)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesSolverRandom is the central equivalence property: on
+// random synthetic topologies, random attack pairs, random filter sets,
+// and both attack types, the O(V+E) solver and the message-passing engine
+// converge to the identical routing state.
+func TestEngineMatchesSolverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		p := topology.DefaultParams(300)
+		p.Seed = int64(trial + 1)
+		g := topology.MustGenerate(p)
+		con, err := topology.ContractSiblings(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg := con.Graph
+		c := topology.Classify(cg, topology.ClassifyOptions{})
+		for variant, opts := range [][]PolicyOption{
+			{WithTier1ShortestPath(true)},
+			{WithTier1ShortestPath(false)},
+			{WithTier1ShortestPath(true), WithPreferHighNextHop(true)},
+		} {
+			spf := variant != 1
+			pol, err := NewPolicy(cg, c.Tier1, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSolver(pol)
+			e := NewEngine(pol)
+			for rep := 0; rep < 12; rep++ {
+				target := rng.Intn(cg.N())
+				attacker := rng.Intn(cg.N())
+				if target == attacker {
+					continue
+				}
+				var blocked *asn.IndexSet
+				if rep%2 == 1 {
+					blocked = asn.NewIndexSet(cg.N())
+					for k := 0; k < cg.N()/10; k++ {
+						blocked.Add(rng.Intn(cg.N()))
+					}
+				}
+				at := Attack{Target: target, Attacker: attacker, SubPrefix: rep%3 == 0}
+				so := mustSolve(t, s, at, blocked)
+				eo, _, err := e.Run(at, blocked, false)
+				if err != nil {
+					t.Fatalf("trial %d rep %d: engine: %v", trial, rep, err)
+				}
+				if msg, ok := outcomesEqual(so, eo); !ok {
+					for i := 0; i < cg.N(); i++ {
+						if so.Origin(i) != eo.Origin(i) || so.Class(i) != eo.Class(i) || so.Dist(i) != eo.Dist(i) || so.NextHop(i) != eo.NextHop(i) {
+							t.Logf("node %d (AS%v): solver{%v %d %d nh=%d} engine{%v %d %d nh=%d}",
+								i, cg.ASN(i),
+								so.Class(i), so.Origin(i), so.Dist(i), so.NextHop(i),
+								eo.Class(i), eo.Origin(i), eo.Dist(i), eo.NextHop(i))
+						}
+					}
+					t.Fatalf("trial %d rep %d spf=%v attack %d→%d subprefix=%v: %s",
+						trial, rep, spf, attacker, target, at.SubPrefix, msg)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineTrace(t *testing.T) {
+	pol, g := buildPolicy(t, diamond)
+	e := NewEngine(pol)
+	target := nodeIx(t, g, 20)
+	attacker := nodeIx(t, g, 22)
+	o, tr := mustRun(t, e, Attack{Target: target, Attacker: attacker}, nil, true)
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no trace collected")
+	}
+	if tr.Generations < 2 {
+		t.Errorf("generations = %d, want ≥ 2", tr.Generations)
+	}
+	// Generation 1 must contain exactly the origins' initial announcements.
+	gen1 := tr.EventsInGen(1)
+	if len(gen1) == 0 {
+		t.Fatal("no generation-1 events")
+	}
+	for _, ev := range gen1 {
+		if int(ev.From) != target && int(ev.From) != attacker {
+			t.Errorf("gen-1 event from %d, want only origins", ev.From)
+		}
+		if ev.Withdraw {
+			t.Error("gen-1 withdrawal")
+		}
+	}
+	// Accepted events must be consistent with the final outcome: for every
+	// polluted node some accepted attacker-origin event targeted it.
+	acceptedAttacker := map[int32]bool{}
+	for _, ev := range tr.Events {
+		if ev.Accepted && ev.Origin == OriginAttacker {
+			acceptedAttacker[ev.To] = true
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		if o.Polluted(i) && !acceptedAttacker[int32(i)] {
+			t.Errorf("node %v polluted but no accepted attacker event", g.ASN(i))
+		}
+	}
+	// Generations must be contiguous from 1.
+	seen := map[int]bool{}
+	for _, ev := range tr.Events {
+		seen[ev.Gen] = true
+	}
+	for gen := 1; gen <= tr.Generations; gen++ {
+		if !seen[gen] {
+			t.Errorf("no events in generation %d of %d", gen, tr.Generations)
+		}
+	}
+}
+
+func TestEngineConvergenceGuard(t *testing.T) {
+	pol, g := buildPolicy(t, diamond)
+	e := NewEngine(pol)
+	e.MaxGenerations = 1 // absurdly tight: must trip the guard
+	_, _, err := e.Run(Attack{Target: nodeIx(t, g, 20), Attacker: nodeIx(t, g, 22)}, nil, false)
+	if err == nil {
+		t.Fatal("expected convergence-guard error")
+	}
+}
+
+func TestEngineGenerationsReasonable(t *testing.T) {
+	// The paper reports convergence within 5–10 generations at Internet
+	// scale; a 1,000-node synthetic graph should be comparable.
+	g := topology.MustGenerate(topology.DefaultParams(1000))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Classify(con.Graph, topology.ClassifyOptions{})
+	pol, err := NewPolicy(con.Graph, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(pol)
+	_, tr := mustRun(t, e, Attack{Target: 5, Attacker: con.Graph.N() - 3}, nil, true)
+	if tr.Generations > 20 {
+		t.Errorf("converged in %d generations, want ≤ 20", tr.Generations)
+	}
+}
+
+// TestEngineTraceProperties: every traced message must travel between
+// adjacent nodes, and a withdrawal must follow an earlier announcement
+// from the same sender to the same receiver.
+func TestEngineTraceProperties(t *testing.T) {
+	g := topology.MustGenerate(topology.DefaultParams(400))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := con.Graph
+	c := topology.Classify(cg, topology.ClassifyOptions{})
+	pol, err := NewPolicy(cg, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(pol)
+	_, tr, err := e.Run(Attack{Target: 2, Attacker: cg.N() - 1}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ from, to int32 }
+	announced := map[pair]bool{}
+	withdrawals := 0
+	for _, ev := range tr.Events {
+		if cg.Rel(int(ev.From), int(ev.To)) == 0 {
+			t.Fatalf("message between non-adjacent nodes %d → %d", ev.From, ev.To)
+		}
+		key := pair{ev.From, ev.To}
+		if ev.Withdraw {
+			withdrawals++
+			if !announced[key] {
+				t.Fatalf("withdrawal %d → %d without prior announcement", ev.From, ev.To)
+			}
+		} else {
+			announced[key] = true
+		}
+		if ev.Gen < 1 || ev.Gen > tr.Generations {
+			t.Fatalf("event generation %d outside [1, %d]", ev.Gen, tr.Generations)
+		}
+	}
+	t.Logf("trace: %d events, %d withdrawals, %d generations",
+		len(tr.Events), withdrawals, tr.Generations)
+}

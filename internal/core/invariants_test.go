@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// TestOutcomeInvariants property-checks structural invariants of converged
+// outcomes across random topologies, attacks and filter sets:
+//
+//  1. next-hop consistency: a routed node's next hop is routed, one hop
+//     closer, and leads to the same origin;
+//  2. dist equals the reconstructed path length;
+//  3. the path's first edge class matches the selected route class;
+//  4. origins: target routes to itself, attacker to itself;
+//  5. filtered nodes never select attacker routes;
+//  6. export soundness: the next hop's selected route must be exportable
+//     to this node under valley-free rules.
+func TestOutcomeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		p := topology.DefaultParams(400)
+		p.Seed = int64(trial + 10)
+		g := topology.MustGenerate(p)
+		con, err := topology.ContractSiblings(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg := con.Graph
+		c := topology.Classify(cg, topology.ClassifyOptions{})
+		pol, err := NewPolicy(cg, c.Tier1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSolver(pol)
+		for rep := 0; rep < 20; rep++ {
+			target, attacker := rng.Intn(cg.N()), rng.Intn(cg.N())
+			if target == attacker {
+				continue
+			}
+			var blocked *asn.IndexSet
+			if rep%2 == 0 {
+				blocked = asn.NewIndexSet(cg.N())
+				for k := 0; k < 30; k++ {
+					blocked.Add(rng.Intn(cg.N()))
+				}
+			}
+			at := Attack{Target: target, Attacker: attacker, SubPrefix: rep%5 == 0}
+			o, err := s.Solve(at, blocked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkInvariants(t, pol, cg, o, at, blocked)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, pol *Policy, g *topology.Graph, o *Outcome, at Attack, blocked *asn.IndexSet) {
+	t.Helper()
+	// (4) origin self-routing.
+	if !at.SubPrefix {
+		if o.Origin(at.Target) != OriginTarget || o.Class(at.Target) != ClassOrigin {
+			t.Fatal("target does not originate its own route")
+		}
+	}
+	if o.Origin(at.Attacker) != OriginAttacker || o.Class(at.Attacker) != ClassOrigin {
+		t.Fatal("attacker does not originate its own route")
+	}
+	for i := 0; i < o.N(); i++ {
+		if !o.HasRoute(i) {
+			continue
+		}
+		// (5) filters hold — except at the attacker itself, which always
+		// originates its own announcement.
+		if blocked != nil && blocked.Contains(i) && o.Origin(i) == OriginAttacker && i != at.Attacker {
+			t.Fatalf("filtered node %d selected the attacker route", i)
+		}
+		if o.Class(i) == ClassOrigin {
+			if o.Dist(i) != 0 {
+				t.Fatalf("origin node %d has dist %d", i, o.Dist(i))
+			}
+			continue
+		}
+		nh := int(o.NextHop(i))
+		// (1) next-hop consistency.
+		if !o.HasRoute(nh) {
+			t.Fatalf("node %d forwards to unrouted %d", i, nh)
+		}
+		if o.Dist(nh) != o.Dist(i)-1 {
+			t.Fatalf("node %d dist %d but next hop %d dist %d", i, o.Dist(i), nh, o.Dist(nh))
+		}
+		if o.Origin(nh) != o.Origin(i) {
+			t.Fatalf("node %d origin %d but next hop %d origin %d", i, o.Origin(i), nh, o.Origin(nh))
+		}
+		// (3) class matches the relationship to the next hop.
+		rel := g.Rel(i, nh)
+		wantClass := ClassNone
+		switch rel {
+		case topology.RelCustomer:
+			wantClass = ClassCustomer
+		case topology.RelPeer:
+			wantClass = ClassPeer
+		case topology.RelProvider:
+			wantClass = ClassProvider
+		default:
+			t.Fatalf("node %d forwards to non-neighbor %d", i, nh)
+		}
+		if o.Class(i) != wantClass {
+			t.Fatalf("node %d class %v but next-hop relationship %v", i, o.Class(i), rel)
+		}
+		// (6) export soundness: nh's route class must be exportable to i.
+		// rel is nh's role from i's perspective; nh exports to i whose
+		// role from nh's perspective is the inverse.
+		var relFromNH topology.Rel
+		switch rel {
+		case topology.RelCustomer:
+			relFromNH = topology.RelProvider
+		case topology.RelProvider:
+			relFromNH = topology.RelCustomer
+		default:
+			relFromNH = rel
+		}
+		if !exportsTo(o.Class(nh), relFromNH) {
+			t.Fatalf("node %d learned a route its next hop %d (class %v) may not export to a %v",
+				i, nh, o.Class(nh), relFromNH)
+		}
+		// (2) dist equals path length.
+		path := o.Path(i)
+		if path == nil || len(path)-1 != int(o.Dist(i)) {
+			t.Fatalf("node %d dist %d but path %v", i, o.Dist(i), path)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+)
+
+// Attack describes one hijack scenario: Attacker originates address space
+// owned by Target. With SubPrefix set, the attacker announces a
+// more-specific prefix, which wins longest-prefix-match forwarding
+// everywhere it propagates — the legitimate covering announcement cannot
+// compete, so only origin-validation filters stop it.
+type Attack struct {
+	Target   int
+	Attacker int
+	// SubPrefix selects a sub-prefix hijack instead of an exact-prefix
+	// origin hijack.
+	SubPrefix bool
+}
+
+// Solver computes the converged routing outcome of an attack in O(V+E)
+// using the three-stage customer/peer/provider BFS. A Solver's buffers are
+// reused across calls: the Outcome returned by Solve is only valid until
+// the next Solve on the same Solver (Clone it to keep it). Solvers are not
+// safe for concurrent use; create one per goroutine (they share the
+// Policy).
+type Solver struct {
+	pol *Policy
+
+	epoch   int32
+	stamp   []int32 // stamp[i] == epoch ⇒ node i has a route this run
+	class   []RouteClass
+	dist    []int16
+	nexthop []int32
+	origin  []int8
+
+	candStamp []int32 // per-level candidate marks
+	candNH    []int32
+	candDist  []int16
+	candOrig  []int8
+
+	frontier []int32
+	nextQ    []int32
+	candList []int32
+	buckets  [][]int32
+	maxDist  int
+}
+
+// NewSolver returns a Solver over the policy.
+func NewSolver(pol *Policy) *Solver {
+	n := pol.N()
+	return &Solver{
+		pol:       pol,
+		stamp:     make([]int32, n),
+		class:     make([]RouteClass, n),
+		dist:      make([]int16, n),
+		nexthop:   make([]int32, n),
+		origin:    make([]int8, n),
+		candStamp: make([]int32, n),
+		candNH:    make([]int32, n),
+		candDist:  make([]int16, n),
+		candOrig:  make([]int8, n),
+	}
+}
+
+// Outcome is a view of one converged routing state. It remains valid only
+// until the owning Solver/Engine runs again; call Clone to detach it.
+type Outcome struct {
+	Target   int
+	Attacker int
+
+	n       int
+	epoch   int32
+	stamp   []int32
+	class   []RouteClass
+	dist    []int16
+	nexthop []int32
+	origin  []int8
+}
+
+// N returns the node count.
+func (o *Outcome) N() int { return o.n }
+
+// HasRoute reports whether node i selected any route.
+func (o *Outcome) HasRoute(i int) bool { return o.stamp[i] == o.epoch }
+
+// Origin returns which origin node i routes to (OriginTarget,
+// OriginAttacker, or OriginNone).
+func (o *Outcome) Origin(i int) int8 {
+	if !o.HasRoute(i) {
+		return OriginNone
+	}
+	return o.origin[i]
+}
+
+// Class returns the route class node i selected.
+func (o *Outcome) Class(i int) RouteClass {
+	if !o.HasRoute(i) {
+		return ClassNone
+	}
+	return o.class[i]
+}
+
+// Dist returns node i's AS-path length to its selected origin (0 at the
+// origin itself); -1 without a route.
+func (o *Outcome) Dist(i int) int16 {
+	if !o.HasRoute(i) {
+		return -1
+	}
+	return o.dist[i]
+}
+
+// NextHop returns the neighbor node i forwards through, or -1 at an origin
+// or unrouted node.
+func (o *Outcome) NextHop(i int) int32 {
+	if !o.HasRoute(i) || o.class[i] == ClassOrigin {
+		return -1
+	}
+	return o.nexthop[i]
+}
+
+// Polluted reports whether node i selected a route to the attacker.
+// Origin nodes themselves are never counted as polluted.
+func (o *Outcome) Polluted(i int) bool {
+	return i != o.Attacker && o.HasRoute(i) && o.origin[i] == OriginAttacker
+}
+
+// PollutedCount returns the number of polluted ASes — the paper's core
+// vulnerability measurement.
+func (o *Outcome) PollutedCount() int {
+	c := 0
+	for i := 0; i < o.n; i++ {
+		if o.Polluted(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// PollutedNodes appends all polluted node indices to dst.
+func (o *Outcome) PollutedNodes(dst []int) []int {
+	for i := 0; i < o.n; i++ {
+		if o.Polluted(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Clone returns a detached copy that survives further Solver runs.
+func (o *Outcome) Clone() *Outcome {
+	c := &Outcome{Target: o.Target, Attacker: o.Attacker, n: o.n, epoch: 1}
+	c.stamp = make([]int32, o.n)
+	c.class = make([]RouteClass, o.n)
+	c.dist = make([]int16, o.n)
+	c.nexthop = make([]int32, o.n)
+	c.origin = make([]int8, o.n)
+	for i := 0; i < o.n; i++ {
+		if o.HasRoute(i) {
+			c.stamp[i] = 1
+			c.class[i] = o.class[i]
+			c.dist[i] = o.dist[i]
+			c.nexthop[i] = o.nexthop[i]
+			c.origin[i] = o.origin[i]
+		}
+	}
+	return c
+}
+
+// Path reconstructs node i's AS-path (as node indices, from i to the
+// origin). Returns nil if i has no route.
+func (o *Outcome) Path(i int) []int {
+	if !o.HasRoute(i) {
+		return nil
+	}
+	path := []int{i}
+	cur := i
+	for o.class[cur] != ClassOrigin {
+		cur = int(o.nexthop[cur])
+		path = append(path, cur)
+		if len(path) > o.n {
+			return nil // defensive: cycles cannot happen in converged state
+		}
+	}
+	return path
+}
+
+// Solve computes the converged outcome of the attack. blocked, if non-nil,
+// is the set of nodes performing route-origin validation: they reject (do
+// not select or re-export) routes leading to the attacker. A nil blocked
+// set means no deployed prevention.
+func (s *Solver) Solve(at Attack, blocked *asn.IndexSet) (*Outcome, error) {
+	n := s.pol.N()
+	if at.Target < 0 || at.Target >= n || at.Attacker < 0 || at.Attacker >= n {
+		return nil, fmt.Errorf("solve: node index out of range (target %d, attacker %d, n %d)", at.Target, at.Attacker, n)
+	}
+	if at.Target == at.Attacker {
+		return nil, fmt.Errorf("solve: target and attacker are the same node %d", at.Target)
+	}
+	s.epoch++
+	s.maxDist = 0
+
+	// Seed the origins. In a sub-prefix hijack only the attacker's
+	// more-specific announcement exists in this prefix's routing plane.
+	if at.SubPrefix {
+		s.assign(at.Attacker, ClassOrigin, 0, -1, OriginAttacker)
+		s.frontier = append(s.frontier[:0], int32(at.Attacker))
+	} else {
+		s.assign(at.Target, ClassOrigin, 0, -1, OriginTarget)
+		s.assign(at.Attacker, ClassOrigin, 0, -1, OriginAttacker)
+		// Deterministic seed order: lower node index first.
+		if at.Target < at.Attacker {
+			s.frontier = append(s.frontier[:0], int32(at.Target), int32(at.Attacker))
+		} else {
+			s.frontier = append(s.frontier[:0], int32(at.Attacker), int32(at.Target))
+		}
+	}
+
+	s.stageCustomer(blocked)
+	s.stagePeer(blocked)
+	s.stageProvider(blocked)
+
+	return &Outcome{
+		Target: at.Target, Attacker: at.Attacker,
+		n: n, epoch: s.epoch,
+		stamp: s.stamp, class: s.class, dist: s.dist, nexthop: s.nexthop, origin: s.origin,
+	}, nil
+}
+
+func (s *Solver) assign(i int, c RouteClass, d int16, nh int32, org int8) {
+	s.stamp[i] = s.epoch
+	s.class[i] = c
+	s.dist[i] = d
+	s.nexthop[i] = nh
+	s.origin[i] = org
+	if int(d) > s.maxDist {
+		s.maxDist = int(d)
+	}
+}
+
+func (s *Solver) assigned(i int32) bool { return s.stamp[i] == s.epoch }
+
+// rejects reports whether node i's origin validation drops routes to org.
+func rejects(blocked *asn.IndexSet, i int32, org int8) bool {
+	return org == OriginAttacker && blocked != nil && blocked.Contains(int(i))
+}
+
+// propose records a candidate (d, nh, org) for node i within the current
+// BFS level, keeping the lowest next-hop on ties. All candidates within a
+// level share the same distance.
+func (s *Solver) propose(i int32, d int16, nh int32, org int8) {
+	if s.candStamp[i] != s.epoch {
+		s.candStamp[i] = s.epoch
+		s.candNH[i] = nh
+		s.candDist[i] = d
+		s.candOrig[i] = org
+		s.candList = append(s.candList, i)
+		return
+	}
+	if s.pol.betterNH(nh, s.candNH[i]) {
+		s.candNH[i] = nh
+		s.candDist[i] = d
+		s.candOrig[i] = org
+	}
+}
+
+// stageCustomer floods customer-learned routes up provider links,
+// level-synchronous so that equal-length ties resolve to the lowest
+// next-hop exactly as the message engine does.
+func (s *Solver) stageCustomer(blocked *asn.IndexSet) {
+	d := int16(0)
+	for len(s.frontier) > 0 {
+		s.candList = s.candList[:0]
+		for _, v := range s.frontier {
+			org := s.origin[v]
+			for _, p := range s.pol.Providers(int(v)) {
+				if s.assigned(p) || rejects(blocked, p, org) {
+					continue
+				}
+				s.propose(p, d+1, v, org)
+			}
+		}
+		s.nextQ = s.nextQ[:0]
+		for _, i := range s.candList {
+			s.assign(int(i), ClassCustomer, s.candDist[i], s.candNH[i], s.candOrig[i])
+			s.nextQ = append(s.nextQ, i)
+		}
+		// Invalidate candidate marks for the next level.
+		s.epochBumpCands()
+		s.frontier, s.nextQ = s.nextQ, s.frontier
+		d++
+	}
+}
+
+// epochBumpCands clears per-level candidate marks without touching route
+// assignments: candidate stamps use the same epoch but are reset by
+// re-stamping the processed entries.
+func (s *Solver) epochBumpCands() {
+	for _, i := range s.candList {
+		s.candStamp[i] = 0
+	}
+	s.candList = s.candList[:0]
+}
+
+// stagePeer hands customer routes across single peer hops. Tier-1 nodes
+// apply shortest-path-first import and may replace their customer route
+// with a shorter peer route, in which case they stop offering a route to
+// their peers (peer-learned routes are not exported to peers); processing
+// tier-1s in ascending customer-route distance resolves that dependency in
+// one pass.
+func (s *Solver) stagePeer(blocked *asn.IndexSet) {
+	pol := s.pol
+	n := pol.N()
+
+	// offers(v): v's best route is customer-class (or origination), so v
+	// exports it to peers. Initially true for every routed node, because
+	// stage 1 assigned only origin/customer classes; tier-1 SPF decisions
+	// below may turn individual tier-1s off.
+	type t1sel struct {
+		node int32
+		d    int16
+	}
+	var tier1s []t1sel
+	if pol.tier1SPF {
+		for i := 0; i < n; i++ {
+			if pol.tier1[i] {
+				d := int16(1) << 14 // effectively infinite
+				if s.assigned(int32(i)) {
+					d = s.dist[i]
+				}
+				tier1s = append(tier1s, t1sel{int32(i), d})
+			}
+		}
+		// Ascending customer-route distance, node id breaking ties.
+		for i := 1; i < len(tier1s); i++ {
+			for j := i; j > 0 && (tier1s[j].d < tier1s[j-1].d ||
+				tier1s[j].d == tier1s[j-1].d && tier1s[j].node < tier1s[j-1].node); j-- {
+				tier1s[j], tier1s[j-1] = tier1s[j-1], tier1s[j]
+			}
+		}
+		for _, t := range tier1s {
+			w := t.node
+			// Best peer offer among peers still offering customer routes.
+			bestD, bestNH, bestOrg := int16(0), int32(-1), OriginNone
+			for _, v := range pol.Peers(int(w)) {
+				if !s.assigned(v) || !s.offersToPeers(v) {
+					continue
+				}
+				org := s.origin[v]
+				if rejects(blocked, w, org) {
+					continue
+				}
+				cd := s.dist[v] + 1
+				if bestNH == -1 || cd < bestD || cd == bestD && s.pol.betterNH(v, bestNH) {
+					bestD, bestNH, bestOrg = cd, v, org
+				}
+			}
+			if bestNH == -1 {
+				continue
+			}
+			if !s.assigned(w) {
+				s.assign(int(w), ClassPeer, bestD, bestNH, bestOrg)
+				continue
+			}
+			if s.pol.better(int(w), ClassPeer, bestD, bestNH, s.class[w], s.dist[w], s.nexthop[w]) {
+				s.assign(int(w), ClassPeer, bestD, bestNH, bestOrg)
+			}
+		}
+	}
+
+	// Everyone else: peer routes only fill gaps (customer class wins), and
+	// they do not cascade, so one pass suffices. Collect candidates first
+	// so freshly assigned peer routes cannot masquerade as donors.
+	s.candList = s.candList[:0]
+	for w := 0; w < n; w++ {
+		if s.assigned(int32(w)) || pol.tier1SPF && pol.tier1[w] {
+			continue
+		}
+		bestD, bestNH, bestOrg := int16(0), int32(-1), OriginNone
+		for _, v := range pol.Peers(w) {
+			if !s.assigned(v) || !s.offersToPeers(v) {
+				continue
+			}
+			org := s.origin[v]
+			if rejects(blocked, int32(w), org) {
+				continue
+			}
+			cd := s.dist[v] + 1
+			if bestNH == -1 || cd < bestD || cd == bestD && s.pol.betterNH(v, bestNH) {
+				bestD, bestNH, bestOrg = cd, v, org
+			}
+		}
+		if bestNH != -1 {
+			s.candStamp[w] = s.epoch
+			s.candNH[w] = bestNH
+			s.candDist[w] = bestD
+			s.candOrig[w] = bestOrg
+			s.candList = append(s.candList, int32(w))
+		}
+	}
+	for _, i := range s.candList {
+		s.assign(int(i), ClassPeer, s.candDist[i], s.candNH[i], s.candOrig[i])
+	}
+	s.epochBumpCands()
+}
+
+// offersToPeers reports whether routed node v exports its best route to
+// peers (true only for origin/customer-class selections).
+func (s *Solver) offersToPeers(v int32) bool {
+	return s.class[v] == ClassOrigin || s.class[v] == ClassCustomer
+}
+
+// stageProvider floods every selected route down customer links using
+// distance buckets (sources start at different depths), assigning
+// provider-class routes to still-unrouted nodes level by level.
+func (s *Solver) stageProvider(blocked *asn.IndexSet) {
+	n := s.pol.N()
+	// Upper bound on final distances: current max + longest customer chain
+	// is bounded by n; allocate lazily by growing.
+	if cap(s.buckets) < s.maxDist+2 {
+		s.buckets = make([][]int32, s.maxDist+2, 2*(s.maxDist+2)+8)
+	} else {
+		s.buckets = s.buckets[:s.maxDist+2]
+		for i := range s.buckets {
+			s.buckets[i] = s.buckets[i][:0]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.assigned(int32(i)) {
+			d := int(s.dist[i])
+			s.growBuckets(d + 1)
+			s.buckets[d] = append(s.buckets[d], int32(i))
+		}
+	}
+	for d := 0; d < len(s.buckets); d++ {
+		if len(s.buckets[d]) == 0 {
+			continue
+		}
+		s.candList = s.candList[:0]
+		for _, v := range s.buckets[d] {
+			org := s.origin[v]
+			for _, c := range s.pol.Customers(int(v)) {
+				if s.assigned(c) || rejects(blocked, c, org) {
+					continue
+				}
+				s.propose(c, int16(d+1), v, org)
+			}
+		}
+		if len(s.candList) == 0 {
+			continue
+		}
+		s.growBuckets(d + 2)
+		for _, i := range s.candList {
+			s.assign(int(i), ClassProvider, s.candDist[i], s.candNH[i], s.candOrig[i])
+			s.buckets[d+1] = append(s.buckets[d+1], i)
+		}
+		s.epochBumpCands()
+	}
+}
+
+func (s *Solver) growBuckets(size int) {
+	for len(s.buckets) < size {
+		s.buckets = append(s.buckets, nil)
+	}
+}
+
+// ReceivedAttackerRoute computes, for every node, whether at least one
+// neighbor exported an attacker-origin route to it in the converged state —
+// whether the node "heard" the hijack even if it did not select it. This is
+// the alternative detection semantics studied as an ablation (the paper's
+// detectors trigger on routes their probe AS selects and re-exports).
+func ReceivedAttackerRoute(pol *Policy, o *Outcome) []bool {
+	received := make([]bool, o.n)
+	g := pol.Graph()
+	for v := 0; v < o.n; v++ {
+		if o.Origin(v) != OriginAttacker {
+			continue
+		}
+		cls := o.Class(v)
+		nbrs, rels := g.Neighbors(v)
+		for k, nb := range nbrs {
+			if int(nb) == int(o.NextHop(v)) {
+				continue // split horizon: never announced back to the next hop
+			}
+			if exportsTo(cls, rels[k]) {
+				received[nb] = true
+			}
+		}
+	}
+	return received
+}

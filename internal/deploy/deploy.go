@@ -1,0 +1,162 @@
+// Package deploy models incremental rollout of BGP origin-hijack
+// prevention (Section V of the paper): strategies for choosing which ASes
+// deploy route-origin validation, and the machinery to evaluate how much
+// each deployment set reduces a target's vulnerability.
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// Strategy is a named set of ASes deploying origin validation.
+type Strategy struct {
+	Name  string
+	Nodes []int
+}
+
+// Blocked materializes the strategy as an IndexSet for the solver.
+func (s Strategy) Blocked(n int) *asn.IndexSet {
+	if len(s.Nodes) == 0 {
+		return nil
+	}
+	set := asn.NewIndexSet(n)
+	for _, i := range s.Nodes {
+		set.Add(i)
+	}
+	return set
+}
+
+// None is the undefended baseline.
+func None() Strategy { return Strategy{Name: "baseline (no filters)"} }
+
+// Random deploys at k transit ASes chosen uniformly at random — the
+// paper's model of uncoordinated voluntary adoption ("various random ASes
+// are motivated to deploy BGP security on their own").
+func Random(g *topology.Graph, k int, seed int64) Strategy {
+	transit := g.TransitNodes()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(transit), func(i, j int) { transit[i], transit[j] = transit[j], transit[i] })
+	if k > len(transit) {
+		k = len(transit)
+	}
+	return Strategy{Name: fmt.Sprintf("random %d transit ASes", k), Nodes: transit[:k]}
+}
+
+// Tier1 deploys at exactly the tier-1 ASes ("this scenario was run under
+// the assumption that the tier-1 ASes can act on their own, to everyone's
+// benefit").
+func Tier1(c *topology.Classification) Strategy {
+	return Strategy{
+		Name:  fmt.Sprintf("%d tier-1 ASes", len(c.Tier1)),
+		Nodes: append([]int(nil), c.Tier1...),
+	}
+}
+
+// DegreeAtLeast deploys at every AS with degree ≥ min — the paper's
+// methodical core-outward strategy ("filter 62 ASes with degree ≥ 500",
+// 124 @ ≥300, 166 @ ≥200, 299 @ ≥100).
+func DegreeAtLeast(g *topology.Graph, min int) Strategy {
+	nodes := topology.NodesWithDegreeAtLeast(g, min)
+	return Strategy{
+		Name:  fmt.Sprintf("%d ASes with degree ≥ %d", len(nodes), min),
+		Nodes: nodes,
+	}
+}
+
+// TopDegree deploys at the k highest-degree ASes. At reduced topology
+// scale this is the shape-preserving equivalent of the paper's absolute
+// degree thresholds.
+func TopDegree(g *topology.Graph, k int) Strategy {
+	order := topology.NodesByDegree(g)
+	if k > len(order) {
+		k = len(order)
+	}
+	return Strategy{
+		Name:  fmt.Sprintf("top %d ASes by degree", k),
+		Nodes: append([]int(nil), order[:k]...),
+	}
+}
+
+// Custom wraps an explicit deployment set.
+func Custom(name string, nodes []int) Strategy {
+	return Strategy{Name: name, Nodes: append([]int(nil), nodes...)}
+}
+
+// Evaluation is the outcome of one strategy against one target.
+type Evaluation struct {
+	Strategy Strategy
+	Result   *hijack.SweepResult
+}
+
+// Evaluate sweeps the target with every strategy in turn, using the same
+// attacker population, so the resulting curves are directly comparable
+// (the paper's Figures 5 and 6).
+func Evaluate(pol *core.Policy, target int, attackers []int, strategies []Strategy) ([]Evaluation, error) {
+	out := make([]Evaluation, 0, len(strategies))
+	for _, st := range strategies {
+		res, err := hijack.Sweep(pol, hijack.SweepConfig{
+			Target:    target,
+			Attackers: attackers,
+			Blocked:   st.Blocked(pol.N()),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("evaluate %q: %w", st.Name, err)
+		}
+		out = append(out, Evaluation{Strategy: st, Result: res})
+	}
+	return out, nil
+}
+
+// ResidualAttacks returns the k most potent attacks that still succeed
+// under the strategy — the paper's "which attacks are capable of slipping
+// by these defenses?" tables (ASN, pollution, degree, depth). Attackers
+// that are themselves deployers are flagged.
+func (e Evaluation) ResidualAttacks(k int, g *topology.Graph, c *topology.Classification) []hijack.AttackerStat {
+	stats := e.Result.TopAttackers(k, g, c)
+	deployed := make(map[int]bool, len(e.Strategy.Nodes))
+	for _, n := range e.Strategy.Nodes {
+		deployed[n] = true
+	}
+	for i := range stats {
+		stats[i].Deployed = deployed[stats[i].Attacker]
+	}
+	return stats
+}
+
+// PaperLadder returns the paper's full Figure 5/6 strategy ladder scaled
+// to the given topology: baseline, two random sizes, tier-1, and four
+// core-outward rungs. Fractions follow the paper's population (100 and 500
+// of 6318 transit ASes; 62/124/166/299 of 42697 total).
+func PaperLadder(g *topology.Graph, c *topology.Classification, seed int64) []Strategy {
+	nTransit := len(g.TransitNodes())
+	scaleT := func(paper int) int {
+		v := paper * nTransit / 6318
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	scaleAll := func(paper int) int {
+		v := paper * g.N() / 42697
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return []Strategy{
+		None(),
+		Random(g, scaleT(100), seed),
+		Random(g, scaleT(500), seed+1),
+		Tier1(c),
+		TopDegree(g, scaleAll(62)),
+		TopDegree(g, scaleAll(124)),
+		TopDegree(g, scaleAll(166)),
+		TopDegree(g, scaleAll(299)),
+	}
+}

@@ -1,0 +1,256 @@
+// Package detect models IP-hijack detection (Section VI of the paper):
+// probe sets (BGP data feeds at chosen vantage ASes), random attack
+// workloads, and the evaluation of how many attacks each probe
+// configuration sees or misses.
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// ProbeSet is a named collection of vantage ASes feeding a hijack
+// detector.
+type ProbeSet struct {
+	Name   string
+	Probes []int
+}
+
+// Tier1Probes peers the detector with every tier-1 AS (the paper's
+// case 1, which surprisingly misses 34 % of attacks).
+func Tier1Probes(c *topology.Classification) ProbeSet {
+	return ProbeSet{
+		Name:   fmt.Sprintf("%d tier-1 probes", len(c.Tier1)),
+		Probes: append([]int(nil), c.Tier1...),
+	}
+}
+
+// TopDegreeProbes peers with the k highest-degree ASes (the paper's
+// case 3: "all 62 AS routers with degree ≥ 500").
+func TopDegreeProbes(g *topology.Graph, k int) ProbeSet {
+	order := topology.NodesByDegree(g)
+	if k > len(order) {
+		k = len(order)
+	}
+	return ProbeSet{
+		Name:   fmt.Sprintf("top %d degree probes", k),
+		Probes: append([]int(nil), order[:k]...),
+	}
+}
+
+// BGPmonLikeProbes reproduces the paper's case 2 configuration class: a
+// modest number (24 in the paper) of medium-degree transit ASes with a
+// regional clustering bias, like the volunteer peers of a university
+// monitoring service. Selection is deterministic for a seed.
+func BGPmonLikeProbes(g *topology.Graph, c *topology.Classification, k int, seed int64) ProbeSet {
+	// Candidates: transit ASes that are neither tier-1 nor in the very top
+	// of the degree distribution.
+	order := topology.NodesByDegree(g)
+	skip := len(order) / 50 // skip the top 2%
+	var candidates []int
+	for _, i := range order[skip:] {
+		if g.IsTransit(i) && !c.IsTier1(i) {
+			candidates = append(candidates, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Regional clustering: favor candidates from a couple of regions.
+	var pick []int
+	if len(candidates) > 0 {
+		homeA := g.Region(candidates[rng.Intn(len(candidates))])
+		homeB := g.Region(candidates[rng.Intn(len(candidates))])
+		var clustered, rest []int
+		for _, i := range candidates {
+			if r := g.Region(i); r >= 0 && (r == homeA || r == homeB) {
+				clustered = append(clustered, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		rng.Shuffle(len(clustered), func(i, j int) { clustered[i], clustered[j] = clustered[j], clustered[i] })
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		// About two thirds from the home regions, the rest scattered.
+		want := 2 * k / 3
+		if want > len(clustered) {
+			want = len(clustered)
+		}
+		pick = append(pick, clustered[:want]...)
+		for _, i := range rest {
+			if len(pick) >= k {
+				break
+			}
+			pick = append(pick, i)
+		}
+	}
+	sort.Ints(pick)
+	return ProbeSet{Name: fmt.Sprintf("%d BGPmon-like probes", len(pick)), Probes: pick}
+}
+
+// CustomProbes wraps an explicit probe list.
+func CustomProbes(name string, probes []int) ProbeSet {
+	return ProbeSet{Name: name, Probes: append([]int(nil), probes...)}
+}
+
+// Semantics selects what counts as a probe "seeing" an attack.
+type Semantics int
+
+const (
+	// SelectedRoute (paper semantics): a probe triggers when its AS
+	// selects — and therefore re-exports — the bogus route. BGP feeds only
+	// carry the routes the peer router itself chose.
+	SelectedRoute Semantics = iota
+	// AnyReceived (ablation): a probe triggers when any neighbor offered
+	// it the bogus route, even if policy rejected it.
+	AnyReceived
+)
+
+// GenerateAttacks draws n random attacker/target pairs (attacker ≠
+// target) from the pool — the paper draws both from the 6318 transit ASes.
+// Using one attack list across probe configurations makes the resulting
+// miss rates directly comparable, as in Figure 7.
+func GenerateAttacks(pool []int, n int, seed int64) ([]core.Attack, error) {
+	if len(pool) < 2 {
+		return nil, fmt.Errorf("generate attacks: pool needs ≥ 2 ASes, has %d", len(pool))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Attack, 0, n)
+	for len(out) < n {
+		a := pool[rng.Intn(len(pool))]
+		t := pool[rng.Intn(len(pool))]
+		if a == t {
+			continue
+		}
+		out = append(out, core.Attack{Target: t, Attacker: a})
+	}
+	return out, nil
+}
+
+// MissedAttack records one attack that no probe saw.
+type MissedAttack struct {
+	Attacker  int
+	Target    int
+	Pollution int
+}
+
+// Result summarizes one probe configuration against an attack workload
+// (one bar group + line of Figure 7).
+type Result struct {
+	ProbeSet ProbeSet
+	// TriggerHist[k] = number of attacks seen by exactly k probes
+	// (k ranges 0..len(Probes)).
+	TriggerHist []int
+	// MeanPollutionByTriggers[k] = average polluted-AS count over attacks
+	// seen by exactly k probes (NaN-free: 0 when the bucket is empty).
+	MeanPollutionByTriggers []float64
+	// Misses lists every attack with zero triggered probes, in workload
+	// order.
+	Misses []MissedAttack
+	// TotalAttacks is the workload size.
+	TotalAttacks int
+}
+
+// MissCount returns the number of completely undetected attacks.
+func (r *Result) MissCount() int { return len(r.Misses) }
+
+// MissRate returns the fraction of attacks that escaped detection.
+func (r *Result) MissRate() float64 {
+	if r.TotalAttacks == 0 {
+		return 0
+	}
+	return float64(len(r.Misses)) / float64(r.TotalAttacks)
+}
+
+// MissSummary returns (mean, max) pollution over undetected attacks — the
+// paper's "undetected attacks had an average AS pollution count of 2,344
+// and a maximum of 20,306" numbers.
+func (r *Result) MissSummary() (mean float64, max int) {
+	if len(r.Misses) == 0 {
+		return 0, 0
+	}
+	sum := 0
+	for _, m := range r.Misses {
+		sum += m.Pollution
+		if m.Pollution > max {
+			max = m.Pollution
+		}
+	}
+	return float64(sum) / float64(len(r.Misses)), max
+}
+
+// TopMisses returns the k largest undetected attacks (the paper's "top 5
+// undetected attacks" tables).
+func (r *Result) TopMisses(k int) []MissedAttack {
+	ms := append([]MissedAttack(nil), r.Misses...)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Pollution != ms[j].Pollution {
+			return ms[i].Pollution > ms[j].Pollution
+		}
+		if ms[i].Attacker != ms[j].Attacker {
+			return ms[i].Attacker < ms[j].Attacker
+		}
+		return ms[i].Target < ms[j].Target
+	})
+	if k > len(ms) {
+		k = len(ms)
+	}
+	return ms[:k]
+}
+
+// Evaluate runs the attack workload against one probe configuration.
+// Filters (blocked) may be nil; the paper evaluates detection without
+// prevention deployed.
+func Evaluate(pol *core.Policy, ps ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet) (*Result, error) {
+	if len(ps.Probes) == 0 {
+		return nil, fmt.Errorf("evaluate detection: probe set %q is empty", ps.Name)
+	}
+	res := &Result{
+		ProbeSet:                ps,
+		TriggerHist:             make([]int, len(ps.Probes)+1),
+		MeanPollutionByTriggers: make([]float64, len(ps.Probes)+1),
+		TotalAttacks:            len(attacks),
+	}
+	sums := make([]int, len(ps.Probes)+1)
+	s := core.NewSolver(pol)
+	for _, at := range attacks {
+		o, err := s.Solve(at, blocked)
+		if err != nil {
+			return nil, fmt.Errorf("evaluate detection: %w", err)
+		}
+		var received []bool
+		if sem == AnyReceived {
+			received = core.ReceivedAttackerRoute(pol, o)
+		}
+		triggered := 0
+		for _, p := range ps.Probes {
+			switch sem {
+			case SelectedRoute:
+				if o.Polluted(p) {
+					triggered++
+				}
+			case AnyReceived:
+				if o.Polluted(p) || received[p] {
+					triggered++
+				}
+			}
+		}
+		pollution := o.PollutedCount()
+		res.TriggerHist[triggered]++
+		sums[triggered] += pollution
+		if triggered == 0 {
+			res.Misses = append(res.Misses, MissedAttack{
+				Attacker: at.Attacker, Target: at.Target, Pollution: pollution,
+			})
+		}
+	}
+	for k := range res.MeanPollutionByTriggers {
+		if res.TriggerHist[k] > 0 {
+			res.MeanPollutionByTriggers[k] = float64(sums[k]) / float64(res.TriggerHist[k])
+		}
+	}
+	return res, nil
+}

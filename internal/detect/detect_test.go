@@ -1,0 +1,235 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func testWorld(t *testing.T, n int) (*core.Policy, *topology.Graph, *topology.Classification) {
+	t.Helper()
+	g := topology.MustGenerate(topology.DefaultParams(n))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Classify(con.Graph, topology.ClassifyOptions{})
+	pol, err := core.NewPolicy(con.Graph, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol, con.Graph, c
+}
+
+func TestGenerateAttacks(t *testing.T) {
+	pool := []int{1, 2, 3, 4, 5}
+	attacks, err := GenerateAttacks(pool, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacks) != 100 {
+		t.Fatalf("got %d attacks", len(attacks))
+	}
+	inPool := map[int]bool{}
+	for _, p := range pool {
+		inPool[p] = true
+	}
+	for _, a := range attacks {
+		if a.Attacker == a.Target {
+			t.Fatal("attacker == target")
+		}
+		if !inPool[a.Attacker] || !inPool[a.Target] {
+			t.Fatal("attack outside pool")
+		}
+	}
+	// Deterministic per seed.
+	again, err := GenerateAttacks(pool, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range attacks {
+		if attacks[i] != again[i] {
+			t.Fatal("GenerateAttacks not deterministic")
+		}
+	}
+	if _, err := GenerateAttacks([]int{1}, 5, 7); err == nil {
+		t.Error("tiny pool accepted")
+	}
+}
+
+func TestProbeConstructors(t *testing.T) {
+	_, g, c := testWorld(t, 800)
+
+	t1 := Tier1Probes(c)
+	if len(t1.Probes) != len(c.Tier1) {
+		t.Error("Tier1Probes size mismatch")
+	}
+
+	top := TopDegreeProbes(g, 15)
+	if len(top.Probes) != 15 {
+		t.Errorf("TopDegreeProbes = %d", len(top.Probes))
+	}
+
+	bm := BGPmonLikeProbes(g, c, 24, 3)
+	if len(bm.Probes) == 0 {
+		t.Fatal("BGPmonLikeProbes empty")
+	}
+	if len(bm.Probes) > 24 {
+		t.Errorf("BGPmonLikeProbes = %d > 24", len(bm.Probes))
+	}
+	for _, p := range bm.Probes {
+		if c.IsTier1(p) {
+			t.Error("BGPmon-like probes must exclude tier-1s")
+		}
+		if !g.IsTransit(p) {
+			t.Error("BGPmon-like probes must be transit ASes")
+		}
+	}
+	bm2 := BGPmonLikeProbes(g, c, 24, 3)
+	for i := range bm.Probes {
+		if bm.Probes[i] != bm2.Probes[i] {
+			t.Fatal("BGPmonLikeProbes not deterministic")
+		}
+	}
+
+	cp := CustomProbes("mine", []int{4, 5})
+	if cp.Name != "mine" || len(cp.Probes) != 2 {
+		t.Error("CustomProbes mangled input")
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	pol, g, _ := testWorld(t, 800)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := TopDegreeProbes(g, 12)
+	res, err := Evaluate(pol, ps, attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAttacks != 300 {
+		t.Errorf("TotalAttacks = %d", res.TotalAttacks)
+	}
+	total := 0
+	for _, n := range res.TriggerHist {
+		total += n
+	}
+	if total != 300 {
+		t.Errorf("histogram sums to %d, want 300", total)
+	}
+	if res.TriggerHist[0] != res.MissCount() {
+		t.Errorf("hist[0]=%d != misses=%d", res.TriggerHist[0], res.MissCount())
+	}
+	if r := res.MissRate(); r < 0 || r > 1 {
+		t.Errorf("MissRate = %v", r)
+	}
+	mean, max := res.MissSummary()
+	if max > 0 && mean <= 0 {
+		t.Error("MissSummary inconsistent")
+	}
+	top := res.TopMisses(5)
+	for i := 1; i < len(top); i++ {
+		if top[i].Pollution > top[i-1].Pollution {
+			t.Error("TopMisses not ranked")
+		}
+	}
+	if _, err := Evaluate(pol, CustomProbes("empty", nil), attacks, SelectedRoute, nil); err == nil {
+		t.Error("empty probe set accepted")
+	}
+}
+
+// TestDetectorOrdering reproduces Figure 7's qualitative finding: the
+// degree≥500-class configuration misses the fewest attacks, the tier-1
+// configuration the most, with BGPmon-like in between.
+func TestDetectorOrdering(t *testing.T) {
+	pol, g, c := testWorld(t, 1500)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 600, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core62 := TopDegreeProbes(g, maxInt(len(c.Tier1)*3, 20))
+	t1 := Tier1Probes(c)
+
+	rTop, err := Evaluate(pol, core62, attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rT1, err := Evaluate(pol, t1, attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rTop.MissRate() > rT1.MissRate() {
+		t.Errorf("top-degree probes (%.3f) should miss less than tier-1 probes (%.3f)",
+			rTop.MissRate(), rT1.MissRate())
+	}
+	// Tier-1 probes must actually miss something (the paper's surprise).
+	if rT1.MissCount() == 0 {
+		t.Error("tier-1 probes missed nothing; expected blind spots")
+	}
+}
+
+// TestMeanPollutionGrowsWithTriggers checks the Figure 7 line graph: "the
+// larger the attack extent, the more collectors triggered", i.e. mean
+// pollution is (weakly) increasing with the trigger count on average.
+func TestMeanPollutionGrowsWithTriggers(t *testing.T) {
+	pol, g, c := testWorld(t, 1200)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(pol, Tier1Probes(c), attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the low and high thirds of the trigger range (individual
+	// buckets are noisy).
+	var loSum, loN, hiSum, hiN float64
+	for k, cnt := range res.TriggerHist {
+		if cnt == 0 {
+			continue
+		}
+		if k <= len(res.TriggerHist)/3 {
+			loSum += res.MeanPollutionByTriggers[k] * float64(cnt)
+			loN += float64(cnt)
+		} else if k >= 2*len(res.TriggerHist)/3 {
+			hiSum += res.MeanPollutionByTriggers[k] * float64(cnt)
+			hiN += float64(cnt)
+		}
+	}
+	if loN > 0 && hiN > 0 && hiSum/hiN <= loSum/loN {
+		t.Errorf("mean pollution should grow with trigger count: low %.1f, high %.1f",
+			loSum/loN, hiSum/hiN)
+	}
+}
+
+// TestAnyReceivedSemanticsDetectsMore: the ablation semantics can only
+// increase trigger counts, so the miss rate can only go down.
+func TestAnyReceivedSemanticsDetectsMore(t *testing.T) {
+	pol, g, c := testWorld(t, 1000)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := Tier1Probes(c)
+	sel, err := Evaluate(pol, ps, attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Evaluate(pol, ps, attacks, AnyReceived, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.MissCount() > sel.MissCount() {
+		t.Errorf("AnyReceived misses %d > SelectedRoute misses %d", rec.MissCount(), sel.MissCount())
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"testing"
+)
+
+func TestGreedyProbesValidation(t *testing.T) {
+	pol, g, _ := testWorld(t, 300)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GreedyProbes(pol, attacks, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GreedyProbes(pol, nil, nil, 3); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := GreedyProbes(pol, attacks, []int{}, 3); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}
+
+func TestGreedyProbesCoverAndDeterminism(t *testing.T) {
+	pol, g, _ := testWorld(t, 800)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := GreedyProbes(pol, attacks, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Probes) == 0 || len(ps.Probes) > 8 {
+		t.Fatalf("probes = %d", len(ps.Probes))
+	}
+	// Determinism.
+	ps2, err := GreedyProbes(pol, attacks, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps.Probes {
+		if ps.Probes[i] != ps2.Probes[i] {
+			t.Fatal("greedy selection not deterministic")
+		}
+	}
+	// No duplicates.
+	seen := map[int]bool{}
+	for _, p := range ps.Probes {
+		if seen[p] {
+			t.Fatal("duplicate probe chosen")
+		}
+		seen[p] = true
+	}
+}
+
+// TestGreedyBeatsDegreeOnTraining: on its own training workload, k greedy
+// probes must detect at least as many attacks as the k top-degree probes
+// (greedy maximizes exactly that objective).
+func TestGreedyBeatsDegreeOnTraining(t *testing.T) {
+	pol, g, _ := testWorld(t, 1000)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 6
+	greedy, err := GreedyProbes(pol, attacks, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degree := TopDegreeProbes(g, k)
+
+	rg, err := Evaluate(pol, greedy, attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Evaluate(pol, degree, attacks, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.MissCount() > rd.MissCount() {
+		t.Errorf("greedy misses %d > degree-based %d on its training workload",
+			rg.MissCount(), rd.MissCount())
+	}
+}
+
+// TestGreedyGeneralizes: greedy probes trained on one workload should
+// still be competitive with degree-based probes on a fresh workload.
+func TestGreedyGeneralizes(t *testing.T) {
+	pol, g, _ := testWorld(t, 1000)
+	train, err := GenerateAttacks(g.TransitNodes(), 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := GenerateAttacks(g.TransitNodes(), 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 6
+	greedy, err := GreedyProbes(pol, train, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := Evaluate(pol, greedy, test, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Evaluate(pol, TopDegreeProbes(g, k), test, SelectedRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow some generalization slack: within 1.5× of degree-based misses.
+	if float64(rg.MissCount()) > 1.5*float64(rd.MissCount())+3 {
+		t.Errorf("greedy generalizes poorly: misses %d vs degree %d",
+			rg.MissCount(), rd.MissCount())
+	}
+}

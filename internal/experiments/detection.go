@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/viz"
+)
+
+// DetectionResult is the full Figure 7 panel: the same random attack
+// workload evaluated against the paper's three probe configurations, plus
+// the Section VI "top undetected attacks" tables.
+type DetectionResult struct {
+	Title   string
+	Attacks int
+	Cases   []DetectionCase
+}
+
+// DetectionCase is one probe configuration's outcome.
+type DetectionCase struct {
+	Result    *detect.Result
+	TopMisses []detect.MissedAttack
+}
+
+// DetectionConfig tunes the Figure 7 reproduction.
+type DetectionConfig struct {
+	// Attacks is the workload size (paper: 8000). Default 2000.
+	Attacks int
+	// Seed drives workload generation and probe selection.
+	Seed int64
+	// BGPmonProbes is the case-2 probe count (paper: 24).
+	BGPmonProbes int
+	// TopMisses is the table size (default 5).
+	TopMisses int
+	// Semantics selects the detection model (default: SelectedRoute, as
+	// in the paper).
+	Semantics detect.Semantics
+}
+
+func (c DetectionConfig) withDefaults() DetectionConfig {
+	if c.Attacks == 0 {
+		c.Attacks = 2000
+	}
+	if c.BGPmonProbes == 0 {
+		c.BGPmonProbes = 24
+	}
+	if c.TopMisses == 0 {
+		c.TopMisses = 5
+	}
+	return c
+}
+
+// Fig7 reproduces Figure 7 and the Section VI tables: three detector
+// configurations — all tier-1s, a BGPmon-like volunteer set, and the
+// high-degree core — against one shared random transit-pair workload.
+func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
+	cfg = cfg.withDefaults()
+	transit := w.Graph.TransitNodes()
+	attacks, err := detect.GenerateAttacks(transit, cfg.Attacks, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	// Case 3's probe count scales the paper's 62-of-42697 core.
+	coreK := 62 * w.Graph.N() / 42697
+	if coreK < len(w.Class.Tier1)+3 {
+		coreK = len(w.Class.Tier1) + 3
+	}
+	sets := []detect.ProbeSet{
+		detect.Tier1Probes(w.Class),
+		detect.BGPmonLikeProbes(w.Graph, w.Class, cfg.BGPmonProbes, cfg.Seed),
+		detect.TopDegreeProbes(w.Graph, coreK),
+	}
+	res := &DetectionResult{
+		Title:   "Figure 7: detector configurations vs random transit attacks",
+		Attacks: cfg.Attacks,
+	}
+	for _, ps := range sets {
+		r, err := detect.Evaluate(w.Policy, ps, attacks, cfg.Semantics, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 (%s): %w", ps.Name, err)
+		}
+		res.Cases = append(res.Cases, DetectionCase{
+			Result:    r,
+			TopMisses: r.TopMisses(cfg.TopMisses),
+		})
+	}
+	return res, nil
+}
+
+// RenderSVG draws one Figure 7 panel (bars of attack counts per trigger
+// bucket with the mean-pollution line) for the given case index.
+func (r *DetectionResult) RenderSVG(out io.Writer, caseIdx int) error {
+	if caseIdx < 0 || caseIdx >= len(r.Cases) {
+		return fmt.Errorf("fig7 svg: case %d of %d", caseIdx, len(r.Cases))
+	}
+	c := r.Cases[caseIdx]
+	return viz.RenderBarChart(out, c.Result.TriggerHist, c.Result.MeanPollutionByTriggers,
+		viz.ChartOptions{
+			Title:  "Figure 7 — " + c.Result.ProbeSet.Name,
+			XLabel: "number of probes triggered",
+		})
+}
+
+// WriteText renders the per-configuration summaries, trigger histograms,
+// and top-miss tables.
+func (r *DetectionResult) WriteText(out io.Writer, asnOf func(node int) string) error {
+	fmt.Fprintf(out, "%s\nworkload: %d random attacks\n\n", r.Title, r.Attacks)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "configuration\tprobes\tmissed\tmiss rate\tmiss mean pollution\tmiss max")
+	for _, c := range r.Cases {
+		mean, max := c.Result.MissSummary()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\t%.0f\t%d\n",
+			c.Result.ProbeSet.Name, len(c.Result.ProbeSet.Probes),
+			c.Result.MissCount(), 100*c.Result.MissRate(), mean, max)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, c := range r.Cases {
+		fmt.Fprintf(out, "\n%s — attacks by number of probes triggered (count, mean pollution):\n",
+			c.Result.ProbeSet.Name)
+		hist := c.Result.TriggerHist
+		step := 1
+		if len(hist) > 16 {
+			step = len(hist) / 16
+		}
+		for k := 0; k < len(hist); k += step {
+			if hist[k] == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %3d probes: %5d attacks  avg pollution %.0f\n",
+				k, hist[k], c.Result.MeanPollutionByTriggers[k])
+		}
+		if len(c.TopMisses) > 0 {
+			fmt.Fprintln(out, "  top undetected attacks:")
+			for _, m := range c.TopMisses {
+				fmt.Fprintf(out, "    attacker %s → target %s  pollution %d\n",
+					asnOf(m.Attacker), asnOf(m.Target), m.Pollution)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFalseAlarmStudy(t *testing.T) {
+	w := world(t)
+	res, err := FalseAlarmStudy(w, FalseAlarmConfig{Prefixes: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers == 0 {
+		t.Fatal("no transfers simulated")
+	}
+	// The promptly-updated source never false-alarms on legitimate
+	// transfers; the stale source does, roughly at the lag rate.
+	if res.FreshFalseAlarms != 0 {
+		t.Errorf("fresh source raised %d false alarms", res.FreshFalseAlarms)
+	}
+	if res.StaleFalseAlarms == 0 {
+		t.Error("stale source raised no false alarms despite 80% lag")
+	}
+	frac := float64(res.StaleFalseAlarms) / float64(res.Transfers)
+	if frac < 0.5 || frac > 1.0 {
+		t.Errorf("stale false-alarm fraction %.2f far from configured lag 0.8", frac)
+	}
+	// Both sources detect hijacks comparably (hijackers are authorized
+	// nowhere).
+	if res.FreshDetected == 0 || res.StaleDetected == 0 {
+		t.Error("hijacks undetected by a data source")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "false alarms") {
+		t.Error("WriteText missing rows")
+	}
+}
+
+func TestFalseAlarmStudyDeterministic(t *testing.T) {
+	w := world(t)
+	a, err := FalseAlarmStudy(w, FalseAlarmConfig{Prefixes: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FalseAlarmStudy(w, FalseAlarmConfig{Prefixes: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Error("study not deterministic for a seed")
+	}
+}

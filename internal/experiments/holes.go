@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/deploy"
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// The paper's closing future-work item: "Some origin and sub-prefix
+// attacks will still get through, and possibly remain undetected. An
+// analysis is desirable to understand these attacks, to determine how
+// they remain invisible, and what can be done short of complete global
+// deployment." HoleAnalysis is that analysis: it enumerates the attacks
+// that both defeat a filter deployment and escape a probe configuration,
+// and explains per-probe why each hole stayed invisible.
+
+// MissReason classifies why one probe did not see one attack.
+type MissReason string
+
+const (
+	// MissNeverReached: no neighbor exported the bogus route to the probe
+	// (valley-free export stopped it earlier).
+	MissNeverReached MissReason = "never-reached-probe"
+	// MissLocalPref: the probe heard the bogus route but its legitimate
+	// route wins on LOCAL_PREF class (customer > peer > provider).
+	MissLocalPref MissReason = "local-pref"
+	// MissShorterPath: equal class (or tier-1 shortest-path policy) and
+	// the legitimate path is shorter.
+	MissShorterPath MissReason = "shorter-legitimate-path"
+	// MissTieBreak: equal class and length; the deterministic tie-break
+	// kept the legitimate route.
+	MissTieBreak MissReason = "tie-break"
+	// MissFiltered: the probe AS itself deploys origin validation, so it
+	// drops the bogus route it would otherwise have selected — a filter
+	// and a detector at the same AS cancel each other, one of the
+	// analysis's sharpest findings.
+	MissFiltered MissReason = "probe-filters-route"
+)
+
+// Hole is one successful-yet-undetected attack.
+type Hole struct {
+	Attacker       int
+	Target         int
+	Pollution      int
+	AttackerDepth  int
+	AttackerDegree int
+	// WhyMissed counts the miss reason per probe for this attack.
+	WhyMissed map[MissReason]int
+}
+
+// HoleResult summarizes a hole analysis.
+type HoleResult struct {
+	Title string
+	// Attacks is the workload size; Succeeded counts attacks polluting ≥
+	// MinPollution despite the filters; Undetected counts succeeded
+	// attacks with zero triggered probes.
+	Attacks    int
+	Succeeded  int
+	Undetected int
+	// Holes lists the undetected successful attacks, worst first.
+	Holes []Hole
+	// AttackerDepthHist histograms hole attackers by depth.
+	AttackerDepthHist map[int]int
+	// ReasonTotals aggregates per-probe miss reasons over all holes.
+	ReasonTotals map[MissReason]int
+	MinPollution int
+}
+
+// HoleConfig tunes the analysis.
+type HoleConfig struct {
+	// Attacks is the random workload size (default 2000).
+	Attacks int
+	// Seed drives workload generation.
+	Seed int64
+	// MinPollution is the success threshold (default: 1 % of the ASes).
+	MinPollution int
+	// Filters is the deployed prevention (default: the scaled 62-core).
+	Filters *deploy.Strategy
+	// Probes is the detector configuration (default: scaled 62-core probes).
+	Probes *detect.ProbeSet
+	// MaxHoles bounds the retained hole list (default 50).
+	MaxHoles int
+}
+
+// HoleAnalysis runs the future-work experiment.
+func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
+	if cfg.Attacks == 0 {
+		cfg.Attacks = 2000
+	}
+	if cfg.MinPollution == 0 {
+		cfg.MinPollution = w.Graph.N() / 100
+		if cfg.MinPollution < 5 {
+			cfg.MinPollution = 5
+		}
+	}
+	if cfg.MaxHoles == 0 {
+		cfg.MaxHoles = 50
+	}
+	coreK := 62 * w.Graph.N() / 42697
+	if coreK < len(w.Class.Tier1)+3 {
+		coreK = len(w.Class.Tier1) + 3
+	}
+	filters := deploy.TopDegree(w.Graph, coreK)
+	if cfg.Filters != nil {
+		filters = *cfg.Filters
+	}
+	probes := detect.TopDegreeProbes(w.Graph, coreK)
+	if cfg.Probes != nil {
+		probes = *cfg.Probes
+	}
+
+	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("hole analysis: %w", err)
+	}
+	blocked := filters.Blocked(w.Graph.N())
+	solver := core.NewSolver(w.Policy)
+	res := &HoleResult{
+		Title: fmt.Sprintf("Deployment holes: filters %q vs probes %q",
+			filters.Name, probes.Name),
+		Attacks:           cfg.Attacks,
+		AttackerDepthHist: make(map[int]int),
+		ReasonTotals:      make(map[MissReason]int),
+		MinPollution:      cfg.MinPollution,
+	}
+	for _, at := range attacks {
+		o, err := solver.Solve(at, blocked)
+		if err != nil {
+			return nil, fmt.Errorf("hole analysis: %w", err)
+		}
+		pollution := o.PollutedCount()
+		if pollution < cfg.MinPollution {
+			continue
+		}
+		res.Succeeded++
+		triggered := false
+		for _, p := range probes.Probes {
+			if o.Polluted(p) {
+				triggered = true
+				break
+			}
+		}
+		if triggered {
+			continue
+		}
+		res.Undetected++
+		hole := Hole{
+			Attacker:       at.Attacker,
+			Target:         at.Target,
+			Pollution:      pollution,
+			AttackerDepth:  w.Class.Depth[at.Attacker],
+			AttackerDegree: w.Graph.Degree(at.Attacker),
+			WhyMissed:      explainMisses(w, o, probes.Probes, blocked),
+		}
+		res.AttackerDepthHist[hole.AttackerDepth]++
+		for r, n := range hole.WhyMissed {
+			res.ReasonTotals[r] += n
+		}
+		res.Holes = append(res.Holes, hole)
+	}
+	sort.Slice(res.Holes, func(i, j int) bool {
+		if res.Holes[i].Pollution != res.Holes[j].Pollution {
+			return res.Holes[i].Pollution > res.Holes[j].Pollution
+		}
+		return res.Holes[i].Attacker < res.Holes[j].Attacker
+	})
+	if len(res.Holes) > cfg.MaxHoles {
+		res.Holes = res.Holes[:cfg.MaxHoles]
+	}
+	return res, nil
+}
+
+// explainMisses classifies, for each probe, why it did not select the
+// bogus route in the converged outcome.
+func explainMisses(w *World, o *core.Outcome, probes []int, blocked *asn.IndexSet) map[MissReason]int {
+	reasons := make(map[MissReason]int)
+	g := w.Graph
+	for _, p := range probes {
+		if o.Origin(p) == core.OriginAttacker {
+			continue // triggered probes are not misses (cannot happen for holes)
+		}
+		// Find the best bogus offer the probe actually received: neighbors
+		// whose selected route leads to the attacker and whose export
+		// rules reach the probe.
+		bestClass := core.ClassNone
+		bestDist := int16(0)
+		nbrs, rels := g.Neighbors(p)
+		for k, nb := range nbrs {
+			v := int(nb)
+			if o.Origin(v) != core.OriginAttacker || int32(p) == o.NextHop(v) {
+				continue
+			}
+			// v exports to p if p is v's customer, or v's route is
+			// customer/origin class (valley-free export).
+			exported := false
+			switch rels[k] {
+			case topology.RelProvider: // v is p's provider → p is v's customer
+				exported = true
+			default:
+				exported = o.Class(v) == core.ClassOrigin || o.Class(v) == core.ClassCustomer
+			}
+			if !exported {
+				continue
+			}
+			// The class this offer would have at p.
+			var offerClass core.RouteClass
+			switch rels[k] {
+			case topology.RelCustomer:
+				offerClass = core.ClassCustomer
+			case topology.RelPeer:
+				offerClass = core.ClassPeer
+			default:
+				offerClass = core.ClassProvider
+			}
+			d := o.Dist(v) + 1
+			if bestClass == core.ClassNone || offerClass < bestClass ||
+				offerClass == bestClass && d < bestDist {
+				bestClass, bestDist = offerClass, d
+			}
+		}
+		switch {
+		case bestClass == core.ClassNone:
+			reasons[MissNeverReached]++
+		case blocked != nil && blocked.Contains(p):
+			reasons[MissFiltered]++
+		case !o.HasRoute(p):
+			// Received an offer yet routeless cannot happen in a converged
+			// state; classify defensively.
+			reasons[MissNeverReached]++
+		default:
+			selClass, selDist := o.Class(p), o.Dist(p)
+			tier1 := w.Policy.IsTier1(p) && w.Policy.Tier1ShortestPath()
+			switch {
+			case !tier1 && selClass < bestClass:
+				reasons[MissLocalPref]++
+			case selDist < bestDist:
+				reasons[MissShorterPath]++
+			case tier1 && selDist == bestDist && selClass < bestClass:
+				reasons[MissLocalPref]++
+			default:
+				reasons[MissTieBreak]++
+			}
+		}
+	}
+	return reasons
+}
+
+// WriteText renders the hole analysis.
+func (r *HoleResult) WriteText(out io.Writer, asnOf func(node int) string) error {
+	fmt.Fprintf(out, "%s\n", r.Title)
+	fmt.Fprintf(out, "workload %d attacks; %d succeed (pollution ≥ %d) despite filters; %d of those escape detection\n\n",
+		r.Attacks, r.Succeeded, r.MinPollution, r.Undetected)
+	if len(r.Holes) == 0 {
+		fmt.Fprintln(out, "no holes: every successful attack was seen by at least one probe")
+		return nil
+	}
+	fmt.Fprintln(out, "attacker depth histogram of holes:")
+	depths := make([]int, 0, len(r.AttackerDepthHist))
+	for d := range r.AttackerDepthHist {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		fmt.Fprintf(out, "  depth %d: %d holes\n", d, r.AttackerDepthHist[d])
+	}
+	fmt.Fprintln(out, "\nwhy probes stayed blind (per-probe reasons over all holes):")
+	for _, reason := range []MissReason{MissNeverReached, MissFiltered, MissLocalPref, MissShorterPath, MissTieBreak} {
+		if n := r.ReasonTotals[reason]; n > 0 {
+			fmt.Fprintf(out, "  %-24s %d\n", reason, n)
+		}
+	}
+	fmt.Fprintln(out, "\nworst holes:")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "attacker\ttarget\tpollution\tattacker depth\tattacker degree")
+	max := len(r.Holes)
+	if max > 10 {
+		max = 10
+	}
+	for _, h := range r.Holes[:max] {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\n",
+			asnOf(h.Attacker), asnOf(h.Target), h.Pollution, h.AttackerDepth, h.AttackerDegree)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/deploy"
+	"github.com/bgpsim/bgpsim/internal/detect"
+)
+
+func TestHoleAnalysis(t *testing.T) {
+	w := world(t)
+	// A deliberately weak configuration so holes exist: tier-1-only
+	// filters and tier-1-only probes.
+	filters := deploy.Tier1(w.Class)
+	probes := detect.Tier1Probes(w.Class)
+	res, err := HoleAnalysis(w, HoleConfig{
+		Attacks: 500,
+		Seed:    3,
+		Filters: &filters,
+		Probes:  &probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded == 0 {
+		t.Fatal("no successful attacks against tier-1-only filters — implausible")
+	}
+	if res.Undetected == 0 {
+		t.Skip("no holes in this world (unlikely but possible)")
+	}
+	if res.Undetected > res.Succeeded {
+		t.Fatal("undetected > succeeded")
+	}
+	// Holes are ranked and annotated.
+	for i := 1; i < len(res.Holes); i++ {
+		if res.Holes[i].Pollution > res.Holes[i-1].Pollution {
+			t.Fatal("holes not ranked by pollution")
+		}
+	}
+	totalDepth := 0
+	for _, n := range res.AttackerDepthHist {
+		totalDepth += n
+	}
+	if totalDepth != res.Undetected {
+		t.Errorf("depth histogram covers %d, want %d", totalDepth, res.Undetected)
+	}
+	// Per-probe reasons must account for every (hole, probe) pair.
+	for _, h := range res.Holes {
+		n := 0
+		for _, c := range h.WhyMissed {
+			n += c
+		}
+		if n != len(probes.Probes) {
+			t.Errorf("hole %d→%d: reasons cover %d probes, want %d",
+				h.Attacker, h.Target, n, len(probes.Probes))
+		}
+	}
+	reasonSum := 0
+	for _, n := range res.ReasonTotals {
+		reasonSum += n
+	}
+	if reasonSum == 0 {
+		t.Error("no aggregated miss reasons")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf, func(n int) string { return w.Graph.ASN(n).String() }); err != nil {
+		t.Fatal(err)
+	}
+	outText := buf.String()
+	for _, want := range []string{"escape detection", "depth histogram", "why probes stayed blind", "worst holes"} {
+		if !strings.Contains(outText, want) {
+			t.Errorf("WriteText missing %q", want)
+		}
+	}
+}
+
+// TestHoleAnalysisStrongConfigShrinksHoles: a stronger configuration must
+// produce no more holes than a weak one on the same workload.
+func TestHoleAnalysisStrongConfigShrinksHoles(t *testing.T) {
+	w := world(t)
+	weakF := deploy.Tier1(w.Class)
+	weakP := detect.Tier1Probes(w.Class)
+	weak, err := HoleAnalysis(w, HoleConfig{Attacks: 400, Seed: 5, Filters: &weakF, Probes: &weakP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strongF := deploy.TopDegree(w.Graph, 40)
+	strongP := detect.TopDegreeProbes(w.Graph, 40)
+	strong, err := HoleAnalysis(w, HoleConfig{Attacks: 400, Seed: 5, Filters: &strongF, Probes: &strongP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.Undetected > weak.Undetected {
+		t.Errorf("stronger config has more holes: %d vs %d", strong.Undetected, weak.Undetected)
+	}
+	if strong.Succeeded > weak.Succeeded {
+		t.Errorf("stronger filters admit more successes: %d vs %d", strong.Succeeded, weak.Succeeded)
+	}
+}
+
+func TestHoleAnalysisDefaults(t *testing.T) {
+	w := world(t)
+	res, err := HoleAnalysis(w, HoleConfig{Attacks: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinPollution <= 0 {
+		t.Error("default MinPollution not set")
+	}
+	if res.Attacks != 200 {
+		t.Errorf("Attacks = %d", res.Attacks)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/viz"
+)
+
+// PropagationResult is the Figure 1 study: a full engine run of one
+// aggressive attack with per-generation statistics and renderable frames.
+type PropagationResult struct {
+	Title    string
+	Target   int
+	Attacker int
+
+	Outcome *core.Outcome
+	Trace   *core.Trace
+
+	// PerGeneration[g-1] summarizes generation g.
+	PerGeneration []GenerationStat
+	// Polluted is the final polluted-AS count.
+	Polluted int
+	// AddrFracLost is the fraction of address space no longer reaching
+	// the target (the paper's attack pollutes "96 % of the IP address
+	// space").
+	AddrFracLost float64
+}
+
+// GenerationStat counts one generation's messages.
+type GenerationStat struct {
+	Generation int
+	Messages   int
+	Accepted   int
+	Rejected   int
+}
+
+// Fig1 runs the paper's Figure 1 scenario: the most aggressive attacker
+// this world offers against the deepest (most vulnerable) stub, traced
+// generation by generation on the message engine.
+func Fig1(w *World) (*PropagationResult, error) {
+	target, ok := w.DeepTarget()
+	if !ok {
+		return nil, fmt.Errorf("fig1: no deep target")
+	}
+	// Aggressive attacker: the highest-degree depth-1 transit that is not
+	// the target's own provider chain — mirrors the paper's AS4.
+	attacker := -1
+	for _, i := range w.Graph.TransitNodes() {
+		if i == target || w.Class.Depth[i] > 1 {
+			continue
+		}
+		if attacker == -1 || w.Graph.Degree(i) > w.Graph.Degree(attacker) {
+			attacker = i
+		}
+	}
+	if attacker == -1 {
+		return nil, fmt.Errorf("fig1: no transit attacker available")
+	}
+	engine := core.NewEngine(w.Policy)
+	o, tr, err := engine.Run(core.Attack{Target: target, Attacker: attacker}, nil, true)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	res := &PropagationResult{
+		Title:    "Figure 1: origin-attack propagation, generation by generation",
+		Target:   target,
+		Attacker: attacker,
+		Outcome:  o,
+		Trace:    tr,
+		Polluted: o.PollutedCount(),
+	}
+	var lost, total int64
+	for i := 0; i < w.Graph.N(); i++ {
+		weight := w.Graph.AddrWeight(i)
+		total += weight
+		if o.Polluted(i) {
+			lost += weight
+		}
+	}
+	if total > 0 {
+		res.AddrFracLost = float64(lost) / float64(total)
+	}
+	for g := 1; g <= tr.Generations; g++ {
+		st := GenerationStat{Generation: g}
+		for _, ev := range tr.EventsInGen(g) {
+			if ev.Withdraw {
+				continue
+			}
+			st.Messages++
+			if ev.Accepted {
+				st.Accepted++
+			} else {
+				st.Rejected++
+			}
+		}
+		res.PerGeneration = append(res.PerGeneration, st)
+	}
+	return res, nil
+}
+
+// RenderFrames emits one polar SVG per generation via emit.
+func (r *PropagationResult) RenderFrames(w *World, size float64, emit func(gen int, svg []byte) error) error {
+	layout := viz.ComputeLayout(w.Graph, w.Class, size)
+	return viz.RenderPropagation(w.Graph, layout, r.Trace,
+		fmt.Sprintf("%v attacks %v", w.Graph.ASN(r.Attacker), w.Graph.ASN(r.Target)), emit)
+}
+
+// WriteText renders the per-generation message statistics.
+func (r *PropagationResult) WriteText(out io.Writer, asnOf func(node int) string) error {
+	fmt.Fprintf(out, "%s\nattacker %s → target %s: %d ASes polluted, %.0f%% of address space lost, %d generations\n",
+		r.Title, asnOf(r.Attacker), asnOf(r.Target), r.Polluted, 100*r.AddrFracLost, r.Trace.Generations)
+	for _, st := range r.PerGeneration {
+		fmt.Fprintf(out, "  generation %2d: %6d announcements  %6d accepted  %6d rejected\n",
+			st.Generation, st.Messages, st.Accepted, st.Rejected)
+	}
+	return nil
+}

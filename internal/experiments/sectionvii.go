@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/bgpsim/bgpsim/internal/selfinterest"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// SelfInterestConfig tunes the Section VII experiments.
+type SelfInterestConfig struct {
+	// OutsideSample is the number of attacks sampled from outside the
+	// region (the paper ran 200).
+	OutsideSample int
+	// Seed drives the outside-attack sample.
+	Seed int64
+	// RehomeLevels is how far up the provider chain the target moves
+	// (the paper re-homed "up two levels").
+	RehomeLevels int
+}
+
+func (c SelfInterestConfig) withDefaults() SelfInterestConfig {
+	if c.OutsideSample == 0 {
+		c.OutsideSample = 200
+	}
+	if c.RehomeLevels == 0 {
+		c.RehomeLevels = 2
+	}
+	return c
+}
+
+// SelfInterestResult bundles both Section VII experiments on one region.
+type SelfInterestResult struct {
+	Region     int
+	RegionSize int
+	TargetASN  string
+	Rehome     *selfinterest.RehomeResult
+	Filter     *selfinterest.FilterResult
+	FilterASN  string
+}
+
+// SectionVII runs the paper's New Zealand case study against this world's
+// island region: pick the deepest regional stub as the vulnerable target,
+// (a) re-home it up the provider chain, (b) separately, place one filter
+// at the regional hub; report regional pollution before and after each.
+func SectionVII(w *World, cfg SelfInterestConfig) (*SelfInterestResult, error) {
+	cfg = cfg.withDefaults()
+	region, target, err := islandTarget(w)
+	if err != nil {
+		return nil, err
+	}
+	rehome, err := selfinterest.RehomeExperiment(
+		w.Graph, w.Class, target, cfg.RehomeLevels, region, cfg.OutsideSample, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("section VII rehome: %w", err)
+	}
+	filter, err := selfinterest.FilterExperiment(w.Policy, target, region, cfg.OutsideSample, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("section VII filter: %w", err)
+	}
+	return &SelfInterestResult{
+		Region:     region,
+		RegionSize: len(w.Graph.RegionNodes(region)),
+		TargetASN:  w.Graph.ASN(target).String(),
+		Rehome:     rehome,
+		Filter:     filter,
+		FilterASN:  w.Graph.ASN(filter.FilterAS).String(),
+	}, nil
+}
+
+// islandTarget locates the world's island region and its most vulnerable
+// (deepest) stub.
+func islandTarget(w *World) (region, target int, err error) {
+	// The generator labels the island as the highest region id present.
+	region = -1
+	for i := 0; i < w.Graph.N(); i++ {
+		if r := w.Graph.Region(i); r > region {
+			region = r
+		}
+	}
+	if region < 0 {
+		return 0, 0, fmt.Errorf("section VII: topology has no regions")
+	}
+	bestDepth := -1
+	for _, i := range w.Graph.RegionNodes(region) {
+		if w.Graph.IsTransit(i) {
+			continue
+		}
+		if d := w.Class.Depth[i]; d != topology.DepthUnreachable && d > bestDepth {
+			bestDepth, target = d, i
+		}
+	}
+	if bestDepth < 0 {
+		return 0, 0, fmt.Errorf("section VII: island region %d has no stub", region)
+	}
+	return region, target, nil
+}
+
+// WriteText renders the Section VII before/after tables.
+func (r *SelfInterestResult) WriteText(out io.Writer) error {
+	fmt.Fprintf(out, "Section VII: pragmatic self-interest (island region %d, %d ASes, target %s)\n\n",
+		r.Region, r.RegionSize, r.TargetASN)
+	row := func(label string, m *selfinterest.RegionalResult) {
+		fmt.Fprintf(out, "  %-28s inside attacks: mean %.1f region ASes (%.0f%%)   outside: mean %.1f (%.0f%%)\n",
+			label, m.InsideMean, 100*m.InsideFrac, m.OutsideMean, 100*m.OutsideFrac)
+	}
+	fmt.Fprintf(out, "re-homing experiment (depth %d → %d):\n", r.Rehome.OldDepth, r.Rehome.NewDepth)
+	row("before", r.Rehome.Before)
+	row("after re-homing", r.Rehome.After)
+	fmt.Fprintf(out, "\nregional filter experiment (filter at hub %s):\n", r.FilterASN)
+	row("before", r.Filter.Base)
+	row("with hub filter", r.Filter.Filtered)
+	return nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSubPrefixStudy(t *testing.T) {
+	w := world(t)
+	res, err := SubPrefixStudy(w, DeploymentConfig{AttackerSample: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base := res.Rows[0]
+	// Undefended sub-prefix hijacks pollute (almost) everyone: no
+	// LOCAL_PREF protection applies against a more-specific.
+	if base.SubPrefix.Mean <= base.Origin.Mean {
+		t.Errorf("undefended subprefix mean %.1f not above origin-hijack mean %.1f",
+			base.SubPrefix.Mean, base.Origin.Mean)
+	}
+	if base.SubPrefix.Mean < 0.9*float64(w.Graph.N()) {
+		t.Errorf("undefended subprefix mean %.1f should approach n=%d",
+			base.SubPrefix.Mean, w.Graph.N())
+	}
+	// Core filtering must bite on both attack kinds.
+	last := res.Rows[len(res.Rows)-1]
+	if last.SubPrefix.Mean >= base.SubPrefix.Mean/2 {
+		t.Errorf("core filters barely reduced subprefix pollution: %.1f → %.1f",
+			base.SubPrefix.Mean, last.SubPrefix.Mean)
+	}
+	if last.Origin.Mean >= base.Origin.Mean/2 {
+		t.Errorf("core filters barely reduced origin pollution: %.1f → %.1f",
+			base.Origin.Mean, last.Origin.Mean)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "subprefix mean") {
+		t.Error("WriteText missing table header")
+	}
+}
+
+func TestVulnerabilityRenderSVG(t *testing.T) {
+	w := world(t)
+	res, err := Fig2(w, VulnerabilityConfig{AttackerSample: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("RenderSVG did not produce SVG")
+	}
+	if strings.Count(svg, "<path") < len(res.Curves) {
+		t.Error("missing series paths")
+	}
+}
+
+func TestSBGPStudy(t *testing.T) {
+	w := world(t)
+	res, err := SBGPStudy(w, DeploymentConfig{AttackerSample: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Means) != 4 {
+		t.Fatalf("means = %d modes", len(res.Means))
+	}
+	if res.ChainLen == 0 {
+		t.Error("victim chain empty")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "security 1st") {
+		t.Error("WriteText missing mode rows")
+	}
+}
+
+func TestDeploymentAndDetectionRenderSVG(t *testing.T) {
+	w := world(t)
+	dep, err := Fig6(w, DeploymentConfig{AttackerSample: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dep.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") || strings.Count(buf.String(), "<path") < len(dep.Rungs) {
+		t.Error("deployment chart incomplete")
+	}
+
+	det, err := Fig7(w, DetectionConfig{Attacks: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := det.RenderSVG(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<rect") {
+		t.Error("detection chart missing bars")
+	}
+	if err := det.RenderSVG(&buf, 99); err == nil {
+		t.Error("out-of-range case accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/mrt"
+)
+
+// Collector is a BGP route collector: probe routers open BGP sessions to
+// it and stream UPDATEs, which it hands to a Detector — the architecture
+// of BGPmon and the hijack detectors built on it.
+type Collector struct {
+	LocalAS  asn.ASN
+	RouterID uint32
+	Detector *Detector
+	// Recorder, when non-nil, logs every received UPDATE as an MRT
+	// BGP4MP record — the format RouteViews publishes its update feeds
+	// in. Callers own flushing/closing the underlying writer after
+	// Shutdown.
+	Recorder *mrt.Writer
+
+	mu       sync.Mutex
+	sessions int
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// Serve accepts sessions on l until l is closed. It returns the listener's
+// close error (net.ErrClosed after Shutdown).
+func (c *Collector) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			c.wg.Wait()
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			c.wg.Wait()
+			return net.ErrClosed
+		}
+		c.sessions++
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go func() {
+			defer c.wg.Done()
+			// Session errors are per-peer: a broken probe must not take
+			// the collector down.
+			_ = c.HandleSession(conn)
+		}()
+	}
+}
+
+// Sessions returns the number of sessions accepted so far.
+func (c *Collector) Sessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions
+}
+
+// HandleSession runs one collector-side BGP session on conn: OPEN
+// exchange, KEEPALIVE, then UPDATE stream into the detector until the
+// peer closes or sends NOTIFICATION.
+func (c *Collector) HandleSession(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	msg, err := bgpwire.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("collector: read OPEN: %w", err)
+	}
+	open, ok := msg.(*bgpwire.Open)
+	if !ok {
+		return fmt.Errorf("collector: expected OPEN, got %T", msg)
+	}
+	if err := bgpwire.WriteMessage(conn, &bgpwire.Open{
+		Version: 4, AS: c.LocalAS, HoldTime: 180, RouterID: c.RouterID,
+	}); err != nil {
+		return fmt.Errorf("collector: send OPEN: %w", err)
+	}
+	if err := bgpwire.WriteMessage(conn, bgpwire.Keepalive{}); err != nil {
+		return fmt.Errorf("collector: send KEEPALIVE: %w", err)
+	}
+	var clock uint32
+	for {
+		msg, err := bgpwire.ReadMessage(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("collector: session with %v: %w", open.AS, err)
+		}
+		switch m := msg.(type) {
+		case *bgpwire.Update:
+			clock++
+			if c.Recorder != nil {
+				c.mu.Lock()
+				err := c.Recorder.WriteBGP4MP(&mrt.BGP4MPMessage{
+					Timestamp: clock,
+					PeerAS:    open.AS,
+					LocalAS:   c.LocalAS,
+					Message:   m,
+				})
+				c.mu.Unlock()
+				if err != nil {
+					return fmt.Errorf("collector: record update: %w", err)
+				}
+			}
+			if c.Detector != nil {
+				c.Detector.Process(TimedUpdate{Time: clock, PeerAS: open.AS, Update: m})
+			}
+		case bgpwire.Keepalive:
+			// Hold-timer refresh; nothing to do.
+		case *bgpwire.Notification:
+			return nil // peer is closing the session
+		default:
+			return fmt.Errorf("collector: unexpected %T mid-session", msg)
+		}
+	}
+}
+
+// Shutdown stops accepting new sessions and waits for active ones.
+func (c *Collector) Shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Probe is the router side of a collector session: it opens the session
+// and streams updates.
+type Probe struct {
+	AS       asn.ASN
+	RouterID uint32
+
+	conn io.ReadWriteCloser
+}
+
+// Dial performs the BGP handshake over an established connection.
+func (p *Probe) Dial(conn io.ReadWriteCloser) error {
+	if err := bgpwire.WriteMessage(conn, &bgpwire.Open{
+		Version: 4, AS: p.AS, HoldTime: 180, RouterID: p.RouterID,
+	}); err != nil {
+		conn.Close()
+		return fmt.Errorf("probe %v: send OPEN: %w", p.AS, err)
+	}
+	msg, err := bgpwire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("probe %v: read OPEN: %w", p.AS, err)
+	}
+	if _, ok := msg.(*bgpwire.Open); !ok {
+		conn.Close()
+		return fmt.Errorf("probe %v: expected OPEN, got %T", p.AS, msg)
+	}
+	if msg, err = bgpwire.ReadMessage(conn); err != nil {
+		conn.Close()
+		return fmt.Errorf("probe %v: read KEEPALIVE: %w", p.AS, err)
+	}
+	if _, ok := msg.(bgpwire.Keepalive); !ok {
+		conn.Close()
+		return fmt.Errorf("probe %v: expected KEEPALIVE, got %T", p.AS, msg)
+	}
+	p.conn = conn
+	return nil
+}
+
+// Send streams one UPDATE on the session.
+func (p *Probe) Send(u *bgpwire.Update) error {
+	if p.conn == nil {
+		return fmt.Errorf("probe %v: session not established", p.AS)
+	}
+	return bgpwire.WriteMessage(p.conn, u)
+}
+
+// Close ends the session with a Cease NOTIFICATION.
+func (p *Probe) Close() error {
+	if p.conn == nil {
+		return nil
+	}
+	_ = bgpwire.WriteMessage(p.conn, &bgpwire.Notification{Code: 6 /* cease */})
+	err := p.conn.Close()
+	p.conn = nil
+	return err
+}

@@ -1,0 +1,233 @@
+// Package hijack implements the paper's attack-measurement machinery:
+// sweeping a target with attacks from many attacker ASes (the Section IV
+// vulnerability analysis), per-attack pollution accounting in AS count and
+// address-space weight, top-attacker ranking, and the vulnerability/depth
+// correlation measurements.
+package hijack
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/stats"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// SweepConfig configures a vulnerability sweep against one target.
+type SweepConfig struct {
+	// Target is the victim node whose address space is hijacked.
+	Target int
+	// Attackers are the nodes to originate the hijack from, one attack
+	// each; the target itself is skipped if present. Use every other AS
+	// for the paper's worst case, or the transit ASes for its "optimistic"
+	// stub-filtered case.
+	Attackers []int
+	// Blocked is the origin-validation deployment set (nil = none).
+	Blocked *asn.IndexSet
+	// SubPrefix switches every attack to a sub-prefix hijack.
+	SubPrefix bool
+	// Workers bounds solve parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// SweepResult holds per-attack pollution measurements, parallel slices
+// indexed by attack number.
+type SweepResult struct {
+	Target     int
+	Attackers  []int     // attacker node per attack
+	Pollution  []int     // polluted AS count per attack
+	WeightFrac []float64 // polluted address-space fraction per attack
+}
+
+// Sweep attacks the target from every configured attacker and records the
+// pollution each attack achieves.
+func Sweep(pol *core.Policy, cfg SweepConfig) (*SweepResult, error) {
+	n := pol.N()
+	if cfg.Target < 0 || cfg.Target >= n {
+		return nil, fmt.Errorf("sweep: target %d out of range", cfg.Target)
+	}
+	attackers := make([]int, 0, len(cfg.Attackers))
+	for _, a := range cfg.Attackers {
+		if a == cfg.Target {
+			continue
+		}
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("sweep: attacker %d out of range", a)
+		}
+		attackers = append(attackers, a)
+	}
+	res := &SweepResult{
+		Target:     cfg.Target,
+		Attackers:  attackers,
+		Pollution:  make([]int, len(attackers)),
+		WeightFrac: make([]float64, len(attackers)),
+	}
+
+	g := pol.Graph()
+	totalWeight := g.TotalAddrWeight()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(attackers) {
+		workers = len(attackers)
+	}
+	if workers <= 1 {
+		s := core.NewSolver(pol)
+		for k, a := range attackers {
+			if err := sweepOne(s, g, cfg, a, totalWeight, res, k); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	chunk := (len(attackers) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(attackers) {
+			hi = len(attackers)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := core.NewSolver(pol)
+			for k := lo; k < hi; k++ {
+				if err := sweepOne(s, g, cfg, attackers[k], totalWeight, res, k); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+func sweepOne(s *core.Solver, g *topology.Graph, cfg SweepConfig, attacker int, totalWeight int64, res *SweepResult, k int) error {
+	o, err := s.Solve(core.Attack{Target: cfg.Target, Attacker: attacker, SubPrefix: cfg.SubPrefix}, cfg.Blocked)
+	if err != nil {
+		return fmt.Errorf("sweep attack from %d: %w", attacker, err)
+	}
+	count := 0
+	var weight int64
+	for i := 0; i < o.N(); i++ {
+		if o.Polluted(i) {
+			count++
+			weight += g.AddrWeight(i)
+		}
+	}
+	res.Pollution[k] = count
+	if totalWeight > 0 {
+		res.WeightFrac[k] = float64(weight) / float64(totalWeight)
+	}
+	return nil
+}
+
+// CCDF returns the vulnerability-analysis curve (Figures 2–6): how many
+// attacks achieved at least X polluted ASes.
+func (r *SweepResult) CCDF() []stats.CCDFPoint { return stats.CCDF(r.Pollution) }
+
+// Summary returns distribution statistics over per-attack pollution.
+func (r *SweepResult) Summary() stats.Summary { return stats.Summarize(r.Pollution) }
+
+// CountAttacksAtLeast returns how many attacks polluted ≥ threshold ASes —
+// the paper's "only N attackers can pollute more than X ASes" statements.
+func (r *SweepResult) CountAttacksAtLeast(threshold int) int {
+	return stats.CountAtLeast(r.Pollution, threshold)
+}
+
+// AttackerStat describes one attack for ranking tables.
+type AttackerStat struct {
+	Attacker  int
+	ASN       asn.ASN
+	Pollution int
+	Degree    int
+	Depth     int
+	// Deployed marks attackers that are themselves part of the evaluated
+	// filter deployment (a deployer-turned-attacker still originates its
+	// own announcement; only its *import* filtering is bypassed).
+	Deployed bool
+}
+
+// TopAttackers returns the k most potent attacks, ranked by pollution
+// (ties by ascending ASN), annotated with the attacker's degree and depth —
+// the Section V "top 5 still-potent attacks" tables.
+func (r *SweepResult) TopAttackers(k int, g *topology.Graph, c *topology.Classification) []AttackerStat {
+	idx := make([]int, len(r.Attackers))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: k is small (tables show 5).
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			pi, pj := r.Pollution[idx[j]], r.Pollution[idx[best]]
+			if pi > pj || pi == pj && g.ASN(r.Attackers[idx[j]]) < g.ASN(r.Attackers[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := make([]AttackerStat, 0, k)
+	for _, i := range idx[:k] {
+		a := r.Attackers[i]
+		out = append(out, AttackerStat{
+			Attacker:  a,
+			ASN:       g.ASN(a),
+			Pollution: r.Pollution[i],
+			Degree:    g.Degree(a),
+			Depth:     c.Depth[a],
+		})
+	}
+	return out
+}
+
+// AggressivenessDepthCorrelation measures the paper's Section IV claim
+// that "attacker aggressiveness has a strong negative correlation with
+// attacker depth": it correlates per-attack pollution against attacker
+// depth and returns the Spearman rank coefficient.
+func (r *SweepResult) AggressivenessDepthCorrelation(c *topology.Classification) (float64, error) {
+	xs := make([]float64, 0, len(r.Attackers))
+	ys := make([]float64, 0, len(r.Attackers))
+	for i, a := range r.Attackers {
+		if c.Depth[a] == topology.DepthUnreachable {
+			continue
+		}
+		xs = append(xs, float64(c.Depth[a]))
+		ys = append(ys, float64(r.Pollution[i]))
+	}
+	return stats.Spearman(xs, ys)
+}
+
+// AllNodes returns 0..n-1, the paper's worst-case attacker population.
+func AllNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

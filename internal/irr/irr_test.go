@@ -1,0 +1,186 @@
+package irr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+)
+
+func mp(s string) prefix.Prefix { return prefix.MustParse(s) }
+
+func TestRegistryAddLookup(t *testing.T) {
+	var reg Registry
+	obj := RouteObject{Route: mp("129.82.0.0/16"), Origin: 12145, Descr: "CSU", MntBy: "MAINT-CSU", Source: "RADB"}
+	if err := reg.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d", reg.Len())
+	}
+	got := reg.Lookup(mp("129.82.0.0/16"))
+	if len(got) != 1 || got[0] != obj {
+		t.Errorf("Lookup = %+v", got)
+	}
+	// Primary-key replace: same (route, origin) with new descr.
+	obj2 := obj
+	obj2.Descr = "updated"
+	if err := reg.Add(obj2); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 1 {
+		t.Errorf("replace changed Len = %d", reg.Len())
+	}
+	if got := reg.Lookup(mp("129.82.0.0/16")); got[0].Descr != "updated" {
+		t.Errorf("replace did not take: %+v", got[0])
+	}
+	// Multi-origin: second origin for same route is a new object.
+	if err := reg.Add(RouteObject{Route: mp("129.82.0.0/16"), Origin: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("multi-origin Len = %d", reg.Len())
+	}
+	// Default route rejected.
+	if err := reg.Add(RouteObject{Route: mp("0.0.0.0/0"), Origin: 1}); err == nil {
+		t.Error("default route object accepted")
+	}
+}
+
+func TestRegistryValidate(t *testing.T) {
+	var reg Registry
+	if err := reg.Add(RouteObject{Route: mp("129.82.0.0/16"), Origin: 12145}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p      string
+		origin asn.ASN
+		want   rpki.Validity
+	}{
+		{"129.82.0.0/16", 12145, rpki.Valid},
+		{"129.82.0.0/16", 666, rpki.Invalid},
+		// IRR has no maxlen: unregistered sub-allocations are Invalid even
+		// for the right origin.
+		{"129.82.4.0/24", 12145, rpki.Invalid},
+		{"10.0.0.0/8", 12145, rpki.NotFound},
+	}
+	for _, c := range cases {
+		if got := reg.Validate(mp(c.p), c.origin); got != c.want {
+			t.Errorf("Validate(%s, %v) = %v, want %v", c.p, c.origin, got, c.want)
+		}
+	}
+	origins := reg.AuthorizedOrigins(mp("129.82.0.0/16"))
+	if len(origins) != 1 || !origins.Contains(12145) {
+		t.Errorf("AuthorizedOrigins = %v", origins.Sorted())
+	}
+}
+
+func TestRegistryCovering(t *testing.T) {
+	var reg Registry
+	for _, o := range []RouteObject{
+		{Route: mp("10.0.0.0/8"), Origin: 1},
+		{Route: mp("10.1.0.0/16"), Origin: 2},
+		{Route: mp("10.1.1.0/24"), Origin: 3},
+	} {
+		if err := reg.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := reg.Covering(mp("10.1.1.0/24"))
+	if len(got) != 3 {
+		t.Fatalf("Covering = %d objects", len(got))
+	}
+	// Least specific first.
+	if got[0].Origin != 1 || got[2].Origin != 3 {
+		t.Errorf("Covering order: %+v", got)
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	in := `% RADB dump excerpt
+route:      129.82.0.0/16
+origin:     AS12145
+descr:      Colorado State University
+mnt-by:     MAINT-CSU
+source:     RADB
+
+# another object
+route:      10.0.0.0/8
+origin:     AS1
+remarks:    some attribute we skip
+`
+	reg, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("parsed %d objects", reg.Len())
+	}
+	if got := reg.Validate(mp("129.82.0.0/16"), 12145); got != rpki.Valid {
+		t.Errorf("parsed validation = %v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if reg2.Len() != reg.Len() {
+		t.Errorf("round trip lost objects: %d vs %d", reg2.Len(), reg.Len())
+	}
+	obj := reg2.Lookup(mp("129.82.0.0/16"))
+	if len(obj) != 1 || obj[0].MntBy != "MAINT-CSU" || obj[0].Source != "RADB" {
+		t.Errorf("round trip mangled attributes: %+v", obj)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"origin: AS1\n",                        // object not starting with route
+		"route: 10.0.0.0/8\n\n",                // missing origin
+		"route: nonsense\norigin: AS1\n",       // bad prefix
+		"route: 10.0.0.0/8\norigin: pizza\n",   // bad origin
+		"this is not an attribute line\n",      // no colon
+		"route: 10.0.0.0/8\norigin: AS1\nx\n~", // garbage tail
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestBuildPrefixFilter(t *testing.T) {
+	var reg Registry
+	for _, o := range []RouteObject{
+		{Route: mp("10.0.0.0/8"), Origin: 100},
+		{Route: mp("10.1.0.0/16"), Origin: 200},
+		{Route: mp("11.0.0.0/8"), Origin: 300},
+	} {
+		if err := reg.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := BuildPrefixFilter(&reg, asn.NewSet(100, 200))
+	if f.Len() != 2 {
+		t.Fatalf("filter size = %d", f.Len())
+	}
+	if !f.Permits(mp("10.0.0.0/8"), 100) {
+		t.Error("customer route rejected")
+	}
+	if f.Permits(mp("11.0.0.0/8"), 300) {
+		t.Error("non-customer route permitted")
+	}
+	if f.Permits(mp("10.0.0.0/8"), 200) {
+		t.Error("wrong-origin announcement permitted")
+	}
+	if f.Permits(mp("10.2.0.0/16"), 100) {
+		t.Error("unregistered sub-allocation permitted")
+	}
+}

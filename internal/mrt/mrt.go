@@ -1,0 +1,333 @@
+// Package mrt implements the MRT export format (RFC 6396) that BGP
+// collectors such as Oregon RouteViews — the paper's validation data
+// source — publish their RIB snapshots and update streams in:
+// TABLE_DUMP_V2 PEER_INDEX_TABLE / RIB_IPV4_UNICAST records and BGP4MP
+// AS4 message records. The package reads and writes both, so simulated
+// routing tables can round-trip through the same on-disk format real
+// measurement pipelines consume.
+package mrt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+)
+
+// MRT record types and subtypes used here.
+const (
+	TypeTableDumpV2 = 13
+	TypeBGP4MP      = 16
+
+	SubtypePeerIndexTable = 1
+	SubtypeRIBIPv4Unicast = 2
+	SubtypeMessageAS4     = 4
+)
+
+// Record is one decoded MRT record.
+type Record interface{ mrtRecord() }
+
+// Peer describes one collector peer in a PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID uint32
+	Addr  uint32 // IPv4, host byte order
+	AS    asn.ASN
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 peer directory that RIB entries
+// reference by index.
+type PeerIndexTable struct {
+	CollectorBGPID uint32
+	ViewName       string
+	Peers          []Peer
+}
+
+func (*PeerIndexTable) mrtRecord() {}
+
+// RIBEntry is one peer's route for a RIB record's prefix.
+type RIBEntry struct {
+	PeerIndex      uint16
+	OriginatedTime uint32
+	Origin         uint8
+	ASPath         []asn.ASN
+	NextHop        uint32
+}
+
+// RIBIPv4Unicast is one TABLE_DUMP_V2 RIB record: every peer's route to
+// one prefix.
+type RIBIPv4Unicast struct {
+	SequenceNumber uint32
+	Prefix         prefix.Prefix
+	Entries        []RIBEntry
+}
+
+func (*RIBIPv4Unicast) mrtRecord() {}
+
+// BGP4MPMessage is a BGP4MP MESSAGE_AS4 record: one BGP message as seen on
+// a collector session.
+type BGP4MPMessage struct {
+	Timestamp uint32
+	PeerAS    asn.ASN
+	LocalAS   asn.ASN
+	PeerAddr  uint32
+	LocalAddr uint32
+	// Message is the decoded BGP message (*bgpwire.Update etc.).
+	Message any
+}
+
+func (*BGP4MPMessage) mrtRecord() {}
+
+// Writer emits MRT records.
+type Writer struct {
+	w   *bufio.Writer
+	now uint32
+}
+
+// NewWriter wraps w; timestamp stamps every record (collectors use the
+// dump wall-clock; the simulator passes logical time).
+func NewWriter(w io.Writer, timestamp uint32) *Writer {
+	return &Writer{w: bufio.NewWriter(w), now: timestamp}
+}
+
+func (w *Writer) writeRecord(typ, subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], w.now)
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], subtype)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(body)
+	return err
+}
+
+// WritePeerIndexTable emits the peer directory; call it before any RIB
+// records, as RFC 6396 requires.
+func (w *Writer) WritePeerIndexTable(t *PeerIndexTable) error {
+	var buf bytes.Buffer
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], t.CollectorBGPID)
+	buf.Write(b4[:])
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], uint16(len(t.ViewName)))
+	buf.Write(b2[:])
+	buf.WriteString(t.ViewName)
+	binary.BigEndian.PutUint16(b2[:], uint16(len(t.Peers)))
+	buf.Write(b2[:])
+	for _, p := range t.Peers {
+		// Peer type 0x06: AS4 + IPv4 address.
+		buf.WriteByte(0x06)
+		binary.BigEndian.PutUint32(b4[:], p.BGPID)
+		buf.Write(b4[:])
+		binary.BigEndian.PutUint32(b4[:], p.Addr)
+		buf.Write(b4[:])
+		binary.BigEndian.PutUint32(b4[:], uint32(p.AS))
+		buf.Write(b4[:])
+	}
+	return w.writeRecord(TypeTableDumpV2, SubtypePeerIndexTable, buf.Bytes())
+}
+
+// WriteRIB emits one RIB_IPV4_UNICAST record.
+func (w *Writer) WriteRIB(r *RIBIPv4Unicast) error {
+	var buf bytes.Buffer
+	var b4 [4]byte
+	var b2 [2]byte
+	binary.BigEndian.PutUint32(b4[:], r.SequenceNumber)
+	buf.Write(b4[:])
+	// NLRI: length byte + truncated prefix.
+	buf.WriteByte(r.Prefix.Len)
+	binary.BigEndian.PutUint32(b4[:], r.Prefix.Addr)
+	buf.Write(b4[:int(r.Prefix.Len+7)/8])
+	binary.BigEndian.PutUint16(b2[:], uint16(len(r.Entries)))
+	buf.Write(b2[:])
+	for _, e := range r.Entries {
+		binary.BigEndian.PutUint16(b2[:], e.PeerIndex)
+		buf.Write(b2[:])
+		binary.BigEndian.PutUint32(b4[:], e.OriginatedTime)
+		buf.Write(b4[:])
+		attrs, err := bgpwire.EncodeAttributes(e.Origin, e.ASPath, e.NextHop)
+		if err != nil {
+			return fmt.Errorf("mrt: rib entry: %w", err)
+		}
+		binary.BigEndian.PutUint16(b2[:], uint16(len(attrs)))
+		buf.Write(b2[:])
+		buf.Write(attrs)
+	}
+	return w.writeRecord(TypeTableDumpV2, SubtypeRIBIPv4Unicast, buf.Bytes())
+}
+
+// WriteBGP4MP emits one BGP4MP MESSAGE_AS4 record.
+func (w *Writer) WriteBGP4MP(m *BGP4MPMessage) error {
+	msg, err := bgpwire.Marshal(m.Message)
+	if err != nil {
+		return fmt.Errorf("mrt: bgp4mp: %w", err)
+	}
+	var buf bytes.Buffer
+	var b4 [4]byte
+	var b2 [2]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(m.PeerAS))
+	buf.Write(b4[:])
+	binary.BigEndian.PutUint32(b4[:], uint32(m.LocalAS))
+	buf.Write(b4[:])
+	binary.BigEndian.PutUint16(b2[:], 0) // interface index
+	buf.Write(b2[:])
+	binary.BigEndian.PutUint16(b2[:], 1) // AFI IPv4
+	buf.Write(b2[:])
+	binary.BigEndian.PutUint32(b4[:], m.PeerAddr)
+	buf.Write(b4[:])
+	binary.BigEndian.PutUint32(b4[:], m.LocalAddr)
+	buf.Write(b4[:])
+	buf.Write(msg)
+	return w.writeRecord(TypeBGP4MP, SubtypeMessageAS4, buf.Bytes())
+}
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes MRT records sequentially.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+// Records of unknown type are skipped transparently.
+func (r *Reader) Next() (Record, error) {
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("mrt: truncated header")
+			}
+			return nil, err
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:6])
+		subtype := binary.BigEndian.Uint16(hdr[6:8])
+		length := binary.BigEndian.Uint32(hdr[8:12])
+		if length > 1<<24 {
+			return nil, fmt.Errorf("mrt: implausible record length %d", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r.r, body); err != nil {
+			return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+		}
+		ts := binary.BigEndian.Uint32(hdr[0:4])
+		switch {
+		case typ == TypeTableDumpV2 && subtype == SubtypePeerIndexTable:
+			return parsePeerIndexTable(body)
+		case typ == TypeTableDumpV2 && subtype == SubtypeRIBIPv4Unicast:
+			return parseRIB(body)
+		case typ == TypeBGP4MP && subtype == SubtypeMessageAS4:
+			return parseBGP4MP(ts, body)
+		default:
+			continue // unknown record: skip
+		}
+	}
+}
+
+func parsePeerIndexTable(body []byte) (*PeerIndexTable, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("mrt: short peer index table")
+	}
+	t := &PeerIndexTable{CollectorBGPID: binary.BigEndian.Uint32(body[0:4])}
+	nameLen := int(binary.BigEndian.Uint16(body[4:6]))
+	if len(body) < 6+nameLen+2 {
+		return nil, fmt.Errorf("mrt: peer index table name overruns")
+	}
+	t.ViewName = string(body[6 : 6+nameLen])
+	rest := body[6+nameLen:]
+	count := int(binary.BigEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("mrt: truncated peer entry")
+		}
+		peerType := rest[0]
+		if peerType != 0x06 {
+			return nil, fmt.Errorf("mrt: unsupported peer type %#x (want AS4+IPv4)", peerType)
+		}
+		if len(rest) < 13 {
+			return nil, fmt.Errorf("mrt: truncated AS4+IPv4 peer entry")
+		}
+		t.Peers = append(t.Peers, Peer{
+			BGPID: binary.BigEndian.Uint32(rest[1:5]),
+			Addr:  binary.BigEndian.Uint32(rest[5:9]),
+			AS:    asn.ASN(binary.BigEndian.Uint32(rest[9:13])),
+		})
+		rest = rest[13:]
+	}
+	return t, nil
+}
+
+func parseRIB(body []byte) (*RIBIPv4Unicast, error) {
+	if len(body) < 5 {
+		return nil, fmt.Errorf("mrt: short RIB record")
+	}
+	r := &RIBIPv4Unicast{SequenceNumber: binary.BigEndian.Uint32(body[0:4])}
+	plen := body[4]
+	if plen > 32 {
+		return nil, fmt.Errorf("mrt: RIB prefix length %d invalid", plen)
+	}
+	nBytes := int(plen+7) / 8
+	if len(body) < 5+nBytes+2 {
+		return nil, fmt.Errorf("mrt: RIB prefix overruns")
+	}
+	var addr [4]byte
+	copy(addr[:], body[5:5+nBytes])
+	r.Prefix = prefix.New(binary.BigEndian.Uint32(addr[:]), plen)
+	rest := body[5+nBytes:]
+	count := int(binary.BigEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("mrt: truncated RIB entry")
+		}
+		e := RIBEntry{
+			PeerIndex:      binary.BigEndian.Uint16(rest[0:2]),
+			OriginatedTime: binary.BigEndian.Uint32(rest[2:6]),
+		}
+		attrLen := int(binary.BigEndian.Uint16(rest[6:8]))
+		if len(rest) < 8+attrLen {
+			return nil, fmt.Errorf("mrt: RIB entry attributes overrun")
+		}
+		var err error
+		e.Origin, e.ASPath, e.NextHop, err = bgpwire.DecodeAttributes(rest[8 : 8+attrLen])
+		if err != nil {
+			return nil, fmt.Errorf("mrt: RIB entry: %w", err)
+		}
+		r.Entries = append(r.Entries, e)
+		rest = rest[8+attrLen:]
+	}
+	return r, nil
+}
+
+func parseBGP4MP(ts uint32, body []byte) (*BGP4MPMessage, error) {
+	if len(body) < 20 {
+		return nil, fmt.Errorf("mrt: short BGP4MP record")
+	}
+	afi := binary.BigEndian.Uint16(body[10:12])
+	if afi != 1 {
+		return nil, fmt.Errorf("mrt: BGP4MP AFI %d unsupported", afi)
+	}
+	m := &BGP4MPMessage{
+		Timestamp: ts,
+		PeerAS:    asn.ASN(binary.BigEndian.Uint32(body[0:4])),
+		LocalAS:   asn.ASN(binary.BigEndian.Uint32(body[4:8])),
+		PeerAddr:  binary.BigEndian.Uint32(body[12:16]),
+		LocalAddr: binary.BigEndian.Uint32(body[16:20]),
+	}
+	msg, err := bgpwire.Unmarshal(body[20:])
+	if err != nil {
+		return nil, fmt.Errorf("mrt: BGP4MP payload: %w", err)
+	}
+	m.Message = msg
+	return m, nil
+}

@@ -1,0 +1,216 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+)
+
+func mp(s string) prefix.Prefix { return prefix.MustParse(s) }
+
+func TestPeerIndexTableRoundTrip(t *testing.T) {
+	in := &PeerIndexTable{
+		CollectorBGPID: 0x0a0b0c0d,
+		ViewName:       "route-views.sim",
+		Peers: []Peer{
+			{BGPID: 1, Addr: 0xc0000201, AS: 7018},
+			{BGPID: 2, Addr: 0xc0000202, AS: 4200000000},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1000)
+	if err := w.WritePeerIndexTable(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.(*PeerIndexTable)
+	if !ok {
+		t.Fatalf("decoded %T", rec)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	in := &RIBIPv4Unicast{
+		SequenceNumber: 42,
+		Prefix:         mp("129.82.0.0/16"),
+		Entries: []RIBEntry{
+			{PeerIndex: 0, OriginatedTime: 99, Origin: bgpwire.OriginIGP,
+				ASPath: []asn.ASN{7018, 12145}, NextHop: 7},
+			{PeerIndex: 1, OriginatedTime: 98, Origin: bgpwire.OriginIncomplete,
+				ASPath: []asn.ASN{3356, 209, 12145}, NextHop: 9},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1234)
+	if err := w.WriteRIB(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.(*RIBIPv4Unicast)
+	if !ok {
+		t.Fatalf("decoded %T", rec)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestBGP4MPRoundTrip(t *testing.T) {
+	in := &BGP4MPMessage{
+		Timestamp: 777,
+		PeerAS:    65001,
+		LocalAS:   65000,
+		PeerAddr:  0x01020304,
+		LocalAddr: 0x05060708,
+		Message: &bgpwire.Update{
+			Origin:  bgpwire.OriginIGP,
+			ASPath:  []asn.ASN{65001, 12145},
+			NextHop: 0x01020304,
+			NLRI:    []prefix.Prefix{mp("129.82.0.0/16")},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 777)
+	if err := w.WriteBGP4MP(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.(*BGP4MPMessage)
+	if !ok {
+		t.Fatalf("decoded %T", rec)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	pit := &PeerIndexTable{ViewName: "v", Peers: []Peer{{AS: 1}}}
+	if err := w.WritePeerIndexTable(pit); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rib := &RIBIPv4Unicast{
+			SequenceNumber: uint32(i),
+			Prefix:         prefix.New(uint32(i)<<24, 8),
+			Entries: []RIBEntry{{
+				Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{asn.ASN(i + 1)}, NextHop: 1,
+			}},
+		}
+		if err := w.WriteRIB(rib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	count := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+		if count == 1 {
+			if _, ok := rec.(*PeerIndexTable); !ok {
+				t.Errorf("first record is %T, want PeerIndexTable", rec)
+			}
+		}
+	}
+	if count != 6 {
+		t.Errorf("read %d records, want 6", count)
+	}
+}
+
+func TestReaderSkipsUnknownTypes(t *testing.T) {
+	var buf bytes.Buffer
+	// Unknown record (type 99), then a valid peer index table.
+	hdr := make([]byte, 12)
+	hdr[5] = 99
+	hdr[11] = 3
+	buf.Write(hdr)
+	buf.Write([]byte{1, 2, 3})
+	w := NewWriter(&buf, 1)
+	if err := w.WritePeerIndexTable(&PeerIndexTable{ViewName: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.(*PeerIndexTable); !ok {
+		t.Errorf("got %T, want PeerIndexTable after skipping unknown", rec)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})).Next(); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated body.
+	hdr := make([]byte, 12)
+	hdr[5] = TypeTableDumpV2
+	hdr[7] = SubtypePeerIndexTable
+	hdr[11] = 200 // claims 200 bytes
+	if _, err := NewReader(bytes.NewReader(append(hdr, 1, 2))).Next(); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Clean EOF.
+	if _, err := NewReader(bytes.NewReader(nil)).Next(); err != io.EOF {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+// TestFuzzGarbage feeds random bytes; the reader must error or EOF, never
+// panic or loop forever.
+func TestFuzzGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 20; i++ {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package mrt
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// WriteSnapshot dumps one converged routing state as a RouteViews-style
+// TABLE_DUMP_V2 snapshot: a peer index table for the chosen vantage ASes
+// followed by one RIB record for the contested prefix holding each peer's
+// selected AS path. The result is byte-compatible with what real
+// MRT-consuming pipelines read.
+func WriteSnapshot(w io.Writer, g *topology.Graph, o *core.Outcome, contested prefix.Prefix, peers []int, timestamp uint32) error {
+	mw := NewWriter(w, timestamp)
+	pit := &PeerIndexTable{
+		CollectorBGPID: 0x0a000001,
+		ViewName:       "bgpsim",
+	}
+	var entries []RIBEntry
+	for _, p := range peers {
+		if p < 0 || p >= g.N() {
+			return fmt.Errorf("mrt snapshot: peer index %d out of range", p)
+		}
+		idx := uint16(len(pit.Peers))
+		pit.Peers = append(pit.Peers, Peer{
+			BGPID: uint32(p + 1),
+			Addr:  uint32(p + 1),
+			AS:    g.ASN(p),
+		})
+		path := o.Path(p)
+		if path == nil {
+			continue // peer has no route for the prefix: no RIB entry
+		}
+		asPath := make([]asn.ASN, 0, len(path))
+		for _, node := range path {
+			asPath = append(asPath, g.ASN(node))
+		}
+		entries = append(entries, RIBEntry{
+			PeerIndex:      idx,
+			OriginatedTime: timestamp,
+			Origin:         bgpwire.OriginIGP,
+			ASPath:         asPath,
+			NextHop:        uint32(p + 1),
+		})
+	}
+	if err := mw.WritePeerIndexTable(pit); err != nil {
+		return err
+	}
+	if err := mw.WriteRIB(&RIBIPv4Unicast{SequenceNumber: 0, Prefix: contested, Entries: entries}); err != nil {
+		return err
+	}
+	return mw.Flush()
+}
+
+// Snapshot is a decoded TABLE_DUMP_V2 dump.
+type Snapshot struct {
+	Peers *PeerIndexTable
+	RIBs  []*RIBIPv4Unicast
+}
+
+// ReadSnapshot decodes a full dump (peer table first, per RFC 6396).
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	mr := NewReader(r)
+	s := &Snapshot{}
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch v := rec.(type) {
+		case *PeerIndexTable:
+			if s.Peers != nil {
+				return nil, fmt.Errorf("mrt snapshot: duplicate peer index table")
+			}
+			s.Peers = v
+		case *RIBIPv4Unicast:
+			if s.Peers == nil {
+				return nil, fmt.Errorf("mrt snapshot: RIB record before peer index table")
+			}
+			for _, e := range v.Entries {
+				if int(e.PeerIndex) >= len(s.Peers.Peers) {
+					return nil, fmt.Errorf("mrt snapshot: RIB entry references peer %d of %d",
+						e.PeerIndex, len(s.Peers.Peers))
+				}
+			}
+			s.RIBs = append(s.RIBs, v)
+		}
+	}
+	if s.Peers == nil {
+		return nil, fmt.Errorf("mrt snapshot: no peer index table")
+	}
+	return s, nil
+}
+
+// PathsByPeerAS flattens a snapshot into peer-AS → AS path for one prefix.
+func (s *Snapshot) PathsByPeerAS(p prefix.Prefix) map[asn.ASN][]asn.ASN {
+	out := make(map[asn.ASN][]asn.ASN)
+	for _, rib := range s.RIBs {
+		if rib.Prefix != p {
+			continue
+		}
+		for _, e := range rib.Entries {
+			peer := s.Peers.Peers[e.PeerIndex]
+			out[peer.AS] = append([]asn.ASN(nil), e.ASPath...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package mrt
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func TestSnapshotRoundTripFromOutcome(t *testing.T) {
+	g := topology.MustGenerate(topology.DefaultParams(400))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := con.Graph
+	c := topology.Classify(cg, topology.ClassifyOptions{})
+	pol, err := core.NewPolicy(cg, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := topology.FindTarget(cg, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := core.NewSolver(pol).Solve(core.Attack{Target: target, Attacker: c.Tier1[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	contested := mp("129.82.0.0/16")
+	peers := topology.NodesByDegree(cg)[:12]
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, cg, o, contested, peers, 1234); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Peers.Peers) != len(peers) {
+		t.Fatalf("peers = %d, want %d", len(snap.Peers.Peers), len(peers))
+	}
+	paths := snap.PathsByPeerAS(contested)
+	for _, p := range peers {
+		want := o.Path(p)
+		got, ok := paths[cg.ASN(p)]
+		if want == nil {
+			if ok {
+				t.Errorf("peer %v: unexpected RIB entry", cg.ASN(p))
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("peer %v: missing RIB entry", cg.ASN(p))
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("peer %v: path length %d, want %d", cg.ASN(p), len(got), len(want))
+			continue
+		}
+		for k := range want {
+			if got[k] != cg.ASN(want[k]) {
+				t.Errorf("peer %v: path[%d] = %v, want %v", cg.ASN(p), k, got[k], cg.ASN(want[k]))
+			}
+		}
+	}
+	if err := WriteSnapshot(&buf, cg, o, contested, []int{-1}, 0); err == nil {
+		t.Error("bad peer index accepted")
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	// RIB before peer table.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	if err := w.WriteRIB(&RIBIPv4Unicast{Prefix: mp("10.0.0.0/8")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("RIB-before-peer-table accepted")
+	}
+	// Empty stream.
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	// Entry referencing a nonexistent peer.
+	buf.Reset()
+	w = NewWriter(&buf, 1)
+	if err := w.WritePeerIndexTable(&PeerIndexTable{ViewName: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(&RIBIPv4Unicast{
+		Prefix:  mp("10.0.0.0/8"),
+		Entries: []RIBEntry{{PeerIndex: 5, Origin: 0, ASPath: nil}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("dangling peer index accepted")
+	}
+}

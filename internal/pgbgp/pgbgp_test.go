@@ -1,0 +1,208 @@
+package pgbgp
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func mp(s string) prefix.Prefix { return prefix.MustParse(s) }
+
+func TestHistorySuspicion(t *testing.T) {
+	h := NewHistory(10, 1)
+	p := mp("129.82.0.0/16")
+
+	// Never-seen origin: suspicious.
+	if !h.Suspicious(p, 666, 100) {
+		t.Error("novel origin should be suspicious")
+	}
+	// Seen recently: normal.
+	h.Observe(p, 12145, 95)
+	if h.Suspicious(p, 12145, 100) {
+		t.Error("recently seen origin should be normal")
+	}
+	// Stale history: suspicious again.
+	if !h.Suspicious(p, 12145, 120) {
+		t.Error("origin unseen for > window should be suspicious")
+	}
+	// Re-observation refreshes.
+	h.Observe(p, 12145, 120)
+	if h.Suspicious(p, 12145, 125) {
+		t.Error("refreshed origin should be normal")
+	}
+	// Per-prefix isolation.
+	if !h.Suspicious(mp("10.0.0.0/8"), 12145, 100) {
+		t.Error("history must be per-prefix")
+	}
+	// Observe keeps the max day.
+	h.Observe(p, 12145, 100)
+	if h.seen[histKey{p, 12145}] != 120 {
+		t.Error("Observe went backwards in time")
+	}
+}
+
+func TestHistoryDefaults(t *testing.T) {
+	h := NewHistory(0, 0)
+	if h.WindowDays != 10 || h.SuspiciousDays != 1 {
+		t.Errorf("defaults = %d/%d", h.WindowDays, h.SuspiciousDays)
+	}
+}
+
+func testWorld(t *testing.T, n int) (*core.Policy, *topology.Graph, *topology.Classification) {
+	t.Helper()
+	g := topology.MustGenerate(topology.DefaultParams(n))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Classify(con.Graph, topology.ClassifyOptions{})
+	pol, err := core.NewPolicy(con.Graph, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol, con.Graph, c
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	pol, _, _ := testWorld(t, 200)
+	if _, err := Evaluate(pol, -1, nil, nil); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := Evaluate(pol, 0, []int{1}, []int{pol.N()}); err == nil {
+		t.Error("bad deployed node accepted")
+	}
+}
+
+// TestDepreffReducesPollution: PGBGP at the core must reduce pollution
+// versus no deployment.
+func TestDepreffReducesPollution(t *testing.T) {
+	pol, g, c := testWorld(t, 700)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers := g.TransitNodes()
+	if len(attackers) > 60 {
+		attackers = attackers[:60]
+	}
+	none, err := Evaluate(pol, target, attackers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core62 := topology.NodesByDegree(g)[:20]
+	deployed, err := Evaluate(pol, target, attackers, core62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deployed.Summary().Mean >= none.Summary().Mean {
+		t.Errorf("PGBGP at the core did not help: %.1f vs %.1f",
+			deployed.Summary().Mean, none.Summary().Mean)
+	}
+}
+
+// TestDepreffVsDrop: drop-style filtering is at least as strong as PGBGP
+// depref (a depreffing node may still fall back to the bogus route), and
+// both beat the baseline. This is the paper's PGBGP corroboration.
+func TestDepreffVsDrop(t *testing.T) {
+	pol, g, c := testWorld(t, 700)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers := g.TransitNodes()
+	if len(attackers) > 60 {
+		attackers = attackers[:60]
+	}
+	deployed := topology.NodesByDegree(g)[:20]
+	deprefMean, dropMean, err := CompareWithDrop(pol, target, attackers, deployed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropMean > deprefMean {
+		t.Errorf("drop filtering (%.1f) weaker than depref (%.1f)", dropMean, deprefMean)
+	}
+}
+
+// TestDepreffNeverDisconnects: the defining PGBGP property — a depreffing
+// node keeps SOME route whenever an unfiltered node would have one,
+// because it falls back to the suspicious route.
+func TestDepreffNeverDisconnects(t *testing.T) {
+	pol, g, c := testWorld(t, 500)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 1, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := c.Tier1[0]
+
+	plain := core.NewEngine(pol)
+	oPlain, _, err := plain.Run(core.Attack{Target: target, Attacker: attacker}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depref := core.NewEngine(pol)
+	set := asn.NewIndexSet(g.N())
+	for _, i := range topology.NodesByDegree(g)[:30] {
+		set.Add(i)
+	}
+	depref.Depref = set
+	oDepref, _, err := depref.Run(core.Attack{Target: target, Attacker: attacker}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if oPlain.HasRoute(i) && !oDepref.HasRoute(i) {
+			t.Fatalf("node %d disconnected by PGBGP depref", i)
+		}
+	}
+	// And it does protect: fewer or equal polluted nodes.
+	if oDepref.PollutedCount() > oPlain.PollutedCount() {
+		t.Errorf("depref increased pollution: %d vs %d",
+			oDepref.PollutedCount(), oPlain.PollutedCount())
+	}
+}
+
+// TestEvaluateWithHistory: history-derived quarantine protects against a
+// novel-origin hijack but waves through an attacker whose origination is
+// historically normal — PGBGP's inherent blind spot.
+func TestEvaluateWithHistory(t *testing.T) {
+	pol, g, c := testWorld(t, 600)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hijacked := mp("129.82.0.0/16")
+	attacker := c.Tier1[0]
+
+	h := NewHistory(10, 1)
+	h.SeedFromBaseline(map[prefix.Prefix]asn.ASN{hijacked: g.ASN(target)}, 100)
+	deployed := topology.NodesByDegree(g)[:20]
+
+	// Novel-origin hijack: quarantined.
+	res, err := EvaluateWithHistory(pol, target, []int{attacker}, deployed, h, hijacked, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same attack with no history protection.
+	base, err := Evaluate(pol, target, []int{attacker}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pollution[0] >= base.Pollution[0] {
+		t.Errorf("history quarantine did not help: %d vs %d", res.Pollution[0], base.Pollution[0])
+	}
+
+	// Blind spot: the attacker has legitimately originated the prefix
+	// recently (MOAS history); PGBGP lets it through.
+	h.Observe(hijacked, g.ASN(attacker), 100)
+	moas, err := EvaluateWithHistory(pol, target, []int{attacker}, deployed, h, hijacked, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moas.Pollution[0] != base.Pollution[0] {
+		t.Errorf("historically-normal origin should bypass PGBGP: %d vs %d",
+			moas.Pollution[0], base.Pollution[0])
+	}
+}

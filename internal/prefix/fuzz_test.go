@@ -1,0 +1,21 @@
+package prefix
+
+import "testing"
+
+// FuzzParse: the CIDR parser must never panic, and accepted inputs must
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{"129.82.0.0/16", "0.0.0.0/0", "255.255.255.255/32", "10.0.0.0/8"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed for %q → %v", s, p)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package prefix
+
+// Trie is a binary radix trie mapping prefixes to arbitrary values. It
+// supports the three queries origin validation needs:
+//
+//   - Exact:       the value stored at precisely this prefix
+//   - LongestMatch: the most-specific stored prefix covering a query
+//   - Covering:    every stored prefix that covers a query (walk to root)
+//
+// The zero value is an empty trie ready to use.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	value V
+	set   bool
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores value at p, replacing any existing value. It reports
+// whether the prefix was newly inserted (false means replaced).
+func (t *Trie[V]) Insert(p Prefix, value V) bool {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := p.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	fresh := !n.set
+	n.value, n.set = value, true
+	if fresh {
+		t.size++
+	}
+	return fresh
+}
+
+// Exact returns the value stored at exactly p.
+func (t *Trie[V]) Exact(p Prefix) (V, bool) {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Len; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.value, true
+}
+
+// LongestMatch returns the value and length of the most-specific stored
+// prefix that covers p (including p itself).
+func (t *Trie[V]) LongestMatch(p Prefix) (value V, matchLen uint8, ok bool) {
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set {
+			value, matchLen, ok = n.value, i, true
+		}
+		if i >= p.Len {
+			break
+		}
+		n = n.child[p.Bit(i)]
+	}
+	return value, matchLen, ok
+}
+
+// Covering calls fn for every stored prefix covering p, from least to most
+// specific. Iteration stops early if fn returns false.
+func (t *Trie[V]) Covering(p Prefix, fn func(matchLen uint8, value V) bool) {
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set && !fn(i, n.value) {
+			return
+		}
+		if i >= p.Len {
+			return
+		}
+		n = n.child[p.Bit(i)]
+	}
+}
+
+// Remove deletes the value stored at exactly p, reporting whether one was
+// present. Interior nodes are left in place; for the simulation's static
+// ROA tables this never matters, and it keeps removal O(len).
+func (t *Trie[V]) Remove(p Prefix) bool {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Len; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.value, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Walk visits every stored (prefix, value) pair in address order.
+func (t *Trie[V]) Walk(fn func(p Prefix, value V) bool) {
+	var walk func(n *trieNode[V], addr uint32, depth uint8) bool
+	walk = func(n *trieNode[V], addr uint32, depth uint8) bool {
+		if n == nil {
+			return true
+		}
+		if n.set && !fn(Prefix{Addr: addr, Len: depth}, n.value) {
+			return false
+		}
+		if !walk(n.child[0], addr, depth+1) {
+			return false
+		}
+		return walk(n.child[1], addr|1<<(31-depth), depth+1)
+	}
+	walk(t.root, 0, 0)
+}

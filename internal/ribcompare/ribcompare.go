@@ -1,0 +1,174 @@
+// Package ribcompare implements the paper's Section III validation
+// methodology: comparing routing tables produced by the simulator against
+// reference RIBs (the paper used Oregon RouteViews dumps and found 62 % of
+// simulated routes matched exactly or were "topologically equivalent —
+// one provider substituted for another"). The same matcher runs here
+// against reference tables from a policy-perturbed simulation, exercising
+// the identical comparison code path.
+package ribcompare
+
+import (
+	"fmt"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// RIB maps each node to its AS path (node indices, from the node itself to
+// the origin). Nodes without a route are absent.
+type RIB map[int][]int
+
+// FromOutcome extracts the full routing table of a converged outcome.
+func FromOutcome(o *core.Outcome) RIB {
+	rib := make(RIB, o.N())
+	for i := 0; i < o.N(); i++ {
+		if p := o.Path(i); p != nil {
+			rib[i] = p
+		}
+	}
+	return rib
+}
+
+// MatchKind classifies one route comparison.
+type MatchKind int
+
+const (
+	// Exact: identical AS paths.
+	Exact MatchKind = iota
+	// TopoEquivalent: same length and endpoints, differing only in hops
+	// that substitute one AS for another with the same relationship to the
+	// preceding hop (the paper's "one provider substituted for another").
+	TopoEquivalent
+	// Mismatch: both RIBs carry a route but the paths differ structurally.
+	Mismatch
+	// Missing: exactly one of the RIBs carries a route.
+	Missing
+)
+
+// String returns the match-kind name.
+func (k MatchKind) String() string {
+	switch k {
+	case Exact:
+		return "exact"
+	case TopoEquivalent:
+		return "topo-equivalent"
+	case Mismatch:
+		return "mismatch"
+	case Missing:
+		return "missing"
+	default:
+		return fmt.Sprintf("MatchKind(%d)", int(k))
+	}
+}
+
+// CompareRoute classifies a single pair of paths over graph g. Paths that
+// are not contiguous in the graph (possible with externally supplied
+// reference RIBs) classify as Mismatch.
+func CompareRoute(g *topology.Graph, sim, ref []int) MatchKind {
+	if len(sim) == 0 || len(ref) == 0 {
+		return Missing
+	}
+	if equalPath(sim, ref) {
+		return Exact
+	}
+	if len(sim) != len(ref) {
+		return Mismatch
+	}
+	// Same endpoints required.
+	if sim[0] != ref[0] || sim[len(sim)-1] != ref[len(ref)-1] {
+		return Mismatch
+	}
+	if !contiguous(g, sim) || !contiguous(g, ref) {
+		return Mismatch
+	}
+	// Every differing interior hop must hold the same relationship to the
+	// preceding hop on its own path (provider substituted for provider,
+	// peer for peer…).
+	for k := 1; k < len(sim)-1; k++ {
+		if sim[k] == ref[k] {
+			continue
+		}
+		rs := g.Rel(sim[k-1], sim[k])
+		rr := g.Rel(ref[k-1], ref[k])
+		if rs != rr {
+			return Mismatch
+		}
+	}
+	return TopoEquivalent
+}
+
+func contiguous(g *topology.Graph, path []int) bool {
+	for k := 0; k+1 < len(path); k++ {
+		if g.Rel(path[k], path[k+1]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Report aggregates a whole-RIB comparison.
+type Report struct {
+	Exact          int
+	TopoEquivalent int
+	Mismatch       int
+	Missing        int
+}
+
+// Total returns the number of compared node entries.
+func (r Report) Total() int { return r.Exact + r.TopoEquivalent + r.Mismatch + r.Missing }
+
+// MatchRate returns the fraction of entries that matched exactly or were
+// topologically equivalent — the paper's headline 62 % metric.
+func (r Report) MatchRate() float64 {
+	if r.Total() == 0 {
+		return 0
+	}
+	return float64(r.Exact+r.TopoEquivalent) / float64(r.Total())
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("exact=%d topo-equivalent=%d mismatch=%d missing=%d match-rate=%.1f%%",
+		r.Exact, r.TopoEquivalent, r.Mismatch, r.Missing, 100*r.MatchRate())
+}
+
+// Compare classifies every node present in either RIB.
+func Compare(g *topology.Graph, sim, ref RIB) Report {
+	var rep Report
+	seen := make(map[int]bool, len(sim))
+	classify := func(node int) {
+		if seen[node] {
+			return
+		}
+		seen[node] = true
+		switch CompareRoute(g, sim[node], ref[node]) {
+		case Exact:
+			rep.Exact++
+		case TopoEquivalent:
+			rep.TopoEquivalent++
+		case Mismatch:
+			rep.Mismatch++
+		case Missing:
+			rep.Missing++
+		}
+	}
+	for node := range sim {
+		classify(node)
+	}
+	for node := range ref {
+		classify(node)
+	}
+	return rep
+}

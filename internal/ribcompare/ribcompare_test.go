@@ -1,0 +1,170 @@
+package ribcompare
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// twoProviders builds a topology where equal-length provider paths to a
+// multi-homed origin exist, so tie-break perturbation flips exactly those
+// hops:
+//
+//	T1a(1) ==== T1b(2)      (origin o(20) is a customer of both)
+//	  |  \      /  |
+//	  |   A(10)  B(11)      (both customers of both tier-1s)
+//	  |            |
+//	 o(20)        s(30)
+func twoProviders(t *testing.T) (*topology.Graph, *core.Policy, *core.Policy) {
+	t.Helper()
+	b := topology.NewBuilder()
+	links := []struct {
+		a, c asn.ASN
+		r    topology.Rel
+	}{
+		{1, 2, topology.RelPeer},
+		{1, 10, topology.RelCustomer},
+		{2, 10, topology.RelCustomer},
+		{1, 11, topology.RelCustomer},
+		{2, 11, topology.RelCustomer},
+		{1, 20, topology.RelCustomer},
+		{2, 20, topology.RelCustomer},
+		{11, 30, topology.RelCustomer},
+	}
+	for _, l := range links {
+		if err := b.AddLink(l.a, l.c, l.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	cl := topology.Classify(g, topology.ClassifyOptions{Tier2MinCustomers: 1})
+	polLo, err := core.NewPolicy(g, cl.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polHi, err := core.NewPolicy(g, cl.Tier1, core.WithPreferHighNextHop(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, polLo, polHi
+}
+
+func ix(t *testing.T, g *topology.Graph, a asn.ASN) int {
+	t.Helper()
+	i, ok := g.Index(a)
+	if !ok {
+		t.Fatalf("missing AS%v", a)
+	}
+	return i
+}
+
+func TestCompareRouteKinds(t *testing.T) {
+	g, _, _ := twoProviders(t)
+	t1a, t1b := ix(t, g, 1), ix(t, g, 2)
+	a, bb := ix(t, g, 10), ix(t, g, 11)
+	o := ix(t, g, 20)
+	s := ix(t, g, 30)
+
+	if got := CompareRoute(g, []int{s, bb, t1a, o}, []int{s, bb, t1a, o}); got != Exact {
+		t.Errorf("identical = %v", got)
+	}
+	// Same length/endpoints, provider substituted for provider: s reaches
+	// the core via T1a in one table and T1b in the other.
+	if got := CompareRoute(g, []int{s, bb, t1a, o}, []int{s, bb, t1b, o}); got != TopoEquivalent {
+		t.Errorf("provider substitution = %v", got)
+	}
+	// Different lengths.
+	if got := CompareRoute(g, []int{s, bb, t1a, o}, []int{s, t1a, o}); got != Mismatch {
+		t.Errorf("length difference = %v", got)
+	}
+	// One side missing.
+	if got := CompareRoute(g, nil, []int{s, bb}); got != Missing {
+		t.Errorf("missing = %v", got)
+	}
+	// Substituted hop with a different relationship: A reaches T1a as
+	// customer→provider; a fabricated path hopping peer A→B is not
+	// equivalent to a provider hop.
+	if got := CompareRoute(g, []int{o, t1a, bb, s}, []int{o, t1a, a, s}); got == TopoEquivalent {
+		t.Errorf("non-adjacent/odd substitution should not be topo-equivalent, got %v", got)
+	}
+	_ = a
+}
+
+// TestValidationStudy runs the paper's methodology end to end: simulate
+// with the default policy, build the "real world" from a tie-break
+// perturbed policy, compare full RIBs. The match rate must be high but
+// below 100 % (ties exist by construction), and every non-exact match must
+// be a legal substitution.
+func TestValidationStudy(t *testing.T) {
+	g, polLo, polHi := twoProviders(t)
+	origin := ix(t, g, 20)
+	sLo := core.NewSolver(polLo)
+	sHi := core.NewSolver(polHi)
+	// Single-origin routing state via the SubPrefix trick.
+	at := core.Attack{Target: ix(t, g, 30), Attacker: origin, SubPrefix: true}
+	oLo, err := sLo.Solve(at, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oHi, err := sHi.Solve(at, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(g, FromOutcome(oLo), FromOutcome(oHi))
+	if rep.Total() != g.N() {
+		t.Errorf("compared %d entries, want %d", rep.Total(), g.N())
+	}
+	if rep.Missing != 0 {
+		t.Errorf("missing = %d, want 0 (both policies route everywhere)", rep.Missing)
+	}
+	if rep.MatchRate() < 0.5 {
+		t.Errorf("match rate %.2f suspiciously low", rep.MatchRate())
+	}
+	if rep.Exact == rep.Total() {
+		t.Error("perturbation produced zero differences; validation study is vacuous")
+	}
+}
+
+// TestValidationStudySynthetic repeats the study at scale and checks the
+// aggregate properties hold on a generated topology.
+func TestValidationStudySynthetic(t *testing.T) {
+	g := topology.MustGenerate(topology.DefaultParams(900))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := con.Graph
+	cl := topology.Classify(cg, topology.ClassifyOptions{})
+	polLo, err := core.NewPolicy(cg, cl.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polHi, err := core.NewPolicy(cg, cl.Tier1, core.WithPreferHighNextHop(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := core.Attack{Target: 1, Attacker: 0, SubPrefix: true}
+	oLo, err := core.NewSolver(polLo).Solve(at, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oHi, err := core.NewSolver(polHi).Solve(at, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(cg, FromOutcome(oLo), FromOutcome(oHi))
+	if rep.Total() != cg.N() {
+		t.Fatalf("total = %d, want %d", rep.Total(), cg.N())
+	}
+	if rep.Exact == 0 {
+		t.Error("no exact matches at all")
+	}
+	if rate := rep.MatchRate(); rate < 0.3 || rate > 1.0 {
+		t.Errorf("match rate %.2f out of plausible band", rate)
+	}
+	if rep.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,250 @@
+package rover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+)
+
+func mp(s string) prefix.Prefix { return prefix.MustParse(s) }
+
+func TestReverseName(t *testing.T) {
+	cases := []struct {
+		p    string
+		want string
+	}{
+		{"129.82.0.0/16", "82.129.in-addr.arpa"},
+		{"10.0.0.0/8", "10.in-addr.arpa"},
+		{"192.168.4.0/24", "4.168.192.in-addr.arpa"},
+		{"1.2.3.4/32", "4.3.2.1.in-addr.arpa"},
+		{"129.82.64.0/18", "m18.64.82.129.in-addr.arpa"},
+		{"10.128.0.0/9", "m9.128.10.in-addr.arpa"},
+	}
+	for _, c := range cases {
+		if got := ReverseName(mp(c.p)); got != c.want {
+			t.Errorf("ReverseName(%s) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestParseReverseNameRoundTrip(t *testing.T) {
+	f := func(addr uint32, length uint8) bool {
+		l := length % 32
+		if l == 0 {
+			l = 32 // /0 has no reverse name
+		}
+		p := prefix.New(addr, l)
+		back, err := ParseReverseName(ReverseName(p))
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseReverseNameErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"82.129.example.com",
+		"in-addr.arpa",
+		"m40.82.129.in-addr.arpa", // mask out of range
+		"m8.82.129.in-addr.arpa",  // mask inconsistent with 2 octets
+		"300.129.in-addr.arpa",    // bad octet
+		"x.129.in-addr.arpa",      // non-numeric
+		"1.2.3.4.5.in-addr.arpa",  // too many octets
+	}
+	for _, s := range bad {
+		if _, err := ParseReverseName(s); err == nil {
+			t.Errorf("ParseReverseName(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// buildTree constructs root → in-addr.arpa → 129.in-addr.arpa zones.
+func buildTree(t *testing.T) (*Zone, *Zone) {
+	t.Helper()
+	root := NewZone("arpa", 1)
+	inaddr, err := root.Delegate("in-addr.arpa", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z129, err := inaddr.Delegate("129.in-addr.arpa", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, z129
+}
+
+func TestZonePublishAndResolve(t *testing.T) {
+	root, z129 := buildTree(t)
+	if err := z129.Publish(SRO{Prefix: mp("129.82.0.0/16"), Origin: 12145}); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent republish.
+	if err := z129.Publish(SRO{Prefix: mp("129.82.0.0/16"), Origin: 12145}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewResolver(root)
+	origins, err := r.LookupOrigins(mp("129.82.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origins) != 1 || !origins.Contains(12145) {
+		t.Errorf("origins = %v", origins.Sorted())
+	}
+	if r.KeyLog == 0 {
+		t.Error("resolver performed no signature verifications")
+	}
+	// Unpublished name resolves to empty set, not error.
+	none, err := r.LookupOrigins(mp("129.83.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unpublished lookup = %v", none.Sorted())
+	}
+}
+
+func TestZonePublishOutsideApex(t *testing.T) {
+	_, z129 := buildTree(t)
+	if err := z129.Publish(SRO{Prefix: mp("10.0.0.0/8"), Origin: 1}); err == nil {
+		t.Error("publish outside zone apex accepted")
+	}
+}
+
+func TestDelegateValidation(t *testing.T) {
+	root := NewZone("arpa", 1)
+	if _, err := root.Delegate("example.com", 2); err == nil {
+		t.Error("delegation outside parent accepted")
+	}
+	// Re-delegation returns the same child.
+	a, err := root.Delegate("in-addr.arpa", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := root.Delegate("in-addr.arpa", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("re-delegation created a new zone")
+	}
+}
+
+// TestChainOfTrustTamper verifies that a forged child key is rejected at
+// resolve time.
+func TestChainOfTrustTamper(t *testing.T) {
+	root, z129 := buildTree(t)
+	if err := z129.Publish(SRO{Prefix: mp("129.82.0.0/16"), Origin: 12145}); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the child zone for an impostor with a different key but keep
+	// the parent's DS record: the digest check must fail.
+	parent := root.zones["in-addr.arpa"]
+	impostor := NewZone("129.in-addr.arpa", 666)
+	if err := impostor.Publish(SRO{Prefix: mp("129.82.0.0/16"), Origin: 666}); err != nil {
+		t.Fatal(err)
+	}
+	parent.zones["129.in-addr.arpa"] = impostor
+
+	r := NewResolver(root)
+	if _, err := r.LookupOrigins(mp("129.82.0.0/16")); err == nil {
+		t.Error("impostor zone accepted; DS check failed to fire")
+	}
+}
+
+func TestStoreValidator(t *testing.T) {
+	root, z129 := buildTree(t)
+	store := NewStore(root)
+	publish := func(p prefix.Prefix, origin uint32) {
+		t.Helper()
+		if err := z129.Publish(SRO{Prefix: p, Origin: asn.ASN(origin)}); err != nil {
+			t.Fatal(err)
+		}
+		store.NotePublished(p)
+	}
+	publish(mp("129.82.0.0/16"), 12145)
+
+	if got := store.Validate(mp("129.82.0.0/16"), 12145); got != rpki.Valid {
+		t.Errorf("published origin = %v, want valid", got)
+	}
+	if got := store.Validate(mp("129.82.0.0/16"), 666); got != rpki.Invalid {
+		t.Errorf("wrong origin = %v, want invalid", got)
+	}
+	// ROVER validates sub-prefixes against covering publications.
+	if got := store.Validate(mp("129.82.4.0/24"), 666); got != rpki.Invalid {
+		t.Errorf("hijacked subprefix = %v, want invalid", got)
+	}
+	if got := store.Validate(mp("10.0.0.0/8"), 12145); got != rpki.NotFound {
+		t.Errorf("unpublished space = %v, want not-found", got)
+	}
+	if store.Err() != nil {
+		t.Errorf("unexpected swallowed error: %v", store.Err())
+	}
+}
+
+func TestZoneFileRoundTrip(t *testing.T) {
+	_, z129 := buildTree(t)
+	for _, rec := range []SRO{
+		{Prefix: mp("129.82.0.0/16"), Origin: 12145},
+		{Prefix: mp("129.83.0.0/16"), Origin: 7},
+		{Prefix: mp("129.82.64.0/18"), Origin: 12145},
+	} {
+		if err := z129.Publish(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := z129.Delegate("4.82.129.in-addr.arpa", 9); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := z129.WriteZoneFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"IN SRO AS12145", "IN RRSIG SRO", "IN DS", "m18.64.82.129.in-addr.arpa."} {
+		if !strings.Contains(text, want) {
+			t.Errorf("zone file missing %q:\n%s", want, text)
+		}
+	}
+
+	// A fresh zone with the same key loads and verifies everything.
+	clone := NewZone("129.in-addr.arpa", 3) // same apex+seed → same key
+	if err := clone.LoadZoneFile(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+	if len(clone.records) != len(z129.records) {
+		t.Errorf("loaded %d record names, want %d", len(clone.records), len(z129.records))
+	}
+	if len(clone.children) != 1 {
+		t.Errorf("loaded %d delegations, want 1", len(clone.children))
+	}
+
+	// A zone with a DIFFERENT key must reject every signature.
+	impostor := NewZone("129.in-addr.arpa", 666)
+	if err := impostor.LoadZoneFile(strings.NewReader(text)); err == nil {
+		t.Error("impostor key verified foreign signatures")
+	}
+}
+
+func TestZoneFileErrors(t *testing.T) {
+	z := NewZone("129.in-addr.arpa", 3)
+	bad := []string{
+		"82.129.in-addr.arpa. IN SRO AS1\n",                     // SRO without RRSIG
+		"82.129.in-addr.arpa. IN RRSIG SRO AAAA\n",              // RRSIG without SRO
+		"82.129.in-addr.arpa. IN TXT hello extra\n",             // unknown type
+		"82.129.in-addr.arpa. SRO AS1 x\n",                      // missing IN
+		"82.129.in-addr.arpa. IN SRO pizza\n82. IN RRSIG SRO x", // bad origin
+	}
+	for _, in := range bad {
+		if err := z.LoadZoneFile(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadZoneFile(%q) succeeded, want error", in)
+		}
+	}
+}

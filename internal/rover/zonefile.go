@@ -1,0 +1,135 @@
+package rover
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+)
+
+// WriteZoneFile serializes the zone in a DNS-master-file-like format: one
+// line per signed SRO record set plus RRSIG lines carrying the Ed25519
+// signatures, and DS lines for delegations. The format is this package's
+// own (SRO is not a real RR type) but follows master-file conventions so
+// operators can eyeball it:
+//
+//	; zone 82.129.in-addr.arpa
+//	82.129.in-addr.arpa. IN SRO AS12145
+//	82.129.in-addr.arpa. IN RRSIG SRO <base64 signature>
+//	sub.example. IN DS <base64 key digest> <base64 signature>
+func (z *Zone) WriteZoneFile(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "; zone %s\n", z.Apex); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "; key %s\n", base64.StdEncoding.EncodeToString(z.pub))
+
+	names := make([]string, 0, len(z.records))
+	for name := range z.records {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, rec := range z.records[name] {
+			fmt.Fprintf(bw, "%s. IN SRO %v\n", name, rec.Record.Origin)
+			fmt.Fprintf(bw, "%s. IN RRSIG SRO %s\n",
+				name, base64.StdEncoding.EncodeToString(rec.Signature))
+		}
+	}
+	children := make([]string, 0, len(z.children))
+	for apex := range z.children {
+		children = append(children, apex)
+	}
+	sort.Strings(children)
+	for _, apex := range children {
+		ds := z.children[apex]
+		fmt.Fprintf(bw, "%s. IN DS %s %s\n", apex,
+			base64.StdEncoding.EncodeToString(ds.KeyDigest[:]),
+			base64.StdEncoding.EncodeToString(ds.Signature))
+	}
+	return bw.Flush()
+}
+
+// LoadZoneFile parses a zone file produced by WriteZoneFile into the zone,
+// verifying every RRSIG against the zone key as it loads (records that
+// fail verification are rejected, as a validating secondary would).
+// Delegation DS lines are verified against the zone key and installed;
+// the child zones themselves are not created (they live in their own
+// files).
+func (z *Zone) LoadZoneFile(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var pendingName string
+	var pendingOrigin asn.ASN
+	havePending := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[1] != "IN" {
+			return fmt.Errorf("zonefile line %d: malformed record %q", lineNo, line)
+		}
+		name := strings.TrimSuffix(fields[0], ".")
+		switch fields[2] {
+		case "SRO":
+			origin, err := asn.Parse(fields[3])
+			if err != nil {
+				return fmt.Errorf("zonefile line %d: %w", lineNo, err)
+			}
+			pendingName, pendingOrigin, havePending = name, origin, true
+		case "RRSIG":
+			if !havePending || len(fields) < 5 || fields[3] != "SRO" {
+				return fmt.Errorf("zonefile line %d: RRSIG without preceding SRO", lineNo)
+			}
+			sig, err := base64.StdEncoding.DecodeString(fields[4])
+			if err != nil {
+				return fmt.Errorf("zonefile line %d: bad signature encoding", lineNo)
+			}
+			p, err := ParseReverseName(pendingName)
+			if err != nil {
+				return fmt.Errorf("zonefile line %d: %w", lineNo, err)
+			}
+			rec := SRO{Prefix: p, Origin: pendingOrigin}
+			if !verifySRO(z.pub, rec, sig) {
+				return fmt.Errorf("zonefile line %d: signature verification failed for %s", lineNo, pendingName)
+			}
+			z.records[pendingName] = append(z.records[pendingName], SignedSRO{Record: rec, Signature: sig})
+			havePending = false
+		case "DS":
+			if len(fields) < 5 {
+				return fmt.Errorf("zonefile line %d: malformed DS", lineNo)
+			}
+			digestRaw, err := base64.StdEncoding.DecodeString(fields[3])
+			if err != nil || len(digestRaw) != 32 {
+				return fmt.Errorf("zonefile line %d: bad DS digest", lineNo)
+			}
+			sig, err := base64.StdEncoding.DecodeString(fields[4])
+			if err != nil {
+				return fmt.Errorf("zonefile line %d: bad DS signature", lineNo)
+			}
+			var digest [32]byte
+			copy(digest[:], digestRaw)
+			if !verifyDS(z.pub, name, digest, sig) {
+				return fmt.Errorf("zonefile line %d: DS verification failed for %s", lineNo, name)
+			}
+			z.children[name] = &DS{Child: name, KeyDigest: digest, Signature: sig}
+		default:
+			return fmt.Errorf("zonefile line %d: unknown RR type %q", lineNo, fields[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("zonefile: %w", err)
+	}
+	if havePending {
+		return fmt.Errorf("zonefile: SRO for %s has no RRSIG", pendingName)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package stats provides the statistical primitives behind the paper's
+// measurements: complementary cumulative counts (the vulnerability-analysis
+// curves of Figures 2–6), histograms (Figure 7), summary statistics, and
+// the depth/degree correlation metrics discussed in Section IV.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CCDFPoint is one point of a complementary cumulative curve: Count
+// attacks produced at least X polluted ASes.
+type CCDFPoint struct {
+	X     int
+	Count int
+}
+
+// CCDF computes the paper's vulnerability-analysis curve from per-attack
+// pollution counts: for each distinct pollution level x, how many attacks
+// polluted at least x ASes ("the faster a curve approaches zero, the more
+// resistant the AS is to attack"). Points are returned in ascending X.
+func CCDF(values []int) []CCDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var out []CCDFPoint
+	n := len(sorted)
+	for i := 0; i < n; {
+		x := sorted[i]
+		// Attacks with pollution ≥ x = everything from i on; emit one point
+		// per distinct value.
+		out = append(out, CCDFPoint{X: x, Count: n - i})
+		j := i
+		for j < n && sorted[j] == x {
+			j++
+		}
+		i = j
+	}
+	return out
+}
+
+// CountAtLeast returns how many values are ≥ threshold — the paper's
+// "only N attackers can pollute more than X ASes" summaries.
+func CountAtLeast(values []int, threshold int) int {
+	c := 0
+	for _, v := range values {
+		if v >= threshold {
+			c++
+		}
+	}
+	return c
+}
+
+// Summary holds the distribution statistics reported throughout the paper.
+type Summary struct {
+	N      int
+	Mean   float64
+	Max    int
+	Min    int
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes summary statistics of integer samples.
+func Summarize(values []int) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   float64(sum) / float64(len(sorted)),
+		Max:    sorted[len(sorted)-1],
+		Min:    sorted[0],
+		Median: percentileSorted(sorted, 0.5),
+		P90:    percentileSorted(sorted, 0.9),
+		P99:    percentileSorted(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) with linear interpolation.
+func Percentile(values []int, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []int, p float64) float64 {
+	if p <= 0 {
+		return float64(sorted[0])
+	}
+	if p >= 1 {
+		return float64(sorted[len(sorted)-1])
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// Histogram counts values into unit buckets [0..max]; values above max
+// are clamped into the last bucket.
+func Histogram(values []int, max int) []int {
+	h := make([]int, max+1)
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		if v > max {
+			v = max
+		}
+		h[v]++
+	}
+	return h
+}
+
+// CCDFArea computes the normalized area under a CCDF curve, both axes
+// scaled to [0,1]. It quantifies the paper's concavity observation: a
+// resistant AS's curve "approaches zero fast" (convex, area well below
+// 0.5) while a vulnerable AS's curve plateaus before dropping (concave,
+// area above 0.5) — "the concavity of the curve actually flips between
+// depth 1 and 2". The curve is integrated as the right-continuous step
+// function CCDFs are.
+func CCDFArea(points []CCDFPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	maxX := points[len(points)-1].X
+	maxY := points[0].Count
+	if maxX == 0 || maxY == 0 {
+		return 0
+	}
+	area := 0.0
+	prevX := 0
+	for _, p := range points {
+		// F(x) = #samples ≥ x holds the value p.Count on (prevX, p.X].
+		area += float64(p.X-prevX) * float64(p.Count)
+		prevX = p.X
+	}
+	return area / (float64(maxX) * float64(maxY))
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// samples. Returns an error on mismatched or degenerate input.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("pearson: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("pearson: need at least 2 samples")
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("pearson: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman computes the Spearman rank correlation (Pearson over ranks,
+// with tied values receiving their average rank).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("spearman: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}

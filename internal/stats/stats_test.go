@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCCDF(t *testing.T) {
+	pts := CCDF([]int{5, 3, 3, 8})
+	want := []CCDFPoint{{3, 4}, {5, 2}, {8, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CCDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("CCDF = %v, want %v", pts, want)
+		}
+	}
+	if CCDF(nil) != nil {
+		t.Error("CCDF(nil) should be nil")
+	}
+}
+
+// TestCCDFProperties checks the defining invariants on random data: the
+// curve is non-increasing in Count, starts at N, and Count at x equals the
+// number of samples ≥ x.
+func TestCCDFProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]int, len(raw))
+		for i, r := range raw {
+			values[i] = int(r)
+		}
+		pts := CCDF(values)
+		if pts[0].Count != len(values) {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Count >= pts[i-1].Count || pts[i].X <= pts[i-1].X {
+				return false
+			}
+		}
+		for _, p := range pts {
+			if p.Count != CountAtLeast(values, p.X) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountAtLeast(t *testing.T) {
+	v := []int{1, 5, 5, 9}
+	cases := []struct{ th, want int }{{0, 4}, {1, 4}, {2, 3}, {5, 3}, {6, 1}, {10, 0}}
+	for _, c := range cases {
+		if got := CountAtLeast(v, c.th); got != c.want {
+			t.Errorf("CountAtLeast(%d) = %d, want %d", c.th, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{4, 1, 7, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 7 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 3.5", s.Mean)
+	}
+	if math.Abs(s.Median-3.0) > 1e-9 {
+		t.Errorf("Median = %v, want 3.0", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty Summarize should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []int{10, 20, 30, 40, 50}
+	if got := Percentile(v, 0); got != 10 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(v, 1); got != 50 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(v, 0.5); got != 30 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(v, 0.25); got != 20 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 1, 1, 3, 99, -5}, 3)
+	want := []int{2, 2, 0, 2} // -5 clamps to 0, 99 clamps to 3
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives rank correlation 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Tied x values get average ranks; correlation stays defined.
+	xs := []float64{1, 1, 2, 3}
+	ys := []float64{10, 20, 30, 40}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0.8 || r > 1 {
+		t.Errorf("Spearman with ties = %v, want strong positive", r)
+	}
+}
+
+// TestRanksAverageTies verifies the tie-handling in rank assignment.
+func TestRanksAverageTies(t *testing.T) {
+	got := ranks([]float64{5, 1, 5, 2})
+	// sorted: 1(rank1), 2(rank2), 5, 5 (ranks 3,4 → 3.5 each)
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPercentileMatchesSort cross-checks Percentile monotonicity on random
+// inputs.
+func TestPercentileMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	values := make([]int, 200)
+	for i := range values {
+		values[i] = rng.Intn(1000)
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	last := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		v := Percentile(values, p)
+		if v < last {
+			t.Fatalf("percentile not monotone at p=%v", p)
+		}
+		if v < float64(sorted[0]) || v > float64(sorted[len(sorted)-1]) {
+			t.Fatalf("percentile out of range at p=%v", p)
+		}
+		last = v
+	}
+}
+
+func TestCCDFArea(t *testing.T) {
+	// A fast-dropping (convex/resistant) distribution: most attacks weak.
+	convex := CCDF([]int{1, 1, 1, 1, 1, 1, 1, 1, 1, 100})
+	// A plateauing (concave/vulnerable) one: most attacks near-max.
+	concave := CCDF([]int{90, 92, 94, 96, 98, 99, 99, 100, 100, 2})
+	a1, a2 := CCDFArea(convex), CCDFArea(concave)
+	if a1 >= a2 {
+		t.Errorf("convex area %.3f not below concave %.3f", a1, a2)
+	}
+	if a1 > 0.5 {
+		t.Errorf("resistant-shape area = %.3f, want < 0.5", a1)
+	}
+	if a2 < 0.5 {
+		t.Errorf("vulnerable-shape area = %.3f, want > 0.5", a2)
+	}
+	if got := CCDFArea(nil); got != 0 {
+		t.Errorf("empty area = %v", got)
+	}
+	// Areas stay in [0, 1] on arbitrary data.
+	for seed := 0; seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		vals := make([]int, 50)
+		for i := range vals {
+			vals[i] = rng.Intn(1000)
+		}
+		if a := CCDFArea(CCDF(vals)); a < 0 || a > 1 {
+			t.Fatalf("seed %d: area %v out of [0,1]", seed, a)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package topology
+
+// AuditReport summarizes structural health of a topology — the checks
+// that matter before trusting simulation results on externally supplied
+// relationship data (real CAIDA snapshots contain disconnected fragments
+// and occasional provider loops from inference errors).
+type AuditReport struct {
+	// Components is the number of connected components (all link kinds).
+	Components int
+	// LargestComponent is the node count of the biggest component.
+	LargestComponent int
+	// ProviderCycles is the number of nodes involved in customer→provider
+	// cycles (mutual- or circular-transit inference artifacts).
+	ProviderCycles int
+	// IsolatedFromCore counts nodes with no provider chain to any
+	// provider-free AS.
+	IsolatedFromCore int
+	// StubShare is the fraction of ASes with no customers.
+	StubShare float64
+}
+
+// Clean reports whether the topology is structurally sound for
+// simulation: one dominant component, no provider cycles, and everyone
+// reaches the core.
+func (r AuditReport) Clean(n int) bool {
+	return r.Components == 1 && r.ProviderCycles == 0 && r.IsolatedFromCore == 0 && r.LargestComponent == n
+}
+
+// Audit inspects g and returns the report.
+func Audit(g *Graph) AuditReport {
+	var rep AuditReport
+	n := g.N()
+
+	// Connected components over all links.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		rep.Components++
+		size := 1
+		comp[i] = rep.Components
+		queue = append(queue[:0], int32(i))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			nbrs, _ := g.Neighbors(int(v))
+			for _, nb := range nbrs {
+				if comp[nb] < 0 {
+					comp[nb] = rep.Components
+					size++
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if size > rep.LargestComponent {
+			rep.LargestComponent = size
+		}
+	}
+
+	// Provider cycles: nodes not eliminated by repeatedly peeling ASes
+	// with no providers (Kahn's algorithm over customer→provider edges).
+	// Anything left sits on a cycle (or feeds only into one).
+	provCount := make([]int, n)
+	for i := 0; i < n; i++ {
+		provCount[i] = g.CountRel(i, RelProvider)
+	}
+	peel := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if provCount[i] == 0 {
+			peel = append(peel, int32(i))
+		}
+	}
+	removed := 0
+	for head := 0; head < len(peel); head++ {
+		v := peel[head]
+		removed++
+		nbrs, rels := g.Neighbors(int(v))
+		for k, nb := range nbrs {
+			// v is a provider of nb: removing v reduces nb's provider count.
+			if rels[k] == RelCustomer {
+				provCount[nb]--
+				if provCount[nb] == 0 {
+					peel = append(peel, nb)
+				}
+			}
+		}
+	}
+	rep.ProviderCycles = n - removed
+
+	// Core reachability under the depth metric.
+	var anchors []int
+	for i := 0; i < n; i++ {
+		if g.CountRel(i, RelProvider) == 0 {
+			anchors = append(anchors, i)
+		}
+	}
+	depth := DepthFrom(g, anchors)
+	stubs := 0
+	for i := 0; i < n; i++ {
+		if depth[i] == DepthUnreachable {
+			rep.IsolatedFromCore++
+		}
+		if !g.IsTransit(i) {
+			stubs++
+		}
+	}
+	if n > 0 {
+		rep.StubShare = float64(stubs) / float64(n)
+	}
+	return rep
+}

@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+)
+
+// Parse reads a topology in the CAIDA AS-relationship interchange format:
+//
+//	# comment lines start with '#'
+//	<as1>|<as2>|<relationship>[|<source>]
+//
+// where relationship -1 means as1 is a provider of as2, 0 means as1 and as2
+// are peers, and 1 means siblings (an extension carried by some datasets;
+// serial-2 files add a fourth source column, which is ignored). This is the
+// data the paper loads: "a list of 139,156 provider/customer/peer
+// relationships obtained from CAIDA".
+func Parse(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("line %d: want as1|as2|rel, got %q", lineNo, line)
+		}
+		a1, err := asn.Parse(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		a2, err := asn.Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		code, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad relationship %q", lineNo, fields[2])
+		}
+		var rel Rel
+		switch code {
+		case -1:
+			rel = RelCustomer // as2 is as1's customer
+		case 0:
+			rel = RelPeer
+		case 1:
+			rel = RelSibling
+		default:
+			return nil, fmt.Errorf("line %d: unknown relationship code %d", lineNo, code)
+		}
+		if err := b.AddLink(a1, a2, rel); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read topology: %w", err)
+	}
+	g := b.Build()
+	if g.N() == 0 {
+		return nil, fmt.Errorf("topology is empty")
+	}
+	return g, nil
+}
+
+// Write emits g in the CAIDA serial-1 interchange format, one line per
+// undirected link, in deterministic order. Parse(Write(g)) reproduces g's
+// links exactly (regions and address weights are not part of the format).
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d ASes, %d links\n", g.N(), g.Edges()); err != nil {
+		return err
+	}
+	type line struct {
+		a1, a2 asn.ASN
+		code   int
+	}
+	lines := make([]line, 0, g.Edges())
+	for i := 0; i < g.N(); i++ {
+		nbrs, rels := g.Neighbors(i)
+		for k, nb := range nbrs {
+			j := int(nb)
+			if j < i {
+				continue
+			}
+			a1, a2 := g.ASN(i), g.ASN(j)
+			switch rels[k] {
+			case RelCustomer:
+				lines = append(lines, line{a1, a2, -1})
+			case RelProvider:
+				lines = append(lines, line{a2, a1, -1})
+			case RelPeer:
+				lines = append(lines, line{a1, a2, 0})
+			case RelSibling:
+				lines = append(lines, line{a1, a2, 1})
+			}
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].a1 != lines[j].a1 {
+			return lines[i].a1 < lines[j].a1
+		}
+		return lines[i].a2 < lines[j].a2
+	})
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(bw, "%d|%d|%d\n", l.a1, l.a2, l.code); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

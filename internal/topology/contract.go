@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Contraction is the result of merging sibling groups: the contracted
+// graph plus the mapping between old and new node indices. It implements
+// the paper's sibling policy: "sibling to sibling: uses a community string
+// to create the equivalent of one AS out of multiple sibling ASes".
+type Contraction struct {
+	// Graph is the contracted topology with no sibling links.
+	Graph *Graph
+	// NodeMap maps each original node index to its node in Graph.
+	NodeMap []int
+	// Groups lists the sibling groups that were merged (original indices),
+	// each sorted ascending; single-node "groups" are omitted.
+	Groups [][]int
+}
+
+// ContractSiblings merges every connected component of sibling links into a
+// single logical AS carrying the lowest member ASN. External relationships
+// are unioned; when two members disagree about an external AS the most
+// customer-like relationship wins (customer > peer > provider), because the
+// merged organization will use the most preferred of its sessions.
+func ContractSiblings(g *Graph) (*Contraction, error) {
+	// Union-find over sibling links.
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		nbrs, rels := g.Neighbors(i)
+		for k, nb := range nbrs {
+			if rels[k] == RelSibling {
+				union(i, int(nb))
+			}
+		}
+	}
+
+	// Representative per group: lowest ASN member. Node indices ascend with
+	// ASN, so the lowest index is the lowest ASN.
+	repOf := make(map[int]int) // root -> representative index
+	members := make(map[int][]int)
+	for i := 0; i < g.N(); i++ {
+		r := find(i)
+		members[r] = append(members[r], i)
+		if cur, ok := repOf[r]; !ok || i < cur {
+			repOf[r] = i
+		}
+	}
+
+	b := NewBuilder()
+	repIdx := func(i int) int { return repOf[find(i)] }
+
+	type pair [2]int
+	merged := make(map[pair]Rel)
+	relRank := func(r Rel) int { // lower = more preferred for the merged AS
+		switch r {
+		case RelCustomer:
+			return 0
+		case RelPeer:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		nbrs, rels := g.Neighbors(i)
+		ri := repIdx(i)
+		for k, nb := range nbrs {
+			if rels[k] == RelSibling {
+				continue
+			}
+			rj := repIdx(int(nb))
+			if ri == rj {
+				continue // internal to a merged group
+			}
+			lo, hi, rel := ri, rj, rels[k]
+			if lo > hi {
+				lo, hi, rel = hi, lo, rel.invert()
+			}
+			key := pair{lo, hi}
+			// Conflicting relationships between two merged groups are
+			// resolved deterministically from the lower-indexed group's
+			// perspective, preferring the most customer-like session.
+			if prev, ok := merged[key]; !ok || relRank(rel) < relRank(prev) {
+				merged[key] = rel
+			}
+		}
+	}
+	keys := make([]pair, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		if err := b.AddLink(g.ASN(key[0]), g.ASN(key[1]), merged[key]); err != nil {
+			return nil, fmt.Errorf("contract: %w", err)
+		}
+	}
+	// Attributes: the representative keeps its region; address weight sums
+	// over the group.
+	groupWeight := make(map[int]int64)
+	for i := 0; i < g.N(); i++ {
+		groupWeight[repIdx(i)] += g.AddrWeight(i)
+	}
+	for rep, w := range groupWeight {
+		b.SetAddrWeight(g.ASN(rep), w)
+		if r := g.Region(rep); r >= 0 {
+			b.SetRegion(g.ASN(rep), r)
+		}
+	}
+
+	cg := b.Build()
+	nodeMap := make([]int, g.N())
+	for i := 0; i < g.N(); i++ {
+		ni, ok := cg.Index(g.ASN(repIdx(i)))
+		if !ok {
+			// A fully isolated sibling group (no external links) vanishes
+			// from the contracted graph; map it to -1.
+			ni = -1
+		}
+		nodeMap[i] = ni
+	}
+	var groups [][]int
+	for root, ms := range members {
+		if len(ms) > 1 {
+			sort.Ints(ms)
+			groups = append(groups, ms)
+		}
+		_ = root
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return &Contraction{Graph: cg, NodeMap: nodeMap, Groups: groups}, nil
+}

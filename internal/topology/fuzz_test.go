@@ -1,0 +1,31 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the CAIDA relationship parser must never panic, and any
+// topology it accepts must survive a Write/Parse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	f.Add("1|2|-1\n1|3|0\n2|4|1\n")
+	f.Add("# comment\n10|20|-1\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized graph failed to parse: %v", err)
+		}
+		if g2.N() != g.N() || g2.Edges() != g.Edges() {
+			t.Fatalf("round trip changed size: %d/%d vs %d/%d", g2.N(), g2.Edges(), g.N(), g.Edges())
+		}
+	})
+}

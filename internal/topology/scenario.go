@@ -1,0 +1,110 @@
+package topology
+
+import "fmt"
+
+// Hierarchy selects which provider hierarchy a scenario target must sit
+// under, matching the paper's Figure 2 (tier-1 hierarchies) versus Figure 3
+// (tier-2 hierarchies) target selection.
+type Hierarchy int
+
+const (
+	// AnyHierarchy accepts targets regardless of which anchor their
+	// shortest provider chain reaches.
+	AnyHierarchy Hierarchy = iota
+	// UnderTier1 requires the target's shortest provider chain to top out
+	// at a tier-1 AS.
+	UnderTier1
+	// UnderTier2 requires the chain to top out at a tier-2 AS.
+	UnderTier2
+)
+
+// TargetQuery describes a topological role, the way the paper describes
+// AS 98 ("a stub at depth 1, multi-homed, isolated within a tier-1
+// hierarchy") or AS 55857 ("depth 5, very vulnerable").
+type TargetQuery struct {
+	// Depth is the required depth (tier-1 ∪ tier-2 definition).
+	Depth int
+	// MultiHomed constrains the provider count: nil = don't care,
+	// true = ≥2 providers, false = exactly 1.
+	MultiHomed *bool
+	// Hierarchy constrains the anchor type of the shortest provider chain.
+	Hierarchy Hierarchy
+	// Stub requires the target to have no customers. Most paper targets
+	// are stubs; set false to allow transit ASes too.
+	Stub bool
+}
+
+// Bool is a convenience for building *bool query fields.
+func Bool(v bool) *bool { return &v }
+
+// FindTarget returns the first node (ascending ASN order) matching the
+// query, so scenario selection is deterministic for a given topology.
+func FindTarget(g *Graph, c *Classification, q TargetQuery) (int, error) {
+	for i := 0; i < g.N(); i++ {
+		if matchesTarget(g, c, i, q) {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("no AS matches %+v", q)
+}
+
+// FindTargets returns up to max nodes matching the query.
+func FindTargets(g *Graph, c *Classification, q TargetQuery, max int) []int {
+	var out []int
+	for i := 0; i < g.N() && len(out) < max; i++ {
+		if matchesTarget(g, c, i, q) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func matchesTarget(g *Graph, c *Classification, i int, q TargetQuery) bool {
+	if c.Depth[i] != q.Depth {
+		return false
+	}
+	if q.Stub && g.IsTransit(i) {
+		return false
+	}
+	if q.MultiHomed != nil {
+		multi := g.CountRel(i, RelProvider) >= 2
+		if multi != *q.MultiHomed {
+			return false
+		}
+	}
+	if q.Hierarchy != AnyHierarchy {
+		anchor, ok := chainAnchor(g, c, i)
+		if !ok {
+			return false
+		}
+		if q.Hierarchy == UnderTier1 && !c.IsTier1(anchor) {
+			return false
+		}
+		if q.Hierarchy == UnderTier2 && !c.IsTier2(anchor) {
+			return false
+		}
+	}
+	return true
+}
+
+// chainAnchor walks a shortest provider chain from node i upward and
+// returns the tier-1/tier-2 anchor it reaches.
+func chainAnchor(g *Graph, c *Classification, i int) (int, bool) {
+	cur := i
+	for c.Depth[cur] > 0 {
+		nbrs, rels := g.Neighbors(cur)
+		next := -1
+		for k, nb := range nbrs {
+			if rels[k] == RelProvider && c.Depth[nb] == c.Depth[cur]-1 {
+				if next == -1 || g.ASN(int(nb)) < g.ASN(next) {
+					next = int(nb)
+				}
+			}
+		}
+		if next == -1 {
+			return -1, false
+		}
+		cur = next
+	}
+	return cur, c.IsTier1(cur) || c.IsTier2(cur)
+}

@@ -1,0 +1,192 @@
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/bgpsim/bgpsim/internal/stats"
+)
+
+// ChartSeries is one named curve for a CCDF chart.
+type ChartSeries struct {
+	Name   string
+	Points []stats.CCDFPoint
+}
+
+// ChartOptions controls CCDF chart rendering.
+type ChartOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  float64 // default 720
+	Height float64 // default 480
+}
+
+// chartPalette holds distinguishable series colors.
+var chartPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// RenderCCDFChart draws the paper's vulnerability-analysis figures as an
+// SVG line chart: X = minimum polluted-AS count, Y = number of attacks
+// achieving at least X ("the faster a curve approaches zero, the more
+// resistant the AS").
+func RenderCCDFChart(w io.Writer, series []ChartSeries, opts ChartOptions) error {
+	if len(series) == 0 {
+		return fmt.Errorf("viz: chart needs at least one series")
+	}
+	if opts.Width == 0 {
+		opts.Width = 720
+	}
+	if opts.Height == 0 {
+		opts.Height = 480
+	}
+	const marginL, marginR, marginT, marginB = 64.0, 16.0, 40.0, 48.0
+	plotW := opts.Width - marginL - marginR
+	plotH := opts.Height - marginT - marginB
+
+	maxX, maxY := 1, 1
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Count > maxY {
+				maxY = p.Count
+			}
+		}
+	}
+	xOf := func(x int) float64 { return marginL + plotW*float64(x)/float64(maxX) }
+	yOf := func(y int) float64 { return marginT + plotH*(1-float64(y)/float64(maxY)) }
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprint(bw, `<rect width="100%" height="100%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="%.0f" y="22" text-anchor="middle" font-size="15">%s</text>`+"\n",
+			opts.Width/2, xmlEscape(opts.Title))
+	}
+
+	// Axes with light grid and tick labels.
+	fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	for i := 0; i <= 5; i++ {
+		xv := maxX * i / 5
+		yv := maxY * i / 5
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eeeeee"/>`+"\n",
+			xOf(xv), marginT, xOf(xv), marginT+plotH)
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eeeeee"/>`+"\n",
+			marginL, yOf(yv), marginL+plotW, yOf(yv))
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="11">%d</text>`+"\n",
+			xOf(xv), marginT+plotH+16, xv)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="11">%d</text>`+"\n",
+			marginL-6, yOf(yv)+4, yv)
+	}
+	if opts.XLabel != "" {
+		fmt.Fprintf(bw, `<text x="%.0f" y="%.0f" text-anchor="middle" font-size="12">%s</text>`+"\n",
+			marginL+plotW/2, opts.Height-10, xmlEscape(opts.XLabel))
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(bw, `<text x="16" y="%.0f" text-anchor="middle" font-size="12" transform="rotate(-90 16 %.0f)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, xmlEscape(opts.YLabel))
+	}
+
+	// Series as step curves (CCDFs are right-continuous step functions).
+	for si, s := range series {
+		color := chartPalette[si%len(chartPalette)]
+		if len(s.Points) == 0 {
+			continue
+		}
+		path := fmt.Sprintf("M %.1f %.1f", xOf(s.Points[0].X), yOf(s.Points[0].Count))
+		for i := 1; i < len(s.Points); i++ {
+			// Horizontal to the new x at the old count, then vertical.
+			path += fmt.Sprintf(" L %.1f %.1f", xOf(s.Points[i].X), yOf(s.Points[i-1].Count))
+			path += fmt.Sprintf(" L %.1f %.1f", xOf(s.Points[i].X), yOf(s.Points[i].Count))
+		}
+		// Drop to zero after the last point.
+		last := s.Points[len(s.Points)-1]
+		path += fmt.Sprintf(" L %.1f %.1f", xOf(last.X), yOf(0))
+		fmt.Fprintf(bw, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", path, color)
+		// Legend entry.
+		ly := marginT + 8 + float64(si)*18
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="3"/>`+"\n",
+			marginL+plotW-170, ly, marginL+plotW-146, ly, color)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n",
+			marginL+plotW-140, ly+4, xmlEscape(truncate(s.Name, 28)))
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// RenderBarChart draws the Figure 7 style histogram: bars of attack counts
+// per trigger bucket with a mean-pollution line.
+func RenderBarChart(w io.Writer, counts []int, means []float64, opts ChartOptions) error {
+	if len(counts) == 0 || len(counts) != len(means) {
+		return fmt.Errorf("viz: bar chart needs equal non-empty counts/means")
+	}
+	if opts.Width == 0 {
+		opts.Width = 720
+	}
+	if opts.Height == 0 {
+		opts.Height = 480
+	}
+	const marginL, marginR, marginT, marginB = 64.0, 64.0, 40.0, 48.0
+	plotW := opts.Width - marginL - marginR
+	plotH := opts.Height - marginT - marginB
+	maxC, maxM := 1, 1.0
+	for i := range counts {
+		if counts[i] > maxC {
+			maxC = counts[i]
+		}
+		if means[i] > maxM {
+			maxM = means[i]
+		}
+	}
+	barW := plotW / float64(len(counts))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprint(bw, `<rect width="100%" height="100%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="%.0f" y="22" text-anchor="middle" font-size="15">%s</text>`+"\n",
+			opts.Width/2, xmlEscape(opts.Title))
+	}
+	for i, c := range counts {
+		h := plotH * float64(c) / float64(maxC)
+		x := marginL + float64(i)*barW
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#1f77b4" opacity="0.8"/>`+"\n",
+			x+1, marginT+plotH-h, math.Max(barW-2, 1), h)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10">%d</text>`+"\n",
+			x+barW/2, marginT+plotH+14, i)
+	}
+	// Mean-pollution line on the secondary axis.
+	path := ""
+	for i, m := range means {
+		x := marginL + float64(i)*barW + barW/2
+		y := marginT + plotH*(1-m/maxM)
+		if i == 0 {
+			path = fmt.Sprintf("M %.1f %.1f", x, y)
+		} else {
+			path += fmt.Sprintf(" L %.1f %.1f", x, y)
+		}
+	}
+	fmt.Fprintf(bw, `<path d="%s" fill="none" stroke="#d62728" stroke-width="2"/>`+"\n", path)
+	fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12">%s</text>`+"\n",
+		marginL+plotW/2, opts.Height-8, xmlEscape(opts.XLabel))
+	fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="11" fill="#d62728">max mean %.0f</text>`+"\n",
+		opts.Width-8, marginT+12, maxM)
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}

@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/stats"
+)
+
+func TestRenderCCDFChart(t *testing.T) {
+	series := []ChartSeries{
+		{Name: "depth-1 <stub>", Points: stats.CCDF([]int{1, 5, 5, 9, 20})},
+		{Name: "depth-5", Points: stats.CCDF([]int{40, 80, 80, 120})},
+	}
+	var buf bytes.Buffer
+	err := RenderCCDFChart(&buf, series, ChartOptions{
+		Title:  "Figure 2 <reproduction>",
+		XLabel: "minimum polluted ASes",
+		YLabel: "attacks",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<path") < 2 {
+		t.Error("expected one path per series")
+	}
+	if !strings.Contains(svg, "&lt;stub&gt;") || !strings.Contains(svg, "Figure 2 &lt;reproduction&gt;") {
+		t.Error("labels not escaped")
+	}
+	if !strings.Contains(svg, "minimum polluted ASes") {
+		t.Error("x label missing")
+	}
+	if err := RenderCCDFChart(&buf, nil, ChartOptions{}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestRenderCCDFChartLongNames(t *testing.T) {
+	series := []ChartSeries{{
+		Name:   strings.Repeat("very-long-strategy-name-", 4),
+		Points: stats.CCDF([]int{1, 2, 3}),
+	}}
+	var buf bytes.Buffer
+	if err := RenderCCDFChart(&buf, series, ChartOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "…") {
+		t.Error("long legend name not truncated")
+	}
+}
+
+func TestRenderBarChart(t *testing.T) {
+	counts := []int{100, 40, 30, 20, 10}
+	means := []float64{50, 120, 300, 420, 600}
+	var buf bytes.Buffer
+	err := RenderBarChart(&buf, counts, means, ChartOptions{
+		Title:  "Figure 7 case 1",
+		XLabel: "probes triggered",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<rect") < len(counts) {
+		t.Errorf("expected ≥ %d bars", len(counts))
+	}
+	if !strings.Contains(svg, "<path") {
+		t.Error("mean-pollution line missing")
+	}
+	if err := RenderBarChart(&buf, nil, nil, ChartOptions{}); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	if err := RenderBarChart(&buf, []int{1}, []float64{1, 2}, ChartOptions{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,205 @@
+// Package viz renders the paper's polar propagation graphs (Figure 1):
+// each AS is placed on concentric circles by depth (deepest at the center),
+// scattered angularly with higher-degree ASes toward band centers; circle
+// size reflects announced address space; red lines show accepted (bogus)
+// announcements and green lines rejected ones, one SVG frame per
+// propagation generation.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// Layout fixes each node's polar position so that all frames of one attack
+// animation are directly comparable.
+type Layout struct {
+	X, Y     []float64
+	Radius   []float64 // circle radius per node (address-space scaled)
+	Size     float64   // canvas is Size × Size
+	MaxDepth int
+}
+
+// ComputeLayout places all nodes. Radius bands follow depth (the paper
+// plots "radius according to the depth of an AS"); angle is assigned by
+// region so regional clusters stay visually adjacent, with degree pulling
+// nodes toward band centers.
+func ComputeLayout(g *topology.Graph, c *topology.Classification, size float64) *Layout {
+	n := g.N()
+	l := &Layout{
+		X:        make([]float64, n),
+		Y:        make([]float64, n),
+		Radius:   make([]float64, n),
+		Size:     size,
+		MaxDepth: c.MaxDepth(),
+	}
+	center := size / 2
+	bandWidth := (size/2 - 20) / float64(l.MaxDepth+1)
+
+	// Group nodes by depth band, order within band by (region, ASN).
+	byDepth := make([][]int, l.MaxDepth+1)
+	for i := 0; i < n; i++ {
+		d := c.Depth[i]
+		if d == topology.DepthUnreachable {
+			d = l.MaxDepth
+		}
+		byDepth[d] = append(byDepth[d], i)
+	}
+	maxWeight := float64(1)
+	for i := 0; i < n; i++ {
+		if w := float64(g.AddrWeight(i)); w > maxWeight {
+			maxWeight = w
+		}
+	}
+	for d, nodes := range byDepth {
+		sort.Slice(nodes, func(a, b int) bool {
+			ra, rb := g.Region(nodes[a]), g.Region(nodes[b])
+			if ra != rb {
+				return ra < rb
+			}
+			return g.ASN(nodes[a]) < g.ASN(nodes[b])
+		})
+		// Outermost ring = depth 0? The paper puts highest depth at the
+		// center: radius shrinks as depth grows.
+		ringR := (size/2 - 20) - bandWidth*float64(d)
+		for k, node := range nodes {
+			angle := 2 * math.Pi * float64(k) / float64(len(nodes))
+			// Degree pulls toward band center (inner edge of the band):
+			// normalize degree within the band.
+			degFrac := math.Min(1, float64(g.Degree(node))/64.0)
+			r := ringR - bandWidth*0.6*degFrac
+			if r < 4 {
+				r = 4
+			}
+			l.X[node] = center + r*math.Cos(angle)
+			l.Y[node] = center + r*math.Sin(angle)
+			l.Radius[node] = 1.5 + 4*math.Sqrt(float64(g.AddrWeight(node))/maxWeight)
+		}
+	}
+	return l
+}
+
+// FrameOptions controls one rendered frame.
+type FrameOptions struct {
+	// Generation selects which events to draw as lines; 0 draws none
+	// (topology only).
+	Generation int
+	// Title is rendered at the top of the frame.
+	Title string
+	// PollutedSoFar, if non-nil, colors node fills for every node already
+	// polluted by the end of this generation.
+	PollutedSoFar func(node int) bool
+}
+
+// RenderFrame writes one SVG frame: the full node layout plus the
+// generation's messages (red = accepted bogus announcement, green =
+// rejected).
+func RenderFrame(w io.Writer, g *topology.Graph, l *Layout, tr *core.Trace, opts FrameOptions) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		l.Size, l.Size, l.Size, l.Size)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="%.0f" y="16" text-anchor="middle" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			l.Size/2, xmlEscape(opts.Title))
+	}
+	// Depth band guide circles.
+	center := l.Size / 2
+	bandWidth := (l.Size/2 - 20) / float64(l.MaxDepth+1)
+	for d := 0; d <= l.MaxDepth; d++ {
+		r := (l.Size/2 - 20) - bandWidth*float64(d)
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#eeeeee" stroke-width="0.5"/>`+"\n",
+			center, center, r)
+	}
+	// Message lines for the selected generation, rejected under accepted.
+	if tr != nil && opts.Generation > 0 {
+		events := tr.EventsInGen(opts.Generation)
+		for pass := 0; pass < 2; pass++ {
+			for _, ev := range events {
+				if ev.Withdraw || ev.Origin != core.OriginAttacker {
+					continue
+				}
+				if (pass == 1) != ev.Accepted {
+					continue
+				}
+				color := "#2ca02c" // rejected: green
+				if ev.Accepted {
+					color = "#d62728" // accepted: red
+				}
+				fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="0.6" opacity="0.7"/>`+"\n",
+					l.X[ev.From], l.Y[ev.From], l.X[ev.To], l.Y[ev.To], color)
+			}
+		}
+	}
+	// Nodes.
+	for i := 0; i < g.N(); i++ {
+		fill := "#9ecae1"
+		if opts.PollutedSoFar != nil && opts.PollutedSoFar(i) {
+			fill = "#d62728"
+		}
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s" stroke="none" opacity="0.8"/>`+"\n",
+			l.X[i], l.Y[i], l.Radius[i], fill)
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// RenderPropagation renders one frame per generation of the trace,
+// calling emit with each generation number and frame bytes. Pollution
+// coloring accumulates across generations exactly as the paper's Figure 1
+// sequence does.
+func RenderPropagation(g *topology.Graph, l *Layout, tr *core.Trace, titlePrefix string, emit func(gen int, svg []byte) error) error {
+	polluted := make([]bool, g.N())
+	for gen := 1; gen <= tr.Generations; gen++ {
+		for _, ev := range tr.EventsInGen(gen) {
+			if ev.Accepted && ev.Origin == core.OriginAttacker {
+				polluted[ev.To] = true
+			}
+		}
+		var buf writerBuf
+		err := RenderFrame(&buf, g, l, tr, FrameOptions{
+			Generation:    gen,
+			Title:         fmt.Sprintf("%s — generation %d", titlePrefix, gen),
+			PollutedSoFar: func(node int) bool { return polluted[node] },
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(gen, buf.b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,129 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func testWorld(t *testing.T) (*topology.Graph, *topology.Classification, *core.Policy) {
+	t.Helper()
+	g := topology.MustGenerate(topology.DefaultParams(300))
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Classify(con.Graph, topology.ClassifyOptions{})
+	pol, err := core.NewPolicy(con.Graph, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return con.Graph, c, pol
+}
+
+func TestComputeLayoutGeometry(t *testing.T) {
+	g, c, _ := testWorld(t)
+	const size = 800.0
+	l := ComputeLayout(g, c, size)
+	if len(l.X) != g.N() || len(l.Y) != g.N() || len(l.Radius) != g.N() {
+		t.Fatal("layout arrays wrong length")
+	}
+	center := size / 2
+	for i := 0; i < g.N(); i++ {
+		dx, dy := l.X[i]-center, l.Y[i]-center
+		r := math.Hypot(dx, dy)
+		if r > size/2 {
+			t.Fatalf("node %d placed outside canvas (r=%.1f)", i, r)
+		}
+		if l.Radius[i] <= 0 {
+			t.Fatalf("node %d has non-positive circle radius", i)
+		}
+	}
+	// Depth ordering: average radial distance must shrink with depth
+	// (deepest at center).
+	sums := make([]float64, l.MaxDepth+1)
+	counts := make([]int, l.MaxDepth+1)
+	for i := 0; i < g.N(); i++ {
+		d := c.Depth[i]
+		if d < 0 {
+			continue
+		}
+		sums[d] += math.Hypot(l.X[i]-center, l.Y[i]-center)
+		counts[d]++
+	}
+	var prev float64 = math.Inf(1)
+	for d := 0; d <= l.MaxDepth; d++ {
+		if counts[d] == 0 {
+			continue
+		}
+		avg := sums[d] / float64(counts[d])
+		if avg >= prev {
+			t.Errorf("depth %d average radius %.1f not inside depth %d", d, avg, d-1)
+		}
+		prev = avg
+	}
+}
+
+func TestRenderFrameSVG(t *testing.T) {
+	g, c, pol := testWorld(t)
+	e := core.NewEngine(pol)
+	_, tr, err := e.Run(core.Attack{Target: 3, Attacker: g.N() - 2}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ComputeLayout(g, c, 800)
+	var buf bytes.Buffer
+	if err := RenderFrame(&buf, g, l, tr, FrameOptions{Generation: 2, Title: "gen 2 <test>"}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("output is not a complete SVG document")
+	}
+	if !strings.Contains(svg, "&lt;test&gt;") {
+		t.Error("title not XML-escaped")
+	}
+	if strings.Count(svg, "<circle") < g.N() {
+		t.Errorf("expected ≥ %d circles, found %d", g.N(), strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "<line") {
+		t.Error("no message lines drawn for generation 2")
+	}
+}
+
+func TestRenderPropagationFrames(t *testing.T) {
+	g, c, pol := testWorld(t)
+	e := core.NewEngine(pol)
+	o, tr, err := e.Run(core.Attack{Target: 3, Attacker: g.N() - 2}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ComputeLayout(g, c, 600)
+	var gens []int
+	var lastRed int
+	err = RenderPropagation(g, l, tr, "attack", func(gen int, svg []byte) error {
+		gens = append(gens, gen)
+		if len(svg) == 0 {
+			t.Fatalf("empty frame at generation %d", gen)
+		}
+		lastRed = bytes.Count(svg, []byte(`fill="#d62728"`))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != tr.Generations {
+		t.Errorf("frames = %d, want %d", len(gens), tr.Generations)
+	}
+	// By the final frame, the red node count must equal final pollution.
+	finalPolluted := o.PollutedCount()
+	// lastRed counts red node fills plus red lines' stroke attr is
+	// `stroke="#d62728"`, which the fill pattern does not match.
+	if finalPolluted > 0 && lastRed != finalPolluted {
+		t.Errorf("final frame shows %d polluted nodes, outcome says %d", lastRed, finalPolluted)
+	}
+}

@@ -1,0 +1,49 @@
+package bgpsim
+
+import (
+	"github.com/bgpsim/bgpsim/internal/feed"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+)
+
+// Monitoring re-exports: the live hijack-detection pipeline (BGP feeds,
+// origin-validating detector, BGP-over-TCP collector transport).
+type (
+	// FeedUpdate is one feed event (a timed BGP UPDATE from a peer AS).
+	FeedUpdate = feed.TimedUpdate
+	// Alert is one detector finding.
+	Alert = feed.Alert
+	// Detector validates announcement streams and raises alerts.
+	Detector = feed.Detector
+	// Collector is a BGP route collector that feeds a Detector.
+	Collector = feed.Collector
+	// FeedProbe is the router side of a collector session.
+	FeedProbe = feed.Probe
+)
+
+// Alert reasons.
+const (
+	ReasonInvalidOrigin = feed.ReasonInvalidOrigin
+	ReasonSubPrefix     = feed.ReasonSubPrefix
+)
+
+// NewDetector builds a detector over an origin validator (e.g.
+// Simulator.ROAStore). onAlert, if non-nil, fires synchronously per alert.
+func NewDetector(v OriginValidator, onAlert func(Alert)) *Detector {
+	return feed.NewDetector(v, onAlert)
+}
+
+// FeedFromHijack reconstructs the BGP announcement stream the given probe
+// ASes would report to a collector for the hijack in rep, announcing the
+// contested prefix.
+func (s *Simulator) FeedFromHijack(rep *HijackReport, contested Prefix, probes ProbeSet) ([]FeedUpdate, error) {
+	var sub prefix.Prefix
+	return feed.FromOutcome(s.world.Graph, rep.Outcome, contested, sub, probes.Probes)
+}
+
+// Validity re-exports for examining validator answers directly.
+const (
+	ValidityNotFound = rpki.NotFound
+	ValidityValid    = rpki.Valid
+	ValidityInvalid  = rpki.Invalid
+)
