@@ -2,16 +2,36 @@
 
 GO ?= go
 
-.PHONY: all build test vet fuzz bench reproduce reproduce-paper-scale clean
+.PHONY: all build test vet lint race vulncheck fuzz bench reproduce reproduce-paper-scale clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+test: lint
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# bgplint: the repository's own go/analysis suite (internal/lint) enforcing
+# the determinism invariants — sorted map walks in deterministic packages,
+# no global math/rand, typed ASN conversions, no dropped module errors.
+lint:
+	$(GO) run ./cmd/bgplint ./...
+
+# Full test suite under the race detector (the feed collector and hijack
+# sweep are the concurrent subsystems of record).
+race:
+	$(GO) test -race ./...
+
+# Known-vulnerability scan; skips gracefully where govulncheck (or the
+# network it needs) is unavailable, e.g. offline build containers.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Short fuzz pass over every parser (CI-friendly).
 fuzz:

@@ -3,6 +3,7 @@ package bgpsim
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/deploy"
@@ -55,8 +56,12 @@ func (s *Simulator) TopDegreeProbes(k int) ProbeSet {
 // BGPmonLikeProbes builds the paper's case-2 configuration: k
 // medium-degree transit ASes with regional clustering.
 func (s *Simulator) BGPmonLikeProbes(k int, seed int64) ProbeSet {
-	return detect.BGPmonLikeProbes(s.world.Graph, s.world.Class, k, seed)
+	return detect.BGPmonLikeProbes(s.world.Graph, s.world.Class, k, seedRNG(seed))
 }
+
+// seedRNG is the facade's seed→generator boundary: the public API speaks
+// plain int64 seeds, the internal packages consume explicit *rand.Rand.
+func seedRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // ProbesAt builds a probe set from explicit ASNs.
 func (s *Simulator) ProbesAt(name string, probes []ASN) (ProbeSet, error) {
@@ -85,7 +90,7 @@ func (s *Simulator) ProbeASNs(ps ProbeSet) []ASN {
 // AS that catches the most still-undetected attacks — the constructive
 // form of the paper's "high-degree, non-overlapping ASes" recommendation.
 func (s *Simulator) GreedyProbes(k, attacks int, seed int64) (ProbeSet, error) {
-	workload, err := detect.GenerateAttacks(s.world.Graph.TransitNodes(), attacks, seed)
+	workload, err := detect.GenerateAttacks(s.world.Graph.TransitNodes(), attacks, seedRNG(seed))
 	if err != nil {
 		return ProbeSet{}, err
 	}
@@ -97,7 +102,7 @@ func (s *Simulator) GreedyProbes(k, attacks int, seed int64) (ProbeSet, error) {
 // (attacks, seed) pair yields the same workload across configurations, so
 // results are directly comparable.
 func (s *Simulator) EvaluateDetection(ps ProbeSet, attacks int, seed int64) (*DetectionResult, error) {
-	workload, err := detect.GenerateAttacks(s.world.Graph.TransitNodes(), attacks, seed)
+	workload, err := detect.GenerateAttacks(s.world.Graph.TransitNodes(), attacks, seedRNG(seed))
 	if err != nil {
 		return nil, err
 	}
@@ -113,13 +118,13 @@ func (s *Simulator) EvaluateDeployment(target ASN, strategies []Strategy, sample
 	if err != nil {
 		return nil, err
 	}
-	attackers := experiments.SampleAttackers(s.world.Graph.TransitNodes(), sample, seed)
+	attackers := experiments.SampleAttackers(s.world.Graph.TransitNodes(), sample, seedRNG(seed))
 	return deploy.Evaluate(s.world.Policy, tgt, attackers, strategies)
 }
 
 // RandomDeployment deploys filters at k random transit ASes.
 func (s *Simulator) RandomDeployment(k int, seed int64) Strategy {
-	return deploy.Random(s.world.Graph, k, seed)
+	return deploy.Random(s.world.Graph, k, seedRNG(seed))
 }
 
 // Tier1Deployment deploys filters at every tier-1 AS.
@@ -163,7 +168,7 @@ func (s *Simulator) EvaluatePGBGP(target ASN, deployed []ASN, sample int, seed i
 		}
 		nodes = append(nodes, i)
 	}
-	attackers := experiments.SampleAttackers(s.world.Graph.TransitNodes(), sample, seed)
+	attackers := experiments.SampleAttackers(s.world.Graph.TransitNodes(), sample, seedRNG(seed))
 	return pgbgp.Evaluate(s.world.Policy, tgt, attackers, nodes)
 }
 
@@ -233,7 +238,7 @@ func (s *Simulator) MeasureRegional(target ASN, outsideSample int, seed int64, f
 			blocked.Add(i)
 		}
 	}
-	return selfinterest.MeasureRegional(s.world.Policy, tgt, region, outsideSample, seed, blocked)
+	return selfinterest.MeasureRegional(s.world.Policy, tgt, region, outsideSample, seedRNG(seed), blocked)
 }
 
 // Rehome returns a new Simulator in which the target has been re-homed

@@ -7,6 +7,7 @@ package bgpsim
 // reproduction evidence. EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -300,7 +301,7 @@ func BenchmarkAblationDepthDefinition(b *testing.B) {
 	targets := topology.FindTargets(w.Graph, w.Class, topology.TargetQuery{Depth: 1, Stub: true}, 8)
 	deep := topology.FindTargets(w.Graph, w.Class, topology.TargetQuery{Depth: 3, Stub: true}, 8)
 	targets = append(targets, deep...)
-	attackers := experiments.SampleAttackers(hijack.AllNodes(w.Graph.N()), 200, 3)
+	attackers := experiments.SampleAttackers(hijack.AllNodes(w.Graph.N()), 200, rand.New(rand.NewSource(3)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var v1Gap, v2Gap float64
@@ -330,7 +331,7 @@ func BenchmarkAblationDepthDefinition(b *testing.B) {
 // paper's model) against any-received probes.
 func BenchmarkAblationDetectionSemantics(b *testing.B) {
 	w := world(b)
-	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), 500, 13)
+	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), 500, rand.New(rand.NewSource(13)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func BenchmarkHoleAnalysis(b *testing.B) {
 func BenchmarkAblationPGBGPVsDrop(b *testing.B) {
 	w := world(b)
 	deep, _ := w.DeepTarget()
-	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 60, 1)
+	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 60, rand.New(rand.NewSource(1)))
 	deployed := topology.NodesByDegree(w.Graph)[:62*benchScale/42697+10]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -390,7 +391,7 @@ func BenchmarkAblationPGBGPVsDrop(b *testing.B) {
 func BenchmarkAblationSBGPModes(b *testing.B) {
 	w := world(b)
 	deep, _ := w.DeepTarget()
-	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 40, 1)
+	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 40, rand.New(rand.NewSource(1)))
 	// A self-interested target deploys together with its upstream chain
 	// (without it no secure route to its prefix can exist — the
 	// "squeeze"); the core provides the rest of the secure mesh.
@@ -450,7 +451,7 @@ func BenchmarkMitigation(b *testing.B) {
 func BenchmarkSolverSweep(b *testing.B) {
 	w := world(b)
 	deep, _ := w.DeepTarget()
-	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 100, 1)
+	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 100, rand.New(rand.NewSource(1)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := hijack.Sweep(w.Policy, hijack.SweepConfig{Target: deep, Attackers: attackers}); err != nil {

@@ -329,7 +329,7 @@ func (s *Simulator) VulnerabilitySweep(target ASN, sample int) (*SweepResult, er
 	if err != nil {
 		return nil, err
 	}
-	attackers := experiments.SampleAttackers(hijack.AllNodes(s.world.Graph.N()), sample, 1)
+	attackers := experiments.SampleAttackers(hijack.AllNodes(s.world.Graph.N()), sample, seedRNG(1))
 	return hijack.Sweep(s.world.Policy, hijack.SweepConfig{Target: tgt, Attackers: attackers})
 }
 

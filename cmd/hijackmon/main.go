@@ -77,7 +77,7 @@ func run() error {
 		}
 		defer fh.Close()
 		w := mrt.NewWriter(fh, 0)
-		defer w.Flush() //nolint:errcheck // best-effort flush at exit
+		defer func() { _ = w.Flush() }() // best-effort flush at exit
 		collector.Recorder = w
 		fmt.Printf("recording updates to %s (MRT BGP4MP)\n", *record)
 	}
@@ -136,12 +136,12 @@ func run() error {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
-			p := &feed.Probe{AS: tu.PeerAS, RouterID: uint32(tu.PeerAS)}
+			p := &feed.Probe{AS: tu.PeerAS, RouterID: tu.PeerAS.Uint32()}
 			if err := p.Dial(conn); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return
 			}
-			defer p.Close()
+			defer func() { _ = p.Close() }() // best-effort session teardown
 			if err := p.Send(tu.Update); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"github.com/bgpsim/bgpsim/internal/cli"
@@ -73,7 +74,7 @@ func run() error {
 		p := detect.Tier1Probes(w.Class)
 		cfg.Probes = &p
 	case "bgpmon":
-		p := detect.BGPmonLikeProbes(w.Graph, w.Class, 24, *wf.Seed)
+		p := detect.BGPmonLikeProbes(w.Graph, w.Class, 24, rand.New(rand.NewSource(*wf.Seed)))
 		cfg.Probes = &p
 	default:
 		return fmt.Errorf("unknown -probes %q", *probesKind)

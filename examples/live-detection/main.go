@@ -54,7 +54,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	go collector.Serve(l) //nolint:errcheck // returns when the listener closes
+	go func() { _ = collector.Serve(l) }() // returns when the listener closes
 	fmt.Printf("collector listening on %s (AS%d)\n", l.Addr(), collector.LocalAS)
 
 	// Simulate a hijack and reconstruct what each probe would see. Not
@@ -118,12 +118,12 @@ found:
 				log.Println(err)
 				return
 			}
-			probe := &bgpsim.FeedProbe{AS: tu.PeerAS, RouterID: uint32(tu.PeerAS)}
+			probe := &bgpsim.FeedProbe{AS: tu.PeerAS, RouterID: tu.PeerAS.Uint32()}
 			if err := probe.Dial(conn); err != nil {
 				log.Println(err)
 				return
 			}
-			defer probe.Close()
+			defer func() { _ = probe.Close() }() // best-effort session teardown
 			if err := probe.Send(tu.Update); err != nil {
 				log.Println(err)
 			}

@@ -22,6 +22,16 @@ func (a ASN) String() string {
 	return "AS" + strconv.FormatUint(uint64(a), 10)
 }
 
+// FromUint32 converts a wire-format four-octet AS number to the typed
+// form. It is the only sanctioned integer→ASN conversion outside this
+// package (enforced by bgplint's asnconv analyzer), so call sites state
+// explicitly that the value in hand is an AS number, not a node index.
+func FromUint32(v uint32) ASN { return ASN(v) }
+
+// Uint32 returns the wire-format four-octet AS number — the sanctioned
+// ASN→integer conversion for encoders and formatters.
+func (a ASN) Uint32() uint32 { return uint32(a) }
+
 // Parse parses an ASN from decimal text, with or without an "AS" prefix.
 func Parse(s string) (ASN, error) {
 	t := s

@@ -140,7 +140,7 @@ func marshalOpen(o *Open) []byte {
 	// ASN does not fit; we encode the low 16 bits or AS_TRANS.
 	my16 := uint16(23456)
 	if o.AS <= 0xffff {
-		my16 = uint16(o.AS)
+		my16 = uint16(o.AS.Uint32())
 	}
 	binary.BigEndian.PutUint16(body[1:3], my16)
 	binary.BigEndian.PutUint16(body[3:5], o.HoldTime)
@@ -150,7 +150,7 @@ func marshalOpen(o *Open) []byte {
 	opt := make([]byte, 0, 8)
 	opt = append(opt, 2 /* param type: capability */, 6, 65, 4)
 	var as4 [4]byte
-	binary.BigEndian.PutUint32(as4[:], uint32(o.AS))
+	binary.BigEndian.PutUint32(as4[:], o.AS.Uint32())
 	opt = append(opt, as4[:]...)
 	body[9] = byte(len(opt))
 	return append(body, opt...)
@@ -219,7 +219,7 @@ func marshalASPath(path []asn.ASN) []byte {
 	out[0] = SegmentSequence
 	out[1] = uint8(len(path))
 	for i, a := range path {
-		binary.BigEndian.PutUint32(out[2+4*i:], uint32(a))
+		binary.BigEndian.PutUint32(out[2+4*i:], a.Uint32())
 	}
 	return out
 }
@@ -286,7 +286,7 @@ func unmarshalOpen(body []byte) (*Open, error) {
 	}
 	o := &Open{
 		Version:  body[0],
-		AS:       asn.ASN(binary.BigEndian.Uint16(body[1:3])),
+		AS:       asn.FromUint32(uint32(binary.BigEndian.Uint16(body[1:3]))),
 		HoldTime: binary.BigEndian.Uint16(body[3:5]),
 		RouterID: binary.BigEndian.Uint32(body[5:9]),
 	}
@@ -302,7 +302,7 @@ func unmarshalOpen(body []byte) (*Open, error) {
 			return nil, fmt.Errorf("bgpwire: truncated OPEN parameter")
 		}
 		if pType == 2 && pLen >= 6 && opts[2] == 65 && opts[3] == 4 {
-			o.AS = asn.ASN(binary.BigEndian.Uint32(opts[4:8]))
+			o.AS = asn.FromUint32(binary.BigEndian.Uint32(opts[4:8]))
 		}
 		opts = opts[2+pLen:]
 	}
@@ -401,7 +401,7 @@ func unmarshalASPath(data []byte) ([]asn.ASN, error) {
 			return nil, fmt.Errorf("bgpwire: AS_PATH segment overruns")
 		}
 		for i := 0; i < count; i++ {
-			path = append(path, asn.ASN(binary.BigEndian.Uint32(data[2+4*i:])))
+			path = append(path, asn.FromUint32(binary.BigEndian.Uint32(data[2+4*i:])))
 		}
 		data = data[need:]
 	}

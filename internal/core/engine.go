@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/xmaps"
 )
 
 // Event records one BGP message delivery during an engine run, for
@@ -287,7 +288,10 @@ func (r *engineRun) ribFor(to, from int32) map[int32]ribEntry {
 // recomputeAll re-selects best routes for all touched nodes and enqueues
 // the resulting updates/withdrawals for the next generation.
 func (r *engineRun) recomputeAll(touched map[int32]bool) {
-	for v := range touched {
+	// Recompute in ascending node order: map iteration order would leak
+	// into the next generation's message queue — and through it into the
+	// event trace — breaking bit-identical reruns.
+	for _, v := range xmaps.SortedKeys(touched) {
 		r.recompute(v)
 	}
 	if r.trace != nil {
@@ -316,8 +320,12 @@ func (r *engineRun) recompute(v int32) {
 	oldSecure := r.secure[v]
 	bestClass, bestDist, bestNH, bestOrigin, bestSecure := ClassNone, int16(0), int32(-1), OriginNone, false
 	suspClass, suspDist, suspNH, suspOrigin := ClassNone, int16(0), int32(-1), OriginNone
+	// Scan each Adj-RIB-In in ascending neighbor order. The comparator
+	// below is a total order, so the winner is order-independent, but a
+	// pinned scan order keeps the tie-break path itself reproducible.
 	consider := func(cls RouteClass, rib map[int32]ribEntry) {
-		for from, ent := range rib {
+		for _, from := range xmaps.SortedKeys(rib) {
+			ent := rib[from]
 			d := ent.dist + 1
 			if depref && ent.origin == OriginAttacker {
 				if suspClass == ClassNone || r.pol.better(int(v), cls, d, from, suspClass, suspDist, suspNH) {

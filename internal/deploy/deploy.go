@@ -37,10 +37,10 @@ func None() Strategy { return Strategy{Name: "baseline (no filters)"} }
 
 // Random deploys at k transit ASes chosen uniformly at random — the
 // paper's model of uncoordinated voluntary adoption ("various random ASes
-// are motivated to deploy BGP security on their own").
-func Random(g *topology.Graph, k int, seed int64) Strategy {
+// are motivated to deploy BGP security on their own"). The caller supplies
+// the generator, so one seed replays one exact deployment set.
+func Random(g *topology.Graph, k int, rng *rand.Rand) Strategy {
 	transit := g.TransitNodes()
-	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(transit), func(i, j int) { transit[i], transit[j] = transit[j], transit[i] })
 	if k > len(transit) {
 		k = len(transit)
@@ -149,10 +149,13 @@ func PaperLadder(g *topology.Graph, c *topology.Classification, seed int64) []St
 		}
 		return v
 	}
+	// Each rung gets its own generator (seed, seed+1) so the two random
+	// deployment sets stay independent draws, exactly as published runs
+	// produced them.
 	return []Strategy{
 		None(),
-		Random(g, scaleT(100), seed),
-		Random(g, scaleT(500), seed+1),
+		Random(g, scaleT(100), rand.New(rand.NewSource(seed))),
+		Random(g, scaleT(500), rand.New(rand.NewSource(seed+1))),
 		Tier1(c),
 		TopDegree(g, scaleAll(62)),
 		TopDegree(g, scaleAll(124)),

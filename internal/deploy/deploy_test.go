@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestStrategyConstructors(t *testing.T) {
 		t.Error("None should be empty with nil Blocked")
 	}
 
-	r := Random(g, 10, 7)
+	r := Random(g, 10, rand.New(rand.NewSource(7)))
 	if len(r.Nodes) != 10 {
 		t.Errorf("Random size = %d, want 10", len(r.Nodes))
 	}
@@ -39,17 +40,17 @@ func TestStrategyConstructors(t *testing.T) {
 			t.Error("Random must draw from transit ASes")
 		}
 	}
-	r2 := Random(g, 10, 7)
+	r2 := Random(g, 10, rand.New(rand.NewSource(7)))
 	for k := range r.Nodes {
 		if r.Nodes[k] != r2.Nodes[k] {
 			t.Error("Random not deterministic for a seed")
 		}
 	}
-	if diff := Random(g, 10, 8); equalInts(diff.Nodes, r.Nodes) {
+	if diff := Random(g, 10, rand.New(rand.NewSource(8))); equalInts(diff.Nodes, r.Nodes) {
 		t.Error("different seeds gave identical random sets")
 	}
 	// Oversized k clamps.
-	if big := Random(g, 1<<20, 7); len(big.Nodes) != len(g.TransitNodes()) {
+	if big := Random(g, 1<<20, rand.New(rand.NewSource(7))); len(big.Nodes) != len(g.TransitNodes()) {
 		t.Error("oversized Random should clamp to transit population")
 	}
 
@@ -147,7 +148,7 @@ func TestRandomVsStrategic(t *testing.T) {
 	}
 	evals, err := Evaluate(pol, target, attackers, []Strategy{
 		None(),
-		Random(g, k, 3),
+		Random(g, k, rand.New(rand.NewSource(3))),
 		TopDegree(g, k),
 	})
 	if err != nil {

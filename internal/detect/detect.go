@@ -46,8 +46,9 @@ func TopDegreeProbes(g *topology.Graph, k int) ProbeSet {
 // BGPmonLikeProbes reproduces the paper's case 2 configuration class: a
 // modest number (24 in the paper) of medium-degree transit ASes with a
 // regional clustering bias, like the volunteer peers of a university
-// monitoring service. Selection is deterministic for a seed.
-func BGPmonLikeProbes(g *topology.Graph, c *topology.Classification, k int, seed int64) ProbeSet {
+// monitoring service. Selection draws from the caller's generator, so the
+// same seeded *rand.Rand always yields the same probe set.
+func BGPmonLikeProbes(g *topology.Graph, c *topology.Classification, k int, rng *rand.Rand) ProbeSet {
 	// Candidates: transit ASes that are neither tier-1 nor in the very top
 	// of the degree distribution.
 	order := topology.NodesByDegree(g)
@@ -58,7 +59,6 @@ func BGPmonLikeProbes(g *topology.Graph, c *topology.Classification, k int, seed
 			candidates = append(candidates, i)
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
 	// Regional clustering: favor candidates from a couple of regions.
 	var pick []int
 	if len(candidates) > 0 {
@@ -112,12 +112,12 @@ const (
 // GenerateAttacks draws n random attacker/target pairs (attacker ≠
 // target) from the pool — the paper draws both from the 6318 transit ASes.
 // Using one attack list across probe configurations makes the resulting
-// miss rates directly comparable, as in Figure 7.
-func GenerateAttacks(pool []int, n int, seed int64) ([]core.Attack, error) {
+// miss rates directly comparable, as in Figure 7. The workload is a pure
+// function of the supplied generator's state.
+func GenerateAttacks(pool []int, n int, rng *rand.Rand) ([]core.Attack, error) {
 	if len(pool) < 2 {
 		return nil, fmt.Errorf("generate attacks: pool needs ≥ 2 ASes, has %d", len(pool))
 	}
-	rng := rand.New(rand.NewSource(seed))
 	out := make([]core.Attack, 0, n)
 	for len(out) < n {
 		a := pool[rng.Intn(len(pool))]

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/bgpsim/bgpsim/internal/core"
@@ -24,7 +25,7 @@ func testWorld(t *testing.T, n int) (*core.Policy, *topology.Graph, *topology.Cl
 
 func TestGenerateAttacks(t *testing.T) {
 	pool := []int{1, 2, 3, 4, 5}
-	attacks, err := GenerateAttacks(pool, 100, 7)
+	attacks, err := GenerateAttacks(pool, 100, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestGenerateAttacks(t *testing.T) {
 		}
 	}
 	// Deterministic per seed.
-	again, err := GenerateAttacks(pool, 100, 7)
+	again, err := GenerateAttacks(pool, 100, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestGenerateAttacks(t *testing.T) {
 			t.Fatal("GenerateAttacks not deterministic")
 		}
 	}
-	if _, err := GenerateAttacks([]int{1}, 5, 7); err == nil {
+	if _, err := GenerateAttacks([]int{1}, 5, rand.New(rand.NewSource(7))); err == nil {
 		t.Error("tiny pool accepted")
 	}
 }
@@ -71,7 +72,7 @@ func TestProbeConstructors(t *testing.T) {
 		t.Errorf("TopDegreeProbes = %d", len(top.Probes))
 	}
 
-	bm := BGPmonLikeProbes(g, c, 24, 3)
+	bm := BGPmonLikeProbes(g, c, 24, rand.New(rand.NewSource(3)))
 	if len(bm.Probes) == 0 {
 		t.Fatal("BGPmonLikeProbes empty")
 	}
@@ -86,7 +87,7 @@ func TestProbeConstructors(t *testing.T) {
 			t.Error("BGPmon-like probes must be transit ASes")
 		}
 	}
-	bm2 := BGPmonLikeProbes(g, c, 24, 3)
+	bm2 := BGPmonLikeProbes(g, c, 24, rand.New(rand.NewSource(3)))
 	for i := range bm.Probes {
 		if bm.Probes[i] != bm2.Probes[i] {
 			t.Fatal("BGPmonLikeProbes not deterministic")
@@ -101,7 +102,7 @@ func TestProbeConstructors(t *testing.T) {
 
 func TestEvaluateBasics(t *testing.T) {
 	pol, g, _ := testWorld(t, 800)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 300, 11)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 300, rand.New(rand.NewSource(11)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestEvaluateBasics(t *testing.T) {
 // configuration the most, with BGPmon-like in between.
 func TestDetectorOrdering(t *testing.T) {
 	pol, g, c := testWorld(t, 1500)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 600, 13)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 600, rand.New(rand.NewSource(13)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestDetectorOrdering(t *testing.T) {
 // pollution is (weakly) increasing with the trigger count on average.
 func TestMeanPollutionGrowsWithTriggers(t *testing.T) {
 	pol, g, c := testWorld(t, 1200)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 500, 5)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 500, rand.New(rand.NewSource(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestMeanPollutionGrowsWithTriggers(t *testing.T) {
 // increase trigger counts, so the miss rate can only go down.
 func TestAnyReceivedSemanticsDetectsMore(t *testing.T) {
 	pol, g, c := testWorld(t, 1000)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 400, 9)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 400, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 package detect
 
 import (
+	"math/rand"
 	"testing"
 )
 
 func TestGreedyProbesValidation(t *testing.T) {
 	pol, g, _ := testWorld(t, 300)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 50, 1)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 50, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestGreedyProbesValidation(t *testing.T) {
 
 func TestGreedyProbesCoverAndDeterminism(t *testing.T) {
 	pol, g, _ := testWorld(t, 800)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 300, 7)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 300, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestGreedyProbesCoverAndDeterminism(t *testing.T) {
 // (greedy maximizes exactly that objective).
 func TestGreedyBeatsDegreeOnTraining(t *testing.T) {
 	pol, g, _ := testWorld(t, 1000)
-	attacks, err := GenerateAttacks(g.TransitNodes(), 400, 11)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 400, rand.New(rand.NewSource(11)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestGreedyBeatsDegreeOnTraining(t *testing.T) {
 // still be competitive with degree-based probes on a fresh workload.
 func TestGreedyGeneralizes(t *testing.T) {
 	pol, g, _ := testWorld(t, 1000)
-	train, err := GenerateAttacks(g.TransitNodes(), 400, 11)
+	train, err := GenerateAttacks(g.TransitNodes(), 400, rand.New(rand.NewSource(11)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	test, err := GenerateAttacks(g.TransitNodes(), 400, 99)
+	test, err := GenerateAttacks(g.TransitNodes(), 400, rand.New(rand.NewSource(99)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func Fig6(w *World, cfg DeploymentConfig) (*DeploymentResult, error) {
 
 func deploymentPanel(w *World, cfg DeploymentConfig, target Target, title string) (*DeploymentResult, error) {
 	cfg = cfg.withDefaults()
-	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, cfg.Seed)
+	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed))
 	ladder := deploy.PaperLadder(w.Graph, w.Class, cfg.Seed)
 	evals, err := deploy.Evaluate(w.Policy, target.Node, attackers, ladder)
 	if err != nil {

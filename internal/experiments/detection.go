@@ -58,7 +58,7 @@ func (c DetectionConfig) withDefaults() DetectionConfig {
 func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
 	cfg = cfg.withDefaults()
 	transit := w.Graph.TransitNodes()
-	attacks, err := detect.GenerateAttacks(transit, cfg.Attacks, cfg.Seed)
+	attacks, err := detect.GenerateAttacks(transit, cfg.Attacks, rngFor(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
@@ -69,7 +69,7 @@ func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
 	}
 	sets := []detect.ProbeSet{
 		detect.Tier1Probes(w.Class),
-		detect.BGPmonLikeProbes(w.Graph, w.Class, cfg.BGPmonProbes, cfg.Seed),
+		detect.BGPmonLikeProbes(w.Graph, w.Class, cfg.BGPmonProbes, rngFor(cfg.Seed)),
 		detect.TopDegreeProbes(w.Graph, coreK),
 	}
 	res := &DetectionResult{

@@ -11,6 +11,7 @@ import (
 	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/detect"
 	"github.com/bgpsim/bgpsim/internal/topology"
+	"github.com/bgpsim/bgpsim/internal/xmaps"
 )
 
 // The paper's closing future-work item: "Some origin and sub-prefix
@@ -116,7 +117,7 @@ func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
 		probes = *cfg.Probes
 	}
 
-	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, cfg.Seed)
+	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, rngFor(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("hole analysis: %w", err)
 	}
@@ -262,12 +263,7 @@ func (r *HoleResult) WriteText(out io.Writer, asnOf func(node int) string) error
 		return nil
 	}
 	fmt.Fprintln(out, "attacker depth histogram of holes:")
-	depths := make([]int, 0, len(r.AttackerDepthHist))
-	for d := range r.AttackerDepthHist {
-		depths = append(depths, d)
-	}
-	sort.Ints(depths)
-	for _, d := range depths {
+	for _, d := range xmaps.SortedKeys(r.AttackerDepthHist) {
 		fmt.Fprintf(out, "  depth %d: %d holes\n", d, r.AttackerDepthHist[d])
 	}
 	fmt.Fprintln(out, "\nwhy probes stayed blind (per-probe reasons over all holes):")

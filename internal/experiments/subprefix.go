@@ -44,7 +44,7 @@ func SubPrefixStudy(w *World, cfg DeploymentConfig) (*SubPrefixResult, error) {
 		Node:  node,
 		Depth: w.Class.Depth[node],
 	}
-	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, cfg.Seed)
+	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed))
 	coreK := 62 * w.Graph.N() / 42697
 	if coreK < len(w.Class.Tier1)+3 {
 		coreK = len(w.Class.Tier1) + 3

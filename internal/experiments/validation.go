@@ -40,7 +40,7 @@ func ValidationStudy(w *World, cfg ValidationConfig) (*ValidationResult, error) 
 	simSolver := core.NewSolver(w.Policy)
 	refSolver := core.NewSolver(refPolicy)
 
-	origins := SampleAttackers(allNodes(w.Graph.N()), cfg.Origins, cfg.Seed)
+	origins := SampleAttackers(allNodes(w.Graph.N()), cfg.Origins, rngFor(cfg.Seed))
 	res := &ValidationResult{Origins: len(origins)}
 	for _, origin := range origins {
 		other := (origin + 1) % w.Graph.N()

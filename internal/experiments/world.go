@@ -138,16 +138,23 @@ func (w *World) Depth1Target() (int, bool) {
 }
 
 // SampleAttackers returns attackers for a sweep: the full population when
-// sample ≤ 0 or ≥ len(pool), otherwise a seeded random subset.
-func SampleAttackers(pool []int, sample int, seed int64) []int {
+// sample ≤ 0 or ≥ len(pool), otherwise a random subset drawn from rng.
+// Callers own the generator (see rngFor), so every sample is replayable
+// from a configured seed.
+func SampleAttackers(pool []int, sample int, rng *rand.Rand) []int {
 	if sample <= 0 || sample >= len(pool) {
 		return pool
 	}
-	rng := rand.New(rand.NewSource(seed))
 	cp := append([]int(nil), pool...)
 	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
 	return cp[:sample]
 }
+
+// rngFor returns the deterministic generator for one sampled quantity.
+// Each quantity draws from its own generator built from the configured
+// seed, so adding a new sampled quantity to a runner never shifts the
+// streams — and therefore the published rows — of existing ones.
+func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func min(a, b int) int {
 	if a < b {

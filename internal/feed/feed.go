@@ -93,6 +93,9 @@ type Detector struct {
 	validator rpki.OriginValidator
 	onAlert   func(Alert)
 
+	// mu guards seen, alerts, and published; every concurrent session
+	// goroutine funnels through it in raise/NotePublished. onAlert fires
+	// while it is held, so callbacks must not re-enter the detector.
 	mu     sync.Mutex
 	seen   map[alertKey]bool
 	alerts []Alert

@@ -25,6 +25,10 @@ type Collector struct {
 	// Shutdown.
 	Recorder *mrt.Writer
 
+	// mu guards sessions, closed, and (in HandleSession) writes through
+	// Recorder, which is not itself concurrency-safe. The accept loop
+	// checks closed and registers with wg under the same critical section
+	// so Shutdown can never miss an in-flight session.
 	mu       sync.Mutex
 	sessions int
 	wg       sync.WaitGroup

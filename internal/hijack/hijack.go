@@ -86,6 +86,10 @@ func Sweep(pol *core.Policy, cfg SweepConfig) (*SweepResult, error) {
 		return res, nil
 	}
 
+	// mu guards firstErr only. Workers write results into disjoint
+	// index ranges of the pre-sized slices, so result order — and
+	// therefore the digest of a run — is independent of scheduling (see
+	// TestParallelSweepDeterminism).
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex

@@ -1,0 +1,62 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver contract, just large enough to
+// host bgplint's analyzers. The shapes (Analyzer, Pass, Diagnostic) match
+// the upstream API deliberately, so the suite can be rebased onto
+// x/tools unchanged once the module is allowed external dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the bgplint
+	// command line. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `bgplint help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path the package was loaded under. For
+	// module packages it is the full module-qualified path.
+	PkgPath string
+
+	// Report delivers one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,89 @@
+// Package asnconv implements the bgplint analyzer that confines raw
+// integer<->asn.ASN conversions to the asn package itself.
+//
+// The simulator addresses ASes two ways: dense node indices (int/int32,
+// assigned by the topology package) and wire-format AS numbers
+// (asn.ASN). A bare conversion between the two compiles fine and is
+// almost always a bug — a node index silently becomes "AS17". Outside
+// internal/asn, code must use the typed helpers (asn.FromUint32,
+// ASN.Uint32) whose names say which representation is in hand; constant
+// conversions such as asn.ASN(65000) remain allowed.
+package asnconv
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// AsnPkgPath is the import path of the package owning the ASN type.
+// Tests point it at a testdata stand-in.
+var AsnPkgPath = "github.com/bgpsim/bgpsim/internal/asn"
+
+// Analyzer is the asnconv pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "asnconv",
+	Doc: "flags raw integer<->asn.ASN conversions outside internal/asn; " +
+		"use asn.FromUint32 / ASN.Uint32 so AS numbers and node indices stay distinct",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.PkgPath == AsnPkgPath {
+		return nil, nil // the helpers themselves live here
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			target := tv.Type
+			argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			if argTV.Value != nil {
+				return true // constant conversions (asn.ASN(65000)) are fine
+			}
+			switch {
+			case isASN(target) && isRawInteger(argTV.Type):
+				pass.Reportf(call.Pos(),
+					"raw integer-to-ASN conversion; use asn.FromUint32 so the value is explicitly an AS number")
+			case isRawInteger(target) && isASN(argTV.Type):
+				pass.Reportf(call.Pos(),
+					"raw ASN-to-integer conversion; use ASN.Uint32 so the representation change is explicit")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isASN reports whether t is the asn.ASN named type.
+func isASN(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ASN" && obj.Pkg() != nil && obj.Pkg().Path() == AsnPkgPath
+}
+
+// isRawInteger reports whether t is a plain integer type (not a named
+// domain type like ASN itself).
+func isRawInteger(t types.Type) bool {
+	if isASN(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

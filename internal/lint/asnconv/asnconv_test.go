@@ -1,0 +1,22 @@
+package asnconv
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestOutsideOwnerPackage(t *testing.T) {
+	defer func(old string) { AsnPkgPath = old }(AsnPkgPath)
+	AsnPkgPath = "asnstub"
+	linttest.RunDeps(t, Analyzer,
+		map[string]string{"asnstub": "testdata/src/asnstub"},
+		"testdata/src/asnconv_a", "asnconv_a")
+}
+
+func TestInsideOwnerPackage(t *testing.T) {
+	defer func(old string) { AsnPkgPath = old }(AsnPkgPath)
+	AsnPkgPath = "asnstub"
+	// The owner package converts freely; no diagnostics expected.
+	linttest.Run(t, Analyzer, "testdata/src/asnstub", "asnstub")
+}

@@ -1,0 +1,40 @@
+// Package asnconv_a exercises the asnconv analyzer from outside the
+// ASN-owning package.
+package asnconv_a
+
+import "asnstub"
+
+// Flagged: a raw integer (here: a node index) silently becomes an ASN.
+func fromIndex(idx int) asnstub.ASN {
+	return asnstub.ASN(idx) // want "raw integer-to-ASN conversion"
+}
+
+func fromWire(v uint32) asnstub.ASN {
+	return asnstub.ASN(v) // want "raw integer-to-ASN conversion"
+}
+
+// Flagged: an ASN silently becomes a raw integer.
+func toIndex(a asnstub.ASN) int {
+	return int(a) // want "raw ASN-to-integer conversion"
+}
+
+func toWire(a asnstub.ASN) uint64 {
+	return uint64(a) // want "raw ASN-to-integer conversion"
+}
+
+// Not flagged: constant conversions are unambiguous.
+func constants() asnstub.ASN {
+	const wellKnown = 65000
+	return asnstub.ASN(wellKnown) + asnstub.ASN(174)
+}
+
+// Not flagged: the typed helpers say which representation is in hand.
+func viaHelpers(v uint32) uint32 {
+	a := asnstub.FromUint32(v)
+	return a.Uint32()
+}
+
+// Not flagged: integer-to-integer conversions don't involve ASN.
+func plainIntegers(v uint16) uint32 {
+	return uint32(v)
+}

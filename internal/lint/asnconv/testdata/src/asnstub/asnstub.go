@@ -1,0 +1,12 @@
+// Package asnstub stands in for internal/asn in asnconv tests: it owns
+// the ASN type, so raw conversions inside it are allowed.
+package asnstub
+
+// ASN mirrors the real asn.ASN.
+type ASN uint32
+
+// FromUint32 converts a wire-format AS number to the typed form.
+func FromUint32(v uint32) ASN { return ASN(v) }
+
+// Uint32 returns the wire-format AS number.
+func (a ASN) Uint32() uint32 { return uint32(a) }

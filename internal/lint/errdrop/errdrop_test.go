@@ -1,0 +1,13 @@
+package errdrop
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestErrDrop(t *testing.T) {
+	defer func(old string) { ModulePrefix = old }(ModulePrefix)
+	ModulePrefix = "errdrop_a"
+	linttest.Run(t, Analyzer, "testdata/src/errdrop_a", "errdrop_a")
+}

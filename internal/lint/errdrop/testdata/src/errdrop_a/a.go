@@ -1,0 +1,41 @@
+// Package errdrop_a exercises the errdrop analyzer: the test registers
+// this package path as the module prefix, so its own error-returning
+// functions must not be called as bare statements.
+package errdrop_a
+
+import "fmt"
+
+func fails() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func pure() int { return 1 }
+
+type runner struct{}
+
+func (runner) Run() error { return nil }
+
+// Flagged: implicit drops of module errors.
+func drops() {
+	fails()       // want "silently discarded"
+	pair()        // want "silently discarded"
+	go fails()    // want "silently discarded"
+	defer fails() // want "silently discarded"
+	var r runner
+	r.Run() // want "silently discarded"
+}
+
+// Not flagged: handled, explicitly blanked, or errorless.
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return fmt.Errorf("pair (%d): %w", v, err)
+	}
+	_ = fails() // visible intent: best-effort teardown idiom
+	pure()
+	fmt.Println("stdlib error drops are out of scope here")
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package globalrand implements the bgplint analyzer that forbids the
+// process-global math/rand source in library code.
+//
+// Every sampled quantity in the simulator (attacker samples, random
+// deployments, probe placement, synthetic topologies) must be replayable
+// from an explicit seed, or Figure/Table reproductions drift between
+// runs. The analyzer flags package-level math/rand functions
+// (rand.Intn, rand.Shuffle, rand.Seed, ...) — which share hidden global
+// state — and time.Now()-derived seeds fed into rand.New/rand.NewSource.
+// The approved pattern is an injected `*rand.Rand` built as
+// rand.New(rand.NewSource(seed)) from a caller-supplied seed.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// Analyzer is the globalrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbids package-level math/rand functions and time.Now-derived " +
+		"seeds in non-test library code; inject a seeded *rand.Rand instead",
+	Run: run,
+}
+
+// constructors are the math/rand package-level functions that build
+// explicit sources/generators rather than touching the global one.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// seedTaking marks the constructors whose arguments are seeds.
+var seedTaking = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the goal
+			}
+			if !constructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"global %s.%s uses shared hidden state; thread a seeded *rand.Rand through instead",
+					shortRand(path), fn.Name())
+				return true
+			}
+			// Seed-taking constructors must not be fed the wall clock.
+			// (rand.New takes a Source, not a seed; any clock use inside
+			// it sits in a nested NewSource call visited on its own.)
+			if seedTaking[fn.Name()] {
+				for _, arg := range call.Args {
+					reportClockSeeds(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func shortRand(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// reportClockSeeds flags any time.Now call inside a seed expression.
+func reportClockSeeds(pass *analysis.Pass, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now-derived rand seed defeats replayable reproductions; take the seed from configuration (-seed)")
+			return false
+		}
+		return true
+	})
+}

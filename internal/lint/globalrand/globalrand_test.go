@@ -1,0 +1,11 @@
+package globalrand
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/globalrand_a", "globalrand_a")
+}

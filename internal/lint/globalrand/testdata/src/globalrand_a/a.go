@@ -1,0 +1,35 @@
+// Package globalrand_a exercises the globalrand analyzer.
+package globalrand_a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: package-level functions share hidden global state.
+func globals() int {
+	rand.Seed(42)                                               // want "global rand.Seed"
+	v := rand.Intn(10)                                          // want "global rand.Intn"
+	f := rand.Float64()                                         // want "global rand.Float64"
+	p := rand.Perm(4)                                           // want "global rand.Perm"
+	rand.Shuffle(4, func(i, j int) { p[i], p[j] = p[j], p[i] }) // want "global rand.Shuffle"
+	return v + int(f) + p[0]
+}
+
+// Flagged: wall-clock seeds are unreplayable.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now-derived rand seed"
+}
+
+// Not flagged: an explicit seeded generator is the approved pattern.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	out := rng.Perm(8)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out[rng.Intn(len(out))]
+}
+
+// Not flagged: time.Now outside a seed expression is ordinary code.
+func clockElsewhere() time.Time {
+	return time.Now()
+}

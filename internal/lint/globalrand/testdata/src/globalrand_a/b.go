@@ -1,0 +1,14 @@
+package globalrand_a
+
+import randv2 "math/rand/v2"
+
+// Flagged: math/rand/v2 top-level functions are global too.
+func v2Globals() int {
+	return randv2.IntN(10) // want "global rand/v2.IntN"
+}
+
+// Not flagged: v2 with an explicit PCG source.
+func v2Seeded(seed uint64) int {
+	rng := randv2.New(randv2.NewPCG(seed, seed))
+	return rng.IntN(10)
+}

@@ -1,0 +1,23 @@
+// Package lint assembles the bgplint analyzer suite: four domain-specific
+// static-analysis passes that machine-check the simulator's determinism
+// and error-handling invariants (see DESIGN.md, "Determinism & static
+// analysis"). The driver lives in cmd/bgplint; run it via `make lint`.
+package lint
+
+import (
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+	"github.com/bgpsim/bgpsim/internal/lint/asnconv"
+	"github.com/bgpsim/bgpsim/internal/lint/errdrop"
+	"github.com/bgpsim/bgpsim/internal/lint/globalrand"
+	"github.com/bgpsim/bgpsim/internal/lint/maporder"
+)
+
+// Analyzers returns the full bgplint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		globalrand.Analyzer,
+		asnconv.Analyzer,
+		errdrop.Analyzer,
+	}
+}

@@ -1,0 +1,139 @@
+// Package linttest is a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// a testdata package and checks the reported diagnostics against
+// `// want "regexp"` comments in the sources.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+	"github.com/bgpsim/bgpsim/internal/lint/loader"
+)
+
+// Run loads the package in dir (e.g. "testdata/src/a") as import path
+// pkgPath and applies the analyzer. Every diagnostic must be matched by a
+// `// want "re"` comment on the same line, and every want comment must be
+// matched by a diagnostic.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	RunDeps(t, a, nil, dir, pkgPath)
+}
+
+// RunDeps is Run with auxiliary fixture packages: deps maps import paths
+// to testdata directories the package under test may import.
+func RunDeps(t *testing.T, a *analysis.Analyzer, deps map[string]string, dir, pkgPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := moduleRoot(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := loader.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, d := range deps {
+		absDep, err := filepath.Abs(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Extra == nil {
+			l.Extra = make(map[string]string)
+		}
+		l.Extra[path] = absDep
+	}
+	pkg, err := l.LoadDirAs(abs, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.Path,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.Fset, pkg)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans file sources for want comments, keyed by
+// "basename:line".
+func collectWants(t *testing.T, fset *token.FileSet, pkg *loader.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				pat := strings.ReplaceAll(m[1], `\"`, `"`)
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(name), i+1)
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	return wants
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

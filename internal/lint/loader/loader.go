@@ -1,0 +1,260 @@
+// Package loader parses and type-checks the module's packages for
+// bgplint without shelling out to the go tool or requiring network
+// access. Module-internal imports are resolved against the repository
+// tree; standard-library imports are type-checked from GOROOT source via
+// the compiler's source importer.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	Path  string // module-qualified import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages of a single module rooted at Root.
+type Loader struct {
+	Fset    *token.FileSet
+	Root    string // absolute module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+
+	std      types.ImporterFrom
+	pkgs     map[string]*Package // by import path
+	loading  map[string]bool     // cycle guard
+	InclTest bool                // also parse _test.go files (in-package only)
+	// Extra maps import paths to directories outside the module's
+	// package space (analyzer testdata fixtures).
+	Extra map[string]string
+}
+
+// New returns a Loader for the module rooted at root.
+func New(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("loader: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		Root:    abs,
+		ModPath: mod,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("loader: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module directive in %s", gomod)
+}
+
+// LoadAll walks the module tree and loads every package found.
+// Directories named testdata, hidden directories, and directories without
+// buildable Go files are skipped. Packages are returned sorted by path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			rel, err := filepath.Rel(l.Root, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, l.ModPath)
+			} else {
+				paths = append(paths, l.ModPath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load loads (or returns the cached) module package with the given
+// import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if !l.inModule(path) {
+		return nil, fmt.Errorf("loader: %s is outside module %s", path, l.ModPath)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	return l.LoadDirAs(dir, path)
+}
+
+// LoadDirAs parses and type-checks the package in dir under the given
+// import path. Used both for module packages and for analyzer testdata
+// directories (which live outside the module's package space).
+func (l *Loader) LoadDirAs(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !l.InclTest && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	// External test packages (package foo_test) cannot be mixed into the
+	// in-package check; drop them.
+	base := files[0].Name.Name
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			base = f.Name.Name
+			break
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == base {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &chainImporter{l: l, dir: dir},
+		Error:    func(error) {}, // collect via the returned error
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-check %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
+}
+
+// chainImporter resolves module-internal imports through the Loader and
+// everything else (the standard library) through the source importer.
+type chainImporter struct {
+	l   *Loader
+	dir string
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, c.dir, 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if c.l.inModule(path) {
+		pkg, err := c.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if fixtureDir, ok := c.l.Extra[path]; ok {
+		pkg, err := c.l.LoadDirAs(fixtureDir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return c.l.std.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,203 @@
+// Package maporder implements the bgplint analyzer that flags `for range`
+// over map values inside the simulator's deterministic packages.
+//
+// The paper's reproduction claim is bit-identical outcomes between the
+// Engine and the Solver across every AS; Go's randomized map iteration
+// order silently breaks that whenever a loop's effect depends on
+// visitation order. The analyzer permits loop bodies it can prove
+// order-insensitive — writes into maps/sets keyed by the loop variables
+// and commutative integer accumulation — and otherwise demands either a
+// rewrite (collect keys, sort, iterate: see internal/xmaps.SortedKeys) or
+// an explicit `//lint:maporder-ok <reason>` justification on the range
+// statement.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// Deterministic lists the package import paths whose library code must
+// iterate deterministically. The bgplint driver seeds it with the
+// simulator's result-producing packages; tests override it.
+var Deterministic = []string{
+	"github.com/bgpsim/bgpsim/internal/core",
+	"github.com/bgpsim/bgpsim/internal/hijack",
+	"github.com/bgpsim/bgpsim/internal/deploy",
+	"github.com/bgpsim/bgpsim/internal/detect",
+	"github.com/bgpsim/bgpsim/internal/experiments",
+	"github.com/bgpsim/bgpsim/internal/stats",
+}
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags for-range over maps in deterministic packages unless the " +
+		"loop body is provably order-insensitive or carries a " +
+		"//lint:maporder-ok justification",
+	Run: run,
+}
+
+const okMarker = "lint:maporder-ok"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !designated(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		suppressed := suppressionLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rng.Pos()).Line
+			if suppressed[line] || suppressed[line-1] {
+				return true
+			}
+			if orderInsensitiveBody(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"nondeterministic map iteration in deterministic package %s; "+
+					"iterate sorted keys (xmaps.SortedKeys) or justify with //%s <reason>",
+				shortPath(pass.PkgPath), okMarker)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func designated(pkgPath string) bool {
+	for _, p := range Deterministic {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// suppressionLines returns the source lines carrying a maporder-ok
+// marker (the suppression applies to a range statement on the same line
+// or the line directly below).
+func suppressionLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, okMarker) {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// orderInsensitiveBody reports whether every statement in the range body
+// is one whose cumulative effect cannot depend on iteration order:
+//
+//   - m[k] = v assignments whose index involves only loop variables
+//     (writes into a map/set; last-writer conflicts cannot arise because
+//     each key is visited once)
+//   - integer compound accumulation: x += e, x *= e, x |= e, x &= e,
+//     x ^= e, x++, x--
+//
+// Anything else — calls, appends, comparisons, string concatenation,
+// float accumulation (not associative) — is treated as order-sensitive.
+func orderInsensitiveBody(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	for _, stmt := range rng.Body.List {
+		if !orderInsensitiveStmt(pass, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *analysis.Pass, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, s.X)
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+func orderInsensitiveAssign(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ASSIGN:
+		// Pure map/set writes: every LHS must be an index into a map and
+		// the RHS must not read order-dependent state (conservatively: no
+		// calls).
+		for _, lhs := range s.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			tv, ok := pass.TypesInfo.Types[idx.X]
+			if !ok {
+				return false
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+		for _, rhs := range s.Rhs {
+			if containsCall(rhs) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative+associative only over integers: float addition is
+		// order-sensitive, string += is concatenation.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		return isIntegerExpr(pass, s.Lhs[0]) && !containsCall(s.Rhs[0])
+	}
+	return false
+}
+
+func isIntegerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+package maporder
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	defer func(old []string) { Deterministic = old }(Deterministic)
+	Deterministic = []string{"maporder_a"}
+	linttest.Run(t, Analyzer, "testdata/src/maporder_a", "maporder_a")
+}
+
+func TestNonDesignatedPackage(t *testing.T) {
+	defer func(old []string) { Deterministic = old }(Deterministic)
+	Deterministic = []string{"maporder_a"}
+	linttest.Run(t, Analyzer, "testdata/src/maporder_b", "maporder_b")
+}

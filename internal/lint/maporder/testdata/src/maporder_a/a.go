@@ -1,0 +1,91 @@
+// Package maporder_a exercises the maporder analyzer: the package is
+// registered as deterministic by the test, so order-sensitive map loops
+// must be flagged and order-insensitive ones must not.
+package maporder_a
+
+import "sort"
+
+func sink(string) {}
+
+// Flagged: the append order escapes into a slice.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "nondeterministic map iteration"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Flagged: calls in the body can observe iteration order.
+func callsOut(m map[string]int) {
+	for k := range m { // want "nondeterministic map iteration"
+		sink(k)
+	}
+}
+
+// Flagged: float accumulation is not associative.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "nondeterministic map iteration"
+		sum += v
+	}
+	return sum
+}
+
+// Flagged: string concatenation depends on visit order.
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "nondeterministic map iteration"
+		s += v
+	}
+	return s
+}
+
+// Not flagged: integer accumulation is commutative.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Not flagged: counting and bit-accumulation are commutative.
+func countAndMask(m map[int]uint64) (int, uint64) {
+	n := 0
+	var mask uint64
+	for _, v := range m {
+		n++
+		mask |= v
+	}
+	return n, mask
+}
+
+// Not flagged: writes into a map keyed by the loop variable.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Not flagged: justified with an explicit reason.
+func justified(m map[string]int) []string {
+	var out []string
+	//lint:maporder-ok keys are sorted before use below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Not flagged: ranging over a slice is always ordered.
+func slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package maporder_b is NOT registered as deterministic: even blatantly
+// order-sensitive map iteration stays unflagged here.
+package maporder_b
+
+func sink(string) {}
+
+func freeToIterate(m map[string]int) {
+	for k := range m {
+		sink(k)
+	}
+}

@@ -127,7 +127,7 @@ func (w *Writer) WritePeerIndexTable(t *PeerIndexTable) error {
 		buf.Write(b4[:])
 		binary.BigEndian.PutUint32(b4[:], p.Addr)
 		buf.Write(b4[:])
-		binary.BigEndian.PutUint32(b4[:], uint32(p.AS))
+		binary.BigEndian.PutUint32(b4[:], p.AS.Uint32())
 		buf.Write(b4[:])
 	}
 	return w.writeRecord(TypeTableDumpV2, SubtypePeerIndexTable, buf.Bytes())
@@ -171,9 +171,9 @@ func (w *Writer) WriteBGP4MP(m *BGP4MPMessage) error {
 	var buf bytes.Buffer
 	var b4 [4]byte
 	var b2 [2]byte
-	binary.BigEndian.PutUint32(b4[:], uint32(m.PeerAS))
+	binary.BigEndian.PutUint32(b4[:], m.PeerAS.Uint32())
 	buf.Write(b4[:])
-	binary.BigEndian.PutUint32(b4[:], uint32(m.LocalAS))
+	binary.BigEndian.PutUint32(b4[:], m.LocalAS.Uint32())
 	buf.Write(b4[:])
 	binary.BigEndian.PutUint16(b2[:], 0) // interface index
 	buf.Write(b2[:])
@@ -260,7 +260,7 @@ func parsePeerIndexTable(body []byte) (*PeerIndexTable, error) {
 		t.Peers = append(t.Peers, Peer{
 			BGPID: binary.BigEndian.Uint32(rest[1:5]),
 			Addr:  binary.BigEndian.Uint32(rest[5:9]),
-			AS:    asn.ASN(binary.BigEndian.Uint32(rest[9:13])),
+			AS:    asn.FromUint32(binary.BigEndian.Uint32(rest[9:13])),
 		})
 		rest = rest[13:]
 	}
@@ -319,8 +319,8 @@ func parseBGP4MP(ts uint32, body []byte) (*BGP4MPMessage, error) {
 	}
 	m := &BGP4MPMessage{
 		Timestamp: ts,
-		PeerAS:    asn.ASN(binary.BigEndian.Uint32(body[0:4])),
-		LocalAS:   asn.ASN(binary.BigEndian.Uint32(body[4:8])),
+		PeerAS:    asn.FromUint32(binary.BigEndian.Uint32(body[0:4])),
+		LocalAS:   asn.FromUint32(binary.BigEndian.Uint32(body[4:8])),
 		PeerAddr:  binary.BigEndian.Uint32(body[12:16]),
 		LocalAddr: binary.BigEndian.Uint32(body[16:20]),
 	}

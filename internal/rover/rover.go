@@ -108,7 +108,7 @@ func sroBytes(r SRO) []byte {
 	var b [9]byte
 	binary.BigEndian.PutUint32(b[0:4], r.Prefix.Addr)
 	b[4] = r.Prefix.Len
-	binary.BigEndian.PutUint32(b[5:9], uint32(r.Origin))
+	binary.BigEndian.PutUint32(b[5:9], r.Origin.Uint32())
 	return b[:]
 }
 

@@ -225,7 +225,7 @@ func roaBytes(r ROA) []byte {
 	binary.BigEndian.PutUint32(buf[0:4], r.Prefix.Addr)
 	buf[4] = r.Prefix.Len
 	buf[5] = r.MaxLength
-	binary.BigEndian.PutUint32(buf[6:10], uint32(r.Origin))
+	binary.BigEndian.PutUint32(buf[6:10], r.Origin.Uint32())
 	return buf[:10]
 }
 

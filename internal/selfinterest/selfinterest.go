@@ -32,9 +32,11 @@ type RegionalResult struct {
 
 // MeasureRegional attacks the target from every AS inside the region and
 // from a random sample of outsideSample ASes elsewhere, counting how many
-// region ASes each attack pollutes. Blocked is the active filter set (nil
-// = none).
-func MeasureRegional(pol *core.Policy, target, region, outsideSample int, seed int64, blocked *asn.IndexSet) (*RegionalResult, error) {
+// region ASes each attack pollutes. The outside sample is drawn from rng;
+// callers comparing two policies must hand each call a generator built
+// from the same seed so both measure the identical sample. Blocked is the
+// active filter set (nil = none).
+func MeasureRegional(pol *core.Policy, target, region, outsideSample int, rng *rand.Rand, blocked *asn.IndexSet) (*RegionalResult, error) {
 	g := pol.Graph()
 	regionNodes := g.RegionNodes(region)
 	if len(regionNodes) == 0 {
@@ -81,8 +83,7 @@ func MeasureRegional(pol *core.Policy, target, region, outsideSample int, seed i
 		res.InsideFrac = res.InsideMean / float64(res.RegionSize)
 	}
 
-	// Outside sample, deterministic for a seed.
-	rng := rand.New(rand.NewSource(seed))
+	// Outside sample, deterministic for the generator's state.
 	var outside []int
 	for i := 0; i < g.N(); i++ {
 		if !inRegion[i] {
@@ -224,7 +225,11 @@ func RehomeExperiment(g *topology.Graph, c *topology.Classification, target, lev
 	if err != nil {
 		return nil, err
 	}
-	before, err := MeasureRegional(pol, target, region, outsideSample, seed, nil)
+	// Both measurements get a fresh generator from the same seed on
+	// purpose: the before/after comparison must attack from the identical
+	// outside sample, or sampling noise would masquerade as a re-homing
+	// effect.
+	before, err := MeasureRegional(pol, target, region, outsideSample, rand.New(rand.NewSource(seed)), nil)
 	if err != nil {
 		return nil, fmt.Errorf("rehome experiment (before): %w", err)
 	}
@@ -237,7 +242,7 @@ func RehomeExperiment(g *topology.Graph, c *topology.Classification, target, lev
 	if err != nil {
 		return nil, err
 	}
-	after, err := MeasureRegional(npol, target, region, outsideSample, seed, nil)
+	after, err := MeasureRegional(npol, target, region, outsideSample, rand.New(rand.NewSource(seed)), nil)
 	if err != nil {
 		return nil, fmt.Errorf("rehome experiment (after): %w", err)
 	}
@@ -267,13 +272,16 @@ func FilterExperiment(pol *core.Policy, target, region, outsideSample int, seed 
 	if err != nil {
 		return nil, err
 	}
-	base, err := MeasureRegional(pol, target, region, outsideSample, seed, nil)
+	// Same seed for both runs, deliberately: with and without the filter
+	// must face the identical outside attack sample for the delta to be
+	// attributable to the filter alone.
+	base, err := MeasureRegional(pol, target, region, outsideSample, rand.New(rand.NewSource(seed)), nil)
 	if err != nil {
 		return nil, fmt.Errorf("filter experiment (base): %w", err)
 	}
 	blocked := asn.NewIndexSet(g.N())
 	blocked.Add(hub)
-	filtered, err := MeasureRegional(pol, target, region, outsideSample, seed, blocked)
+	filtered, err := MeasureRegional(pol, target, region, outsideSample, rand.New(rand.NewSource(seed)), blocked)
 	if err != nil {
 		return nil, fmt.Errorf("filter experiment (filtered): %w", err)
 	}

@@ -1,6 +1,7 @@
 package selfinterest
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/bgpsim/bgpsim/internal/core"
@@ -42,7 +43,7 @@ func islandWorld(t *testing.T, n int) (*topology.Graph, *topology.Classification
 
 func TestMeasureRegional(t *testing.T) {
 	g, _, pol, island, target := islandWorld(t, 1200)
-	res, err := MeasureRegional(pol, target, island, 100, 7, nil)
+	res, err := MeasureRegional(pol, target, island, 100, rand.New(rand.NewSource(7)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestMeasureRegional(t *testing.T) {
 			res.InsideMean, res.OutsideMean)
 	}
 	// Determinism.
-	res2, err := MeasureRegional(pol, target, island, 100, 7, nil)
+	res2, err := MeasureRegional(pol, target, island, 100, rand.New(rand.NewSource(7)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +88,10 @@ func TestMeasureRegionalValidation(t *testing.T) {
 			break
 		}
 	}
-	if _, err := MeasureRegional(pol, outside, island, 10, 1, nil); err == nil {
+	if _, err := MeasureRegional(pol, outside, island, 10, rand.New(rand.NewSource(1)), nil); err == nil {
 		t.Error("target outside region accepted")
 	}
-	if _, err := MeasureRegional(pol, 0, 9999, 10, 1, nil); err == nil {
+	if _, err := MeasureRegional(pol, 0, 9999, 10, rand.New(rand.NewSource(1)), nil); err == nil {
 		t.Error("empty region accepted")
 	}
 }

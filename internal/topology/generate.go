@@ -161,7 +161,7 @@ func (s *genState) assignASNs() {
 	pool := s.rng.Perm(n * 4)
 	s.asns = make([]asn.ASN, n)
 	for i := 0; i < n; i++ {
-		s.asns[i] = asn.ASN(pool[i] + 100)
+		s.asns[i] = asn.FromUint32(uint32(pool[i] + 100))
 	}
 	s.region = make([]int, n)
 	for i := range s.region {

@@ -1,0 +1,20 @@
+// Package xmaps provides deterministic map traversal helpers. Go
+// randomizes map iteration order; inside the simulator's deterministic
+// packages (see bgplint's maporder analyzer) every map walk whose effect
+// could depend on visit order goes through SortedKeys instead.
+package xmaps
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

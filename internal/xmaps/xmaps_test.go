@@ -1,0 +1,18 @@
+package xmaps
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int32]string{5: "e", 1: "a", 3: "c", -2: "z"}
+	got := SortedKeys(m)
+	want := []int32{-2, 1, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if keys := SortedKeys(map[string]int{}); len(keys) != 0 {
+		t.Errorf("SortedKeys(empty) = %v, want empty", keys)
+	}
+}
