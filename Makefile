@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race vulncheck fuzz bench reproduce reproduce-paper-scale clean
+.PHONY: all build test vet lint race vulncheck fuzz bench bench-json reproduce reproduce-paper-scale clean
 
 all: build test
 
@@ -44,6 +44,11 @@ fuzz:
 # evidence (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable sweep benchmarks (Figures 2/5/7 plus the kernel scaling
+# micro-benchmark) → BENCH_sweep.json with ns/op, allocs/op and workers.
+bench-json:
+	scripts/bench_json.sh BENCH_sweep.json
 
 # Every figure and table at the default working scale.
 reproduce:

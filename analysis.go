@@ -119,7 +119,7 @@ func (s *Simulator) EvaluateDeployment(target ASN, strategies []Strategy, sample
 		return nil, err
 	}
 	attackers := experiments.SampleAttackers(s.world.Graph.TransitNodes(), sample, seedRNG(seed))
-	return deploy.Evaluate(s.world.Policy, tgt, attackers, strategies)
+	return deploy.Evaluate(s.world.Policy, tgt, attackers, strategies, 0)
 }
 
 // RandomDeployment deploys filters at k random transit ASes.

@@ -7,6 +7,7 @@ package bgpsim
 // reproduction evidence. EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -457,6 +458,26 @@ func BenchmarkSolverSweep(b *testing.B) {
 		if _, err := hijack.Sweep(w.Policy, hijack.SweepConfig{Target: deep, Attackers: attackers}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepRunWorkers measures the shared sweep kernel's parallel
+// scaling: one fixed attack workload at increasing worker counts. The
+// results are bit-identical at every count (see internal/sweep), so the
+// sub-benchmarks differ only in wall-clock and scheduling overhead.
+func BenchmarkSweepRunWorkers(b *testing.B) {
+	w := world(b)
+	deep, _ := w.DeepTarget()
+	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 200, rand.New(rand.NewSource(1)))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hijack.Sweep(w.Policy, hijack.SweepConfig{Target: deep, Attackers: attackers, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

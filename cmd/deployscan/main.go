@@ -34,6 +34,7 @@ func run() error {
 	subprefix := fs.Bool("subprefix", false, "also run the sub-prefix-vs-origin hijack study")
 	sbgpStudy := fs.Bool("sbgp", false, "also run the S*BGP security-rank study")
 	svgPrefix := fs.String("svg", "", "render each panel's chart to <prefix>-depth1.svg / <prefix>-deep.svg")
+	workers := cli.AddWorkersFlag(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -42,7 +43,7 @@ func run() error {
 		return err
 	}
 	cli.Describe(w)
-	cfg := experiments.DeploymentConfig{AttackerSample: *sample, Seed: *wf.Seed, ResidualTop: *top}
+	cfg := experiments.DeploymentConfig{AttackerSample: *sample, Seed: *wf.Seed, ResidualTop: *top, Workers: *workers}
 
 	emit := func(res *experiments.DeploymentResult, tag string) error {
 		if err := res.WriteText(os.Stdout); err != nil {

@@ -36,6 +36,7 @@ func run() error {
 	semantics := fs.String("semantics", "selected", "probe trigger semantics: selected | received")
 	falseAlarms := fs.Bool("falsealarms", false, "also run the data-freshness false-alarm study")
 	svgPrefix := fs.String("svg", "", "render each configuration's histogram to <prefix>-caseN.svg")
+	workers := cli.AddWorkersFlag(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -59,6 +60,7 @@ func run() error {
 		BGPmonProbes: *bgpmon,
 		TopMisses:    *top,
 		Semantics:    sem,
+		Workers:      *workers,
 	})
 	if err != nil {
 		return err
@@ -85,7 +87,7 @@ func run() error {
 	}
 	if *falseAlarms {
 		fmt.Println()
-		fa, err := experiments.FalseAlarmStudy(w, experiments.FalseAlarmConfig{Seed: *wf.Seed})
+		fa, err := experiments.FalseAlarmStudy(w, experiments.FalseAlarmConfig{Seed: *wf.Seed, Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -35,6 +35,7 @@ func run() error {
 	minPollution := fs.Int("min-pollution", 0, "success threshold in polluted ASes (0 = 1% of ASes)")
 	filtersKind := fs.String("filters", "core", "deployed filters: core | tier1 | none")
 	probesKind := fs.String("probes", "core", "detector probes: core | tier1 | bgpmon")
+	workers := cli.AddWorkersFlag(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -52,6 +53,7 @@ func run() error {
 		Attacks:      *attacks,
 		Seed:         *wf.Seed,
 		MinPollution: *minPollution,
+		Workers:      *workers,
 	}
 	switch *filtersKind {
 	case "core":

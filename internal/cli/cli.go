@@ -31,6 +31,13 @@ func AddWorldFlags(fs *flag.FlagSet) *WorldFlags {
 	}
 }
 
+// AddWorkersFlag registers -workers. Every sweep-backed experiment accepts
+// a worker count; results are bit-identical at any value, so the flag only
+// trades wall-clock time for cores.
+func AddWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "parallel solver workers (0 = all CPUs); any value gives identical results")
+}
+
 // BuildWorld materializes the World the flags describe.
 func (f *WorldFlags) BuildWorld() (*experiments.World, error) {
 	var opts []core.PolicyOption

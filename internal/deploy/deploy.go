@@ -11,6 +11,7 @@ import (
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
 
@@ -94,21 +95,27 @@ type Evaluation struct {
 	Result   *hijack.SweepResult
 }
 
-// Evaluate sweeps the target with every strategy in turn, using the same
-// attacker population, so the resulting curves are directly comparable
-// (the paper's Figures 5 and 6).
-func Evaluate(pol *core.Policy, target int, attackers []int, strategies []Strategy) ([]Evaluation, error) {
-	out := make([]Evaluation, 0, len(strategies))
-	for _, st := range strategies {
-		res, err := hijack.Sweep(pol, hijack.SweepConfig{
+// Evaluate sweeps the target with every strategy, using the same attacker
+// population, so the resulting curves are directly comparable (the paper's
+// Figures 5 and 6). All (strategy × attack) pairs are flattened into one
+// parallel run on the shared sweep kernel; workers bounds solve parallelism
+// (0 = GOMAXPROCS) and results are bit-identical at any worker count.
+func Evaluate(pol *core.Policy, target int, attackers []int, strategies []Strategy, workers int) ([]Evaluation, error) {
+	cfgs := make([]hijack.SweepConfig, len(strategies))
+	for i, st := range strategies {
+		cfgs[i] = hijack.SweepConfig{
 			Target:    target,
 			Attackers: attackers,
 			Blocked:   st.Blocked(pol.N()),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("evaluate %q: %w", st.Name, err)
 		}
-		out = append(out, Evaluation{Strategy: st, Result: res})
+	}
+	results, err := hijack.SweepAll(pol, cfgs, sweep.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("evaluate deployment ladder: %w", err)
+	}
+	out := make([]Evaluation, len(strategies))
+	for i, st := range strategies {
+		out[i] = Evaluation{Strategy: st, Result: results[i]}
 	}
 	return out, nil
 }

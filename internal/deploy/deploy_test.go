@@ -103,7 +103,7 @@ func TestEvaluateLadderMonotone(t *testing.T) {
 		TopDegree(g, 30),
 		TopDegree(g, 80),
 	}
-	evals, err := Evaluate(pol, target, attackers, ladder)
+	evals, err := Evaluate(pol, target, attackers, ladder, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestRandomVsStrategic(t *testing.T) {
 		None(),
 		Random(g, k, rand.New(rand.NewSource(3))),
 		TopDegree(g, k),
-	})
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
 
@@ -205,52 +206,92 @@ func (r *Result) TopMisses(k int) []MissedAttack {
 // Filters (blocked) may be nil; the paper evaluates detection without
 // prevention deployed.
 func Evaluate(pol *core.Policy, ps ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet) (*Result, error) {
-	if len(ps.Probes) == 0 {
-		return nil, fmt.Errorf("evaluate detection: probe set %q is empty", ps.Name)
+	res, err := EvaluateAll(pol, []ProbeSet{ps}, attacks, sem, blocked, 0)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{
-		ProbeSet:                ps,
-		TriggerHist:             make([]int, len(ps.Probes)+1),
-		MeanPollutionByTriggers: make([]float64, len(ps.Probes)+1),
-		TotalAttacks:            len(attacks),
+	return res[0], nil
+}
+
+// EvaluateAll scores every probe configuration against the workload in one
+// parallel pass on the sweep.Run kernel: each attack is solved exactly once
+// and the converged outcome fanned out to all probe sets (N× fewer solves
+// than evaluating the sets one by one — Figure 7's three configurations
+// share one 8000-attack solve pass). workers bounds solve parallelism
+// (0 = GOMAXPROCS); results are bit-identical at any worker count.
+func EvaluateAll(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet, workers int) ([]*Result, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("evaluate detection: no probe sets")
 	}
-	sums := make([]int, len(ps.Probes)+1)
-	s := core.NewSolver(pol)
-	for _, at := range attacks {
-		o, err := s.Solve(at, blocked)
-		if err != nil {
-			return nil, fmt.Errorf("evaluate detection: %w", err)
+	for _, ps := range sets {
+		if len(ps.Probes) == 0 {
+			return nil, fmt.Errorf("evaluate detection: probe set %q is empty", ps.Name)
 		}
-		var received []bool
-		if sem == AnyReceived {
-			received = core.ReceivedAttackerRoute(pol, o)
+	}
+	// Parallel phase: per-attack pollution and per-set trigger counts,
+	// written into index-ordered slots (the sweep determinism contract).
+	pollution := make([]int, len(attacks))
+	triggers := make([][]int, len(sets)) // triggers[j][i]: probes of set j seeing attack i
+	for j := range triggers {
+		triggers[j] = make([]int, len(attacks))
+	}
+	err := sweep.Run(pol, len(attacks),
+		func(i int) (core.Attack, *asn.IndexSet) { return attacks[i], blocked },
+		sweep.Options{Workers: workers},
+		func(i int, o *core.Outcome) {
+			var received []bool
+			if sem == AnyReceived {
+				received = core.ReceivedAttackerRoute(pol, o)
+			}
+			pollution[i] = o.PollutedCount()
+			for j := range sets {
+				triggered := 0
+				for _, p := range sets[j].Probes {
+					switch sem {
+					case SelectedRoute:
+						if o.Polluted(p) {
+							triggered++
+						}
+					case AnyReceived:
+						if o.Polluted(p) || received[p] {
+							triggered++
+						}
+					}
+				}
+				triggers[j][i] = triggered
+			}
+		})
+	if err != nil {
+		return nil, fmt.Errorf("evaluate detection: %w", err)
+	}
+
+	// Serial reduce in workload order, so histograms and miss lists come
+	// out identical to the pre-kernel serial evaluation.
+	out := make([]*Result, len(sets))
+	for j, ps := range sets {
+		res := &Result{
+			ProbeSet:                ps,
+			TriggerHist:             make([]int, len(ps.Probes)+1),
+			MeanPollutionByTriggers: make([]float64, len(ps.Probes)+1),
+			TotalAttacks:            len(attacks),
 		}
-		triggered := 0
-		for _, p := range ps.Probes {
-			switch sem {
-			case SelectedRoute:
-				if o.Polluted(p) {
-					triggered++
-				}
-			case AnyReceived:
-				if o.Polluted(p) || received[p] {
-					triggered++
-				}
+		sums := make([]int, len(ps.Probes)+1)
+		for i, at := range attacks {
+			triggered := triggers[j][i]
+			res.TriggerHist[triggered]++
+			sums[triggered] += pollution[i]
+			if triggered == 0 {
+				res.Misses = append(res.Misses, MissedAttack{
+					Attacker: at.Attacker, Target: at.Target, Pollution: pollution[i],
+				})
 			}
 		}
-		pollution := o.PollutedCount()
-		res.TriggerHist[triggered]++
-		sums[triggered] += pollution
-		if triggered == 0 {
-			res.Misses = append(res.Misses, MissedAttack{
-				Attacker: at.Attacker, Target: at.Target, Pollution: pollution,
-			})
+		for k := range res.MeanPollutionByTriggers {
+			if res.TriggerHist[k] > 0 {
+				res.MeanPollutionByTriggers[k] = float64(sums[k]) / float64(res.TriggerHist[k])
+			}
 		}
+		out[j] = res
 	}
-	for k := range res.MeanPollutionByTriggers {
-		if res.TriggerHist[k] > 0 {
-			res.MeanPollutionByTriggers[k] = float64(sums[k]) / float64(res.TriggerHist[k])
-		}
-	}
-	return res, nil
+	return out, nil
 }

@@ -1,0 +1,129 @@
+package detect
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+)
+
+// serialEvaluateReference is the pre-kernel Evaluate implementation, kept
+// verbatim as the equivalence oracle: one solver, one probe set, attack by
+// attack in workload order. EvaluateAll must reproduce its output
+// byte-for-byte for every set at every worker count.
+func serialEvaluateReference(pol *core.Policy, ps ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet) (*Result, error) {
+	solver := core.NewSolver(pol)
+	res := &Result{
+		ProbeSet:                ps,
+		TriggerHist:             make([]int, len(ps.Probes)+1),
+		MeanPollutionByTriggers: make([]float64, len(ps.Probes)+1),
+		TotalAttacks:            len(attacks),
+	}
+	sums := make([]int, len(ps.Probes)+1)
+	for _, at := range attacks {
+		o, err := solver.Solve(at, blocked)
+		if err != nil {
+			return nil, err
+		}
+		var received []bool
+		if sem == AnyReceived {
+			received = core.ReceivedAttackerRoute(pol, o)
+		}
+		triggered := 0
+		for _, p := range ps.Probes {
+			switch sem {
+			case SelectedRoute:
+				if o.Polluted(p) {
+					triggered++
+				}
+			case AnyReceived:
+				if o.Polluted(p) || received[p] {
+					triggered++
+				}
+			}
+		}
+		res.TriggerHist[triggered]++
+		sums[triggered] += o.PollutedCount()
+		if triggered == 0 {
+			res.Misses = append(res.Misses, MissedAttack{
+				Attacker: at.Attacker, Target: at.Target, Pollution: o.PollutedCount(),
+			})
+		}
+	}
+	for k := range res.MeanPollutionByTriggers {
+		if res.TriggerHist[k] > 0 {
+			res.MeanPollutionByTriggers[k] = float64(sums[k]) / float64(res.TriggerHist[k])
+		}
+	}
+	return res, nil
+}
+
+// resultDigest hashes every observable field of a detection Result.
+func resultDigest(r *Result) [sha256.Size]byte {
+	h := sha256.New()
+	binary.Write(h, binary.BigEndian, int64(r.TotalAttacks)) //nolint:errcheck // hash.Hash cannot fail
+	for _, p := range r.ProbeSet.Probes {
+		binary.Write(h, binary.BigEndian, int64(p)) //nolint:errcheck
+	}
+	for _, n := range r.TriggerHist {
+		binary.Write(h, binary.BigEndian, int64(n)) //nolint:errcheck
+	}
+	for _, m := range r.MeanPollutionByTriggers {
+		binary.Write(h, binary.BigEndian, math.Float64bits(m)) //nolint:errcheck
+	}
+	for _, m := range r.Misses {
+		binary.Write(h, binary.BigEndian, int64(m.Attacker))  //nolint:errcheck
+		binary.Write(h, binary.BigEndian, int64(m.Target))    //nolint:errcheck
+		binary.Write(h, binary.BigEndian, int64(m.Pollution)) //nolint:errcheck
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// TestEvaluateAllSerialEquivalence requires the one-solve-many-consumers
+// fan-out to match the per-set serial reference digest-for-digest under
+// both trigger semantics at worker counts 1 and 4.
+func TestEvaluateAllSerialEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	pol, g, c := testWorld(t, 400)
+	attacks, err := GenerateAttacks(g.TransitNodes(), 300, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := asn.NewIndexSet(g.N())
+	for _, i := range c.Tier1 {
+		blocked.Add(i)
+	}
+	sets := []ProbeSet{
+		Tier1Probes(c),
+		TopDegreeProbes(g, len(c.Tier1)+5),
+	}
+	for _, sem := range []Semantics{SelectedRoute, AnyReceived} {
+		want := make([][sha256.Size]byte, len(sets))
+		for j, ps := range sets {
+			ref, err := serialEvaluateReference(pol, ps, attacks, sem, blocked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[j] = resultDigest(ref)
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := EvaluateAll(pol, sets, attacks, sem, blocked, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range sets {
+				if d := resultDigest(got[j]); d != want[j] {
+					t.Errorf("sem=%d workers=%d set %q: digest %x != serial reference %x",
+						sem, workers, sets[j].Name, d[:8], want[j][:8])
+				}
+			}
+		}
+	}
+}

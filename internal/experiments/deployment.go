@@ -33,6 +33,9 @@ type DeploymentConfig struct {
 	Seed int64
 	// ResidualTop is the residual-attack table size (default 5).
 	ResidualTop int
+	// Workers bounds solve parallelism (0 = GOMAXPROCS); results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 func (c DeploymentConfig) withDefaults() DeploymentConfig {
@@ -70,9 +73,9 @@ func Fig6(w *World, cfg DeploymentConfig) (*DeploymentResult, error) {
 
 func deploymentPanel(w *World, cfg DeploymentConfig, target Target, title string) (*DeploymentResult, error) {
 	cfg = cfg.withDefaults()
-	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed))
+	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed, "attackers"))
 	ladder := deploy.PaperLadder(w.Graph, w.Class, cfg.Seed)
-	evals, err := deploy.Evaluate(w.Policy, target.Node, attackers, ladder)
+	evals, err := deploy.Evaluate(w.Policy, target.Node, attackers, ladder, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", title, err)
 	}

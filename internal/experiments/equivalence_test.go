@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/deploy"
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+)
+
+// These tests pin the sweep-runtime refactor: every experiment runner that
+// moved from a private serial solve loop onto the shared kernel must
+// produce byte-identical results at any worker count, and — where a serial
+// reference survives below — identical to the pre-refactor implementation.
+
+// serialHoleReference is the pre-kernel HoleAnalysis solve loop, kept as
+// the equivalence oracle (defaults resolved by the caller).
+func serialHoleReference(t *testing.T, w *World, cfg HoleConfig) *HoleResult {
+	t.Helper()
+	filters := *cfg.Filters
+	probes := *cfg.Probes
+	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, rngFor(cfg.Seed, "attacks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := filters.Blocked(w.Graph.N())
+	solver := core.NewSolver(w.Policy)
+	res := &HoleResult{
+		Attacks:           cfg.Attacks,
+		AttackerDepthHist: make(map[int]int),
+		ReasonTotals:      make(map[MissReason]int),
+		MinPollution:      cfg.MinPollution,
+	}
+	for _, at := range attacks {
+		o, err := solver.Solve(at, blocked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pollution := o.PollutedCount()
+		if pollution < cfg.MinPollution {
+			continue
+		}
+		res.Succeeded++
+		triggered := false
+		for _, p := range probes.Probes {
+			if o.Polluted(p) {
+				triggered = true
+				break
+			}
+		}
+		if triggered {
+			continue
+		}
+		res.Undetected++
+		hole := Hole{
+			Attacker:       at.Attacker,
+			Target:         at.Target,
+			Pollution:      pollution,
+			AttackerDepth:  w.Class.Depth[at.Attacker],
+			AttackerDegree: w.Graph.Degree(at.Attacker),
+			WhyMissed:      explainMisses(w, o, probes.Probes, blocked),
+		}
+		res.AttackerDepthHist[hole.AttackerDepth]++
+		for r, n := range hole.WhyMissed {
+			res.ReasonTotals[r] += n
+		}
+		res.Holes = append(res.Holes, hole)
+	}
+	sort.Slice(res.Holes, func(i, j int) bool {
+		if res.Holes[i].Pollution != res.Holes[j].Pollution {
+			return res.Holes[i].Pollution > res.Holes[j].Pollution
+		}
+		return res.Holes[i].Attacker < res.Holes[j].Attacker
+	})
+	return res
+}
+
+func holeDigest(r *HoleResult) [sha256.Size]byte {
+	h := sha256.New()
+	wr := func(v int64) { binary.Write(h, binary.BigEndian, v) } //nolint:errcheck // hash.Hash cannot fail
+	wr(int64(r.Attacks))
+	wr(int64(r.Succeeded))
+	wr(int64(r.Undetected))
+	wr(int64(r.MinPollution))
+	// Hash maps in deterministic key order.
+	for d := 0; d < 64; d++ {
+		if n, ok := r.AttackerDepthHist[d]; ok {
+			wr(int64(d))
+			wr(int64(n))
+		}
+	}
+	for _, reason := range []MissReason{MissNeverReached, MissFiltered, MissLocalPref, MissShorterPath, MissTieBreak} {
+		wr(int64(r.ReasonTotals[reason]))
+	}
+	for _, hole := range r.Holes {
+		wr(int64(hole.Attacker))
+		wr(int64(hole.Target))
+		wr(int64(hole.Pollution))
+		wr(int64(hole.AttackerDepth))
+		wr(int64(hole.AttackerDegree))
+		for _, reason := range []MissReason{MissNeverReached, MissFiltered, MissLocalPref, MissShorterPath, MissTieBreak} {
+			wr(int64(hole.WhyMissed[reason]))
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func detectionDigest(r *DetectionResult) [sha256.Size]byte {
+	h := sha256.New()
+	wr := func(v int64) { binary.Write(h, binary.BigEndian, v) } //nolint:errcheck // hash.Hash cannot fail
+	wr(int64(r.Attacks))
+	for _, c := range r.Cases {
+		for _, p := range c.Result.ProbeSet.Probes {
+			wr(int64(p))
+		}
+		for _, n := range c.Result.TriggerHist {
+			wr(int64(n))
+		}
+		for _, m := range c.Result.MeanPollutionByTriggers {
+			wr(int64(math.Float64bits(m)))
+		}
+		for _, m := range c.Result.Misses {
+			wr(int64(m.Attacker))
+			wr(int64(m.Target))
+			wr(int64(m.Pollution))
+		}
+		for _, m := range c.TopMisses {
+			wr(int64(m.Attacker))
+			wr(int64(m.Target))
+			wr(int64(m.Pollution))
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func deploymentDigest(r *DeploymentResult) [sha256.Size]byte {
+	h := sha256.New()
+	wr := func(v int64) { binary.Write(h, binary.BigEndian, v) } //nolint:errcheck // hash.Hash cannot fail
+	wr(int64(r.Target.Node))
+	for _, e := range r.Rungs {
+		for _, n := range e.Strategy.Nodes {
+			wr(int64(n))
+		}
+		wr(int64(e.Result.Target))
+		for _, a := range e.Result.Attackers {
+			wr(int64(a))
+		}
+		for _, p := range e.Result.Pollution {
+			wr(int64(p))
+		}
+		for _, w := range e.Result.WeightFrac {
+			wr(int64(math.Float64bits(w)))
+		}
+	}
+	for _, a := range append(append([]hijack.AttackerStat(nil), r.Residual...), r.ResidualOutsiders...) {
+		wr(int64(a.Attacker))
+		wr(int64(a.Pollution))
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// TestHoleAnalysisSerialEquivalence: kernel-backed HoleAnalysis must match
+// the serial reference digest-for-digest at workers 1 and 4.
+func TestHoleAnalysisSerialEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := world(t)
+	// Pin every default explicitly so the serial reference and the runner
+	// evaluate one identical configuration.
+	coreK := 62 * w.Graph.N() / 42697
+	if coreK < len(w.Class.Tier1)+3 {
+		coreK = len(w.Class.Tier1) + 3
+	}
+	fl := deploy.TopDegree(w.Graph, coreK)
+	pr := detect.TopDegreeProbes(w.Graph, coreK)
+	minPollution := w.Graph.N() / 100
+	if minPollution < 5 {
+		minPollution = 5
+	}
+	cfg := HoleConfig{
+		Attacks:      300,
+		Seed:         11,
+		MinPollution: minPollution,
+		Filters:      &fl,
+		Probes:       &pr,
+		MaxHoles:     1 << 30, // digest the full hole list, not a truncation
+	}
+	want := holeDigest(serialHoleReference(t, w, cfg))
+	for _, workers := range []int{1, 4} {
+		run := cfg
+		run.Workers = workers
+		got, err := HoleAnalysis(w, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := holeDigest(got); d != want {
+			t.Errorf("workers=%d: hole digest %x != serial reference %x", workers, d[:8], want[:8])
+		}
+	}
+}
+
+// TestFig7WorkerInvariance: the full Figure 7 panel must be bit-identical
+// at workers 1 and 4.
+func TestFig7WorkerInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := world(t)
+	var want [sha256.Size]byte
+	for i, workers := range []int{1, 4} {
+		r, err := Fig7(w, DetectionConfig{Attacks: 300, Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := detectionDigest(r)
+		if i == 0 {
+			want = d
+		} else if d != want {
+			t.Errorf("fig7 workers=%d digest %x != workers=1 %x", workers, d[:8], want[:8])
+		}
+	}
+}
+
+// TestFig5WorkerInvariance: the deployment-ladder panel (rungs flattened
+// across one worker pool) must be bit-identical at workers 1 and 4.
+func TestFig5WorkerInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := world(t)
+	var want [sha256.Size]byte
+	for i, workers := range []int{1, 4} {
+		r, err := Fig5(w, DeploymentConfig{AttackerSample: 120, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := deploymentDigest(r)
+		if i == 0 {
+			want = d
+		} else if d != want {
+			t.Errorf("fig5 workers=%d digest %x != workers=1 %x", workers, d[:8], want[:8])
+		}
+	}
+}

@@ -61,17 +61,17 @@ func TestScenarioTargets(t *testing.T) {
 
 func TestSampleAttackers(t *testing.T) {
 	pool := []int{1, 2, 3, 4, 5, 6, 7, 8}
-	if got := SampleAttackers(pool, 0, rngFor(1)); len(got) != len(pool) {
+	if got := SampleAttackers(pool, 0, rngFor(1, "attackers")); len(got) != len(pool) {
 		t.Error("sample 0 should return all")
 	}
-	if got := SampleAttackers(pool, 100, rngFor(1)); len(got) != len(pool) {
+	if got := SampleAttackers(pool, 100, rngFor(1, "attackers")); len(got) != len(pool) {
 		t.Error("oversized sample should return all")
 	}
-	got := SampleAttackers(pool, 3, rngFor(1))
+	got := SampleAttackers(pool, 3, rngFor(1, "attackers"))
 	if len(got) != 3 {
 		t.Fatalf("sample = %d", len(got))
 	}
-	again := SampleAttackers(pool, 3, rngFor(1))
+	again := SampleAttackers(pool, 3, rngFor(1, "attackers"))
 	for i := range got {
 		if got[i] != again[i] {
 			t.Error("sampling not deterministic")

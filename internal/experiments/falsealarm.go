@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/prefix"
 	"github.com/bgpsim/bgpsim/internal/rpki"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 )
 
 // FalseAlarmResult quantifies the paper's Section VI caveat: "detectors
@@ -48,6 +48,9 @@ type FalseAlarmConfig struct {
 	// one per transferred prefix).
 	Hijacks int
 	Seed    int64
+	// Workers bounds validation parallelism (0 = GOMAXPROCS); results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // FalseAlarmStudy runs the comparison. The simulation assigns each prefix
@@ -69,7 +72,7 @@ func FalseAlarmStudy(w *World, cfg FalseAlarmConfig) (*FalseAlarmResult, error) 
 	if cfg.Prefixes > w.Graph.N() {
 		cfg.Prefixes = w.Graph.N()
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rng := rngFor(cfg.Seed, "falsealarm")
 
 	var fresh, stale rpki.Store
 	type owned struct {
@@ -124,31 +127,61 @@ func FalseAlarmStudy(w *World, cfg FalseAlarmConfig) (*FalseAlarmResult, error) 
 	// origins stay authorized in fresh, which is how RPKI transfers work
 	// until the old ROA is revoked. We model revocation implicitly by
 	// validating against the new origin only.)
-	for _, tr := range transferred {
-		if fresh.Validate(tr.p, tr.owner) == rpki.Invalid {
-			res.FreshFalseAlarms++
-		}
-		if stale.Validate(tr.p, tr.owner) == rpki.Invalid {
-			res.StaleFalseAlarms++
-		}
-	}
-
 	// (b) Hijacks of the same prefixes from random unrelated ASes.
+	//
+	// All rng draws happen serially here (so the streams match the old
+	// serial loop draw for draw, including the skipped same-owner hijacks);
+	// the read-only Store.Validate checks then fan out on the sweep kernel.
 	if cfg.Hijacks == 0 {
 		cfg.Hijacks = len(transferred)
 	}
 	res.Hijacks = cfg.Hijacks
+	type check struct {
+		p      prefix.Prefix
+		origin asn.ASN
+		hijack bool
+	}
+	checks := make([]check, 0, len(transferred)+cfg.Hijacks)
+	for _, tr := range transferred {
+		checks = append(checks, check{p: tr.p, origin: tr.owner})
+	}
 	for k := 0; k < cfg.Hijacks; k++ {
 		tr := prefixes[rng.Intn(len(prefixes))]
 		hijacker := w.Graph.ASN(rng.Intn(w.Graph.N()))
 		if hijacker == tr.owner {
 			continue
 		}
-		if fresh.Validate(tr.p, hijacker) == rpki.Invalid {
-			res.FreshDetected++
+		checks = append(checks, check{p: tr.p, origin: hijacker, hijack: true})
+	}
+	type verdict struct{ fresh, stale bool }
+	verdicts := make([]verdict, len(checks))
+	if err := sweep.Map(len(checks), sweep.Options{Workers: cfg.Workers}, func(i int) error {
+		c := checks[i]
+		verdicts[i] = verdict{
+			fresh: fresh.Validate(c.p, c.origin) == rpki.Invalid,
+			stale: stale.Validate(c.p, c.origin) == rpki.Invalid,
 		}
-		if stale.Validate(tr.p, hijacker) == rpki.Invalid {
-			res.StaleDetected++
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("false-alarm study: %w", err)
+	}
+	for i, c := range checks {
+		v := verdicts[i]
+		switch {
+		case c.hijack:
+			if v.fresh {
+				res.FreshDetected++
+			}
+			if v.stale {
+				res.StaleDetected++
+			}
+		default:
+			if v.fresh {
+				res.FreshFalseAlarms++
+			}
+			if v.stale {
+				res.StaleFalseAlarms++
+			}
 		}
 	}
 	return res, nil

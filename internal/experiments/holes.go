@@ -10,6 +10,7 @@ import (
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
 	"github.com/bgpsim/bgpsim/internal/xmaps"
 )
@@ -88,6 +89,9 @@ type HoleConfig struct {
 	Probes *detect.ProbeSet
 	// MaxHoles bounds the retained hole list (default 50).
 	MaxHoles int
+	// Workers bounds solve parallelism (0 = GOMAXPROCS); results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // HoleAnalysis runs the future-work experiment.
@@ -117,12 +121,11 @@ func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
 		probes = *cfg.Probes
 	}
 
-	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, rngFor(cfg.Seed))
+	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, rngFor(cfg.Seed, "attacks"))
 	if err != nil {
 		return nil, fmt.Errorf("hole analysis: %w", err)
 	}
 	blocked := filters.Blocked(w.Graph.N())
-	solver := core.NewSolver(w.Policy)
 	res := &HoleResult{
 		Title: fmt.Sprintf("Deployment holes: filters %q vs probes %q",
 			filters.Name, probes.Name),
@@ -131,34 +134,57 @@ func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
 		ReasonTotals:      make(map[MissReason]int),
 		MinPollution:      cfg.MinPollution,
 	}
-	for _, at := range attacks {
-		o, err := solver.Solve(at, blocked)
-		if err != nil {
-			return nil, fmt.Errorf("hole analysis: %w", err)
-		}
-		pollution := o.PollutedCount()
-		if pollution < cfg.MinPollution {
+	// Parallel phase on the shared sweep kernel: per-attack success,
+	// detection, and (for holes only) the per-probe miss classification —
+	// everything that needs the transient outcome — written index-ordered.
+	type obs struct {
+		pollution int
+		succeeded bool
+		triggered bool
+		why       map[MissReason]int
+	}
+	observed := make([]obs, len(attacks))
+	err = sweep.Run(w.Policy, len(attacks),
+		func(i int) (core.Attack, *asn.IndexSet) { return attacks[i], blocked },
+		sweep.Options{Workers: cfg.Workers},
+		func(i int, o *core.Outcome) {
+			ob := obs{pollution: o.PollutedCount()}
+			if ob.pollution >= cfg.MinPollution {
+				ob.succeeded = true
+				for _, p := range probes.Probes {
+					if o.Polluted(p) {
+						ob.triggered = true
+						break
+					}
+				}
+				if !ob.triggered {
+					ob.why = explainMisses(w, o, probes.Probes, blocked)
+				}
+			}
+			observed[i] = ob
+		})
+	if err != nil {
+		return nil, fmt.Errorf("hole analysis: %w", err)
+	}
+	// Serial reduce in workload order (histograms and hole list come out
+	// identical to the pre-kernel serial loop).
+	for i, at := range attacks {
+		ob := observed[i]
+		if !ob.succeeded {
 			continue
 		}
 		res.Succeeded++
-		triggered := false
-		for _, p := range probes.Probes {
-			if o.Polluted(p) {
-				triggered = true
-				break
-			}
-		}
-		if triggered {
+		if ob.triggered {
 			continue
 		}
 		res.Undetected++
 		hole := Hole{
 			Attacker:       at.Attacker,
 			Target:         at.Target,
-			Pollution:      pollution,
+			Pollution:      ob.pollution,
 			AttackerDepth:  w.Class.Depth[at.Attacker],
 			AttackerDegree: w.Graph.Degree(at.Attacker),
-			WhyMissed:      explainMisses(w, o, probes.Probes, blocked),
+			WhyMissed:      ob.why,
 		}
 		res.AttackerDepthHist[hole.AttackerDepth]++
 		for r, n := range hole.WhyMissed {

@@ -31,7 +31,7 @@ func SBGPStudy(w *World, cfg DeploymentConfig) (*SBGPResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("sbgp study: no deep target")
 	}
-	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed))
+	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed, "attackers"))
 	coreK := 62 * w.Graph.N() / 42697
 	if coreK < len(w.Class.Tier1)+3 {
 		coreK = len(w.Class.Tier1) + 3

@@ -5,9 +5,11 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/stats"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 )
 
 // SubPrefixResult contrasts exact-prefix origin hijacks with sub-prefix
@@ -44,7 +46,13 @@ func SubPrefixStudy(w *World, cfg DeploymentConfig) (*SubPrefixResult, error) {
 		Node:  node,
 		Depth: w.Class.Depth[node],
 	}
-	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed))
+	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed, "attackers"))
+	att := make([]int, 0, len(attackers))
+	for _, a := range attackers {
+		if a != target.Node {
+			att = append(att, a)
+		}
+	}
 	coreK := 62 * w.Graph.N() / 42697
 	if coreK < len(w.Class.Tier1)+3 {
 		coreK = len(w.Class.Tier1) + 3
@@ -59,24 +67,36 @@ func SubPrefixStudy(w *World, cfg DeploymentConfig) (*SubPrefixResult, error) {
 		Title:  "Sub-prefix vs origin hijacks under incremental filtering",
 		Target: target,
 	}
-	solver := core.NewSolver(w.Policy)
-	for _, st := range ladder {
-		blocked := st.Blocked(w.Graph.N())
-		var origin, sub []int
-		for _, a := range attackers {
-			if a == target.Node {
-				continue
-			}
-			oo, err := solver.Solve(core.Attack{Target: target.Node, Attacker: a}, blocked)
-			if err != nil {
-				return nil, fmt.Errorf("subprefix study: %w", err)
-			}
-			origin = append(origin, oo.PollutedCount())
-			os, err := solver.Solve(core.Attack{Target: target.Node, Attacker: a, SubPrefix: true}, blocked)
-			if err != nil {
-				return nil, fmt.Errorf("subprefix study: %w", err)
-			}
-			sub = append(sub, os.PollutedCount())
+	// Flatten (rung × attacker × {origin, sub-prefix}) into one kernel run:
+	// even flat indices are exact-prefix attacks, odd ones sub-prefix, so
+	// both pollution series fill index-ordered and summarize identically to
+	// the old serial double-solve loop.
+	blockeds := make([]*asn.IndexSet, len(ladder))
+	for r, st := range ladder {
+		blockeds[r] = st.Blocked(w.Graph.N())
+	}
+	perRung := 2 * len(att)
+	pollution := make([]int, len(ladder)*perRung)
+	err := sweep.Run(w.Policy, len(pollution),
+		func(i int) (core.Attack, *asn.IndexSet) {
+			r, rem := i/perRung, i%perRung
+			return core.Attack{
+				Target:    target.Node,
+				Attacker:  att[rem/2],
+				SubPrefix: rem%2 == 1,
+			}, blockeds[r]
+		},
+		sweep.Options{Workers: cfg.Workers},
+		func(i int, o *core.Outcome) { pollution[i] = o.PollutedCount() })
+	if err != nil {
+		return nil, fmt.Errorf("subprefix study: %w", err)
+	}
+	for r, st := range ladder {
+		origin := make([]int, 0, len(att))
+		sub := make([]int, 0, len(att))
+		for j := 0; j < len(att); j++ {
+			origin = append(origin, pollution[r*perRung+2*j])
+			sub = append(sub, pollution[r*perRung+2*j+1])
 		}
 		res.Rows = append(res.Rows, SubPrefixRow{
 			Strategy:  st,

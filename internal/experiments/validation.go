@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/ribcompare"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 )
 
 // ValidationResult is the Section III validation study: simulated RIBs
@@ -24,6 +26,9 @@ type ValidationConfig struct {
 	Origins int
 	// Seed picks the origins.
 	Seed int64
+	// Workers bounds solve parallelism (0 = GOMAXPROCS); results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // ValidationStudy computes single-origin routing tables for a handful of
@@ -37,24 +42,30 @@ func ValidationStudy(w *World, cfg ValidationConfig) (*ValidationResult, error) 
 	if err != nil {
 		return nil, fmt.Errorf("validation: %w", err)
 	}
-	simSolver := core.NewSolver(w.Policy)
-	refSolver := core.NewSolver(refPolicy)
 
-	origins := SampleAttackers(allNodes(w.Graph.N()), cfg.Origins, rngFor(cfg.Seed))
+	origins := SampleAttackers(allNodes(w.Graph.N()), cfg.Origins, rngFor(cfg.Seed, "origins"))
+	// Single-origin routing state via a sub-prefix announcement. The same
+	// job runs once per policy on the sweep kernel; FromOutcome copies the
+	// paths, detaching each RIB from the solver's transient outcome.
+	job := func(i int) (core.Attack, *asn.IndexSet) {
+		origin := origins[i]
+		return core.Attack{Target: (origin + 1) % w.Graph.N(), Attacker: origin, SubPrefix: true}, nil
+	}
+	opts := sweep.Options{Workers: cfg.Workers}
+	simRIBs := make([]ribcompare.RIB, len(origins))
+	refRIBs := make([]ribcompare.RIB, len(origins))
+	if err := sweep.Run(w.Policy, len(origins), job, opts,
+		func(i int, o *core.Outcome) { simRIBs[i] = ribcompare.FromOutcome(o) }); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+	if err := sweep.Run(refPolicy, len(origins), job, opts,
+		func(i int, o *core.Outcome) { refRIBs[i] = ribcompare.FromOutcome(o) }); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+
 	res := &ValidationResult{Origins: len(origins)}
-	for _, origin := range origins {
-		other := (origin + 1) % w.Graph.N()
-		// Single-origin routing state via a sub-prefix announcement.
-		at := core.Attack{Target: other, Attacker: origin, SubPrefix: true}
-		oSim, err := simSolver.Solve(at, nil)
-		if err != nil {
-			return nil, fmt.Errorf("validation: %w", err)
-		}
-		oRef, err := refSolver.Solve(at, nil)
-		if err != nil {
-			return nil, fmt.Errorf("validation: %w", err)
-		}
-		rep := ribcompare.Compare(w.Graph, ribcompare.FromOutcome(oSim), ribcompare.FromOutcome(oRef))
+	for k := range origins {
+		rep := ribcompare.Compare(w.Graph, simRIBs[k], refRIBs[k])
 		res.Reports = append(res.Reports, rep)
 		res.Overall.Exact += rep.Exact
 		res.Overall.TopoEquivalent += rep.TopoEquivalent

@@ -5,7 +5,9 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"github.com/bgpsim/bgpsim/internal/core"
@@ -150,11 +152,23 @@ func SampleAttackers(pool []int, sample int, rng *rand.Rand) []int {
 	return cp[:sample]
 }
 
-// rngFor returns the deterministic generator for one sampled quantity.
-// Each quantity draws from its own generator built from the configured
-// seed, so adding a new sampled quantity to a runner never shifts the
-// streams — and therefore the published rows — of existing ones.
-func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// rngFor returns the deterministic generator for one sampled quantity,
+// derived from the configured seed plus the quantity's name. Every purpose
+// gets its own independent stream, so two generators built from one seed
+// never alias — a runner that draws its attack workload and its probe set
+// from the same raw seed would otherwise make the two selections
+// correlated copies of each other. Adding a new purpose never shifts the
+// streams — and therefore the published rows — of existing ones, and
+// deliberately repeating a purpose string replays the identical stream
+// (Fig4's paired attacker pools document that on purpose).
+func rngFor(seed int64, purpose string) *rand.Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])          //nolint:errcheck // hash.Hash cannot fail
+	h.Write([]byte(purpose)) //nolint:errcheck
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
 
 func min(a, b int) int {
 	if a < b {

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
 
@@ -121,5 +123,112 @@ func TestParallelSweepDeterminism(t *testing.T) {
 	}
 	if d := sweepDigest(res); d != digests[0] {
 		t.Errorf("parallel sweep diverges from sequential: %x != %x", digests[0][:8], d[:8])
+	}
+}
+
+// TestSweepAllSerialEquivalence compares the flattened multi-configuration
+// kernel run against a hand-rolled single-solver serial loop — the
+// pre-kernel reference implementation — and requires byte-identical
+// measurement vectors at every worker count. This is the equivalence proof
+// for the deployment-ladder refactor: rungs that used to run one at a time
+// now load-balance across one pool, and nothing observable may change.
+func TestSweepAllSerialEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	pol, g, c := testWorld(t, 300)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := asn.NewIndexSet(g.N())
+	for _, i := range c.Tier1 {
+		blocked.Add(i)
+	}
+	cfgs := []SweepConfig{
+		{Target: target, Attackers: AllNodes(g.N())},
+		{Target: target, Attackers: AllNodes(g.N()), Blocked: blocked},
+		{Target: target, Attackers: g.TransitNodes(), SubPrefix: true},
+	}
+
+	// Serial reference: one solver, configuration by configuration, attack
+	// by attack — exactly the shape every runner had before the kernel.
+	totalWeight := g.TotalAddrWeight()
+	solver := core.NewSolver(pol)
+	refs := make([]*SweepResult, len(cfgs))
+	for ci, cfg := range cfgs {
+		ref := &SweepResult{Target: cfg.Target}
+		for _, a := range cfg.Attackers {
+			if a == cfg.Target {
+				continue
+			}
+			o, err := solver.Solve(core.Attack{Target: cfg.Target, Attacker: a, SubPrefix: cfg.SubPrefix}, cfg.Blocked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			var weight int64
+			for v := 0; v < o.N(); v++ {
+				if o.Polluted(v) {
+					count++
+					weight += g.AddrWeight(v)
+				}
+			}
+			ref.Attackers = append(ref.Attackers, a)
+			ref.Pollution = append(ref.Pollution, count)
+			ref.WeightFrac = append(ref.WeightFrac, float64(weight)/float64(totalWeight))
+		}
+		refs[ci] = ref
+	}
+
+	for _, workers := range []int{1, 4} {
+		results, err := SweepAll(pol, cfgs, sweep.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range cfgs {
+			if got, want := sweepDigest(results[ci]), sweepDigest(refs[ci]); got != want {
+				t.Errorf("workers=%d cfg=%d: kernel digest %x != serial reference %x",
+					workers, ci, got[:8], want[:8])
+			}
+		}
+	}
+}
+
+// TestSweepRunDeterminism drives the sweep.Run kernel directly from this
+// package's workload shape and requires identical observer-visible outcome
+// digests at worker counts 1, 4, and GOMAXPROCS.
+func TestSweepRunDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	pol, g, c := testWorld(t, 300)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers := g.TransitNodes()
+
+	digest := func(workers int) [sha256.Size]byte {
+		polluted := make([]int64, len(attackers))
+		err := sweep.Run(pol, len(attackers),
+			func(i int) (core.Attack, *asn.IndexSet) {
+				return core.Attack{Target: target, Attacker: attackers[i]}, nil
+			},
+			sweep.Options{Workers: workers},
+			func(i int, o *core.Outcome) { polluted[i] = int64(o.PollutedCount()) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		for _, p := range polluted {
+			binary.Write(h, binary.BigEndian, p) //nolint:errcheck // hash.Hash cannot fail
+		}
+		var out [sha256.Size]byte
+		h.Sum(out[:0])
+		return out
+	}
+
+	want := digest(1)
+	for _, workers := range []int{4, 0} {
+		if got := digest(workers); got != want {
+			t.Errorf("sweep.Run workers=%d digest %x != serial %x", workers, got[:8], want[:8])
+		}
 	}
 }

@@ -7,12 +7,11 @@ package hijack
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/stats"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
 
@@ -43,109 +42,85 @@ type SweepResult struct {
 }
 
 // Sweep attacks the target from every configured attacker and records the
-// pollution each attack achieves.
+// pollution each attack achieves. It is a thin wrapper over SweepAll's
+// shared parallel solve kernel.
 func Sweep(pol *core.Policy, cfg SweepConfig) (*SweepResult, error) {
+	res, err := SweepAll(pol, []SweepConfig{cfg}, sweep.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SweepAll runs several sweep configurations as one flattened parallel run
+// over every (configuration, attack) pair on the sweep.Run kernel, so a
+// deployment ladder's strategies load-balance across one worker pool
+// instead of running rung by rung. Results are index-ordered per
+// configuration and bit-identical at any worker count (DESIGN.md §7).
+func SweepAll(pol *core.Policy, cfgs []SweepConfig, opts sweep.Options) ([]*SweepResult, error) {
 	n := pol.N()
-	if cfg.Target < 0 || cfg.Target >= n {
-		return nil, fmt.Errorf("sweep: target %d out of range", cfg.Target)
-	}
-	attackers := make([]int, 0, len(cfg.Attackers))
-	for _, a := range cfg.Attackers {
-		if a == cfg.Target {
-			continue
+	results := make([]*SweepResult, len(cfgs))
+	// slot maps one flattened job index back to (configuration, attack).
+	type slot struct{ cfg, k int32 }
+	var slots []slot
+	for ci, cfg := range cfgs {
+		if cfg.Target < 0 || cfg.Target >= n {
+			return nil, fmt.Errorf("sweep: target %d out of range", cfg.Target)
 		}
-		if a < 0 || a >= n {
-			return nil, fmt.Errorf("sweep: attacker %d out of range", a)
+		attackers := make([]int, 0, len(cfg.Attackers))
+		for _, a := range cfg.Attackers {
+			if a == cfg.Target {
+				continue
+			}
+			if a < 0 || a >= n {
+				return nil, fmt.Errorf("sweep: attacker %d out of range", a)
+			}
+			attackers = append(attackers, a)
 		}
-		attackers = append(attackers, a)
-	}
-	res := &SweepResult{
-		Target:     cfg.Target,
-		Attackers:  attackers,
-		Pollution:  make([]int, len(attackers)),
-		WeightFrac: make([]float64, len(attackers)),
+		results[ci] = &SweepResult{
+			Target:     cfg.Target,
+			Attackers:  attackers,
+			Pollution:  make([]int, len(attackers)),
+			WeightFrac: make([]float64, len(attackers)),
+		}
+		for k := range attackers {
+			slots = append(slots, slot{int32(ci), int32(k)})
+		}
 	}
 
 	g := pol.Graph()
 	totalWeight := g.TotalAddrWeight()
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(attackers) {
-		workers = len(attackers)
-	}
-	if workers <= 1 {
-		s := core.NewSolver(pol)
-		for k, a := range attackers {
-			if err := sweepOne(s, g, cfg, a, totalWeight, res, k); err != nil {
-				return nil, err
-			}
-		}
-		return res, nil
-	}
-
-	// mu guards firstErr only. Workers write results into disjoint
-	// index ranges of the pre-sized slices, so result order — and
-	// therefore the digest of a run — is independent of scheduling (see
-	// TestParallelSweepDeterminism).
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	chunk := (len(attackers) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(attackers) {
-			hi = len(attackers)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s := core.NewSolver(pol)
-			for k := lo; k < hi; k++ {
-				if err := sweepOne(s, g, cfg, attackers[k], totalWeight, res, k); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
+	err := sweep.Run(pol, len(slots),
+		func(i int) (core.Attack, *asn.IndexSet) {
+			s := slots[i]
+			cfg := &cfgs[s.cfg]
+			return core.Attack{
+				Target:    cfg.Target,
+				Attacker:  results[s.cfg].Attackers[s.k],
+				SubPrefix: cfg.SubPrefix,
+			}, cfg.Blocked
+		},
+		opts,
+		func(i int, o *core.Outcome) {
+			count := 0
+			var weight int64
+			for v := 0; v < o.N(); v++ {
+				if o.Polluted(v) {
+					count++
+					weight += g.AddrWeight(v)
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return res, nil
-}
-
-func sweepOne(s *core.Solver, g *topology.Graph, cfg SweepConfig, attacker int, totalWeight int64, res *SweepResult, k int) error {
-	o, err := s.Solve(core.Attack{Target: cfg.Target, Attacker: attacker, SubPrefix: cfg.SubPrefix}, cfg.Blocked)
+			s := slots[i]
+			r := results[s.cfg]
+			r.Pollution[s.k] = count
+			if totalWeight > 0 {
+				r.WeightFrac[s.k] = float64(weight) / float64(totalWeight)
+			}
+		})
 	if err != nil {
-		return fmt.Errorf("sweep attack from %d: %w", attacker, err)
+		return nil, err
 	}
-	count := 0
-	var weight int64
-	for i := 0; i < o.N(); i++ {
-		if o.Polluted(i) {
-			count++
-			weight += g.AddrWeight(i)
-		}
-	}
-	res.Pollution[k] = count
-	if totalWeight > 0 {
-		res.WeightFrac[k] = float64(weight) / float64(totalWeight)
-	}
-	return nil
+	return results, nil
 }
 
 // CCDF returns the vulnerability-analysis curve (Figures 2–6): how many

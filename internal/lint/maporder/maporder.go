@@ -31,6 +31,7 @@ var Deterministic = []string{
 	"github.com/bgpsim/bgpsim/internal/detect",
 	"github.com/bgpsim/bgpsim/internal/experiments",
 	"github.com/bgpsim/bgpsim/internal/stats",
+	"github.com/bgpsim/bgpsim/internal/sweep",
 }
 
 // Analyzer is the maporder pass.

@@ -1,0 +1,163 @@
+// Package sweep is the repository's shared deterministic parallel solve
+// runtime. Every experiment layer — the hijack vulnerability sweeps, the
+// deployment ladders, the detector evaluations, and the hole/sub-prefix/
+// validation studies — maps some list of attacks through a core.Solver and
+// aggregates per-attack measurements. This package owns that map exactly
+// once: worker-pool setup, per-worker solver reuse, index-ordered result
+// writes, first-error propagation with cancellation, and an optional
+// progress callback.
+//
+// Determinism contract (DESIGN.md §5 "Sweep runtime", §7): a run's results
+// are a pure function of its inputs, bit-identical at any worker count and
+// any GOMAXPROCS. The kernel guarantees this by construction — observers
+// receive each index exactly once and write into pre-sized, index-disjoint
+// slots, so goroutine scheduling never orders anything observable. Callers
+// keep their side of the contract by doing all order-sensitive aggregation
+// (histograms, appends, map updates) in a serial pass over the index-ordered
+// slices after Run returns.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+)
+
+// Options tune one parallel run.
+type Options struct {
+	// Workers bounds solve parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called once per completed item with the
+	// running completion count and the total. Calls are serialized, but
+	// arrive in completion order — not index order — so Progress must only
+	// drive reporting, never results.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective worker count for n items.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) across the configured workers.
+// Indices are handed out dynamically for load balance; determinism is the
+// caller's index-disjoint writes, not the schedule. On error the run
+// cancels: in-flight items finish, unstarted items never run, and the
+// lowest-indexed observed error is returned.
+func Map(n int, opts Options, fn func(i int) error) error {
+	return MapLocal(n, opts, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// MapLocal is Map with per-worker state: each worker calls local() once and
+// threads the value through every fn it runs, so expensive reusable buffers
+// (a core.Solver, scratch slices) are allocated once per worker instead of
+// once per item.
+func MapLocal[W any](n int, opts Options, local func() W, fn func(w W, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		w := local()
+		for i := 0; i < n; i++ {
+			if err := fn(w, i); err != nil {
+				return err
+			}
+			if opts.Progress != nil {
+				opts.Progress(i+1, n)
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next index to hand out
+		done atomic.Int64 // completed items, for Progress
+		stop atomic.Bool  // set on first error: cancel unstarted work
+
+		mu       sync.Mutex // guards firstErr/errIdx and serializes Progress
+		firstErr error
+		errIdx   int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := local()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(st, i); err != nil {
+					mu.Lock()
+					// Keep the lowest-indexed error so the reported failure
+					// does not depend on scheduling when one item fails.
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				if opts.Progress != nil {
+					d := int(done.Add(1))
+					mu.Lock()
+					opts.Progress(d, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Job yields the idx-th attack of a run and the origin-validation
+// deployment it runs under (nil = no prevention deployed). Job is called
+// from multiple workers and must be a pure read.
+type Job func(idx int) (core.Attack, *asn.IndexSet)
+
+// Observer consumes one solved outcome. The outcome is transient — it
+// belongs to the worker's solver and is only valid for the duration of the
+// call (Clone it to keep it). Observers run concurrently across indices;
+// each must confine its writes to index-disjoint slots of pre-sized slices
+// and leave order-sensitive aggregation to a serial pass after Run.
+type Observer func(idx int, o *core.Outcome)
+
+// Run solves n attacks in parallel and fans each converged outcome out to
+// every observer before the solver's buffers are recycled — so one solve
+// serves all consumers (pollution accounting, several probe sets, miss
+// analysis, hole classification) instead of one solve per consumer.
+func Run(pol *core.Policy, n int, job Job, opts Options, observers ...Observer) error {
+	return MapLocal(n, opts,
+		func() *core.Solver { return core.NewSolver(pol) },
+		func(s *core.Solver, i int) error {
+			at, blocked := job(i)
+			o, err := s.Solve(at, blocked)
+			if err != nil {
+				return fmt.Errorf("sweep attack %d (attacker %d → target %d): %w",
+					i, at.Attacker, at.Target, err)
+			}
+			for _, ob := range observers {
+				ob(i, o)
+			}
+			return nil
+		})
+}

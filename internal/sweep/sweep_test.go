@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func testPolicy(t testing.TB, n int) (*core.Policy, *topology.Graph) {
+	t.Helper()
+	p := topology.DefaultParams(n)
+	p.Seed = 1
+	g, err := topology.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Classify(con.Graph, topology.ClassifyOptions{})
+	pol, err := core.NewPolicy(con.Graph, c.Tier1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol, con.Graph
+}
+
+// TestMapCoversAllIndices checks every index runs exactly once at several
+// worker counts.
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 501
+		counts := make([]int32, n)
+		err := Map(n, Options{Workers: workers}, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestMapLocalPerWorkerState checks local() runs at most once per worker
+// and its value reaches every fn call.
+func TestMapLocalPerWorkerState(t *testing.T) {
+	var made atomic.Int32
+	err := MapLocal(100, Options{Workers: 4},
+		func() *int32 { made.Add(1); v := int32(0); return &v },
+		func(w *int32, i int) error {
+			if w == nil {
+				return errors.New("nil worker state")
+			}
+			*w++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := made.Load(); m < 1 || m > 4 {
+		t.Errorf("local() ran %d times, want 1..4", m)
+	}
+}
+
+// TestMapFirstErrorCancels checks the lowest observed error wins and that
+// unstarted work is cancelled rather than drained.
+func TestMapFirstErrorCancels(t *testing.T) {
+	n := 10000
+	var ran atomic.Int32
+	wantErr := errors.New("boom")
+	err := Map(n, Options{Workers: 4}, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return fmt.Errorf("item %d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, wantErr)
+	}
+	if got := int(ran.Load()); got >= n {
+		t.Errorf("cancellation did not stop the run: %d of %d items ran", got, n)
+	}
+}
+
+// TestMapSerialErrorShortCircuits pins the workers=1 fast path's behavior.
+func TestMapSerialErrorShortCircuits(t *testing.T) {
+	var ran int
+	err := Map(100, Options{Workers: 1}, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop here")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("serial path ran %d items (err %v), want 4 with error", ran, err)
+	}
+}
+
+// TestMapProgress checks the callback fires once per item with a monotone
+// completion count.
+func TestMapProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 200
+		calls, last := 0, 0
+		err := Map(n, Options{Workers: workers, Progress: func(done, total int) {
+			calls++
+			if total != n {
+				t.Fatalf("total = %d, want %d", total, n)
+			}
+			if done <= last {
+				t.Fatalf("progress not monotone: %d after %d", done, last)
+			}
+			last = done
+		}}, func(i int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != n || last != n {
+			t.Fatalf("workers=%d: %d progress calls ending at %d, want %d", workers, calls, last, n)
+		}
+	}
+}
+
+// runDigest hashes an index-ordered measurement vector.
+func runDigest(v []int) [sha256.Size]byte {
+	h := sha256.New()
+	for _, x := range v {
+		binary.Write(h, binary.BigEndian, int64(x)) //nolint:errcheck // hash.Hash cannot fail
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the kernel's §7 contract: the
+// same attack list yields bit-identical index-ordered results at any worker
+// count, including across repeated runs at the same count.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	pol, g := testPolicy(t, 300)
+	target := 0
+	n := g.N() - 1
+	job := func(i int) (core.Attack, *asn.IndexSet) {
+		return core.Attack{Target: target, Attacker: i + 1}, nil
+	}
+	var ref [sha256.Size]byte
+	for run, workers := range []int{1, 1, 2, 4, 13} {
+		pollution := make([]int, n)
+		err := Run(pol, n, func(i int) (core.Attack, *asn.IndexSet) { return job(i) },
+			Options{Workers: workers},
+			func(i int, o *core.Outcome) { pollution[i] = o.PollutedCount() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := runDigest(pollution)
+		if run == 0 {
+			ref = d
+			continue
+		}
+		if d != ref {
+			t.Errorf("workers=%d: digest %x diverges from reference %x", workers, d[:8], ref[:8])
+		}
+	}
+}
+
+// TestRunFanOut checks one solve feeds every observer with the same
+// outcome.
+func TestRunFanOut(t *testing.T) {
+	pol, g := testPolicy(t, 200)
+	n := g.N() - 1
+	a := make([]int, n)
+	b := make([]int, n)
+	err := Run(pol, n,
+		func(i int) (core.Attack, *asn.IndexSet) { return core.Attack{Target: 0, Attacker: i + 1}, nil },
+		Options{Workers: 4},
+		func(i int, o *core.Outcome) { a[i] = o.PollutedCount() },
+		func(i int, o *core.Outcome) { b[i] = o.PollutedCount() + o.N() },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if b[i]-a[i] != g.N() {
+			t.Fatalf("observers disagree at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunSolveErrorPropagates checks a bad attack cancels the run with a
+// descriptive error.
+func TestRunSolveErrorPropagates(t *testing.T) {
+	pol, g := testPolicy(t, 200)
+	err := Run(pol, g.N(),
+		// Index 7 is target==attacker, which the solver rejects.
+		func(i int) (core.Attack, *asn.IndexSet) {
+			a := i
+			if i == 7 {
+				a = 0
+			}
+			return core.Attack{Target: 0, Attacker: a}, nil
+		},
+		Options{Workers: 4},
+		func(i int, o *core.Outcome) {})
+	if err == nil {
+		t.Fatal("expected solve error")
+	}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Run the sweep-backed reproduction benchmarks (Figures 2, 5, 7 plus the
+# kernel scaling micro-benchmark) and write the measurements as JSON.
+# Usage: scripts/bench_json.sh [outfile]
+# Output: one JSON array; each element carries the benchmark name, the
+# worker count (0 when the benchmark does not parameterize workers),
+# ns/op, B/op, and allocs/op.
+set -eu
+
+OUT="${1:-BENCH_sweep.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkFig2VulnerabilityTier1|BenchmarkFig5IncrementalDefenseDepth1|BenchmarkFig7DetectorConfigurations|BenchmarkSweepRunWorkers' \
+  -benchmem -benchtime 1x . | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkSweepRunWorkers/workers=4-8  1  12345 ns/op  678 B/op  9 allocs/op  [extra metrics]
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    workers = 0
+    if (match(name, /workers=[0-9]+/)) {
+        workers = substr(name, RSTART + 8, RLENGTH - 8) + 0
+    }
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"workers\": %d, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, workers, ns, (bytes == "" ? "0" : bytes), (allocs == "" ? "0" : allocs)
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
