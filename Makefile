@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race vulncheck fuzz bench bench-json reproduce reproduce-paper-scale clean
+.PHONY: all build test vet lint race chaos vulncheck fuzz bench bench-json reproduce reproduce-paper-scale clean
 
 all: build test
 
@@ -23,6 +23,15 @@ lint:
 # sweep are the concurrent subsystems of record).
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault-injection soak: the live feed pipeline pushed
+# through a chaotic transport (resets, truncation, corruption, stalls)
+# at two fixed seeds must produce the exact alert set of a fault-free
+# run — under the race detector, since reconnect storms are the
+# concurrency stress of record.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/ -args -chaos.seed=1
+	$(GO) test -race -count=1 ./internal/chaos/ -args -chaos.seed=7
 
 # Known-vulnerability scan; skips gracefully where govulncheck (or the
 # network it needs) is unavailable, e.g. offline build containers.

@@ -5,11 +5,17 @@
 // the configured route-origin data and violations print alerts.
 //
 // With -demo it additionally simulates a hijack and streams the probe
-// feeds at itself, demonstrating the full pipeline in one process.
+// feeds at itself — each probe driven by a reconnecting session runner —
+// demonstrating the full pipeline in one process.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// sessions drain (up to -drain, then are force-closed), and the MRT
+// recorder is flushed — a flush failure exits non-zero, because a
+// silently truncated recording is worse than a loud one.
 //
 // Usage:
 //
-//	hijackmon -listen 127.0.0.1:1790 -roa roas.txt
+//	hijackmon -listen 127.0.0.1:1790 -roa roas.txt -record updates.mrt
 //	hijackmon -demo
 //
 // The -roa file holds one "prefix maxlen origin" triple per line, e.g.
@@ -19,15 +25,22 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
 	"github.com/bgpsim/bgpsim/internal/cli"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/detect"
@@ -52,8 +65,24 @@ func run() error {
 	roaFile := fs.String("roa", "", "ROA file: 'prefix maxlen origin' per line")
 	demo := fs.Bool("demo", false, "simulate a hijack and stream its probe feeds at this daemon")
 	record := fs.String("record", "", "log every received UPDATE to this MRT file (BGP4MP records)")
+	hold := fs.Uint("hold", uint(feed.DefaultHoldTime), "hold time offered in OPEN, in seconds (RFC 4271 minimum 3)")
+	reconnect := fs.Duration("reconnect", feed.DefaultBackoffBase, "demo probes: reconnect backoff base (doubles per failure, capped)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown: how long sessions may drain before being force-closed")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	switch {
+	case *hold > 65535:
+		return fmt.Errorf("-hold %d does not fit the OPEN message's 16-bit field", *hold)
+	case *hold < 3:
+		// 0 would disable liveness detection entirely (and this collector
+		// treats a zero field as "use the default"), so the daemon insists
+		// on the RFC 4271 §6.2 floor.
+		return fmt.Errorf("-hold %d is below the RFC 4271 floor of 3 seconds", *hold)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hijackmon: "+format+"\n", args...)
 	}
 
 	var store rpki.Store
@@ -69,33 +98,88 @@ func run() error {
 		fmt.Printf("loaded %d ROAs from %s\n", n, *roaFile)
 	}
 
-	collector := &feed.Collector{LocalAS: 65535, RouterID: 0x7f000001, Detector: det}
+	collector := &feed.Collector{
+		LocalAS: 65535, RouterID: 0x7f000001, Detector: det,
+		HoldTime: uint16(*hold),
+		Logf:     logf,
+	}
+	// flushRecorder settles the MRT file at shutdown. Its error is the
+	// process exit status: losing buffered records must be loud.
+	var flushRecorder func() error
 	if *record != "" {
 		fh, err := os.Create(*record)
 		if err != nil {
 			return err
 		}
-		defer fh.Close()
 		w := mrt.NewWriter(fh, 0)
-		defer func() { _ = w.Flush() }() // best-effort flush at exit
 		collector.Recorder = w
+		flushRecorder = func() error {
+			if err := w.Flush(); err != nil {
+				_ = fh.Close()
+				return fmt.Errorf("flush MRT recording %s: %w", *record, err)
+			}
+			if err := fh.Close(); err != nil {
+				return fmt.Errorf("close MRT recording %s: %w", *record, err)
+			}
+			return nil
+		}
 		fmt.Printf("recording updates to %s (MRT BGP4MP)\n", *record)
 	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("collector listening on %s\n", l.Addr())
+	fmt.Printf("collector listening on %s (hold %ds)\n", l.Addr(), *hold)
 
-	if !*demo {
-		return collector.Serve(l)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- collector.Serve(l) }()
+
+	// shutdown drains the collector (force-closing leftovers after
+	// -drain), reports its robustness counters, and settles the recorder.
+	// Callers must close the listener first and reap serveErr after.
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		err := collector.Shutdown(ctx)
+		st := collector.Stats()
+		fmt.Printf("collector: %d sessions, %d malformed messages, %d hold expiries\n",
+			st.Sessions, st.MalformedMessages, st.HoldExpiries)
+		if st.Degraded {
+			logf("recording DEGRADED: %d write errors, %d updates dropped", st.RecorderErrors, st.RecorderDropped)
+		}
+		if err != nil {
+			logf("drain timeout after %v: force-closed remaining sessions", *drain)
+		}
+		if flushRecorder != nil {
+			return flushRecorder()
+		}
+		return nil
 	}
 
-	serveDone := make(chan struct{})
-	go func() {
-		defer close(serveDone)
-		_ = collector.Serve(l)
-	}()
+	if !*demo {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case s := <-sig:
+			fmt.Printf("received %v; shutting down\n", s)
+			// Order matters: stop accepting, then drain/force-close (which
+			// unblocks Serve's session wait), then reap Serve itself.
+			if err := l.Close(); err != nil {
+				logf("close listener: %v", err)
+			}
+			err := shutdown()
+			<-serveErr
+			return err
+		case err := <-serveErr:
+			// The listener died under us; still drain and settle the recorder.
+			if serr := shutdown(); serr != nil {
+				return serr
+			}
+			return err
+		}
+	}
 
 	// Demo: simulate a hijack against a published victim and stream it.
 	w, err := wf.BuildWorld()
@@ -126,38 +210,64 @@ func run() error {
 	fmt.Printf("demo: %v hijacks %v; streaming %d probe feeds\n",
 		w.Graph.ASN(attacker), w.Graph.ASN(target), len(updates))
 
-	var wg sync.WaitGroup
+	// One reconnecting session runner per probe AS, feeding that probe's
+	// updates in time order and healing transient connection failures.
+	byPeer := make(map[asn.ASN][]*bgpwire.Update)
+	var order []asn.ASN
 	for _, tu := range updates {
+		if _, ok := byPeer[tu.PeerAS]; !ok {
+			order = append(order, tu.PeerAS)
+		}
+		byPeer[tu.PeerAS] = append(byPeer[tu.PeerAS], tu.Update)
+	}
+	var wg sync.WaitGroup
+	runErrs := make(chan error, len(order))
+	for i, peer := range order {
+		r := &feed.ProbeRunner{
+			AS: peer, RouterID: peer.Uint32(),
+			HoldTime:    uint16(*hold),
+			BackoffBase: *reconnect,
+			MaxAttempts: 8,
+			Jitter:      rand.New(rand.NewSource(*wf.Seed + int64(i))),
+			Dial: func() (io.ReadWriteCloser, error) {
+				return net.DialTimeout("tcp", l.Addr().String(), 10*time.Second)
+			},
+			Logf: logf,
+		}
+		for _, u := range byPeer[peer] {
+			r.Enqueue(u)
+		}
 		wg.Add(1)
-		go func(tu feed.TimedUpdate) {
+		go func() {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", l.Addr().String())
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := r.RunDrain(ctx); err != nil {
+				runErrs <- fmt.Errorf("probe %v: %w", r.AS, err)
 			}
-			p := &feed.Probe{AS: tu.PeerAS, RouterID: tu.PeerAS.Uint32()}
-			if err := p.Dial(conn); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer func() { _ = p.Close() }() // best-effort session teardown
-			if err := p.Send(tu.Update); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}(tu)
+		}()
 	}
 	wg.Wait()
+	close(runErrs)
+	for err := range runErrs {
+		logf("%v", err)
+	}
 	if err := l.Close(); err != nil {
 		return err
 	}
-	collector.Shutdown()
-	<-serveDone
+	err = shutdown()
+	<-serveErr
+	if err != nil {
+		return err
+	}
 	fmt.Printf("demo complete: %d sessions, %d alert(s)\n", collector.Sessions(), len(det.Alerts()))
 	return nil
 }
 
-// loadROAs parses "prefix maxlen origin" lines into the store.
+// loadROAs parses "prefix maxlen origin" lines into the store. Every
+// parse failure carries the file position, because real ROA dumps are
+// thousands of lines long and "bad maxlen" without a line number is a
+// needle hunt.
 func loadROAs(store *rpki.Store, det *feed.Detector, path string) (int, error) {
 	fh, err := os.Open(path)
 	if err != nil {
@@ -165,33 +275,39 @@ func loadROAs(store *rpki.Store, det *feed.Detector, path string) (int, error) {
 	}
 	defer fh.Close()
 	sc := bufio.NewScanner(fh)
-	n := 0
+	// Published ROA exports can exceed bufio's 64 KiB default line cap.
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n, lineNo := 0, 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return n, fmt.Errorf("%s: want 'prefix maxlen origin', got %q", path, line)
+			return n, fmt.Errorf("%s:%d: want 'prefix maxlen origin', got %q", path, lineNo, line)
 		}
 		p, err := prefix.Parse(fields[0])
 		if err != nil {
-			return n, err
+			return n, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
 		maxLen, err := strconv.ParseUint(fields[1], 10, 8)
 		if err != nil {
-			return n, fmt.Errorf("%s: bad maxlen %q", path, fields[1])
+			return n, fmt.Errorf("%s:%d: bad maxlen %q", path, lineNo, fields[1])
 		}
 		origin, err := asn.Parse(fields[2])
 		if err != nil {
-			return n, err
+			return n, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
 		if err := store.Add(rpki.ROA{Prefix: p, MaxLength: uint8(maxLen), Origin: origin}); err != nil {
-			return n, err
+			return n, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
 		det.NotePublished(p)
 		n++
 	}
-	return n, sc.Err()
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("%s:%d: %w", path, lineNo+1, err)
+	}
+	return n, nil
 }

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	bgpsim "github.com/bgpsim/bgpsim"
 )
@@ -135,7 +137,11 @@ found:
 	if err := l.Close(); err != nil {
 		return err
 	}
-	collector.Shutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := collector.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("collector shutdown: %w", err)
+	}
 
 	select {
 	case a := <-alerts:

@@ -1,0 +1,80 @@
+package bgpwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReadDeadliner is the read-deadline half of net.Conn. The feed layer's
+// hold-timer enforcement arms it before every blocking read so a hung
+// peer cannot wedge a session goroutine past the negotiated hold time.
+type ReadDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// WriteDeadliner is the write-deadline half of net.Conn.
+type WriteDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// ReadFrame reads exactly one length-framed BGP message (header
+// included) from r and returns its raw bytes without decoding them. An
+// error from ReadFrame is a transport/framing failure — the stream can
+// no longer be resynchronized and the session must be torn down. A
+// successfully framed message that fails Unmarshal, by contrast, leaves
+// the stream aligned on the next frame, which is what lets the
+// collector tolerate a bounded number of malformed messages per peer.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	total := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if total < HeaderLen || total > MaxMessageLen {
+		return nil, fmt.Errorf("bgpwire: invalid framed length %d", total)
+	}
+	buf := make([]byte, total)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("bgpwire: short body: %w", err)
+	}
+	return buf, nil
+}
+
+// ReadFrameDeadline arms r's read deadline (when r supports one and the
+// deadline is non-zero) and then reads one frame. Callers compute the
+// deadline from their injected clock; a zero deadline reads without
+// one.
+func ReadFrameDeadline(r io.Reader, deadline time.Time) ([]byte, error) {
+	if d, ok := r.(ReadDeadliner); ok && !deadline.IsZero() {
+		// A deadline-set failure (typically a conn the peer already
+		// closed) is deliberately not surfaced here: the read below
+		// reports the true condition — io.EOF for a clean remote close —
+		// which callers must be able to tell apart from a fault.
+		_ = d.SetReadDeadline(deadline)
+	}
+	return ReadFrame(r)
+}
+
+// ReadMessageDeadline is ReadFrameDeadline + Unmarshal in one call, for
+// handshake reads where any failure (framing or decoding) is fatal.
+func ReadMessageDeadline(r io.Reader, deadline time.Time) (any, error) {
+	frame, err := ReadFrameDeadline(r, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(frame)
+}
+
+// WriteMessageDeadline arms w's write deadline (when supported and
+// non-zero) and writes one message, so a peer that stops reading cannot
+// block a session goroutine forever.
+func WriteMessageDeadline(w io.Writer, msg any, deadline time.Time) error {
+	if d, ok := w.(WriteDeadliner); ok && !deadline.IsZero() {
+		// As with reads: let the write itself report a closed conn.
+		_ = d.SetWriteDeadline(deadline)
+	}
+	return WriteMessage(w, msg)
+}

@@ -458,20 +458,11 @@ func DecodeAttributes(data []byte) (origin uint8, asPath []asn.ASN, nextHop uint
 
 // ReadMessage reads exactly one framed BGP message from r.
 func ReadMessage(r io.Reader) (any, error) {
-	hdr := make([]byte, HeaderLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	frame, err := ReadFrame(r)
+	if err != nil {
 		return nil, err
 	}
-	total := int(binary.BigEndian.Uint16(hdr[16:18]))
-	if total < HeaderLen || total > MaxMessageLen {
-		return nil, fmt.Errorf("bgpwire: invalid framed length %d", total)
-	}
-	buf := make([]byte, total)
-	copy(buf, hdr)
-	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
-		return nil, fmt.Errorf("bgpwire: short body: %w", err)
-	}
-	return Unmarshal(buf)
+	return Unmarshal(frame)
 }
 
 // WriteMessage marshals and writes one message to w.

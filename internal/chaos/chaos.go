@@ -1,0 +1,217 @@
+// Package chaos provides a deterministic fault-injecting wrapper around
+// an io.ReadWriteCloser, for soak-testing the live feed transport
+// (internal/feed) against the failures real BGP monitoring sessions
+// die of: connection resets, mid-message truncation, partial writes,
+// latency stalls, and detectable byte corruption.
+//
+// Determinism contract: every fault decision is drawn from one of two
+// seeded generators — one for the read direction, one for the write
+// direction — so for a fixed seed the k-th read and the k-th write on a
+// Conn always experience the same fate, regardless of how the two
+// directions interleave. No wall clock and no global rand are consulted
+// anywhere (stalls sleep on an injected tick.Clock), which keeps the
+// package admissible under bgplint and lets fault schedules replay
+// bit-for-bit in CI at fixed seeds.
+//
+// Loss model: any fault that could silently lose or mangle payload is
+// surfaced to the caller as an error, mirroring what TCP's checksums
+// and resets guarantee a real BGP speaker. Corruption flips the first
+// byte of the written frame — a BGP marker byte, so the receiver
+// detects it as a malformed message while its framing stays aligned —
+// and still reports an error to the writer so the sender retransmits.
+// Under this model a feed.ProbeRunner driving a chaotic transport can
+// be delayed but never lose an announcement, which is exactly the
+// property the soak test pins with alert-set digests.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// ErrReset is the error surfaced by an injected connection reset.
+var ErrReset = errors.New("chaos: connection reset")
+
+// ErrTruncated is the error surfaced after a mid-message truncation or
+// partial write.
+var ErrTruncated = errors.New("chaos: write truncated")
+
+// ErrCorrupted is the error surfaced to the writer after injected byte
+// corruption (the corrupted bytes are still delivered, so the reader
+// sees a malformed frame).
+var ErrCorrupted = errors.New("chaos: write corrupted")
+
+// Config sets per-operation fault probabilities. Probabilities are
+// evaluated in the order reset, truncate/partial, corrupt, stall; at
+// most one fault fires per operation. The zero Config injects nothing.
+type Config struct {
+	// PReset aborts the operation with ErrReset and poisons the Conn
+	// (all later operations fail too, like a closed socket).
+	PReset float64
+	// PTruncate (writes only) delivers a strict prefix of the message
+	// to the underlying conn and returns ErrTruncated.
+	PTruncate float64
+	// PCorrupt (writes only) flips the first byte of the frame, writes
+	// it fully, and returns ErrCorrupted.
+	PCorrupt float64
+	// PStall delays the operation by Stall before performing it.
+	PStall float64
+	// Stall is the injected latency for PStall faults.
+	Stall time.Duration
+	// Clock times stalls; nil means the wall clock. Tests inject a
+	// tick.Fake to keep stalls virtual.
+	Clock tick.Clock
+}
+
+// Stats counts the faults a Conn has injected.
+type Stats struct {
+	Resets      int
+	Truncations int
+	Corruptions int
+	Stalls      int
+}
+
+// Conn wraps inner with seeded fault injection. Reads and writes may
+// each be used from one goroutine at a time (the feed layer's reader
+// goroutine + session writer pattern); the two directions are
+// independently safe.
+type Conn struct {
+	inner io.ReadWriteCloser
+	cfg   Config
+	clock tick.Clock
+
+	rmu   sync.Mutex
+	rrand *rand.Rand
+
+	wmu   sync.Mutex
+	wrand *rand.Rand
+
+	smu      sync.Mutex
+	poisoned bool
+	stats    Stats
+}
+
+// Wrap returns a fault-injecting view of inner. The read and write
+// directions draw from independent generators derived from seed, so
+// each direction's fault schedule is a pure function of (seed, op
+// index).
+func Wrap(inner io.ReadWriteCloser, seed int64, cfg Config) *Conn {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = tick.Real()
+	}
+	return &Conn{
+		inner: inner,
+		cfg:   cfg,
+		clock: clock,
+		rrand: rand.New(rand.NewSource(seed)),
+		wrand: rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15)),
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *Conn) Stats() Stats {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	return c.stats
+}
+
+func (c *Conn) poison() {
+	c.smu.Lock()
+	c.poisoned = true
+	c.stats.Resets++
+	c.smu.Unlock()
+	_ = c.inner.Close()
+}
+
+func (c *Conn) isPoisoned() bool {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	return c.poisoned
+}
+
+func (c *Conn) count(f func(*Stats)) {
+	c.smu.Lock()
+	f(&c.stats)
+	c.smu.Unlock()
+}
+
+// stall blocks for the configured stall duration on the injected clock.
+func (c *Conn) stall() {
+	c.count(func(s *Stats) { s.Stalls++ })
+	if c.cfg.Stall <= 0 {
+		return
+	}
+	t := c.clock.NewTimer(c.cfg.Stall)
+	<-t.C()
+}
+
+// Read applies read-direction faults, then reads from the wrapped conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.isPoisoned() {
+		return 0, ErrReset
+	}
+	c.rmu.Lock()
+	reset := c.rrand.Float64() < c.cfg.PReset
+	stalled := !reset && c.rrand.Float64() < c.cfg.PStall
+	c.rmu.Unlock()
+	if reset {
+		c.poison()
+		return 0, ErrReset
+	}
+	if stalled {
+		c.stall()
+	}
+	return c.inner.Read(p)
+}
+
+// Write applies write-direction faults, then writes to the wrapped
+// conn. Every fault is reported to the caller; corruption additionally
+// delivers the mangled bytes so the receiver exercises its malformed-
+// message path.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.isPoisoned() {
+		return 0, ErrReset
+	}
+	c.wmu.Lock()
+	roll := c.wrand.Float64()
+	var cut int
+	if len(p) > 1 {
+		cut = 1 + c.wrand.Intn(len(p)-1)
+	}
+	c.wmu.Unlock()
+
+	switch {
+	case roll < c.cfg.PReset:
+		c.poison()
+		return 0, ErrReset
+	case roll < c.cfg.PReset+c.cfg.PTruncate && cut > 0:
+		c.count(func(s *Stats) { s.Truncations++ })
+		n, err := c.inner.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		c.poison() // the stream is desynchronized; nothing sane can follow
+		return n, ErrTruncated
+	case roll < c.cfg.PReset+c.cfg.PTruncate+c.cfg.PCorrupt && len(p) > 0:
+		c.count(func(s *Stats) { s.Corruptions++ })
+		mangled := append([]byte(nil), p...)
+		mangled[0] ^= 0xff // a BGP marker byte: detectably malformed, framing intact
+		if n, err := c.inner.Write(mangled); err != nil {
+			return n, err
+		}
+		return len(p), fmt.Errorf("%w (%d bytes)", ErrCorrupted, len(p))
+	case roll < c.cfg.PReset+c.cfg.PTruncate+c.cfg.PCorrupt+c.cfg.PStall:
+		c.stall()
+	}
+	return c.inner.Write(p)
+}
+
+// Close closes the wrapped conn.
+func (c *Conn) Close() error { return c.inner.Close() }

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// scriptConn is a deterministic in-memory ReadWriteCloser: reads serve
+// fixed chunks, writes append to a buffer.
+type scriptConn struct {
+	mu      sync.Mutex
+	reads   [][]byte
+	written bytes.Buffer
+	closed  bool
+}
+
+func (s *scriptConn) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if len(s.reads) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.reads[0])
+	if n == len(s.reads[0]) {
+		s.reads = s.reads[1:]
+	} else {
+		s.reads[0] = s.reads[0][n:]
+	}
+	return n, nil
+}
+
+func (s *scriptConn) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return s.written.Write(p)
+}
+
+func (s *scriptConn) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *scriptConn) bytesWritten() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.written.Bytes()...)
+}
+
+// run performs a fixed op sequence against a freshly wrapped conn and
+// returns the fault outcome fingerprint: stats, written bytes, and
+// per-op errors.
+func runSequence(seed int64, cfg Config) (Stats, []byte, []string) {
+	inner := &scriptConn{reads: [][]byte{{1, 2, 3}, {4, 5}, {6}, {7}, {8}, {9}, {10}, {11}}}
+	c := Wrap(inner, seed, cfg)
+	var errs []string
+	record := func(err error) {
+		if err == nil {
+			errs = append(errs, "ok")
+		} else {
+			errs = append(errs, err.Error())
+		}
+	}
+	buf := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		_, err := c.Write([]byte{byte(0xe0 + i), 0x01, 0x02, 0x03})
+		record(err)
+		_, err = c.Read(buf)
+		record(err)
+	}
+	return c.Stats(), inner.bytesWritten(), errs
+}
+
+// TestSameSeedSameFaults: identical seeds must produce identical fault
+// schedules, byte streams, and errors — the determinism contract CI's
+// fixed-seed chaos job depends on.
+func TestSameSeedSameFaults(t *testing.T) {
+	cfg := Config{PReset: 0.1, PTruncate: 0.15, PCorrupt: 0.15, PStall: 0.2}
+	s1, w1, e1 := runSequence(42, cfg)
+	s2, w2, e2 := runSequence(42, cfg)
+	if s1 != s2 {
+		t.Errorf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if !bytes.Equal(w1, w2) {
+		t.Errorf("written bytes diverged:\n%x\n%x", w1, w2)
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Errorf("op %d outcome diverged: %q vs %q", i, e1[i], e2[i])
+		}
+	}
+	// And a different seed must (for this config) pick a different
+	// schedule — otherwise the seed isn't actually feeding the faults.
+	s3, _, _ := runSequence(43, cfg)
+	if s1 == s3 {
+		t.Errorf("seeds 42 and 43 injected identical fault counts %+v; seed not wired through", s1)
+	}
+}
+
+// TestZeroConfigIsTransparent: the zero Config must inject nothing and
+// pass bytes through unchanged.
+func TestZeroConfigIsTransparent(t *testing.T) {
+	stats, written, errs := runSequence(1, Config{})
+	if stats != (Stats{}) {
+		t.Errorf("zero config injected faults: %+v", stats)
+	}
+	want := []byte{0xe0, 1, 2, 3, 0xe1, 1, 2, 3, 0xe2, 1, 2, 3, 0xe3, 1, 2, 3, 0xe4, 1, 2, 3, 0xe5, 1, 2, 3, 0xe6, 1, 2, 3, 0xe7, 1, 2, 3}
+	if !bytes.Equal(written, want) {
+		t.Errorf("passthrough mangled bytes:\n got %x\nwant %x", written, want)
+	}
+	for i, e := range errs {
+		if e != "ok" {
+			t.Errorf("op %d errored under zero config: %s", i, e)
+		}
+	}
+}
+
+// TestCorruptionDeliversAndErrors: a corrupted write must flip the first
+// byte, deliver the full frame, and report ErrCorrupted to the writer.
+func TestCorruptionDeliversAndErrors(t *testing.T) {
+	inner := &scriptConn{}
+	c := Wrap(inner, 5, Config{PCorrupt: 1})
+	payload := []byte{0xff, 0xaa, 0xbb}
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("Write err = %v, want ErrCorrupted", err)
+	}
+	if n != len(payload) {
+		t.Errorf("n = %d, want %d (full frame delivered)", n, len(payload))
+	}
+	got := inner.bytesWritten()
+	want := []byte{0x00, 0xaa, 0xbb} // first byte flipped
+	if !bytes.Equal(got, want) {
+		t.Errorf("delivered %x, want %x", got, want)
+	}
+	if payload[0] != 0xff {
+		t.Error("caller's buffer was mutated")
+	}
+	if st := c.Stats(); st.Corruptions != 1 {
+		t.Errorf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+// TestTruncationPoisons: a truncated write delivers a strict prefix,
+// returns ErrTruncated, and poisons the conn (stream desynchronized).
+func TestTruncationPoisons(t *testing.T) {
+	inner := &scriptConn{reads: [][]byte{{1}}}
+	c := Wrap(inner, 9, Config{PTruncate: 1})
+	payload := []byte{10, 20, 30, 40, 50}
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Write err = %v, want ErrTruncated", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Errorf("n = %d, want a strict prefix of %d", n, len(payload))
+	}
+	if got := inner.bytesWritten(); len(got) != n || !bytes.Equal(got, payload[:n]) {
+		t.Errorf("delivered %x, want prefix %x", got, payload[:n])
+	}
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrReset) {
+		t.Errorf("write after truncation = %v, want ErrReset", err)
+	}
+	if _, err := c.Read(make([]byte, 4)); !errors.Is(err, ErrReset) {
+		t.Errorf("read after truncation = %v, want ErrReset", err)
+	}
+	if !inner.closed {
+		t.Error("poisoned conn did not close the inner conn")
+	}
+}
+
+// TestResetClosesInner: an injected reset errors the op and closes the
+// wrapped conn, like a peer RST.
+func TestResetClosesInner(t *testing.T) {
+	inner := &scriptConn{reads: [][]byte{{1}}}
+	c := Wrap(inner, 3, Config{PReset: 1})
+	if _, err := c.Read(make([]byte, 4)); !errors.Is(err, ErrReset) {
+		t.Fatalf("Read err = %v, want ErrReset", err)
+	}
+	if !inner.closed {
+		t.Error("reset did not close the inner conn")
+	}
+	if st := c.Stats(); st.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", st.Resets)
+	}
+}
+
+// TestStallUsesInjectedClock: a stall must block on the injected clock
+// (no wall-clock sleep) and release when the fake clock advances.
+func TestStallUsesInjectedClock(t *testing.T) {
+	fc := tick.NewFake()
+	inner := &scriptConn{reads: [][]byte{{1, 2}}}
+	c := Wrap(inner, 11, Config{PStall: 1, Stall: time.Hour, Clock: fc})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 4))
+		done <- err
+	}()
+	fc.BlockUntilTimers(1)
+	select {
+	case <-done:
+		t.Fatal("stalled read returned before the clock advanced")
+	default:
+	}
+	fc.Advance(time.Hour)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("stalled read err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled read never released")
+	}
+	if st := c.Stats(); st.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", st.Stalls)
+	}
+}

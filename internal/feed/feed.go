@@ -7,8 +7,10 @@
 package feed
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
@@ -176,4 +178,35 @@ func (d *Detector) Alerts() []Alert {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return append([]Alert(nil), d.alerts...)
+}
+
+// AlertSetDigest returns a SHA-256 digest over the alert set's identity
+// fields — prefix, origin, reporting peer, AS path, reason — sorted
+// into a canonical order. Arrival times are deliberately excluded: they
+// depend on transport interleaving and retransmission, while the *set*
+// of alerts is the detection outcome the chaos suite pins. A run over a
+// fault-injected transport must produce a byte-identical digest to the
+// fault-free run (see internal/chaos).
+func AlertSetDigest(alerts []Alert) [32]byte {
+	lines := make([]string, 0, len(alerts))
+	for _, a := range alerts {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%v|%v|%v|%s|", a.Prefix, a.Origin, a.PeerAS, a.Reason)
+		for i, as := range a.Path {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%v", as)
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }

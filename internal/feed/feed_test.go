@@ -2,6 +2,7 @@ package feed
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -255,7 +256,7 @@ func TestCollectorEndToEnd(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("no alert within 5s")
 	}
-	collector.Shutdown()
+	_ = collector.Shutdown(context.Background())
 	l.Close()
 	<-serveDone
 	if collector.Sessions() == 0 {
@@ -331,7 +332,7 @@ func TestCollectorRecordsMRT(t *testing.T) {
 	}
 	p.Close()
 	l.Close()
-	collector.Shutdown()
+	_ = collector.Shutdown(context.Background())
 	<-serveDone
 	if err := collector.Recorder.Flush(); err != nil {
 		t.Fatal(err)
@@ -426,7 +427,7 @@ func TestCollectorFailureInjection(t *testing.T) {
 	}
 	p.Close()
 	l.Close()
-	collector.Shutdown()
+	_ = collector.Shutdown(context.Background())
 	<-serveDone
 	if collector.Sessions() < 3 {
 		t.Errorf("sessions = %d, want ≥ 3", collector.Sessions())

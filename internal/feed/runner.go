@@ -1,0 +1,351 @@
+package feed
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// Runner backoff defaults.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 30 * time.Second
+)
+
+// RunnerStats is a snapshot of a ProbeRunner's transport counters.
+type RunnerStats struct {
+	// Dials counts connection attempts (successful or not).
+	Dials int
+	// Sessions counts completed handshakes.
+	Sessions int
+	// Reconnects counts sessions established after the first.
+	Reconnects int
+	// Sent counts UPDATE writes that succeeded, retransmissions
+	// included.
+	Sent int
+	// Pending is the number of updates not yet written on the current
+	// session.
+	Pending int
+	// Connected reports whether a session is currently established.
+	Connected bool
+}
+
+// ProbeRunner is a self-healing probe session: it dials the collector,
+// streams queued updates, answers keepalives, and reconnects with
+// capped exponential backoff plus jitter when the transport fails.
+// Like a real BGP speaker it retransmits its full table (every update
+// ever enqueued) on each new session, so a connection reset can delay
+// but never lose an announcement; the collector's detector deduplicates
+// the replays. Clock and jitter RNG are injected — there is no
+// time.Now or global rand in the retry path — so the backoff schedule
+// is exactly reproducible under a tick.Fake.
+type ProbeRunner struct {
+	AS       asn.ASN
+	RouterID uint32
+	// Dial establishes one transport connection per attempt — typically
+	// a net.Dial wrapper (with its own timeout), or a chaos.Wrap around
+	// one in fault-injection tests.
+	Dial func() (io.ReadWriteCloser, error)
+	// HoldTime is the hold time (seconds) offered in OPEN; 0 means
+	// DefaultHoldTime.
+	HoldTime uint16
+	// BackoffBase and BackoffMax bound reconnect delays: consecutive
+	// failure n (1-based) sleeps min(BackoffMax, BackoffBase<<(n-1)),
+	// halved-and-jittered when Jitter is set. Zero values take the
+	// defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts caps consecutive failed connect attempts before Run
+	// gives up; 0 retries forever. A completed handshake resets the
+	// count.
+	MaxAttempts int
+	// Clock injects time; nil means the wall clock.
+	Clock tick.Clock
+	// Jitter, when non-nil, randomizes each backoff delay uniformly in
+	// [d/2, d) ("equal jitter") to de-synchronize reconnect storms.
+	// Callers seed it explicitly; nil applies the full deterministic
+	// delay.
+	Jitter *rand.Rand
+	// Logf, when non-nil, receives reconnect/backoff log lines.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	queue  []*bgpwire.Update
+	next   int // queue[next:] not yet written on the current session
+	stats  RunnerStats
+	notify chan struct{}
+}
+
+// Enqueue adds one update to the runner's table. Safe from any
+// goroutine, before or during Run.
+func (r *ProbeRunner) Enqueue(u *bgpwire.Update) {
+	r.mu.Lock()
+	r.queue = append(r.queue, u)
+	ch := r.notifyLocked()
+	r.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (r *ProbeRunner) notifyLocked() chan struct{} {
+	if r.notify == nil {
+		r.notify = make(chan struct{}, 1)
+	}
+	return r.notify
+}
+
+// Pending returns how many updates await (re)transmission.
+func (r *ProbeRunner) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue) - r.next
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *ProbeRunner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Pending = len(r.queue) - r.next
+	return s
+}
+
+// peek returns the next unwritten update, or nil.
+func (r *ProbeRunner) peek() *bgpwire.Update {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < len(r.queue) {
+		return r.queue[r.next]
+	}
+	return nil
+}
+
+// advance marks the head update written.
+func (r *ProbeRunner) advance() {
+	r.mu.Lock()
+	r.next++
+	r.stats.Sent++
+	r.mu.Unlock()
+}
+
+// rewind schedules a full-table retransmission for the next session.
+func (r *ProbeRunner) rewind() {
+	r.mu.Lock()
+	r.next = 0
+	r.mu.Unlock()
+}
+
+func (r *ProbeRunner) clock() tick.Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return tick.Real()
+}
+
+func (r *ProbeRunner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+func (r *ProbeRunner) setConnected(v bool) {
+	r.mu.Lock()
+	r.stats.Connected = v
+	r.mu.Unlock()
+}
+
+// backoff returns the delay before retry n (1-based consecutive
+// failure count).
+func (r *ProbeRunner) backoff(n int) time.Duration {
+	base, max := r.BackoffBase, r.BackoffMax
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if r.Jitter != nil && d > 1 {
+		half := d / 2
+		d = half + time.Duration(r.Jitter.Int63n(int64(half)))
+	}
+	return d
+}
+
+// Run drives the probe until ctx is cancelled: dial, handshake, stream,
+// and reconnect on failure with capped exponential backoff. It returns
+// ctx.Err() on cancellation or a terminal error once MaxAttempts
+// consecutive connect attempts fail.
+func (r *ProbeRunner) Run(ctx context.Context) error { return r.run(ctx, false) }
+
+// RunDrain is Run, except it returns nil as soon as every enqueued
+// update has been written on a live session (closing it with a Cease
+// NOTIFICATION) — the mode batch feeders and the demo daemon use.
+func (r *ProbeRunner) RunDrain(ctx context.Context) error { return r.run(ctx, true) }
+
+func (r *ProbeRunner) run(ctx context.Context, drain bool) error {
+	if r.Dial == nil {
+		return fmt.Errorf("probe %v: runner needs a Dial function", r.AS)
+	}
+	clock := r.clock()
+	fails := 0
+	for {
+		if drain && r.Pending() == 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.stats.Dials++
+		r.mu.Unlock()
+		conn, err := r.Dial()
+		if err == nil {
+			var established bool
+			established, err = r.session(ctx, conn, drain)
+			if err == nil {
+				return nil // drain completed
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if established {
+				fails = 0
+				// The next session re-announces the full table, exactly
+				// like a BGP speaker rebuilding Adj-RIB-Out after a
+				// session reset.
+				r.rewind()
+			}
+		}
+		fails++
+		if r.MaxAttempts > 0 && fails >= r.MaxAttempts {
+			return fmt.Errorf("probe %v: giving up after %d consecutive failed attempts: %w", r.AS, fails, err)
+		}
+		delay := r.backoff(fails)
+		r.logf("probe %v: session failed (%v); reconnecting in %v (attempt %d)", r.AS, err, delay, fails+1)
+		t := clock.NewTimer(delay)
+		select {
+		case <-t.C():
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// session runs one established connection to completion. It returns
+// established=false when the handshake itself failed. A nil error means
+// drain mode finished the table.
+func (r *ProbeRunner) session(ctx context.Context, conn io.ReadWriteCloser, drain bool) (established bool, err error) {
+	clock := r.clock()
+	p := &Probe{AS: r.AS, RouterID: r.RouterID, HoldTime: r.HoldTime, Clock: clock}
+	if err := p.Dial(conn); err != nil {
+		return false, err // Dial closed conn
+	}
+	defer conn.Close()
+	r.mu.Lock()
+	r.stats.Sessions++
+	if r.stats.Sessions > 1 {
+		r.stats.Reconnects++
+	}
+	notify := r.notifyLocked()
+	r.mu.Unlock()
+	r.setConnected(true)
+	defer r.setConnected(false)
+
+	hold := p.NegotiatedHold()
+	readCh := make(chan readResult)
+	readerDone := make(chan struct{})
+	defer close(readerDone)
+	go readLoop(conn, clock, hold, readCh, readerDone)
+
+	var holdT, kaT tick.Timer
+	var holdC, kaC <-chan time.Time
+	if hold > 0 {
+		holdT = clock.NewTimer(hold)
+		holdC = holdT.C()
+		kaT = clock.NewTimer(hold / 3)
+		kaC = kaT.C()
+		defer holdT.Stop()
+		defer kaT.Stop()
+	}
+
+	// handleRead processes one collector-to-probe message; a non-nil
+	// return ends the session.
+	handleRead := func(rr readResult) error {
+		if rr.err != nil {
+			return fmt.Errorf("probe %v: read: %w", r.AS, rr.err)
+		}
+		if hold > 0 {
+			tick.Rearm(holdT, hold)
+		}
+		if rr.malformed != nil {
+			return fmt.Errorf("probe %v: malformed message from collector: %w", r.AS, rr.malformed)
+		}
+		if n, ok := rr.msg.(*bgpwire.Notification); ok {
+			return fmt.Errorf("probe %v: collector closed session (NOTIFICATION code %d)", r.AS, n.Code)
+		}
+		return nil // keepalives (and any stray updates) just refresh the hold timer
+	}
+
+	for {
+		if u := r.peek(); u != nil {
+			if err := p.Send(u); err != nil {
+				return true, err
+			}
+			r.advance()
+			if hold > 0 {
+				tick.Rearm(kaT, hold/3) // our write already proved liveness to the peer
+			}
+			// Drain reader/timer events without blocking between sends.
+			select {
+			case rr := <-readCh:
+				if err := handleRead(rr); err != nil {
+					return true, err
+				}
+			case <-ctx.Done():
+				_ = p.Close()
+				return true, ctx.Err()
+			default:
+			}
+			continue
+		}
+		if drain {
+			_ = p.Close() // Cease; the table is fully written
+			return true, nil
+		}
+		select {
+		case <-notify:
+		case rr := <-readCh:
+			if err := handleRead(rr); err != nil {
+				return true, err
+			}
+		case <-kaC:
+			if err := bgpwire.WriteMessageDeadline(conn, bgpwire.Keepalive{}, clock.Now().Add(hold)); err != nil {
+				return true, fmt.Errorf("probe %v: send KEEPALIVE: %w", r.AS, err)
+			}
+			tick.Rearm(kaT, hold/3)
+		case <-holdC:
+			_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 4 /* hold timer expired */}, clock.Now().Add(hold))
+			return true, fmt.Errorf("probe %v: hold timer (%v) expired: collector silent", r.AS, hold)
+		case <-ctx.Done():
+			_ = p.Close()
+			return true, ctx.Err()
+		}
+	}
+}

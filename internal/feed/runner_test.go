@@ -1,0 +1,352 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// TestRunnerBackoffSchedule: with a fake clock and no jitter, the
+// reconnect delays must follow the exact capped-exponential schedule —
+// base, 2×, 4×, capped — with no wall-clock time passing.
+func TestRunnerBackoffSchedule(t *testing.T) {
+	fc := tick.NewFake()
+	dialErr := errors.New("connection refused")
+	r := &ProbeRunner{
+		AS: 65001, RouterID: 1,
+		Dial:        func() (io.ReadWriteCloser, error) { return nil, dialErr },
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  800 * time.Millisecond,
+		MaxAttempts: 6,
+		Clock:       fc,
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Run(context.Background()) }()
+
+	// 6 attempts → 5 sleeps: 100, 200, 400, 800, 800 (capped).
+	want := []time.Duration{100, 200, 400, 800, 800}
+	for i, w := range want {
+		fc.BlockUntilTimers(1)
+		d, ok := fc.AdvanceToNext()
+		if !ok || d != w*time.Millisecond {
+			t.Fatalf("sleep %d = %v (ok=%v), want %v", i+1, d, ok, w*time.Millisecond)
+		}
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "giving up after 6") {
+			t.Fatalf("Run = %v, want give-up error after 6 attempts", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runner never gave up")
+	}
+	if st := r.Stats(); st.Dials != 6 {
+		t.Errorf("Dials = %d, want 6", st.Dials)
+	}
+}
+
+// TestRunnerBackoffJitter: a seeded jitter source keeps every delay
+// inside [d/2, d) and stays reproducible across runs with the same
+// seed.
+func TestRunnerBackoffJitter(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		r := &ProbeRunner{
+			BackoffBase: 100 * time.Millisecond,
+			BackoffMax:  800 * time.Millisecond,
+			Jitter:      rand.New(rand.NewSource(seed)),
+		}
+		var out []time.Duration
+		for n := 1; n <= 5; n++ {
+			out = append(out, r.backoff(n))
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	full := []time.Duration{100, 200, 400, 800, 800}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("delay %d not reproducible: %v vs %v", i, a[i], b[i])
+		}
+		d := full[i] * time.Millisecond
+		if a[i] < d/2 || a[i] >= d {
+			t.Errorf("delay %d = %v outside [%v, %v)", i, a[i], d/2, d)
+		}
+	}
+}
+
+// TestRunnerReconnectsAndRetransmits: when the first session dies under
+// the runner, it must reconnect with backoff and re-announce its full
+// table, so the collector's detector still sees every update.
+func TestRunnerReconnectsAndRetransmits(t *testing.T) {
+	var store rpki.Store
+	if err := store.Add(rpki.ROA{Prefix: prefix.MustParse("10.0.0.0/16"), MaxLength: 24, Origin: 100}); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(&store, nil)
+	det.NotePublished(prefix.MustParse("10.0.0.0/16"))
+	collector := &Collector{LocalAS: 65535, RouterID: 1, Detector: det}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// The first accepted session handshakes and then slams the
+	// connection shut; later sessions get the real collector.
+	var first atomic.Bool
+	first.Store(true)
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			doomed := first.CompareAndSwap(true, false)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if doomed {
+					if _, err := bgpwire.ReadMessage(conn); err == nil {
+						_ = bgpwire.WriteMessage(conn, &bgpwire.Open{Version: 4, AS: 65535, HoldTime: 90, RouterID: 1})
+						_ = bgpwire.WriteMessage(conn, bgpwire.Keepalive{})
+					}
+					conn.Close()
+					return
+				}
+				_ = collector.HandleSession(conn)
+			}()
+		}
+	}()
+
+	r := &ProbeRunner{
+		AS: 65001, RouterID: 2,
+		Dial: func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+		},
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	}
+	// One benign update and one alert-raiser.
+	r.Enqueue(&bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001, 100}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+	})
+	r.Enqueue(&bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001, 666}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- r.Run(ctx) }()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for len(det.Alerts()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("alert never delivered through reconnects")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runDone; err != context.Canceled {
+		t.Errorf("Run = %v, want context.Canceled", err)
+	}
+	st := r.Stats()
+	if st.Sessions < 2 || st.Reconnects < 1 {
+		t.Errorf("stats = %+v, want ≥2 sessions and ≥1 reconnect", st)
+	}
+	l.Close()
+	wg.Wait()
+	if n := len(det.Alerts()); n != 1 {
+		t.Errorf("alerts = %d, want exactly 1 (retransmissions must deduplicate)", n)
+	}
+}
+
+// TestRunnerProbeSideHoldTimer: a collector that completes the
+// handshake and then falls silent must trip the probe-side hold timer
+// — driven entirely by the fake clock.
+func TestRunnerProbeSideHoldTimer(t *testing.T) {
+	fc := tick.NewFake()
+	server, client := net.Pipe()
+	defer server.Close()
+	// Scripted collector: handshake, then eternal silence (but keep
+	// reading so probe writes never block).
+	go func() {
+		if _, err := bgpwire.ReadMessage(server); err != nil {
+			return
+		}
+		_ = bgpwire.WriteMessage(server, &bgpwire.Open{Version: 4, AS: 65535, HoldTime: 30, RouterID: 1})
+		_ = bgpwire.WriteMessage(server, bgpwire.Keepalive{})
+		for {
+			if _, err := bgpwire.ReadMessage(server); err != nil {
+				return
+			}
+		}
+	}()
+
+	dialed := make(chan struct{})
+	r := &ProbeRunner{
+		AS: 65001, RouterID: 2,
+		Dial: func() (io.ReadWriteCloser, error) {
+			select {
+			case <-dialed:
+				return nil, errors.New("no second conn in this test")
+			default:
+			}
+			close(dialed)
+			return client, nil
+		},
+		HoldTime:    30,
+		MaxAttempts: 1, // surface the session error instead of retrying
+		Clock:       fc,
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Run(context.Background()) }()
+
+	<-dialed
+	fc.BlockUntilTimers(2) // session armed hold + keepalive timers
+	fc.Advance(31 * time.Second)
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "hold timer") {
+			t.Fatalf("Run = %v, want probe-side hold expiry", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("probe never tripped its hold timer")
+	}
+}
+
+// TestRunnerRejectsBadCollectorOpen: Probe.Dial validation — version
+// and zero/short hold times — must surface through the runner as
+// handshake failures that count against MaxAttempts.
+func TestRunnerRejectsBadCollectorOpen(t *testing.T) {
+	cases := []struct {
+		name string
+		open *bgpwire.Open
+	}{
+		{"version 3", &bgpwire.Open{Version: 3, AS: 65535, HoldTime: 90, RouterID: 1}},
+		{"zero hold", &bgpwire.Open{Version: 4, AS: 65535, HoldTime: 0, RouterID: 1}},
+		{"hold below floor", &bgpwire.Open{Version: 4, AS: 65535, HoldTime: 2, RouterID: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			server, client := net.Pipe()
+			defer server.Close()
+			go func() {
+				if _, err := bgpwire.ReadMessage(server); err != nil {
+					return
+				}
+				_ = bgpwire.WriteMessage(server, tc.open)
+				// No KEEPALIVE: a rejecting probe never reads one, and an
+				// unread write would wedge both sides of the pipe. Drain
+				// the probe's OPEN-error NOTIFICATION instead.
+				for {
+					if _, err := bgpwire.ReadMessage(server); err != nil {
+						return
+					}
+				}
+			}()
+			p := &Probe{AS: 65001, RouterID: 2}
+			if err := p.Dial(client); err == nil {
+				t.Fatal("Dial accepted a bad collector OPEN")
+			}
+		})
+	}
+}
+
+// TestProbeNegotiatedHold: the session hold time is the minimum of both
+// offers.
+func TestProbeNegotiatedHold(t *testing.T) {
+	cases := []struct {
+		mine, theirs uint16
+		want         time.Duration
+	}{
+		{90, 30, 30 * time.Second},
+		{30, 90, 30 * time.Second},
+		{180, 180, 180 * time.Second},
+	}
+	for _, tc := range cases {
+		server, client := net.Pipe()
+		go func() {
+			if _, err := bgpwire.ReadMessage(server); err != nil {
+				return
+			}
+			_ = bgpwire.WriteMessage(server, &bgpwire.Open{Version: 4, AS: 65535, HoldTime: tc.theirs, RouterID: 1})
+			_ = bgpwire.WriteMessage(server, bgpwire.Keepalive{})
+			// Keep draining so the probe's Cease write can complete:
+			// net.Pipe writes block until read.
+			for {
+				if _, err := bgpwire.ReadMessage(server); err != nil {
+					return
+				}
+			}
+		}()
+		p := &Probe{AS: 65001, RouterID: 2, HoldTime: tc.mine}
+		if err := p.Dial(client); err != nil {
+			t.Fatalf("hold %d/%d: %v", tc.mine, tc.theirs, err)
+		}
+		if got := p.NegotiatedHold(); got != tc.want {
+			t.Errorf("NegotiatedHold(%d,%d) = %v, want %v", tc.mine, tc.theirs, got, tc.want)
+		}
+		_ = p.Close()
+		server.Close()
+	}
+}
+
+// TestRunnerDrainMode: RunDrain returns once the table is written and
+// the collector has been sent a Cease.
+func TestRunnerDrainMode(t *testing.T) {
+	var store rpki.Store
+	det := NewDetector(&store, nil)
+	collector := &Collector{LocalAS: 65535, RouterID: 1, Detector: det}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = collector.Serve(l)
+	}()
+
+	r := &ProbeRunner{
+		AS: 65001, RouterID: 2,
+		Dial: func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+		},
+	}
+	for i := 0; i < 3; i++ {
+		r.Enqueue(&bgpwire.Update{
+			Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001}, NextHop: 1,
+			NLRI: []prefix.Prefix{prefix.MustParse("192.0.2.0/24")},
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := r.RunDrain(ctx); err != nil {
+		t.Fatalf("RunDrain: %v", err)
+	}
+	st := r.Stats()
+	if st.Sent != 3 || st.Pending != 0 {
+		t.Errorf("stats = %+v, want 3 sent / 0 pending", st)
+	}
+	l.Close()
+	if err := collector.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-serveDone
+}

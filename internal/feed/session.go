@@ -1,0 +1,198 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/mrt"
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// readResult is one reader-goroutine event: a decoded message, a
+// malformed-but-framed message (stream still aligned), or a fatal
+// transport/framing error.
+type readResult struct {
+	msg       any
+	err       error
+	malformed error
+}
+
+// readLoop pulls frames off conn and ships them to out until a fatal
+// error or done closes. It arms conn's read deadline (real sockets
+// only) with the hold time as a backstop for the select-based timer in
+// the session loop, so both enforcement paths the transport contract
+// promises are active.
+func readLoop(conn io.ReadWriteCloser, clock tick.Clock, hold time.Duration, out chan<- readResult, done <-chan struct{}) {
+	for {
+		var deadline time.Time
+		if hold > 0 {
+			deadline = clock.Now().Add(hold)
+		}
+		frame, err := bgpwire.ReadFrameDeadline(conn, deadline)
+		var rr readResult
+		if err != nil {
+			rr = readResult{err: err}
+		} else if msg, uerr := bgpwire.Unmarshal(frame); uerr != nil {
+			rr = readResult{malformed: uerr}
+		} else {
+			rr = readResult{msg: msg}
+		}
+		select {
+		case out <- rr:
+		case <-done:
+			return
+		}
+		if rr.err != nil {
+			return
+		}
+	}
+}
+
+// HandleSession runs one collector-side BGP session on conn: OPEN
+// exchange, KEEPALIVE, then UPDATE stream into the detector until the
+// peer closes, sends NOTIFICATION, or the negotiated hold timer
+// expires. Malformed messages are tolerated up to the per-session
+// budget; recorder failures degrade recording instead of ending the
+// session.
+func (c *Collector) HandleSession(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	if err := c.register(conn); err != nil {
+		return err
+	}
+	defer c.unregister(conn)
+
+	clock := c.clock()
+	localHold := time.Duration(c.holdTime()) * time.Second
+	handshakeDeadline := clock.Now().Add(localHold)
+	msg, err := bgpwire.ReadMessageDeadline(conn, handshakeDeadline)
+	if err != nil {
+		return fmt.Errorf("collector: read OPEN: %w", err)
+	}
+	open, ok := msg.(*bgpwire.Open)
+	if !ok {
+		return fmt.Errorf("collector: expected OPEN, got %T", msg)
+	}
+	if err := validateOpen(open, true); err != nil {
+		_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 2, Subcode: openErrSubcode(open)}, handshakeDeadline)
+		return fmt.Errorf("collector: %w", err)
+	}
+	if err := bgpwire.WriteMessageDeadline(conn, &bgpwire.Open{
+		Version: 4, AS: c.LocalAS, HoldTime: c.holdTime(), RouterID: c.RouterID,
+	}, handshakeDeadline); err != nil {
+		return fmt.Errorf("collector: send OPEN: %w", err)
+	}
+	if err := bgpwire.WriteMessageDeadline(conn, bgpwire.Keepalive{}, handshakeDeadline); err != nil {
+		return fmt.Errorf("collector: send KEEPALIVE: %w", err)
+	}
+	hold := negotiateHold(c.holdTime(), open.HoldTime)
+
+	readCh := make(chan readResult)
+	readerDone := make(chan struct{})
+	defer close(readerDone)
+	go readLoop(conn, clock, hold, readCh, readerDone)
+
+	// A negotiated hold of 0 disables both timers; nil channels keep
+	// those select arms permanently silent.
+	var holdT, kaT tick.Timer
+	var holdC, kaC <-chan time.Time
+	if hold > 0 {
+		holdT = clock.NewTimer(hold)
+		holdC = holdT.C()
+		kaT = clock.NewTimer(hold / 3)
+		kaC = kaT.C()
+		defer holdT.Stop()
+		defer kaT.Stop()
+	}
+
+	writeDeadline := func() time.Time {
+		if hold == 0 {
+			return time.Time{}
+		}
+		return clock.Now().Add(hold)
+	}
+
+	var seq uint32
+	malformed := 0
+	for {
+		select {
+		case rr := <-readCh:
+			if rr.err != nil {
+				if errors.Is(rr.err, io.EOF) {
+					return nil
+				}
+				return fmt.Errorf("collector: session with %v: %w", open.AS, rr.err)
+			}
+			if hold > 0 {
+				tick.Rearm(holdT, hold)
+			}
+			if rr.malformed != nil {
+				malformed++
+				c.mu.Lock()
+				c.stats.MalformedMessages++
+				c.mu.Unlock()
+				if malformed > c.maxMalformed() {
+					c.logf("collector: closing %v after %d malformed messages (last: %v)", open.AS, malformed, rr.malformed)
+					_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 1 /* message header error */}, writeDeadline())
+					return fmt.Errorf("collector: session with %v: malformed budget exhausted: %w", open.AS, rr.malformed)
+				}
+				continue
+			}
+			switch m := rr.msg.(type) {
+			case *bgpwire.Update:
+				seq++
+				c.record(open, m, seq)
+				if c.Detector != nil {
+					c.Detector.Process(TimedUpdate{Time: seq, PeerAS: open.AS, Update: m})
+				}
+			case bgpwire.Keepalive:
+				// Hold-timer refresh happened above; nothing else to do.
+			case *bgpwire.Notification:
+				return nil // peer is closing the session
+			default:
+				_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 5 /* FSM error */}, writeDeadline())
+				return fmt.Errorf("collector: unexpected %T mid-session", rr.msg)
+			}
+		case <-kaC:
+			if err := bgpwire.WriteMessageDeadline(conn, bgpwire.Keepalive{}, writeDeadline()); err != nil {
+				return fmt.Errorf("collector: send KEEPALIVE to %v: %w", open.AS, err)
+			}
+			tick.Rearm(kaT, hold/3)
+		case <-holdC:
+			c.mu.Lock()
+			c.stats.HoldExpiries++
+			c.mu.Unlock()
+			c.logf("collector: hold timer (%v) expired for %v; reaping session", hold, open.AS)
+			_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 4 /* hold timer expired */}, writeDeadline())
+			return fmt.Errorf("collector: session with %v: hold timer expired", open.AS)
+		}
+	}
+}
+
+// record logs one update to the MRT recorder, degrading to a counted,
+// logged no-op on the first write failure — a full disk must cost the
+// operator the recording, not the live detection feed.
+func (c *Collector) record(open *bgpwire.Open, m *bgpwire.Update, seq uint32) {
+	if c.Recorder == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stats.Degraded {
+		c.stats.RecorderDropped++
+		return
+	}
+	err := c.Recorder.WriteBGP4MP(&mrt.BGP4MPMessage{
+		Timestamp: seq,
+		PeerAS:    open.AS,
+		LocalAS:   c.LocalAS,
+		Message:   m,
+	})
+	if err != nil {
+		c.stats.RecorderErrors++
+		c.stats.Degraded = true
+		c.logf("collector: MRT recorder failed (%v); degraded mode: recording disabled, sessions stay up", err)
+	}
+}

@@ -1,0 +1,453 @@
+package feed
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/mrt"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// drainUntilNotification reads collector-to-peer messages off conn so
+// collector writes never block, delivering the first NOTIFICATION seen.
+func drainUntilNotification(conn net.Conn) <-chan *bgpwire.Notification {
+	ch := make(chan *bgpwire.Notification, 1)
+	go func() {
+		for {
+			m, err := bgpwire.ReadMessage(conn)
+			if err != nil {
+				close(ch)
+				return
+			}
+			if n, ok := m.(*bgpwire.Notification); ok {
+				ch <- n
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// peerHandshake performs the probe half of the OPEN exchange by hand.
+func peerHandshake(t *testing.T, conn net.Conn, hold uint16) {
+	t.Helper()
+	if err := bgpwire.WriteMessage(conn, &bgpwire.Open{Version: 4, AS: 65001, HoldTime: hold, RouterID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := bgpwire.ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(*bgpwire.Open); !ok {
+		t.Fatalf("expected OPEN, got %T", m)
+	}
+	if m, err := bgpwire.ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(bgpwire.Keepalive); !ok {
+		t.Fatalf("expected KEEPALIVE, got %T", m)
+	}
+}
+
+// TestHoldTimerReapsHungPeer: a peer that completes the handshake and
+// then goes silent must be reaped within the negotiated hold time,
+// with a hold-timer-expired NOTIFICATION — all on a fake clock, so the
+// 90s hold elapses instantly and deterministically.
+func TestHoldTimerReapsHungPeer(t *testing.T) {
+	fc := tick.NewFake()
+	c := &Collector{LocalAS: 65535, RouterID: 1, HoldTime: 90, Clock: fc}
+	server, client := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.HandleSession(server) }()
+	peerHandshake(t, client, 90)
+	notifCh := drainUntilNotification(client)
+
+	// The session loop arms its hold and keepalive timers; only then is
+	// advancing past the hold deadline meaningful.
+	fc.BlockUntilTimers(2)
+	fc.Advance(91 * time.Second)
+
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "hold timer expired") {
+			t.Fatalf("session error = %v, want hold timer expiry", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hung peer was not reaped")
+	}
+	if n, ok := <-notifCh; !ok || n.Code != 4 {
+		t.Errorf("NOTIFICATION = %+v (ok=%v), want code 4 (hold timer expired)", n, ok)
+	}
+	if st := c.Stats(); st.HoldExpiries != 1 {
+		t.Errorf("HoldExpiries = %d, want 1", st.HoldExpiries)
+	}
+}
+
+// TestHoldTimerRefreshedByTraffic: a peer that keeps sending inside the
+// hold window must never be reaped. The peer sends malformed-but-framed
+// messages because their receipt is observable through the stats
+// counter — the deterministic rendezvous each fake-clock advance needs
+// — and any received message, even a malformed one, proves liveness.
+func TestHoldTimerRefreshedByTraffic(t *testing.T) {
+	fc := tick.NewFake()
+	c := &Collector{LocalAS: 65535, RouterID: 1, HoldTime: 90, Clock: fc, MaxMalformed: 100}
+	server, client := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.HandleSession(server) }()
+	peerHandshake(t, client, 90)
+	_ = drainUntilNotification(client)
+
+	malformed := make([]byte, bgpwire.HeaderLen+1)
+	for i := 0; i < 16; i++ {
+		malformed[i] = 0xff
+	}
+	malformed[17] = byte(len(malformed))
+	malformed[18] = bgpwire.TypeKeepalive
+
+	fc.BlockUntilTimers(2)
+	for i := 0; i < 5; i++ {
+		// Refresh at 60s intervals — always inside the 90s hold window.
+		fc.Advance(60 * time.Second)
+		if _, err := client.Write(malformed); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Stats().MalformedMessages != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("message %d never processed", i+1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case err := <-errCh:
+		t.Fatalf("live session reaped: %v", err)
+	default:
+	}
+	client.Close()
+	<-errCh
+	if st := c.Stats(); st.HoldExpiries != 0 {
+		t.Errorf("HoldExpiries = %d, want 0", st.HoldExpiries)
+	}
+}
+
+// TestCollectorRejectsBadOpen: version and hold-time validation must
+// answer with the right OPEN-error NOTIFICATION subcode.
+func TestCollectorRejectsBadOpen(t *testing.T) {
+	cases := []struct {
+		name    string
+		open    *bgpwire.Open
+		subcode uint8
+	}{
+		{"bad version", &bgpwire.Open{Version: 3, AS: 65001, HoldTime: 90, RouterID: 2}, 1},
+		{"hold below floor", &bgpwire.Open{Version: 4, AS: 65001, HoldTime: 2, RouterID: 2}, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Collector{LocalAS: 65535, RouterID: 1}
+			server, client := net.Pipe()
+			defer client.Close()
+			errCh := make(chan error, 1)
+			go func() { errCh <- c.HandleSession(server) }()
+			if err := bgpwire.WriteMessage(client, tc.open); err != nil {
+				t.Fatal(err)
+			}
+			m, err := bgpwire.ReadMessage(client)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, ok := m.(*bgpwire.Notification)
+			if !ok || n.Code != 2 || n.Subcode != tc.subcode {
+				t.Errorf("reply = %#v, want NOTIFICATION 2/%d", m, tc.subcode)
+			}
+			if err := <-errCh; err == nil {
+				t.Error("session with bad OPEN accepted")
+			}
+		})
+	}
+}
+
+// TestCollectorMalformedBudget: malformed-but-framed messages are
+// tolerated up to MaxMalformed, then the session closes with a header
+// error NOTIFICATION; a healthy update in between still reaches the
+// detector.
+func TestCollectorMalformedBudget(t *testing.T) {
+	var store rpki.Store
+	if err := store.Add(rpki.ROA{Prefix: prefix.MustParse("10.0.0.0/16"), MaxLength: 24, Origin: 100}); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(&store, nil)
+	c := &Collector{LocalAS: 65535, RouterID: 1, Detector: det, MaxMalformed: 2}
+	server, client := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.HandleSession(server) }()
+	peerHandshake(t, client, 90)
+	notifCh := drainUntilNotification(client)
+
+	// A correctly framed KEEPALIVE with an illegal body: malformed but
+	// stream-aligned.
+	malformed := make([]byte, bgpwire.HeaderLen+3)
+	for i := 0; i < 16; i++ {
+		malformed[i] = 0xff
+	}
+	malformed[17] = byte(len(malformed))
+	malformed[18] = bgpwire.TypeKeepalive
+
+	if _, err := client.Write(malformed); err != nil {
+		t.Fatal(err)
+	}
+	// A valid (alert-raising) update between malformed messages must be
+	// processed.
+	if err := bgpwire.WriteMessage(client, &bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001, 666}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(malformed); err != nil {
+		t.Fatal(err)
+	}
+	// Third malformed message exceeds MaxMalformed=2.
+	if _, err := client.Write(malformed); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "malformed budget") {
+			t.Fatalf("session error = %v, want malformed-budget exhaustion", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("session not closed after malformed budget")
+	}
+	if n, ok := <-notifCh; !ok || n.Code != 1 {
+		t.Errorf("NOTIFICATION = %+v (ok=%v), want code 1", n, ok)
+	}
+	if got := len(det.Alerts()); got != 1 {
+		t.Errorf("alerts = %d, want 1 (update between malformed messages must be processed)", got)
+	}
+	if st := c.Stats(); st.MalformedMessages != 3 {
+		t.Errorf("MalformedMessages = %d, want 3", st.MalformedMessages)
+	}
+}
+
+// TestHandleSessionGarbageTable: truncated and garbage wire input must
+// error that one session without wedging anything (run under -race in
+// CI).
+func TestHandleSessionGarbageTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		script func(t *testing.T, client net.Conn)
+	}{
+		{"garbage instead of OPEN", func(t *testing.T, client net.Conn) {
+			_, _ = client.Write([]byte("definitely not BGP at all, sorry"))
+		}},
+		{"truncated OPEN frame", func(t *testing.T, client net.Conn) {
+			frame, err := bgpwire.Marshal(&bgpwire.Open{Version: 4, AS: 65001, HoldTime: 90, RouterID: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = client.Write(frame[:len(frame)-4])
+		}},
+		{"oversized length field", func(t *testing.T, client net.Conn) {
+			frame := make([]byte, bgpwire.HeaderLen)
+			for i := 0; i < 16; i++ {
+				frame[i] = 0xff
+			}
+			frame[16], frame[17] = 0xff, 0xff // length 65535 > MaxMessageLen
+			frame[18] = bgpwire.TypeKeepalive
+			_, _ = client.Write(frame)
+		}},
+		{"mid-session truncated update", func(t *testing.T, client net.Conn) {
+			peerHandshake(t, client, 90)
+			frame, err := bgpwire.Marshal(&bgpwire.Update{
+				Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001, 666}, NextHop: 1,
+				NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = client.Write(frame[:len(frame)/2])
+		}},
+		{"second OPEN mid-session", func(t *testing.T, client net.Conn) {
+			peerHandshake(t, client, 90)
+			_ = drainUntilNotification(client)
+			_ = bgpwire.WriteMessage(client, &bgpwire.Open{Version: 4, AS: 65001, HoldTime: 90, RouterID: 2})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Collector{LocalAS: 65535, RouterID: 1}
+			server, client := net.Pipe()
+			errCh := make(chan error, 1)
+			go func() { errCh <- c.HandleSession(server) }()
+			tc.script(t, client)
+			client.Close()
+			select {
+			case err := <-errCh:
+				if err == nil {
+					t.Error("session with broken wire input returned nil")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("session wedged on broken wire input")
+			}
+		})
+	}
+}
+
+// TestShutdownRacesAccept: Shutdown concurrent with a storm of Accepts
+// and handshakes must neither deadlock nor leak sessions (the -race CI
+// job is the other half of this test).
+func TestShutdownRacesAccept(t *testing.T) {
+	c := &Collector{LocalAS: 65535, RouterID: 1, Detector: NewDetector(&rpki.Store{}, nil)}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = c.Serve(l)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				return // listener already closed: that's the race working
+			}
+			p := &Probe{AS: asn.ASN(65100 + i), RouterID: uint32(100 + i)}
+			if err := p.Dial(conn); err != nil {
+				return // collector shut down mid-handshake: also fine
+			}
+			_ = p.Send(&bgpwire.Update{
+				Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{asn.ASN(65100 + i)}, NextHop: 1,
+				NLRI: []prefix.Prefix{prefix.MustParse("192.0.2.0/24")},
+			})
+			_ = p.Close()
+		}(i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = c.Shutdown(ctx) // races the dials above by design
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case <-serveDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Shutdown+Close")
+	}
+}
+
+// TestShutdownForceClosesHungSession: a session kept alive by its peer
+// must be force-closed once the Shutdown context expires, and the
+// expired context's error surfaced.
+func TestShutdownForceClosesHungSession(t *testing.T) {
+	c := &Collector{LocalAS: 65535, RouterID: 1}
+	server, client := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.HandleSession(server) }()
+	peerHandshake(t, client, 90)
+	_ = drainUntilNotification(client)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded (session was live)", err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("force-closed session returned nil")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("session survived force-close")
+	}
+}
+
+// failAfter errors every write once n bytes have passed through —
+// a disk filling up under the MRT recorder.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, context.DeadlineExceeded // any error will do
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+// TestRecorderDegradedMode: a recorder write failure must demote the
+// collector to degraded mode — counted and logged — while the session
+// and the detector keep working.
+func TestRecorderDegradedMode(t *testing.T) {
+	var store rpki.Store
+	if err := store.Add(rpki.ROA{Prefix: prefix.MustParse("10.0.0.0/16"), MaxLength: 24, Origin: 100}); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(&store, nil)
+	var logged []string
+	c := &Collector{
+		LocalAS: 65535, RouterID: 1, Detector: det,
+		Recorder: mrt.NewWriter(&failAfter{n: 64}, 0),
+		Logf:     func(format string, args ...any) { logged = append(logged, format) },
+	}
+	server, client := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.HandleSession(server) }()
+	peerHandshake(t, client, 90)
+
+	// Enough updates to overflow the recorder's buffered writer, plus
+	// the alert-raising one at the end — it must be detected even after
+	// recording has degraded.
+	for i := 0; i < 200; i++ {
+		if err := bgpwire.WriteMessage(client, &bgpwire.Update{
+			Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001, 100}, NextHop: 1,
+			NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bgpwire.WriteMessage(client, &bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001, 666}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("session torn down by recorder failure: %v", err)
+	}
+	st := c.Stats()
+	if !st.Degraded || st.RecorderErrors != 1 {
+		t.Errorf("stats = %+v, want Degraded with exactly one RecorderError", st)
+	}
+	if st.RecorderDropped == 0 {
+		t.Error("no updates counted as dropped while degraded")
+	}
+	if len(det.Alerts()) != 1 {
+		t.Errorf("alerts = %d, want 1 (detection must survive recorder failure)", len(det.Alerts()))
+	}
+	if len(logged) == 0 {
+		t.Error("degraded mode was not logged")
+	}
+}

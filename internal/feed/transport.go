@@ -1,20 +1,58 @@
 package feed
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/bgpwire"
 	"github.com/bgpsim/bgpsim/internal/mrt"
+	"github.com/bgpsim/bgpsim/internal/tick"
 )
+
+// DefaultHoldTime is the hold time (seconds) offered in OPEN when a
+// Collector or Probe does not set one — RFC 4271's recommended 180s,
+// which the previous implementation advertised but never enforced.
+const DefaultHoldTime uint16 = 180
+
+// DefaultMaxMalformed bounds how many malformed-but-correctly-framed
+// messages one session tolerates before the collector closes that peer.
+const DefaultMaxMalformed = 4
+
+// minHoldTime is RFC 4271 §6.2's floor: a non-zero hold time below 3
+// seconds is unacceptable and rejected with an OPEN error NOTIFICATION.
+const minHoldTime = 3
+
+// CollectorStats is a snapshot of the collector's robustness counters.
+type CollectorStats struct {
+	// Sessions counts sessions accepted so far.
+	Sessions int
+	// RecorderErrors counts MRT recorder write failures. The first one
+	// demotes the collector to degraded mode (recording disabled,
+	// sessions stay up) instead of tearing down the session that
+	// happened to trigger it.
+	RecorderErrors int
+	// RecorderDropped counts updates not recorded while degraded.
+	RecorderDropped int
+	// Degraded reports whether recording has been disabled by a write
+	// failure.
+	Degraded bool
+	// MalformedMessages counts correctly framed messages that failed to
+	// decode, across all sessions.
+	MalformedMessages int
+	// HoldExpiries counts peers reaped by the hold timer.
+	HoldExpiries int
+}
 
 // Collector is a BGP route collector: probe routers open BGP sessions to
 // it and stream UPDATEs, which it hands to a Detector — the architecture
-// of BGPmon and the hijack detectors built on it.
+// of BGPmon and the hijack detectors built on it. The zero value plus
+// LocalAS/RouterID is usable; robustness knobs (hold time, malformed
+// budget, clock) default sensibly.
 type Collector struct {
 	LocalAS  asn.ASN
 	RouterID uint32
@@ -22,17 +60,35 @@ type Collector struct {
 	// Recorder, when non-nil, logs every received UPDATE as an MRT
 	// BGP4MP record — the format RouteViews publishes its update feeds
 	// in. Callers own flushing/closing the underlying writer after
-	// Shutdown.
+	// Shutdown. A write failure degrades recording (counted, logged)
+	// rather than killing the session that hit it.
 	Recorder *mrt.Writer
+	// HoldTime is the hold time (seconds) offered in the collector's
+	// OPEN; 0 means DefaultHoldTime. Each session enforces the minimum
+	// of this and the peer's offer (RFC 4271 §4.2); a negotiated 0
+	// disables the timer.
+	HoldTime uint16
+	// MaxMalformed bounds per-session tolerated malformed messages;
+	// 0 means DefaultMaxMalformed.
+	MaxMalformed int
+	// Clock injects time for hold/keepalive enforcement. Nil means the
+	// wall clock; tests substitute a tick.Fake.
+	Clock tick.Clock
+	// Logf, when non-nil, receives operational log lines (degraded
+	// mode, reaped peers).
+	Logf func(format string, args ...any)
 
-	// mu guards sessions, closed, and (in HandleSession) writes through
-	// Recorder, which is not itself concurrency-safe. The accept loop
-	// checks closed and registers with wg under the same critical section
-	// so Shutdown can never miss an in-flight session.
+	// mu guards sessions, conns, closed, stats, and (in session.go)
+	// writes through Recorder, which is not itself concurrency-safe.
+	// The accept loop checks closed and registers with wg under the
+	// same critical section so Shutdown can never miss an in-flight
+	// session.
 	mu       sync.Mutex
 	sessions int
+	conns    map[io.Closer]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	stats    CollectorStats
 }
 
 // Serve accepts sessions on l until l is closed. It returns the listener's
@@ -51,7 +107,10 @@ func (c *Collector) Serve(l net.Listener) error {
 			c.wg.Wait()
 			return net.ErrClosed
 		}
-		c.sessions++
+		// Pre-register the session goroutine under the same critical
+		// section as the closed check, so Shutdown's wait can never miss
+		// a conn that was accepted but whose HandleSession (which
+		// registers itself) has not started yet.
 		c.wg.Add(1)
 		c.mu.Unlock()
 		go func() {
@@ -70,100 +129,177 @@ func (c *Collector) Sessions() int {
 	return c.sessions
 }
 
-// HandleSession runs one collector-side BGP session on conn: OPEN
-// exchange, KEEPALIVE, then UPDATE stream into the detector until the
-// peer closes or sends NOTIFICATION.
-func (c *Collector) HandleSession(conn io.ReadWriteCloser) error {
-	defer conn.Close()
-	msg, err := bgpwire.ReadMessage(conn)
-	if err != nil {
-		return fmt.Errorf("collector: read OPEN: %w", err)
-	}
-	open, ok := msg.(*bgpwire.Open)
-	if !ok {
-		return fmt.Errorf("collector: expected OPEN, got %T", msg)
-	}
-	if err := bgpwire.WriteMessage(conn, &bgpwire.Open{
-		Version: 4, AS: c.LocalAS, HoldTime: 180, RouterID: c.RouterID,
-	}); err != nil {
-		return fmt.Errorf("collector: send OPEN: %w", err)
-	}
-	if err := bgpwire.WriteMessage(conn, bgpwire.Keepalive{}); err != nil {
-		return fmt.Errorf("collector: send KEEPALIVE: %w", err)
-	}
-	var clock uint32
-	for {
-		msg, err := bgpwire.ReadMessage(conn)
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("collector: session with %v: %w", open.AS, err)
-		}
-		switch m := msg.(type) {
-		case *bgpwire.Update:
-			clock++
-			if c.Recorder != nil {
-				c.mu.Lock()
-				err := c.Recorder.WriteBGP4MP(&mrt.BGP4MPMessage{
-					Timestamp: clock,
-					PeerAS:    open.AS,
-					LocalAS:   c.LocalAS,
-					Message:   m,
-				})
-				c.mu.Unlock()
-				if err != nil {
-					return fmt.Errorf("collector: record update: %w", err)
-				}
-			}
-			if c.Detector != nil {
-				c.Detector.Process(TimedUpdate{Time: clock, PeerAS: open.AS, Update: m})
-			}
-		case bgpwire.Keepalive:
-			// Hold-timer refresh; nothing to do.
-		case *bgpwire.Notification:
-			return nil // peer is closing the session
-		default:
-			return fmt.Errorf("collector: unexpected %T mid-session", msg)
-		}
-	}
+// Stats returns a snapshot of the collector's robustness counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Sessions = c.sessions
+	return s
 }
 
-// Shutdown stops accepting new sessions and waits for active ones.
-func (c *Collector) Shutdown() {
+// Shutdown stops accepting new sessions and waits for active ones to
+// drain naturally (peer EOF or NOTIFICATION). If ctx expires first,
+// every live session connection is force-closed, the wait completes,
+// and ctx's error is returned.
+func (c *Collector) Shutdown(ctx context.Context) error {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	c.mu.Lock()
+	for conn := range c.conns { //lint:maporder-ok force-close teardown; close order is immaterial
+		_ = conn.Close()
+	}
+	c.mu.Unlock()
 	c.wg.Wait()
+	return ctx.Err()
+}
+
+// register enrolls one session with the collector: it joins the
+// Shutdown wait group, is counted, and its conn becomes force-closable.
+// It fails once Shutdown has begun.
+func (c *Collector) register(conn io.Closer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	c.sessions++
+	c.wg.Add(1)
+	if c.conns == nil {
+		c.conns = make(map[io.Closer]struct{})
+	}
+	c.conns[conn] = struct{}{}
+	return nil
+}
+
+// unregister is register's counterpart: the conn stops being tracked
+// and the Shutdown wait group is released.
+func (c *Collector) unregister(conn io.Closer) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+	c.wg.Done()
+}
+
+func (c *Collector) clock() tick.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return tick.Real()
+}
+
+func (c *Collector) holdTime() uint16 {
+	if c.HoldTime != 0 {
+		return c.HoldTime
+	}
+	return DefaultHoldTime
+}
+
+func (c *Collector) maxMalformed() int {
+	if c.MaxMalformed != 0 {
+		return c.MaxMalformed
+	}
+	return DefaultMaxMalformed
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// negotiateHold returns the session hold time per RFC 4271 §4.2: the
+// minimum of the two offers, where 0 from either side disables the
+// timer entirely.
+func negotiateHold(local, peer uint16) time.Duration {
+	if local == 0 || peer == 0 {
+		return 0
+	}
+	h := local
+	if peer < h {
+		h = peer
+	}
+	return time.Duration(h) * time.Second
 }
 
 // Probe is the router side of a collector session: it opens the session
-// and streams updates.
+// and streams updates. For automatic reconnection with backoff, wrap it
+// in a ProbeRunner.
 type Probe struct {
 	AS       asn.ASN
 	RouterID uint32
+	// HoldTime is the hold time (seconds) offered in OPEN; 0 means
+	// DefaultHoldTime. The session value is the negotiated minimum with
+	// the peer's offer.
+	HoldTime uint16
+	// Clock injects time for handshake deadlines; nil means the wall
+	// clock.
+	Clock tick.Clock
 
 	conn io.ReadWriteCloser
+	hold time.Duration
+	peer bgpwire.Open
 }
 
-// Dial performs the BGP handshake over an established connection.
+func (p *Probe) holdTime() uint16 {
+	if p.HoldTime != 0 {
+		return p.HoldTime
+	}
+	return DefaultHoldTime
+}
+
+func (p *Probe) clock() tick.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return tick.Real()
+}
+
+// handshakeDeadline bounds each handshake read/write by the local hold
+// offer, so a silent peer cannot hang Dial forever on a real socket.
+func (p *Probe) handshakeDeadline() time.Time {
+	return p.clock().Now().Add(time.Duration(p.holdTime()) * time.Second)
+}
+
+// Dial performs the BGP handshake over an established connection,
+// validating the peer's OPEN (version 4, non-zero hold time of at least
+// 3s per RFC 4271 §6.2) and recording the negotiated hold time — the
+// minimum of both offers — for NegotiatedHold.
 func (p *Probe) Dial(conn io.ReadWriteCloser) error {
-	if err := bgpwire.WriteMessage(conn, &bgpwire.Open{
-		Version: 4, AS: p.AS, HoldTime: 180, RouterID: p.RouterID,
-	}); err != nil {
+	if err := bgpwire.WriteMessageDeadline(conn, &bgpwire.Open{
+		Version: 4, AS: p.AS, HoldTime: p.holdTime(), RouterID: p.RouterID,
+	}, p.handshakeDeadline()); err != nil {
 		conn.Close()
 		return fmt.Errorf("probe %v: send OPEN: %w", p.AS, err)
 	}
-	msg, err := bgpwire.ReadMessage(conn)
+	msg, err := bgpwire.ReadMessageDeadline(conn, p.handshakeDeadline())
 	if err != nil {
 		conn.Close()
 		return fmt.Errorf("probe %v: read OPEN: %w", p.AS, err)
 	}
-	if _, ok := msg.(*bgpwire.Open); !ok {
+	open, ok := msg.(*bgpwire.Open)
+	if !ok {
 		conn.Close()
 		return fmt.Errorf("probe %v: expected OPEN, got %T", p.AS, msg)
 	}
-	if msg, err = bgpwire.ReadMessage(conn); err != nil {
+	if err := validateOpen(open, false); err != nil {
+		// Best-effort OPEN error NOTIFICATION before teardown.
+		_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 2, Subcode: openErrSubcode(open)}, p.handshakeDeadline())
+		conn.Close()
+		return fmt.Errorf("probe %v: %w", p.AS, err)
+	}
+	if msg, err = bgpwire.ReadMessageDeadline(conn, p.handshakeDeadline()); err != nil {
 		conn.Close()
 		return fmt.Errorf("probe %v: read KEEPALIVE: %w", p.AS, err)
 	}
@@ -172,15 +308,52 @@ func (p *Probe) Dial(conn io.ReadWriteCloser) error {
 		return fmt.Errorf("probe %v: expected KEEPALIVE, got %T", p.AS, msg)
 	}
 	p.conn = conn
+	p.peer = *open
+	p.hold = negotiateHold(p.holdTime(), open.HoldTime)
 	return nil
 }
+
+// validateOpen checks an incoming OPEN. allowZeroHold distinguishes the
+// collector (hold 0 legitimately disables the timer) from the probe,
+// which requires a live hold timer from its collector.
+func validateOpen(o *bgpwire.Open, allowZeroHold bool) error {
+	if o.Version != 4 {
+		return fmt.Errorf("peer OPEN: unsupported BGP version %d", o.Version)
+	}
+	if o.HoldTime == 0 && !allowZeroHold {
+		return fmt.Errorf("peer OPEN: zero hold time (peer would never be reaped)")
+	}
+	if o.HoldTime != 0 && o.HoldTime < minHoldTime {
+		return fmt.Errorf("peer OPEN: hold time %ds below the %ds floor", o.HoldTime, minHoldTime)
+	}
+	return nil
+}
+
+// openErrSubcode maps a rejected OPEN to the RFC 4271 §6.2 subcode.
+func openErrSubcode(o *bgpwire.Open) uint8 {
+	if o.Version != 4 {
+		return 1 // unsupported version number
+	}
+	return 6 // unacceptable hold time
+}
+
+// NegotiatedHold returns the hold time agreed during Dial (zero when
+// disabled or before Dial succeeds).
+func (p *Probe) NegotiatedHold() time.Duration { return p.hold }
+
+// PeerOpen returns the collector's OPEN as received during Dial.
+func (p *Probe) PeerOpen() bgpwire.Open { return p.peer }
 
 // Send streams one UPDATE on the session.
 func (p *Probe) Send(u *bgpwire.Update) error {
 	if p.conn == nil {
 		return fmt.Errorf("probe %v: session not established", p.AS)
 	}
-	return bgpwire.WriteMessage(p.conn, u)
+	var deadline time.Time
+	if p.hold > 0 {
+		deadline = p.clock().Now().Add(p.hold)
+	}
+	return bgpwire.WriteMessageDeadline(p.conn, u, deadline)
 }
 
 // Close ends the session with a Cease NOTIFICATION.
@@ -191,5 +364,6 @@ func (p *Probe) Close() error {
 	_ = bgpwire.WriteMessage(p.conn, &bgpwire.Notification{Code: 6 /* cease */})
 	err := p.conn.Close()
 	p.conn = nil
+	p.hold = 0
 	return err
 }

@@ -32,6 +32,8 @@ var Deterministic = []string{
 	"github.com/bgpsim/bgpsim/internal/experiments",
 	"github.com/bgpsim/bgpsim/internal/stats",
 	"github.com/bgpsim/bgpsim/internal/sweep",
+	"github.com/bgpsim/bgpsim/internal/feed",
+	"github.com/bgpsim/bgpsim/internal/chaos",
 }
 
 // Analyzer is the maporder pass.

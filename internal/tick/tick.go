@@ -1,0 +1,210 @@
+// Package tick provides an injectable clock abstraction for the live
+// feed pipeline. Hold-timer enforcement, keepalive scheduling and
+// reconnect backoff must never read the wall clock directly: every
+// duration-sensitive decision goes through a Clock so tests drive the
+// exact same code with a deterministic Fake (see DESIGN.md, "Live
+// pipeline robustness"). Real() is the production implementation; the
+// cmd tools install it at the boundary.
+package tick
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "now" and timer creation.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the subset of *time.Timer the feed layer uses. Channel and
+// Stop/Reset semantics match time.Timer under Go 1.22 rules: after a
+// fire the value stays buffered in C until received, so callers reuse
+// timers via the stop-drain-reset idiom (see Rearm).
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// Rearm safely re-arms a possibly-fired, possibly-drained timer for d,
+// encapsulating the classic stop-drain-reset dance. It must only be
+// called from the goroutine that receives on t.C().
+func Rearm(t Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C():
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// Real returns the wall-clock Clock backed by package time.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time      { return r.t.C }
+func (r realTimer) Stop() bool               { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+// Fake is a manually advanced Clock for deterministic tests: timers
+// fire only inside Advance/AdvanceToNext, on the advancing goroutine.
+// It is safe for concurrent use.
+type Fake struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFake returns a Fake clock starting at a fixed epoch. The epoch is
+// deliberately far in the real future: code under test may arm real
+// socket deadlines (net.Conn.SetReadDeadline) from Clock.Now(), and a
+// past-dated deadline would make every read fail instantly. Only
+// durations matter to the feed layer, so the absolute value is
+// otherwise arbitrary.
+func NewFake() *Fake {
+	f := &Fake{now: time.Unix(1<<40, 0)}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Now returns the fake clock's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// NewTimer arms a fake timer d from the fake now. A non-positive d
+// fires on the next Advance(0).
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{
+		clock:    f,
+		ch:       make(chan time.Time, 1),
+		deadline: f.now.Add(d),
+		armed:    true,
+	}
+	f.timers = append(f.timers, t)
+	f.cond.Broadcast()
+	return t
+}
+
+// Advance moves the clock forward by d, firing every armed timer whose
+// deadline is reached, earliest first.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceTo(f.now.Add(d))
+}
+
+// AdvanceToNext jumps to the earliest armed deadline and fires it,
+// returning how far the clock moved. It returns false when no timer is
+// armed.
+func (f *Fake) AdvanceToNext() (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var next *fakeTimer
+	for _, t := range f.timers {
+		if t.armed && (next == nil || t.deadline.Before(next.deadline)) {
+			next = t
+		}
+	}
+	if next == nil {
+		return 0, false
+	}
+	d := next.deadline.Sub(f.now)
+	if d < 0 {
+		d = 0
+	}
+	f.advanceTo(f.now.Add(d))
+	return d, true
+}
+
+// BlockUntilTimers waits until at least n timers are armed — the
+// rendezvous a test needs before advancing past a deadline the code
+// under test is still arming.
+func (f *Fake) BlockUntilTimers(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.armedLocked() < n {
+		f.cond.Wait()
+	}
+}
+
+func (f *Fake) armedLocked() int {
+	n := 0
+	for _, t := range f.timers {
+		if t.armed {
+			n++
+		}
+	}
+	return n
+}
+
+// advanceTo fires due timers in deadline order; the caller holds f.mu.
+func (f *Fake) advanceTo(target time.Time) {
+	for {
+		var next *fakeTimer
+		for _, t := range f.timers {
+			if t.armed && !t.deadline.After(target) &&
+				(next == nil || t.deadline.Before(next.deadline)) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.deadline.After(f.now) {
+			f.now = next.deadline
+		}
+		next.armed = false
+		select {
+		case next.ch <- next.deadline:
+		default: // a previous fire is still buffered; drop, like time.Timer
+		}
+	}
+	if target.After(f.now) {
+		f.now = target
+	}
+}
+
+type fakeTimer struct {
+	clock    *Fake
+	ch       chan time.Time
+	deadline time.Time
+	armed    bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.armed
+	t.armed = false
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.armed
+	t.deadline = t.clock.now.Add(d)
+	t.armed = true
+	t.clock.cond.Broadcast()
+	return was
+}

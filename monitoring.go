@@ -19,7 +19,20 @@ type (
 	Collector = feed.Collector
 	// FeedProbe is the router side of a collector session.
 	FeedProbe = feed.Probe
+	// FeedProbeRunner is a self-healing probe session: it reconnects
+	// with capped exponential backoff and retransmits its table.
+	FeedProbeRunner = feed.ProbeRunner
+	// FeedRunnerStats is a snapshot of a FeedProbeRunner's counters.
+	FeedRunnerStats = feed.RunnerStats
+	// CollectorStats is a snapshot of a Collector's robustness counters
+	// (degraded recording, malformed messages, hold expiries).
+	CollectorStats = feed.CollectorStats
 )
+
+// AlertSetDigest returns a SHA-256 digest over an alert set's identity —
+// stable across transport retries and session resets — for comparing
+// detection outcomes between runs.
+func AlertSetDigest(alerts []Alert) [32]byte { return feed.AlertSetDigest(alerts) }
 
 // Alert reasons.
 const (
