@@ -1,5 +1,5 @@
 // Command bgplint runs the repository's custom static-analysis suite
-// (maporder, globalrand, asnconv, errdrop) over the module's library
+// (maporder, globalrand, asnconv, errdrop, obsappend) over the module's library
 // code and exits non-zero on any finding.
 //
 // Usage:

@@ -7,6 +7,12 @@
 //	deployscan -target depth1        # Figure 5 (resistant target)
 //	deployscan -target deep          # Figure 6 (vulnerable target)
 //	deployscan -target both -top 5
+//
+// Multi-process runs shard each panel's ladder by cell range:
+//
+//	deployscan -shard 0/2 -shard-dir out
+//	deployscan -shard 1/2 -shard-dir out
+//	deployscan -merge -shard-dir out
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"github.com/bgpsim/bgpsim/internal/cli"
 	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/hijack"
 )
 
 func main() {
@@ -35,8 +42,16 @@ func run() error {
 	sbgpStudy := fs.Bool("sbgp", false, "also run the S*BGP security-rank study")
 	svgPrefix := fs.String("svg", "", "render each panel's chart to <prefix>-depth1.svg / <prefix>-deep.svg")
 	workers := cli.AddWorkersFlag(fs)
+	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	mode, sel, err := sh.Mode()
+	if err != nil {
+		return err
+	}
+	if mode != cli.RunFull && (*subprefix || *sbgpStudy) {
+		return fmt.Errorf("-subprefix and -sbgp do not shard; drop them from -shard/-merge runs")
 	}
 	w, err := wf.BuildWorld()
 	if err != nil {
@@ -44,6 +59,33 @@ func run() error {
 	}
 	cli.Describe(w)
 	cfg := experiments.DeploymentConfig{AttackerSample: *sample, Seed: *wf.Seed, ResidualTop: *top, Workers: *workers}
+
+	runDepth1 := *target == "depth1" || *target == "both"
+	runDeep := *target == "deep" || *target == "both"
+	if !runDepth1 && !runDeep {
+		return fmt.Errorf("unknown -target %q (want depth1, deep or both)", *target)
+	}
+	if mode == cli.RunShard {
+		if runDepth1 {
+			sf, err := experiments.Fig5Shard(w, cfg, sel)
+			if err != nil {
+				return err
+			}
+			if err := cli.WriteShard(*sh.Dir, sf); err != nil {
+				return err
+			}
+		}
+		if runDeep {
+			sf, err := experiments.Fig6Shard(w, cfg, sel)
+			if err != nil {
+				return err
+			}
+			if err := cli.WriteShard(*sh.Dir, sf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	emit := func(res *experiments.DeploymentResult, tag string) error {
 		if err := res.WriteText(os.Stdout); err != nil {
@@ -63,27 +105,48 @@ func run() error {
 		}
 		return nil
 	}
-	if *target == "depth1" || *target == "both" {
-		res, err := experiments.Fig5(w, cfg)
-		if err != nil {
-			return err
+	if runDepth1 {
+		var res *experiments.DeploymentResult
+		if mode == cli.RunMerge {
+			files, err := cli.ReadShards[hijack.Record](*sh.Dir, experiments.TagFig5)
+			if err != nil {
+				return err
+			}
+			res, err = experiments.Fig5Merge(w, cfg, files)
+			if err != nil {
+				return err
+			}
+		} else {
+			res, err = experiments.Fig5(w, cfg)
+			if err != nil {
+				return err
+			}
 		}
 		if err := emit(res, "depth1"); err != nil {
 			return err
 		}
 		fmt.Println()
 	}
-	if *target == "deep" || *target == "both" {
-		res, err := experiments.Fig6(w, cfg)
-		if err != nil {
-			return err
+	if runDeep {
+		var res *experiments.DeploymentResult
+		if mode == cli.RunMerge {
+			files, err := cli.ReadShards[hijack.Record](*sh.Dir, experiments.TagFig6)
+			if err != nil {
+				return err
+			}
+			res, err = experiments.Fig6Merge(w, cfg, files)
+			if err != nil {
+				return err
+			}
+		} else {
+			res, err = experiments.Fig6(w, cfg)
+			if err != nil {
+				return err
+			}
 		}
 		if err := emit(res, "deep"); err != nil {
 			return err
 		}
-	}
-	if *target != "depth1" && *target != "deep" && *target != "both" {
-		return fmt.Errorf("unknown -target %q (want depth1, deep or both)", *target)
 	}
 	if *subprefix {
 		fmt.Println()

@@ -8,6 +8,12 @@
 //
 //	detectscan -attacks 8000
 //	detectscan -semantics received        # ablation: any-received triggers
+//
+// Multi-process runs shard the attack workload by cell range:
+//
+//	detectscan -attacks 8000 -shard 0/2 -shard-dir out
+//	detectscan -attacks 8000 -shard 1/2 -shard-dir out
+//	detectscan -attacks 8000 -merge -shard-dir out
 package main
 
 import (
@@ -37,8 +43,16 @@ func run() error {
 	falseAlarms := fs.Bool("falsealarms", false, "also run the data-freshness false-alarm study")
 	svgPrefix := fs.String("svg", "", "render each configuration's histogram to <prefix>-caseN.svg")
 	workers := cli.AddWorkersFlag(fs)
+	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	mode, sel, err := sh.Mode()
+	if err != nil {
+		return err
+	}
+	if mode != cli.RunFull && *falseAlarms {
+		return fmt.Errorf("-falsealarms does not shard; drop it from -shard/-merge runs")
 	}
 	w, err := wf.BuildWorld()
 	if err != nil {
@@ -54,16 +68,36 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -semantics %q (want selected or received)", *semantics)
 	}
-	res, err := experiments.Fig7(w, experiments.DetectionConfig{
+	cfg := experiments.DetectionConfig{
 		Attacks:      *attacks,
 		Seed:         *wf.Seed,
 		BGPmonProbes: *bgpmon,
 		TopMisses:    *top,
 		Semantics:    sem,
 		Workers:      *workers,
-	})
-	if err != nil {
-		return err
+	}
+	var res *experiments.DetectionResult
+	switch mode {
+	case cli.RunShard:
+		sf, err := experiments.Fig7Shard(w, cfg, sel)
+		if err != nil {
+			return err
+		}
+		return cli.WriteShard(*sh.Dir, sf)
+	case cli.RunMerge:
+		files, err := cli.ReadShards[detect.Record](*sh.Dir, experiments.TagFig7)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.Fig7Merge(w, cfg, files)
+		if err != nil {
+			return err
+		}
+	default:
+		res, err = experiments.Fig7(w, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	if err := res.WriteText(os.Stdout, func(node int) string { return w.Graph.ASN(node).String() }); err != nil {
 		return err

@@ -7,6 +7,12 @@
 //
 //	holescan -scale 10000 -attacks 4000
 //	holescan -filters tier1 -probes tier1     # the weakest configuration
+//
+// Multi-process runs shard the attack workload by cell range:
+//
+//	holescan -attacks 4000 -shard 0/2 -shard-dir out
+//	holescan -attacks 4000 -shard 1/2 -shard-dir out
+//	holescan -attacks 4000 -merge -shard-dir out
 package main
 
 import (
@@ -36,7 +42,12 @@ func run() error {
 	filtersKind := fs.String("filters", "core", "deployed filters: core | tier1 | none")
 	probesKind := fs.String("probes", "core", "detector probes: core | tier1 | bgpmon")
 	workers := cli.AddWorkersFlag(fs)
+	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	mode, sel, err := sh.Mode()
+	if err != nil {
 		return err
 	}
 	w, err := wf.BuildWorld()
@@ -82,9 +93,28 @@ func run() error {
 		return fmt.Errorf("unknown -probes %q", *probesKind)
 	}
 
-	res, err := experiments.HoleAnalysis(w, cfg)
-	if err != nil {
-		return err
+	var res *experiments.HoleResult
+	switch mode {
+	case cli.RunShard:
+		sf, err := experiments.HoleShard(w, cfg, sel)
+		if err != nil {
+			return err
+		}
+		return cli.WriteShard(*sh.Dir, sf)
+	case cli.RunMerge:
+		files, err := cli.ReadShards[experiments.HoleRecord](*sh.Dir, experiments.TagHoles)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.HoleMerge(w, cfg, files)
+		if err != nil {
+			return err
+		}
+	default:
+		res, err = experiments.HoleAnalysis(w, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	return res.WriteText(os.Stdout, func(n int) string { return w.Graph.ASN(n).String() })
 }

@@ -9,6 +9,15 @@
 //	vulnscan -hierarchy tier2                # Figure 3
 //	vulnscan -stubfilter                     # Figure 4
 //	vulnscan -sample 2000                    # cap attackers per target
+//
+// Large runs split across processes (or machines) by cell range; each
+// shard writes a mergeable JSON slice and a final merge invocation
+// reduces them into the exact single-process result:
+//
+//	vulnscan -scale 42697 -shard 0/3 -shard-dir out   # on machine A
+//	vulnscan -scale 42697 -shard 1/3 -shard-dir out   # on machine B
+//	vulnscan -scale 42697 -shard 2/3 -shard-dir out   # on machine C
+//	vulnscan -scale 42697 -merge -shard-dir out
 package main
 
 import (
@@ -18,6 +27,8 @@ import (
 
 	"github.com/bgpsim/bgpsim/internal/cli"
 	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 )
 
 func main() {
@@ -34,7 +45,13 @@ func run() error {
 	stubFilter := fs.Bool("stubfilter", false, "run the Figure 4 stub-filter comparison instead")
 	sample := fs.Int("sample", 0, "attacker sample per target (0 = every AS)")
 	svgOut := fs.String("svg", "", "also render the panel as an SVG chart to this file")
+	workers := cli.AddWorkersFlag(fs)
+	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	mode, sel, err := sh.Mode()
+	if err != nil {
 		return err
 	}
 	w, err := wf.BuildWorld()
@@ -43,25 +60,77 @@ func run() error {
 	}
 	cli.Describe(w)
 
-	cfg := experiments.VulnerabilityConfig{AttackerSample: *sample, Seed: *wf.Seed}
+	cfg := experiments.VulnerabilityConfig{AttackerSample: *sample, Seed: *wf.Seed, Workers: *workers}
 	if *stubFilter {
+		switch mode {
+		case cli.RunShard:
+			sf, err := experiments.Fig4Shard(w, cfg, sel)
+			if err != nil {
+				return err
+			}
+			return cli.WriteShard(*sh.Dir, sf)
+		case cli.RunMerge:
+			files, err := cli.ReadShards[hijack.Record](*sh.Dir, experiments.TagFig4)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.Fig4Merge(w, cfg, files)
+			if err != nil {
+				return err
+			}
+			return res.WriteText(os.Stdout)
+		}
 		res, err := experiments.Fig4(w, cfg)
 		if err != nil {
 			return err
 		}
 		return res.WriteText(os.Stdout)
 	}
-	var res *experiments.VulnerabilityResult
+
+	var tag string
 	switch *hierarchy {
 	case "tier1":
-		res, err = experiments.Fig2(w, cfg)
+		tag = experiments.TagFig2
 	case "tier2":
-		res, err = experiments.Fig3(w, cfg)
+		tag = experiments.TagFig3
 	default:
 		return fmt.Errorf("unknown -hierarchy %q (want tier1 or tier2)", *hierarchy)
 	}
-	if err != nil {
-		return err
+	var res *experiments.VulnerabilityResult
+	switch mode {
+	case cli.RunShard:
+		var sf *sweep.ShardFile[hijack.Record]
+		if tag == experiments.TagFig2 {
+			sf, err = experiments.Fig2Shard(w, cfg, sel)
+		} else {
+			sf, err = experiments.Fig3Shard(w, cfg, sel)
+		}
+		if err != nil {
+			return err
+		}
+		return cli.WriteShard(*sh.Dir, sf)
+	case cli.RunMerge:
+		files, err := cli.ReadShards[hijack.Record](*sh.Dir, tag)
+		if err != nil {
+			return err
+		}
+		if tag == experiments.TagFig2 {
+			res, err = experiments.Fig2Merge(w, cfg, files)
+		} else {
+			res, err = experiments.Fig3Merge(w, cfg, files)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		if tag == experiments.TagFig2 {
+			res, err = experiments.Fig2(w, cfg)
+		} else {
+			res, err = experiments.Fig3(w, cfg)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	if *svgOut != "" {
 		fh, err := os.Create(*svgOut)

@@ -7,9 +7,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
 
@@ -36,6 +39,96 @@ func AddWorldFlags(fs *flag.FlagSet) *WorldFlags {
 // trades wall-clock time for cores.
 func AddWorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "parallel solver workers (0 = all CPUs); any value gives identical results")
+}
+
+// ShardFlags is the multi-process matrix plumbing shared by the scan
+// tools: `-shard i/n -shard-dir d` solves one cell-range slice of every
+// experiment the invocation covers and writes it as a JSON shard file;
+// `-merge -shard-dir d` loads all slices back and reduces them into the
+// exact result a single-process run would print. World and experiment
+// flags must match across the shard and merge invocations.
+type ShardFlags struct {
+	Spec  *string
+	Dir   *string
+	Merge *bool
+}
+
+// AddShardFlags registers -shard, -shard-dir and -merge.
+func AddShardFlags(fs *flag.FlagSet) *ShardFlags {
+	return &ShardFlags{
+		Spec:  fs.String("shard", "", `solve only shard "i/n" of each sweep, writing records to -shard-dir instead of rendering results`),
+		Dir:   fs.String("shard-dir", "", "directory holding shard files (written with -shard, read with -merge)"),
+		Merge: fs.Bool("merge", false, "merge the shard files in -shard-dir instead of solving"),
+	}
+}
+
+// ShardMode says which of the three run shapes the flags select.
+type ShardMode int
+
+const (
+	// RunFull solves and renders in one process (no shard flags).
+	RunFull ShardMode = iota
+	// RunShard solves one shard and writes it to the shard directory.
+	RunShard
+	// RunMerge reads shard files and renders the merged result.
+	RunMerge
+)
+
+// Mode validates the flag combination and returns the run shape plus the
+// parsed shard selection (meaningful only for RunShard).
+func (f *ShardFlags) Mode() (ShardMode, sweep.ShardSel, error) {
+	switch {
+	case *f.Merge && *f.Spec != "":
+		return RunFull, sweep.ShardSel{}, fmt.Errorf("-merge and -shard are mutually exclusive")
+	case *f.Merge:
+		if *f.Dir == "" {
+			return RunFull, sweep.ShardSel{}, fmt.Errorf("-merge needs -shard-dir")
+		}
+		return RunMerge, sweep.ShardSel{}, nil
+	case *f.Spec != "":
+		sel, err := sweep.ParseShardSel(*f.Spec)
+		if err != nil {
+			return RunFull, sweep.ShardSel{}, err
+		}
+		if *f.Dir == "" {
+			return RunFull, sweep.ShardSel{}, fmt.Errorf("-shard needs -shard-dir")
+		}
+		return RunShard, sel, nil
+	default:
+		if *f.Dir != "" {
+			return RunFull, sweep.ShardSel{}, fmt.Errorf("-shard-dir needs -shard or -merge")
+		}
+		return RunFull, sweep.ShardSel{}, nil
+	}
+}
+
+// WriteShard persists one shard file into dir as
+// "<experiment>.<shard>of<shards>.json" and reports the path on stderr.
+func WriteShard[T any](dir string, sf *sweep.ShardFile[T]) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s.%dof%d.json", sf.Experiment, sf.Shard, sf.Shards))
+	if err := sweep.WriteShardFileTo(path, sf); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shard %d/%d (cells [%d,%d)) written to %s\n",
+		sf.Shard, sf.Shards, sf.CellLo, sf.CellHi, path)
+	return nil
+}
+
+// ReadShards loads every "<tag>.*.json" shard file from dir; MergeShards
+// validates the set tiles the experiment's cell space.
+func ReadShards[T any](dir, tag string) ([]*sweep.ShardFile[T], error) {
+	paths, err := filepath.Glob(filepath.Join(dir, tag+".*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("merge %s: no %s.*.json shard files in %s", tag, tag, dir)
+	}
+	sort.Strings(paths)
+	return sweep.ReadShardFiles[T](paths)
 }
 
 // BuildWorld materializes the World the flags describe.

@@ -101,6 +101,14 @@ type Evaluation struct {
 // parallel run on the shared sweep kernel; workers bounds solve parallelism
 // (0 = GOMAXPROCS) and results are bit-identical at any worker count.
 func Evaluate(pol *core.Policy, target int, attackers []int, strategies []Strategy, workers int) ([]Evaluation, error) {
+	return EvaluateMatrix(pol, target, attackers, strategies, sweep.MatrixOptions{Workers: workers})
+}
+
+// Configs flattens a strategy ladder into the hijack sweep-configuration
+// list the matrix runtime runs: same target, same attacker population,
+// one deployment set per rung. Exposed so shard CLIs can build the exact
+// workload a full run would solve.
+func Configs(pol *core.Policy, target int, attackers []int, strategies []Strategy) []hijack.SweepConfig {
 	cfgs := make([]hijack.SweepConfig, len(strategies))
 	for i, st := range strategies {
 		cfgs[i] = hijack.SweepConfig{
@@ -109,15 +117,27 @@ func Evaluate(pol *core.Policy, target int, attackers []int, strategies []Strate
 			Blocked:   st.Blocked(pol.N()),
 		}
 	}
-	results, err := hijack.SweepAll(pol, cfgs, sweep.Options{Workers: workers})
+	return cfgs
+}
+
+// EvaluateMatrix is Evaluate under full matrix options (in-process shard
+// selections included).
+func EvaluateMatrix(pol *core.Policy, target int, attackers []int, strategies []Strategy, opts sweep.MatrixOptions) ([]Evaluation, error) {
+	results, err := hijack.SweepMatrix(pol, Configs(pol, target, attackers, strategies), opts)
 	if err != nil {
 		return nil, fmt.Errorf("evaluate deployment ladder: %w", err)
 	}
+	return Evaluations(strategies, results), nil
+}
+
+// Evaluations pairs each ladder rung with its sweep result — the assembly
+// step shared by EvaluateMatrix and merged shard runs.
+func Evaluations(strategies []Strategy, results []*hijack.SweepResult) []Evaluation {
 	out := make([]Evaluation, len(strategies))
 	for i, st := range strategies {
 		out[i] = Evaluation{Strategy: st, Result: results[i]}
 	}
-	return out, nil
+	return out
 }
 
 // ResidualAttacks returns the k most potent attacks that still succeed

@@ -213,85 +213,131 @@ func Evaluate(pol *core.Policy, ps ProbeSet, attacks []core.Attack, sem Semantic
 	return res[0], nil
 }
 
-// EvaluateAll scores every probe configuration against the workload in one
-// parallel pass on the sweep.Run kernel: each attack is solved exactly once
-// and the converged outcome fanned out to all probe sets (N× fewer solves
-// than evaluating the sets one by one — Figure 7's three configurations
-// share one 8000-attack solve pass). workers bounds solve parallelism
-// (0 = GOMAXPROCS); results are bit-identical at any worker count.
-func EvaluateAll(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet, workers int) ([]*Result, error) {
-	if len(sets) == 0 {
-		return nil, fmt.Errorf("evaluate detection: no probe sets")
+// Record is one attack's detection measurement: its pollution and, for
+// every evaluated probe set, how many of that set's probes saw it. It is
+// the matrix runtime's stream element and the shard-file payload.
+type Record struct {
+	Pollution int   `json:"pollution"`
+	Triggers  []int `json:"triggers"`
+}
+
+// MatrixFor flattens a detection workload into a single-group matrix:
+// one cell per attack, all under one policy. Sharding splits by cells,
+// so the one big group still divides evenly across `-shard i/n` runs.
+func MatrixFor(pol *core.Policy, attacks []core.Attack, blocked *asn.IndexSet) sweep.Matrix {
+	return sweep.Matrix{
+		Groups: 1,
+		Size:   func(int) int { return len(attacks) },
+		Policy: func(int) *core.Policy { return pol },
+		Job:    func(_, k int) (core.Attack, *asn.IndexSet) { return attacks[k], blocked },
 	}
-	for _, ps := range sets {
-		if len(ps.Probes) == 0 {
-			return nil, fmt.Errorf("evaluate detection: probe set %q is empty", ps.Name)
+}
+
+// Extractor returns the per-attack measurement extractor: one solve
+// serves every probe set (N× fewer solves than evaluating the sets one
+// by one — Figure 7's three configurations share one 8000-attack solve
+// pass). It runs concurrently on the workers.
+func Extractor(pol *core.Policy, sets []ProbeSet, sem Semantics) func(g, k int, o *core.Outcome) Record {
+	return func(_, _ int, o *core.Outcome) Record {
+		var received []bool
+		if sem == AnyReceived {
+			received = core.ReceivedAttackerRoute(pol, o)
 		}
-	}
-	// Parallel phase: per-attack pollution and per-set trigger counts,
-	// written into index-ordered slots (the sweep determinism contract).
-	pollution := make([]int, len(attacks))
-	triggers := make([][]int, len(sets)) // triggers[j][i]: probes of set j seeing attack i
-	for j := range triggers {
-		triggers[j] = make([]int, len(attacks))
-	}
-	err := sweep.Run(pol, len(attacks),
-		func(i int) (core.Attack, *asn.IndexSet) { return attacks[i], blocked },
-		sweep.Options{Workers: workers},
-		func(i int, o *core.Outcome) {
-			var received []bool
-			if sem == AnyReceived {
-				received = core.ReceivedAttackerRoute(pol, o)
-			}
-			pollution[i] = o.PollutedCount()
-			for j := range sets {
-				triggered := 0
-				for _, p := range sets[j].Probes {
-					switch sem {
-					case SelectedRoute:
-						if o.Polluted(p) {
-							triggered++
-						}
-					case AnyReceived:
-						if o.Polluted(p) || received[p] {
-							triggered++
-						}
+		rec := Record{Pollution: o.PollutedCount(), Triggers: make([]int, len(sets))}
+		for j := range sets {
+			triggered := 0
+			for _, p := range sets[j].Probes {
+				switch sem {
+				case SelectedRoute:
+					if o.Polluted(p) {
+						triggered++
+					}
+				case AnyReceived:
+					if o.Polluted(p) || received[p] {
+						triggered++
 					}
 				}
-				triggers[j][i] = triggered
 			}
-		})
-	if err != nil {
-		return nil, fmt.Errorf("evaluate detection: %w", err)
+			rec.Triggers[j] = triggered
+		}
+		return rec
 	}
+}
 
-	// Serial reduce in workload order, so histograms and miss lists come
-	// out identical to the pre-kernel serial evaluation.
+// Results returns per-set result skeletons plus the streaming reducer
+// that builds them incrementally from the in-order record stream —
+// histograms, bucket means, and workload-ordered miss lists come out
+// identical to the pre-kernel serial evaluation, without the per-attack
+// pollution and trigger matrices the buffered path retained.
+func Results(sets []ProbeSet, attacks []core.Attack) ([]*Result, sweep.Reducer[Record]) {
 	out := make([]*Result, len(sets))
+	sums := make([][]int, len(sets))
 	for j, ps := range sets {
-		res := &Result{
+		out[j] = &Result{
 			ProbeSet:                ps,
 			TriggerHist:             make([]int, len(ps.Probes)+1),
 			MeanPollutionByTriggers: make([]float64, len(ps.Probes)+1),
 			TotalAttacks:            len(attacks),
 		}
-		sums := make([]int, len(ps.Probes)+1)
-		for i, at := range attacks {
-			triggered := triggers[j][i]
-			res.TriggerHist[triggered]++
-			sums[triggered] += pollution[i]
-			if triggered == 0 {
-				res.Misses = append(res.Misses, MissedAttack{
-					Attacker: at.Attacker, Target: at.Target, Pollution: pollution[i],
-				})
+		sums[j] = make([]int, len(ps.Probes)+1)
+	}
+	return out, sweep.ReduceFunc[Record]{
+		EmitFn: func(i int, rec Record) {
+			for j := range sets {
+				triggered := rec.Triggers[j]
+				out[j].TriggerHist[triggered]++
+				sums[j][triggered] += rec.Pollution
+				if triggered == 0 {
+					out[j].Misses = append(out[j].Misses, MissedAttack{
+						Attacker: attacks[i].Attacker, Target: attacks[i].Target, Pollution: rec.Pollution,
+					})
+				}
 			}
-		}
-		for k := range res.MeanPollutionByTriggers {
-			if res.TriggerHist[k] > 0 {
-				res.MeanPollutionByTriggers[k] = float64(sums[k]) / float64(res.TriggerHist[k])
+		},
+		FinishFn: func() {
+			for j := range out {
+				for k := range out[j].MeanPollutionByTriggers {
+					if out[j].TriggerHist[k] > 0 {
+						out[j].MeanPollutionByTriggers[k] = float64(sums[j][k]) / float64(out[j].TriggerHist[k])
+					}
+				}
 			}
+		},
+	}
+}
+
+// validateSets rejects empty workload descriptions before solving starts.
+func validateSets(sets []ProbeSet) error {
+	if len(sets) == 0 {
+		return fmt.Errorf("evaluate detection: no probe sets")
+	}
+	for _, ps := range sets {
+		if len(ps.Probes) == 0 {
+			return fmt.Errorf("evaluate detection: probe set %q is empty", ps.Name)
 		}
-		out[j] = res
+	}
+	return nil
+}
+
+// EvaluateAll scores every probe configuration against the workload in
+// one streaming matrix pass: each attack is solved exactly once, its
+// Record extracted on the worker, and the in-order record stream reduced
+// incrementally. workers bounds solve parallelism (0 = GOMAXPROCS);
+// results are bit-identical at any worker count.
+func EvaluateAll(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet, workers int) ([]*Result, error) {
+	return EvaluateMatrix(pol, sets, attacks, sem, blocked, sweep.MatrixOptions{Workers: workers})
+}
+
+// EvaluateMatrix is EvaluateAll under full matrix options (in-process
+// shard selections). Partial `-shard i/n` runs use MatrixFor + Extractor
+// with sweep.RunShard and merge through Results' reducer.
+func EvaluateMatrix(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet, opts sweep.MatrixOptions) ([]*Result, error) {
+	if err := validateSets(sets); err != nil {
+		return nil, err
+	}
+	out, red := Results(sets, attacks)
+	if err := sweep.RunMatrixReduce(MatrixFor(pol, attacks, blocked), opts, Extractor(pol, sets, sem), red); err != nil {
+		return nil, fmt.Errorf("evaluate detection: %w", err)
 	}
 	return out, nil
 }

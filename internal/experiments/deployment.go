@@ -48,55 +48,101 @@ func (c DeploymentConfig) withDefaults() DeploymentConfig {
 // Fig5 reproduces Figure 5: incremental defense deployment against the
 // relatively attack-resistant depth-1 target (the paper's AS98).
 func Fig5(w *World, cfg DeploymentConfig) (*DeploymentResult, error) {
-	node, ok := w.Depth1Target()
-	if !ok {
-		return nil, fmt.Errorf("fig5: no depth-1 target")
+	t, title, err := fig5Panel(w)
+	if err != nil {
+		return nil, err
 	}
-	t := Target{Name: "depth-1 stub (AS98 analog)", Node: node, Depth: w.Class.Depth[node]}
-	return deploymentPanel(w, cfg, t, "Figure 5: incremental filtering, resistant target")
+	return deploymentPanel(w, cfg, t, title)
 }
 
 // Fig6 reproduces Figure 6: the same ladder against the very vulnerable
 // deep target (the paper's AS55857).
 func Fig6(w *World, cfg DeploymentConfig) (*DeploymentResult, error) {
+	t, title, err := fig6Panel(w)
+	if err != nil {
+		return nil, err
+	}
+	return deploymentPanel(w, cfg, t, title)
+}
+
+func fig5Panel(w *World) (Target, string, error) {
+	node, ok := w.Depth1Target()
+	if !ok {
+		return Target{}, "", fmt.Errorf("fig5: no depth-1 target")
+	}
+	t := Target{Name: "depth-1 stub (AS98 analog)", Node: node, Depth: w.Class.Depth[node]}
+	return t, "Figure 5: incremental filtering, resistant target", nil
+}
+
+func fig6Panel(w *World) (Target, string, error) {
 	node, ok := w.DeepTarget()
 	if !ok {
-		return nil, fmt.Errorf("fig6: no deep target")
+		return Target{}, "", fmt.Errorf("fig6: no deep target")
 	}
 	t := Target{
 		Name:  fmt.Sprintf("depth-%d stub (AS55857 analog)", w.Class.Depth[node]),
 		Node:  node,
 		Depth: w.Class.Depth[node],
 	}
-	return deploymentPanel(w, cfg, t, "Figure 6: incremental filtering, vulnerable target")
+	return t, "Figure 6: incremental filtering, vulnerable target", nil
 }
 
-func deploymentPanel(w *World, cfg DeploymentConfig, target Target, title string) (*DeploymentResult, error) {
+// deploymentStudy is one prepared Figure 5/6 panel: the defaulted config
+// plus the derived attacker sample and strategy ladder, so full, shard,
+// and merge runs all solve the same workload.
+type deploymentStudy struct {
+	cfg       DeploymentConfig
+	target    Target
+	title     string
+	attackers []int
+	ladder    []deploy.Strategy
+}
+
+func newDeploymentStudy(w *World, cfg DeploymentConfig, target Target, title string) *deploymentStudy {
 	cfg = cfg.withDefaults()
-	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed, "attackers"))
-	ladder := deploy.PaperLadder(w.Graph, w.Class, cfg.Seed)
-	evals, err := deploy.Evaluate(w.Policy, target.Node, attackers, ladder, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", title, err)
+	return &deploymentStudy{
+		cfg:       cfg,
+		target:    target,
+		title:     title,
+		attackers: SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed, "attackers")),
+		ladder:    deploy.PaperLadder(w.Graph, w.Class, cfg.Seed),
 	}
+}
+
+// workload flattens the ladder into the hijack matrix a full run solves.
+func (s *deploymentStudy) workload(w *World) (*hijack.Workload, error) {
+	return hijack.NewWorkload(w.Policy, deploy.Configs(w.Policy, s.target.Node, s.attackers, s.ladder))
+}
+
+// assemble derives the residual-attack tables from the strongest rung.
+func (s *deploymentStudy) assemble(w *World, evals []deploy.Evaluation) *DeploymentResult {
 	last := evals[len(evals)-1]
-	residual := last.ResidualAttacks(len(attackers), w.Graph, w.Class)
+	residual := last.ResidualAttacks(len(s.attackers), w.Graph, w.Class)
 	var outsiders []hijack.AttackerStat
 	for _, a := range residual {
-		if !a.Deployed && len(outsiders) < cfg.ResidualTop {
+		if !a.Deployed && len(outsiders) < s.cfg.ResidualTop {
 			outsiders = append(outsiders, a)
 		}
 	}
-	if len(residual) > cfg.ResidualTop {
-		residual = residual[:cfg.ResidualTop]
+	if len(residual) > s.cfg.ResidualTop {
+		residual = residual[:s.cfg.ResidualTop]
 	}
 	return &DeploymentResult{
-		Title:             title,
-		Target:            target,
+		Title:             s.title,
+		Target:            s.target,
 		Rungs:             evals,
 		Residual:          residual,
 		ResidualOutsiders: outsiders,
-	}, nil
+	}
+}
+
+func deploymentPanel(w *World, cfg DeploymentConfig, target Target, title string) (*DeploymentResult, error) {
+	s := newDeploymentStudy(w, cfg, target, title)
+	evals, err := deploy.Evaluate(w.Policy, target.Node, s.attackers, s.ladder, s.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
+	return s.assemble(w, evals), nil
 }
 
 // WriteText renders the ladder summary plus the residual-attack table.

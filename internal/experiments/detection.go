@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/detect"
 	"github.com/bgpsim/bgpsim/internal/viz"
 )
@@ -55,15 +56,16 @@ func (c DetectionConfig) withDefaults() DetectionConfig {
 	return c
 }
 
-// Fig7 reproduces Figure 7 and the Section VI tables: three detector
-// configurations — all tier-1s, a BGPmon-like volunteer set, and the
-// high-degree core — against one shared random transit-pair workload.
-func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
-	cfg = cfg.withDefaults()
+// detectionParts builds the Figure 7 workload: the paper's three probe
+// configurations plus the shared random transit-pair attack list. cfg must
+// already be defaulted; the same (world, config) pair always yields the
+// same parts, which is what lets shard and merge runs rebuild the exact
+// workload a full run would solve.
+func detectionParts(w *World, cfg DetectionConfig) ([]detect.ProbeSet, []core.Attack, error) {
 	transit := w.Graph.TransitNodes()
 	attacks, err := detect.GenerateAttacks(transit, cfg.Attacks, rngFor(cfg.Seed, "attacks"))
 	if err != nil {
-		return nil, fmt.Errorf("fig7: %w", err)
+		return nil, nil, err
 	}
 	// Case 3's probe count scales the paper's 62-of-42697 core.
 	coreK := 62 * w.Graph.N() / 42697
@@ -75,15 +77,15 @@ func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
 		detect.BGPmonLikeProbes(w.Graph, w.Class, cfg.BGPmonProbes, rngFor(cfg.Seed, "probes")),
 		detect.TopDegreeProbes(w.Graph, coreK),
 	}
+	return sets, attacks, nil
+}
+
+// assembleDetection wraps the per-configuration results with their
+// top-miss tables.
+func assembleDetection(cfg DetectionConfig, results []*detect.Result) *DetectionResult {
 	res := &DetectionResult{
 		Title:   "Figure 7: detector configurations vs random transit attacks",
 		Attacks: cfg.Attacks,
-	}
-	// One parallel pass: each attack is solved once and fanned out to all
-	// three probe configurations (3× fewer solves than per-set evaluation).
-	results, err := detect.EvaluateAll(w.Policy, sets, attacks, cfg.Semantics, nil, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("fig7: %w", err)
 	}
 	for _, r := range results {
 		res.Cases = append(res.Cases, DetectionCase{
@@ -91,7 +93,25 @@ func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
 			TopMisses: r.TopMisses(cfg.TopMisses),
 		})
 	}
-	return res, nil
+	return res
+}
+
+// Fig7 reproduces Figure 7 and the Section VI tables: three detector
+// configurations — all tier-1s, a BGPmon-like volunteer set, and the
+// high-degree core — against one shared random transit-pair workload.
+func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
+	cfg = cfg.withDefaults()
+	sets, attacks, err := detectionParts(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	// One parallel pass: each attack is solved once and fanned out to all
+	// three probe configurations (3× fewer solves than per-set evaluation).
+	results, err := detect.EvaluateAll(w.Policy, sets, attacks, cfg.Semantics, nil, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	return assembleDetection(cfg, results), nil
 }
 
 // RenderSVG draws one Figure 7 panel (bars of attack counts per trigger

@@ -10,7 +10,7 @@ import (
 )
 
 // world is a shared medium test world; experiments only read from it.
-func world(t *testing.T) *World {
+func world(t testing.TB) *World {
 	t.Helper()
 	w, err := NewWorld(1200, 1)
 	if err != nil {

@@ -154,35 +154,33 @@ func FalseAlarmStudy(w *World, cfg FalseAlarmConfig) (*FalseAlarmResult, error) 
 		checks = append(checks, check{p: tr.p, origin: hijacker, hijack: true})
 	}
 	type verdict struct{ fresh, stale bool }
-	verdicts := make([]verdict, len(checks))
-	if err := sweep.Map(len(checks), sweep.Options{Workers: cfg.Workers}, func(i int) error {
-		c := checks[i]
-		verdicts[i] = verdict{
-			fresh: fresh.Validate(c.p, c.origin) == rpki.Invalid,
-			stale: stale.Validate(c.p, c.origin) == rpki.Invalid,
-		}
-		return nil
-	}); err != nil {
+	if err := sweep.MapReduce(len(checks), sweep.Options{Workers: cfg.Workers},
+		func(i int) (verdict, error) {
+			c := checks[i]
+			return verdict{
+				fresh: fresh.Validate(c.p, c.origin) == rpki.Invalid,
+				stale: stale.Validate(c.p, c.origin) == rpki.Invalid,
+			}, nil
+		},
+		sweep.ReduceFunc[verdict]{EmitFn: func(i int, v verdict) {
+			switch {
+			case checks[i].hijack:
+				if v.fresh {
+					res.FreshDetected++
+				}
+				if v.stale {
+					res.StaleDetected++
+				}
+			default:
+				if v.fresh {
+					res.FreshFalseAlarms++
+				}
+				if v.stale {
+					res.StaleFalseAlarms++
+				}
+			}
+		}}); err != nil {
 		return nil, fmt.Errorf("false-alarm study: %w", err)
-	}
-	for i, c := range checks {
-		v := verdicts[i]
-		switch {
-		case c.hijack:
-			if v.fresh {
-				res.FreshDetected++
-			}
-			if v.stale {
-				res.StaleDetected++
-			}
-		default:
-			if v.fresh {
-				res.FreshFalseAlarms++
-			}
-			if v.stale {
-				res.StaleFalseAlarms++
-			}
-		}
 	}
 	return res, nil
 }

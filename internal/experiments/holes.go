@@ -94,8 +94,27 @@ type HoleConfig struct {
 	Workers int
 }
 
-// HoleAnalysis runs the future-work experiment.
-func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
+// HoleRecord is one attack's hole measurement — the matrix stream
+// element and the shard-file payload. Why is populated only for
+// successful undetected attacks.
+type HoleRecord struct {
+	Pollution int                `json:"pollution"`
+	Succeeded bool               `json:"succeeded"`
+	Triggered bool               `json:"triggered"`
+	Why       map[MissReason]int `json:"why,omitempty"`
+}
+
+// holeStudy is a prepared hole analysis: defaulted configuration plus the
+// derived workload, deployment, and detector.
+type holeStudy struct {
+	cfg     HoleConfig
+	attacks []core.Attack
+	blocked *asn.IndexSet
+	probes  detect.ProbeSet
+	filters deploy.Strategy
+}
+
+func newHoleStudy(w *World, cfg HoleConfig) (*holeStudy, error) {
 	if cfg.Attacks == 0 {
 		cfg.Attacks = 2000
 	}
@@ -120,86 +139,113 @@ func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
 	if cfg.Probes != nil {
 		probes = *cfg.Probes
 	}
-
 	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, rngFor(cfg.Seed, "attacks"))
 	if err != nil {
 		return nil, fmt.Errorf("hole analysis: %w", err)
 	}
-	blocked := filters.Blocked(w.Graph.N())
-	res := &HoleResult{
-		Title: fmt.Sprintf("Deployment holes: filters %q vs probes %q",
-			filters.Name, probes.Name),
-		Attacks:           cfg.Attacks,
-		AttackerDepthHist: make(map[int]int),
-		ReasonTotals:      make(map[MissReason]int),
-		MinPollution:      cfg.MinPollution,
+	return &holeStudy{
+		cfg:     cfg,
+		attacks: attacks,
+		blocked: filters.Blocked(w.Graph.N()),
+		probes:  probes,
+		filters: filters,
+	}, nil
+}
+
+// matrix flattens the study into a single-group workload.
+func (s *holeStudy) matrix(w *World) sweep.Matrix {
+	return sweep.Matrix{
+		Groups: 1,
+		Size:   func(int) int { return len(s.attacks) },
+		Policy: func(int) *core.Policy { return w.Policy },
+		Job:    func(_, k int) (core.Attack, *asn.IndexSet) { return s.attacks[k], s.blocked },
 	}
-	// Parallel phase on the shared sweep kernel: per-attack success,
-	// detection, and (for holes only) the per-probe miss classification —
-	// everything that needs the transient outcome — written index-ordered.
-	type obs struct {
-		pollution int
-		succeeded bool
-		triggered bool
-		why       map[MissReason]int
-	}
-	observed := make([]obs, len(attacks))
-	err = sweep.Run(w.Policy, len(attacks),
-		func(i int) (core.Attack, *asn.IndexSet) { return attacks[i], blocked },
-		sweep.Options{Workers: cfg.Workers},
-		func(i int, o *core.Outcome) {
-			ob := obs{pollution: o.PollutedCount()}
-			if ob.pollution >= cfg.MinPollution {
-				ob.succeeded = true
-				for _, p := range probes.Probes {
-					if o.Polluted(p) {
-						ob.triggered = true
-						break
-					}
-				}
-				if !ob.triggered {
-					ob.why = explainMisses(w, o, probes.Probes, blocked)
+}
+
+// extract compresses one transient outcome into a HoleRecord: success,
+// detection, and — for holes only — the per-probe miss classification.
+func (s *holeStudy) extract(w *World) func(g, k int, o *core.Outcome) HoleRecord {
+	return func(_, _ int, o *core.Outcome) HoleRecord {
+		rec := HoleRecord{Pollution: o.PollutedCount()}
+		if rec.Pollution >= s.cfg.MinPollution {
+			rec.Succeeded = true
+			for _, p := range s.probes.Probes {
+				if o.Polluted(p) {
+					rec.Triggered = true
+					break
 				}
 			}
-			observed[i] = ob
-		})
+			if !rec.Triggered {
+				rec.Why = explainMisses(w, o, s.probes.Probes, s.blocked)
+			}
+		}
+		return rec
+	}
+}
+
+// reduce returns the result skeleton plus the streaming reducer that
+// builds it from the in-order record stream — counts, histograms, and the
+// hole list accumulate attack by attack (identical to the pre-kernel
+// serial loop), and Finish ranks and truncates the holes.
+func (s *holeStudy) reduce(w *World) (*HoleResult, sweep.Reducer[HoleRecord]) {
+	res := &HoleResult{
+		Title: fmt.Sprintf("Deployment holes: filters %q vs probes %q",
+			s.filters.Name, s.probes.Name),
+		Attacks:           s.cfg.Attacks,
+		AttackerDepthHist: make(map[int]int),
+		ReasonTotals:      make(map[MissReason]int),
+		MinPollution:      s.cfg.MinPollution,
+	}
+	return res, sweep.ReduceFunc[HoleRecord]{
+		EmitFn: func(i int, rec HoleRecord) {
+			if !rec.Succeeded {
+				return
+			}
+			res.Succeeded++
+			if rec.Triggered {
+				return
+			}
+			res.Undetected++
+			at := s.attacks[i]
+			hole := Hole{
+				Attacker:       at.Attacker,
+				Target:         at.Target,
+				Pollution:      rec.Pollution,
+				AttackerDepth:  w.Class.Depth[at.Attacker],
+				AttackerDegree: w.Graph.Degree(at.Attacker),
+				WhyMissed:      rec.Why,
+			}
+			res.AttackerDepthHist[hole.AttackerDepth]++
+			for r, n := range hole.WhyMissed {
+				res.ReasonTotals[r] += n
+			}
+			res.Holes = append(res.Holes, hole)
+		},
+		FinishFn: func() {
+			sort.Slice(res.Holes, func(i, j int) bool {
+				if res.Holes[i].Pollution != res.Holes[j].Pollution {
+					return res.Holes[i].Pollution > res.Holes[j].Pollution
+				}
+				return res.Holes[i].Attacker < res.Holes[j].Attacker
+			})
+			if len(res.Holes) > s.cfg.MaxHoles {
+				res.Holes = res.Holes[:s.cfg.MaxHoles]
+			}
+		},
+	}
+}
+
+// HoleAnalysis runs the future-work experiment as one streaming matrix
+// pass: per-attack records are extracted on the workers and reduced in
+// workload order, with no per-attack observation buffer.
+func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
+	s, err := newHoleStudy(w, cfg)
 	if err != nil {
+		return nil, err
+	}
+	res, red := s.reduce(w)
+	if err := sweep.RunMatrixReduce(s.matrix(w), sweep.MatrixOptions{Workers: cfg.Workers}, s.extract(w), red); err != nil {
 		return nil, fmt.Errorf("hole analysis: %w", err)
-	}
-	// Serial reduce in workload order (histograms and hole list come out
-	// identical to the pre-kernel serial loop).
-	for i, at := range attacks {
-		ob := observed[i]
-		if !ob.succeeded {
-			continue
-		}
-		res.Succeeded++
-		if ob.triggered {
-			continue
-		}
-		res.Undetected++
-		hole := Hole{
-			Attacker:       at.Attacker,
-			Target:         at.Target,
-			Pollution:      ob.pollution,
-			AttackerDepth:  w.Class.Depth[at.Attacker],
-			AttackerDegree: w.Graph.Degree(at.Attacker),
-			WhyMissed:      ob.why,
-		}
-		res.AttackerDepthHist[hole.AttackerDepth]++
-		for r, n := range hole.WhyMissed {
-			res.ReasonTotals[r] += n
-		}
-		res.Holes = append(res.Holes, hole)
-	}
-	sort.Slice(res.Holes, func(i, j int) bool {
-		if res.Holes[i].Pollution != res.Holes[j].Pollution {
-			return res.Holes[i].Pollution > res.Holes[j].Pollution
-		}
-		return res.Holes[i].Attacker < res.Holes[j].Attacker
-	})
-	if len(res.Holes) > cfg.MaxHoles {
-		res.Holes = res.Holes[:cfg.MaxHoles]
 	}
 	return res, nil
 }

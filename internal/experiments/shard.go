@@ -1,0 +1,224 @@
+// Multi-process shard entry points: every headline experiment can run as
+// `-shard i/n` slices on separate machines and be merged afterwards. A
+// shard run rebuilds the exact workload a full run would solve (same
+// world, same seeds, same defaulting), solves only its contiguous cell
+// range, and persists the extracted records as a sweep.ShardFile. A merge
+// run rebuilds the same workload, validates that the shard files tile the
+// cell space exactly, and replays them through the experiment's streaming
+// reducer — the merged result is bit-identical to a single-process run at
+// any worker and shard count.
+//
+// The world and experiment flags (scale, seed, sample sizes, …) must
+// match between the shard and merge invocations; mismatched dimensions
+// are rejected at merge time.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/bgpsim/bgpsim/internal/deploy"
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// Experiment tags embedded in shard files and used to name them on disk.
+const (
+	TagFig2  = "fig2"
+	TagFig3  = "fig3"
+	TagFig4  = "fig4"
+	TagFig5  = "fig5"
+	TagFig6  = "fig6"
+	TagFig7  = "fig7"
+	TagHoles = "holes"
+)
+
+// Fig2Shard solves one shard of the Figure 2 matrix.
+func Fig2Shard(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	return vulnerabilityShard(w, cfg, topology.UnderTier1, TagFig2, sel)
+}
+
+// Fig2Merge merges Figure 2 shard files into the full panel.
+func Fig2Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijack.Record]) (*VulnerabilityResult, error) {
+	return vulnerabilityMerge(w, cfg, topology.UnderTier1, TagFig2,
+		"Figure 2: attack vulnerability by depth (tier-1 hierarchy)", files)
+}
+
+// Fig3Shard solves one shard of the Figure 3 matrix.
+func Fig3Shard(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	return vulnerabilityShard(w, cfg, topology.UnderTier2, TagFig3, sel)
+}
+
+// Fig3Merge merges Figure 3 shard files into the full panel.
+func Fig3Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijack.Record]) (*VulnerabilityResult, error) {
+	return vulnerabilityMerge(w, cfg, topology.UnderTier2, TagFig3,
+		"Figure 3: attack vulnerability by depth (tier-2 hierarchy)", files)
+}
+
+func vulnerabilityShard(w *World, cfg VulnerabilityConfig, h topology.Hierarchy, tag string, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	_, wl, err := vulnerabilityWorkload(w, cfg, h)
+	if err != nil {
+		return nil, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	sf, err := sweep.RunShard(wl.Matrix, sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, tag, wl.Extract())
+	if err != nil {
+		return nil, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	return sf, nil
+}
+
+func vulnerabilityMerge(w *World, cfg VulnerabilityConfig, h topology.Hierarchy, tag, title string, files []*sweep.ShardFile[hijack.Record]) (*VulnerabilityResult, error) {
+	targets, wl, err := vulnerabilityWorkload(w, cfg, h)
+	if err != nil {
+		return nil, fmt.Errorf("%s merge: %w", tag, err)
+	}
+	res := &VulnerabilityResult{Title: title}
+	red := vulnerabilityReducer(w, targets, wl, res)
+	if err := sweep.MergeShards(files, tag, red); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig4Shard solves one shard of the Figure 4 stub-filter matrix.
+func Fig4Shard(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	_, wl, err := fig4Workload(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig4 shard: %w", err)
+	}
+	sf, err := sweep.RunShard(wl.Matrix, sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagFig4, wl.Extract())
+	if err != nil {
+		return nil, fmt.Errorf("fig4 shard: %w", err)
+	}
+	return sf, nil
+}
+
+// Fig4Merge merges Figure 4 shard files into the full comparison.
+func Fig4Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijack.Record]) (*Fig4Result, error) {
+	targets, wl, err := fig4Workload(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig4 merge: %w", err)
+	}
+	curves := make([]VulnerabilityCurve, wl.Matrix.Groups)
+	if err := sweep.MergeShards(files, TagFig4, fig4Reducer(targets, wl, curves)); err != nil {
+		return nil, err
+	}
+	return fig4Assemble(targets, curves), nil
+}
+
+// Fig5Shard solves one shard of the Figure 5 deployment ladder.
+func Fig5Shard(w *World, cfg DeploymentConfig, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	t, title, err := fig5Panel(w)
+	if err != nil {
+		return nil, err
+	}
+	return deploymentShard(w, newDeploymentStudy(w, cfg, t, title), TagFig5, sel)
+}
+
+// Fig5Merge merges Figure 5 shard files into the full panel.
+func Fig5Merge(w *World, cfg DeploymentConfig, files []*sweep.ShardFile[hijack.Record]) (*DeploymentResult, error) {
+	t, title, err := fig5Panel(w)
+	if err != nil {
+		return nil, err
+	}
+	return deploymentMerge(w, newDeploymentStudy(w, cfg, t, title), TagFig5, files)
+}
+
+// Fig6Shard solves one shard of the Figure 6 deployment ladder.
+func Fig6Shard(w *World, cfg DeploymentConfig, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	t, title, err := fig6Panel(w)
+	if err != nil {
+		return nil, err
+	}
+	return deploymentShard(w, newDeploymentStudy(w, cfg, t, title), TagFig6, sel)
+}
+
+// Fig6Merge merges Figure 6 shard files into the full panel.
+func Fig6Merge(w *World, cfg DeploymentConfig, files []*sweep.ShardFile[hijack.Record]) (*DeploymentResult, error) {
+	t, title, err := fig6Panel(w)
+	if err != nil {
+		return nil, err
+	}
+	return deploymentMerge(w, newDeploymentStudy(w, cfg, t, title), TagFig6, files)
+}
+
+func deploymentShard(w *World, s *deploymentStudy, tag string, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
+	wl, err := s.workload(w)
+	if err != nil {
+		return nil, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	sf, err := sweep.RunShard(wl.Matrix, sweep.MatrixOptions{Workers: s.cfg.Workers, Sel: sel}, tag, wl.Extract())
+	if err != nil {
+		return nil, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	return sf, nil
+}
+
+func deploymentMerge(w *World, s *deploymentStudy, tag string, files []*sweep.ShardFile[hijack.Record]) (*DeploymentResult, error) {
+	wl, err := s.workload(w)
+	if err != nil {
+		return nil, fmt.Errorf("%s merge: %w", tag, err)
+	}
+	results, red := wl.Results()
+	if err := sweep.MergeShards(files, tag, red); err != nil {
+		return nil, err
+	}
+	return s.assemble(w, deploy.Evaluations(s.ladder, results)), nil
+}
+
+// Fig7Shard solves one shard of the Figure 7 detection matrix.
+func Fig7Shard(w *World, cfg DetectionConfig, sel sweep.ShardSel) (*sweep.ShardFile[detect.Record], error) {
+	cfg = cfg.withDefaults()
+	sets, attacks, err := detectionParts(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 shard: %w", err)
+	}
+	sf, err := sweep.RunShard(detect.MatrixFor(w.Policy, attacks, nil),
+		sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagFig7,
+		detect.Extractor(w.Policy, sets, cfg.Semantics))
+	if err != nil {
+		return nil, fmt.Errorf("fig7 shard: %w", err)
+	}
+	return sf, nil
+}
+
+// Fig7Merge merges Figure 7 shard files into the full panel.
+func Fig7Merge(w *World, cfg DetectionConfig, files []*sweep.ShardFile[detect.Record]) (*DetectionResult, error) {
+	cfg = cfg.withDefaults()
+	sets, attacks, err := detectionParts(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 merge: %w", err)
+	}
+	results, red := detect.Results(sets, attacks)
+	if err := sweep.MergeShards(files, TagFig7, red); err != nil {
+		return nil, err
+	}
+	return assembleDetection(cfg, results), nil
+}
+
+// HoleShard solves one shard of the hole-analysis matrix.
+func HoleShard(w *World, cfg HoleConfig, sel sweep.ShardSel) (*sweep.ShardFile[HoleRecord], error) {
+	s, err := newHoleStudy(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := sweep.RunShard(s.matrix(w), sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagHoles, s.extract(w))
+	if err != nil {
+		return nil, fmt.Errorf("hole analysis shard: %w", err)
+	}
+	return sf, nil
+}
+
+// HoleMerge merges hole-analysis shard files into the full result.
+func HoleMerge(w *World, cfg HoleConfig, files []*sweep.ShardFile[HoleRecord]) (*HoleResult, error) {
+	s, err := newHoleStudy(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, red := s.reduce(w)
+	if err := sweep.MergeShards(files, TagHoles, red); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+// These tests pin the streaming-reducer refactor and the multi-process
+// shard protocol at the experiment layer: a streaming panel must equal
+// the buffered reference field-for-field, and shard files written to
+// disk, read back, and merged in an arbitrary order must reproduce the
+// single-process result digest-for-digest.
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// bufferedVulnerabilityPanel is the pre-refactor reference: materialize
+// every sweep result in full — O(curves × attacks) memory — then derive
+// each curve from its buffered pollution vector. The streaming panel must
+// match it exactly; both paths sort private copies inside the stats calls.
+func bufferedVulnerabilityPanel(w *World, cfg VulnerabilityConfig, h topology.Hierarchy, title string) (*VulnerabilityResult, error) {
+	targets, wl, err := vulnerabilityWorkload(w, cfg, h)
+	if err != nil {
+		return nil, err
+	}
+	results, red := wl.Results()
+	if err := sweep.RunMatrixReduce(wl.Matrix, sweep.MatrixOptions{Workers: cfg.Workers}, wl.Extract(), red); err != nil {
+		return nil, err
+	}
+	res := &VulnerabilityResult{Title: title}
+	for i, r := range results {
+		rho, _ := r.AggressivenessDepthCorrelation(w.Class)
+		res.Curves = append(res.Curves, VulnerabilityCurve{
+			Target:                 targets[i],
+			Points:                 r.CCDF(),
+			Summary:                r.Summary(),
+			AggressivenessDepthRho: rho,
+		})
+	}
+	return res, nil
+}
+
+// TestVulnerabilityStreamingMatchesBuffered: the streaming Figure 2 panel
+// (one reused pollution buffer) must equal the buffered reference at
+// workers 1 and 4.
+func TestVulnerabilityStreamingMatchesBuffered(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := world(t)
+	for _, workers := range []int{1, 4} {
+		cfg := VulnerabilityConfig{AttackerSample: 200, Seed: 3, Workers: workers}
+		want, err := bufferedVulnerabilityPanel(w, cfg, topology.UnderTier1,
+			"Figure 2: attack vulnerability by depth (tier-1 hierarchy)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Fig2(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: streaming Fig2 differs from buffered reference", workers)
+		}
+	}
+}
+
+// shardRoundTrip persists a shard file to disk and reads it back, so the
+// merge consumes exactly what a separate machine would have shipped.
+func shardRoundTrip[T any](t *testing.T, dir string, sf *sweep.ShardFile[T]) *sweep.ShardFile[T] {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("%s.%dof%d.json", sf.Experiment, sf.Shard, sf.Shards))
+	if err := sweep.WriteShardFileTo(path, sf); err != nil {
+		t.Fatal(err)
+	}
+	files, err := sweep.ReadShardFiles[T]([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files[0]
+}
+
+// shardOrder is a fixed shuffle: merge must reorder shards by cell range,
+// not trust arrival order.
+var shardOrder = []int{2, 0, 1}
+
+// TestFig2ShardMergeMatchesFull: three Figure 2 shards, disk round-trip,
+// merged out of order == the single-process panel.
+func TestFig2ShardMergeMatchesFull(t *testing.T) {
+	w := world(t)
+	cfg := VulnerabilityConfig{AttackerSample: 200, Seed: 3}
+	full, err := Fig2(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var files []*sweep.ShardFile[hijack.Record]
+	for _, sh := range shardOrder {
+		sf, err := Fig2Shard(w, cfg, sweep.ShardSel{Shard: sh, Shards: len(shardOrder)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, shardRoundTrip(t, dir, sf))
+	}
+	got, err := Fig2Merge(w, cfg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Error("merged Fig2 differs from full run")
+	}
+}
+
+// TestFig7ShardMergeMatchesFull: the detection matrix sharded three ways
+// must merge to the full panel's digest.
+func TestFig7ShardMergeMatchesFull(t *testing.T) {
+	w := world(t)
+	cfg := DetectionConfig{Attacks: 300, Seed: 9}
+	full, err := Fig7(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := detectionDigest(full)
+	dir := t.TempDir()
+	var files []*sweep.ShardFile[detect.Record]
+	for _, sh := range shardOrder {
+		sf, err := Fig7Shard(w, cfg, sweep.ShardSel{Shard: sh, Shards: len(shardOrder)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, shardRoundTrip(t, dir, sf))
+	}
+	got, err := Fig7Merge(w, cfg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := detectionDigest(got); d != want {
+		t.Errorf("merged fig7 digest %x != full run %x", d[:8], want[:8])
+	}
+}
+
+// TestHoleShardMergeMatchesFull: the hole-analysis matrix sharded three
+// ways must merge to the full result's digest.
+func TestHoleShardMergeMatchesFull(t *testing.T) {
+	w := world(t)
+	cfg := HoleConfig{Attacks: 300, Seed: 11}
+	full, err := HoleAnalysis(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := holeDigest(full)
+	dir := t.TempDir()
+	var files []*sweep.ShardFile[HoleRecord]
+	for _, sh := range shardOrder {
+		sf, err := HoleShard(w, cfg, sweep.ShardSel{Shard: sh, Shards: len(shardOrder)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, shardRoundTrip(t, dir, sf))
+	}
+	got, err := HoleMerge(w, cfg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := holeDigest(got); d != want {
+		t.Errorf("merged hole digest %x != full run %x", d[:8], want[:8])
+	}
+}

@@ -67,42 +67,49 @@ func SubPrefixStudy(w *World, cfg DeploymentConfig) (*SubPrefixResult, error) {
 		Title:  "Sub-prefix vs origin hijacks under incremental filtering",
 		Target: target,
 	}
-	// Flatten (rung × attacker × {origin, sub-prefix}) into one kernel run:
-	// even flat indices are exact-prefix attacks, odd ones sub-prefix, so
-	// both pollution series fill index-ordered and summarize identically to
-	// the old serial double-solve loop.
+	// One matrix group per rung, perRung cells each: even in-group indices
+	// are exact-prefix attacks, odd ones sub-prefix — the same cell order
+	// as the old flattened run. Each completed rung is summarized from one
+	// reused pair of scratch buffers and dropped, so the ladder's memory
+	// is O(attackers), not O(rungs × attackers).
 	blockeds := make([]*asn.IndexSet, len(ladder))
 	for r, st := range ladder {
 		blockeds[r] = st.Blocked(w.Graph.N())
 	}
 	perRung := 2 * len(att)
-	pollution := make([]int, len(ladder)*perRung)
-	err := sweep.Run(w.Policy, len(pollution),
-		func(i int) (core.Attack, *asn.IndexSet) {
-			r, rem := i/perRung, i%perRung
+	m := sweep.Matrix{
+		Groups: len(ladder),
+		Size:   func(int) int { return perRung },
+		Policy: func(int) *core.Policy { return w.Policy },
+		Job: func(r, rem int) (core.Attack, *asn.IndexSet) {
 			return core.Attack{
 				Target:    target.Node,
 				Attacker:  att[rem/2],
 				SubPrefix: rem%2 == 1,
 			}, blockeds[r]
 		},
-		sweep.Options{Workers: cfg.Workers},
-		func(i int, o *core.Outcome) { pollution[i] = o.PollutedCount() })
-	if err != nil {
-		return nil, fmt.Errorf("subprefix study: %w", err)
 	}
-	for r, st := range ladder {
-		origin := make([]int, 0, len(att))
-		sub := make([]int, 0, len(att))
-		for j := 0; j < len(att); j++ {
-			origin = append(origin, pollution[r*perRung+2*j])
-			sub = append(sub, pollution[r*perRung+2*j+1])
+	sizes := make([]int, len(ladder))
+	for r := range sizes {
+		sizes[r] = perRung
+	}
+	var origin, sub []int
+	red := sweep.Groups[int](sizes, func(r int, pollution []int) {
+		origin, sub = origin[:0], sub[:0]
+		for j := 0; j < len(pollution); j += 2 {
+			origin = append(origin, pollution[j])
+			sub = append(sub, pollution[j+1])
 		}
 		res.Rows = append(res.Rows, SubPrefixRow{
-			Strategy:  st,
+			Strategy:  ladder[r],
 			Origin:    stats.Summarize(origin),
 			SubPrefix: stats.Summarize(sub),
 		})
+	}, nil)
+	err := sweep.RunMatrixReduce(m, sweep.MatrixOptions{Workers: cfg.Workers},
+		func(_, _ int, o *core.Outcome) int { return o.PollutedCount() }, red)
+	if err != nil {
+		return nil, fmt.Errorf("subprefix study: %w", err)
 	}
 	return res, nil
 }

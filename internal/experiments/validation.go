@@ -44,33 +44,44 @@ func ValidationStudy(w *World, cfg ValidationConfig) (*ValidationResult, error) 
 	}
 
 	origins := SampleAttackers(allNodes(w.Graph.N()), cfg.Origins, rngFor(cfg.Seed, "origins"))
-	// Single-origin routing state via a sub-prefix announcement. The same
-	// job runs once per policy on the sweep kernel; FromOutcome copies the
-	// paths, detaching each RIB from the solver's transient outcome.
-	job := func(i int) (core.Attack, *asn.IndexSet) {
-		origin := origins[i]
-		return core.Attack{Target: (origin + 1) % w.Graph.N(), Attacker: origin, SubPrefix: true}, nil
+	// Single-origin routing state via a sub-prefix announcement. Both
+	// policies run as one two-group matrix — group 0 the simulated policy,
+	// group 1 the perturbed reference — so the same job list load-balances
+	// across one worker pool and each worker keeps one warm solver per
+	// policy. FromOutcome copies the paths, detaching each RIB from the
+	// solver's transient outcome.
+	pols := []*core.Policy{w.Policy, refPolicy}
+	m := sweep.Matrix{
+		Groups: 2,
+		Size:   func(int) int { return len(origins) },
+		Policy: func(g int) *core.Policy { return pols[g] },
+		Job: func(_, k int) (core.Attack, *asn.IndexSet) {
+			origin := origins[k]
+			return core.Attack{Target: (origin + 1) % w.Graph.N(), Attacker: origin, SubPrefix: true}, nil
+		},
 	}
-	opts := sweep.Options{Workers: cfg.Workers}
-	simRIBs := make([]ribcompare.RIB, len(origins))
-	refRIBs := make([]ribcompare.RIB, len(origins))
-	if err := sweep.Run(w.Policy, len(origins), job, opts,
-		func(i int, o *core.Outcome) { simRIBs[i] = ribcompare.FromOutcome(o) }); err != nil {
-		return nil, fmt.Errorf("validation: %w", err)
-	}
-	if err := sweep.Run(refPolicy, len(origins), job, opts,
-		func(i int, o *core.Outcome) { refRIBs[i] = ribcompare.FromOutcome(o) }); err != nil {
-		return nil, fmt.Errorf("validation: %w", err)
-	}
-
+	// Streaming pairwise compare: the simulated RIBs (group 0) are held
+	// until their reference twin (group 1) arrives, compared, and released
+	// — the reference RIBs are never stored.
 	res := &ValidationResult{Origins: len(origins)}
-	for k := range origins {
-		rep := ribcompare.Compare(w.Graph, simRIBs[k], refRIBs[k])
+	simRIBs := make([]ribcompare.RIB, len(origins))
+	red := sweep.ReduceFunc[ribcompare.RIB]{EmitFn: func(idx int, rib ribcompare.RIB) {
+		if idx < len(origins) {
+			simRIBs[idx] = rib
+			return
+		}
+		k := idx - len(origins)
+		rep := ribcompare.Compare(w.Graph, simRIBs[k], rib)
+		simRIBs[k] = nil
 		res.Reports = append(res.Reports, rep)
 		res.Overall.Exact += rep.Exact
 		res.Overall.TopoEquivalent += rep.TopoEquivalent
 		res.Overall.Mismatch += rep.Mismatch
 		res.Overall.Missing += rep.Missing
+	}}
+	if err := sweep.RunMatrixReduce(m, sweep.MatrixOptions{Workers: cfg.Workers},
+		func(_, _ int, o *core.Outcome) ribcompare.RIB { return ribcompare.FromOutcome(o) }, red); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
 	}
 	return res, nil
 }

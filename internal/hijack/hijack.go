@@ -41,28 +41,51 @@ type SweepResult struct {
 	WeightFrac []float64 // polluted address-space fraction per attack
 }
 
-// Sweep attacks the target from every configured attacker and records the
-// pollution each attack achieves. It is a thin wrapper over SweepAll's
-// shared parallel solve kernel.
-func Sweep(pol *core.Policy, cfg SweepConfig) (*SweepResult, error) {
-	res, err := SweepAll(pol, []SweepConfig{cfg}, sweep.Options{Workers: cfg.Workers})
-	if err != nil {
-		return nil, err
-	}
-	return res[0], nil
+// Record is one attack's self-contained measurement: the two numbers
+// every downstream curve and table is built from. It is the matrix
+// runtime's stream element and the shard-file payload — JSON round-trips
+// preserve it exactly (Go prints float64 at shortest-exact precision).
+type Record struct {
+	Pollution  int     `json:"pollution"`
+	WeightFrac float64 `json:"weight_frac"`
 }
 
-// SweepAll runs several sweep configurations as one flattened parallel run
-// over every (configuration, attack) pair on the sweep.Run kernel, so a
-// deployment ladder's strategies load-balance across one worker pool
-// instead of running rung by rung. Results are index-ordered per
-// configuration and bit-identical at any worker count (DESIGN.md §7).
-func SweepAll(pol *core.Policy, cfgs []SweepConfig, opts sweep.Options) ([]*SweepResult, error) {
+// Measure compresses a transient outcome into a Record. totalWeight is
+// g.TotalAddrWeight(), hoisted by the caller so per-attack extraction
+// stays allocation-free.
+func Measure(g *topology.Graph, totalWeight int64, o *core.Outcome) Record {
+	count := 0
+	var weight int64
+	for v := 0; v < o.N(); v++ {
+		if o.Polluted(v) {
+			count++
+			weight += g.AddrWeight(v)
+		}
+	}
+	rec := Record{Pollution: count}
+	if totalWeight > 0 {
+		rec.WeightFrac = float64(weight) / float64(totalWeight)
+	}
+	return rec
+}
+
+// Workload is the validated matrix form of a configuration list: one
+// matrix group per configuration, one cell per surviving attacker (the
+// target itself is filtered out), all under one policy.
+type Workload struct {
+	Matrix sweep.Matrix
+	// Attackers[c] is configuration c's validated attacker list — the
+	// Attackers slice of the c-th SweepResult.
+	Attackers [][]int
+	cfgs      []SweepConfig
+	pol       *core.Policy
+}
+
+// NewWorkload validates cfgs against the policy and flattens them into a
+// matrix.
+func NewWorkload(pol *core.Policy, cfgs []SweepConfig) (*Workload, error) {
 	n := pol.N()
-	results := make([]*SweepResult, len(cfgs))
-	// slot maps one flattened job index back to (configuration, attack).
-	type slot struct{ cfg, k int32 }
-	var slots []slot
+	w := &Workload{Attackers: make([][]int, len(cfgs)), cfgs: cfgs, pol: pol}
 	for ci, cfg := range cfgs {
 		if cfg.Target < 0 || cfg.Target >= n {
 			return nil, fmt.Errorf("sweep: target %d out of range", cfg.Target)
@@ -77,47 +100,95 @@ func SweepAll(pol *core.Policy, cfgs []SweepConfig, opts sweep.Options) ([]*Swee
 			}
 			attackers = append(attackers, a)
 		}
-		results[ci] = &SweepResult{
-			Target:     cfg.Target,
-			Attackers:  attackers,
-			Pollution:  make([]int, len(attackers)),
-			WeightFrac: make([]float64, len(attackers)),
-		}
-		for k := range attackers {
-			slots = append(slots, slot{int32(ci), int32(k)})
-		}
+		w.Attackers[ci] = attackers
 	}
-
-	g := pol.Graph()
-	totalWeight := g.TotalAddrWeight()
-	err := sweep.Run(pol, len(slots),
-		func(i int) (core.Attack, *asn.IndexSet) {
-			s := slots[i]
-			cfg := &cfgs[s.cfg]
+	w.Matrix = sweep.Matrix{
+		Groups: len(cfgs),
+		Size:   func(c int) int { return len(w.Attackers[c]) },
+		Policy: func(int) *core.Policy { return pol },
+		Job: func(c, k int) (core.Attack, *asn.IndexSet) {
+			cfg := &w.cfgs[c]
 			return core.Attack{
 				Target:    cfg.Target,
-				Attacker:  results[s.cfg].Attackers[s.k],
+				Attacker:  w.Attackers[c][k],
 				SubPrefix: cfg.SubPrefix,
 			}, cfg.Blocked
 		},
-		opts,
-		func(i int, o *core.Outcome) {
-			count := 0
-			var weight int64
-			for v := 0; v < o.N(); v++ {
-				if o.Polluted(v) {
-					count++
-					weight += g.AddrWeight(v)
-				}
-			}
-			s := slots[i]
-			r := results[s.cfg]
-			r.Pollution[s.k] = count
-			if totalWeight > 0 {
-				r.WeightFrac[s.k] = float64(weight) / float64(totalWeight)
-			}
-		})
+	}
+	return w, nil
+}
+
+// Extract returns the per-cell measurement extractor for the matrix
+// runtime; it runs concurrently on the workers.
+func (w *Workload) Extract() func(c, k int, o *core.Outcome) Record {
+	g := w.pol.Graph()
+	totalWeight := g.TotalAddrWeight()
+	return func(_, _ int, o *core.Outcome) Record { return Measure(g, totalWeight, o) }
+}
+
+// Results returns per-configuration result skeletons plus the streaming
+// reducer that fills them from the workload's in-order record stream;
+// results are complete once the stream finishes.
+func (w *Workload) Results() ([]*SweepResult, sweep.Reducer[Record]) {
+	results := make([]*SweepResult, len(w.cfgs))
+	sizes := make([]int, len(w.cfgs))
+	for ci := range w.cfgs {
+		sizes[ci] = len(w.Attackers[ci])
+		results[ci] = &SweepResult{
+			Target:     w.cfgs[ci].Target,
+			Attackers:  w.Attackers[ci],
+			Pollution:  make([]int, 0, sizes[ci]),
+			WeightFrac: make([]float64, 0, sizes[ci]),
+		}
+	}
+	// Cursor over the group-major stream: records for configuration c
+	// arrive contiguously, in attack order.
+	ci := 0
+	advance := func() {
+		for ci < len(results) && len(results[ci].Pollution) == sizes[ci] {
+			ci++
+		}
+	}
+	advance()
+	return results, sweep.ReduceFunc[Record]{EmitFn: func(_ int, rec Record) {
+		r := results[ci]
+		r.Pollution = append(r.Pollution, rec.Pollution)
+		r.WeightFrac = append(r.WeightFrac, rec.WeightFrac)
+		advance()
+	}}
+}
+
+// Sweep attacks the target from every configured attacker and records the
+// pollution each attack achieves. It is a thin wrapper over SweepAll's
+// shared matrix runtime.
+func Sweep(pol *core.Policy, cfg SweepConfig) (*SweepResult, error) {
+	res, err := SweepAll(pol, []SweepConfig{cfg}, sweep.Options{Workers: cfg.Workers})
 	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SweepAll runs several sweep configurations as one flattened matrix run
+// over every (configuration, attack) pair, so a deployment ladder's
+// strategies load-balance across one worker pool instead of running rung
+// by rung. Results are index-ordered per configuration and bit-identical
+// at any worker count (DESIGN.md §5, §7).
+func SweepAll(pol *core.Policy, cfgs []SweepConfig, opts sweep.Options) ([]*SweepResult, error) {
+	return SweepMatrix(pol, cfgs, sweep.MatrixOptions{Workers: opts.Workers, Progress: opts.Progress})
+}
+
+// SweepMatrix is SweepAll under full matrix options: shard selections
+// (in-process concurrent shards) included. Partial `-shard i/n` runs go
+// through NewWorkload + sweep.RunShard instead, and their merged record
+// stream through Results' reducer — same digests either way.
+func SweepMatrix(pol *core.Policy, cfgs []SweepConfig, opts sweep.MatrixOptions) ([]*SweepResult, error) {
+	w, err := NewWorkload(pol, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	results, red := w.Results()
+	if err := sweep.RunMatrixReduce(w.Matrix, opts, w.Extract(), red); err != nil {
 		return nil, err
 	}
 	return results, nil
@@ -190,14 +261,21 @@ func (r *SweepResult) TopAttackers(k int, g *topology.Graph, c *topology.Classif
 // attacker depth": it correlates per-attack pollution against attacker
 // depth and returns the Spearman rank coefficient.
 func (r *SweepResult) AggressivenessDepthCorrelation(c *topology.Classification) (float64, error) {
-	xs := make([]float64, 0, len(r.Attackers))
-	ys := make([]float64, 0, len(r.Attackers))
-	for i, a := range r.Attackers {
+	return DepthCorrelation(r.Attackers, r.Pollution, c)
+}
+
+// DepthCorrelation is AggressivenessDepthCorrelation over parallel
+// attacker/pollution slices, for streaming consumers that reduce a
+// record stream without materializing a SweepResult.
+func DepthCorrelation(attackers []int, pollution []int, c *topology.Classification) (float64, error) {
+	xs := make([]float64, 0, len(attackers))
+	ys := make([]float64, 0, len(attackers))
+	for i, a := range attackers {
 		if c.Depth[a] == topology.DepthUnreachable {
 			continue
 		}
 		xs = append(xs, float64(c.Depth[a]))
-		ys = append(ys, float64(r.Pollution[i]))
+		ys = append(ys, float64(pollution[i]))
 	}
 	return stats.Spearman(xs, ys)
 }

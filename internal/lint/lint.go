@@ -1,4 +1,4 @@
-// Package lint assembles the bgplint analyzer suite: four domain-specific
+// Package lint assembles the bgplint analyzer suite: five domain-specific
 // static-analysis passes that machine-check the simulator's determinism
 // and error-handling invariants (see DESIGN.md, "Determinism & static
 // analysis"). The driver lives in cmd/bgplint; run it via `make lint`.
@@ -10,6 +10,7 @@ import (
 	"github.com/bgpsim/bgpsim/internal/lint/errdrop"
 	"github.com/bgpsim/bgpsim/internal/lint/globalrand"
 	"github.com/bgpsim/bgpsim/internal/lint/maporder"
+	"github.com/bgpsim/bgpsim/internal/lint/obsappend"
 )
 
 // Analyzers returns the full bgplint suite in reporting order.
@@ -19,5 +20,6 @@ func Analyzers() []*analysis.Analyzer {
 		globalrand.Analyzer,
 		asnconv.Analyzer,
 		errdrop.Analyzer,
+		obsappend.Analyzer,
 	}
 }

@@ -1,0 +1,15 @@
+package obsappend
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestObserverAppends(t *testing.T) {
+	defer func(old string) { OutcomePkgPath = old }(OutcomePkgPath)
+	OutcomePkgPath = "corestub"
+	linttest.RunDeps(t, Analyzer,
+		map[string]string{"corestub": "testdata/src/corestub"},
+		"testdata/src/obsappend_a", "obsappend_a")
+}

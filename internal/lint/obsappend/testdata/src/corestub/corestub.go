@@ -1,0 +1,11 @@
+// Package corestub stands in for internal/core in obsappend tests: it
+// owns the Outcome type the analyzer keys on.
+package corestub
+
+// Outcome mirrors the real core.Outcome.
+type Outcome struct {
+	N int
+}
+
+// PollutedCount mirrors the real accessor.
+func (o *Outcome) PollutedCount() int { return o.N }

@@ -1,0 +1,65 @@
+// Package obsappend_a exercises the obsappend analyzer: appends to
+// captured slices inside *corestub.Outcome callbacks are completion-order
+// bugs; indexed assignment and local appends are fine.
+package obsappend_a
+
+import "corestub"
+
+func runSweep(n int, obs func(idx int, o *corestub.Outcome)) {
+	for i := 0; i < n; i++ {
+		obs(i, &corestub.Outcome{N: i})
+	}
+}
+
+// Flagged: the observer appends to a slice captured from the enclosing
+// function, so the result order depends on worker completion order.
+func capturedAppend(n int) []int {
+	var pollution []int
+	runSweep(n, func(idx int, o *corestub.Outcome) {
+		pollution = append(pollution, o.PollutedCount()) // want "append to captured \"pollution\""
+	})
+	return pollution
+}
+
+type result struct{ rows []int }
+
+// Flagged: appending through a captured struct field is the same bug.
+func capturedFieldAppend(n int) *result {
+	res := &result{}
+	runSweep(n, func(idx int, o *corestub.Outcome) {
+		res.rows = append(res.rows, o.PollutedCount()) // want "append to captured \"res\""
+	})
+	return res
+}
+
+// Not flagged: indexed assignment into a preallocated slice is the
+// deterministic pattern.
+func indexedAssign(n int) []int {
+	pollution := make([]int, n)
+	runSweep(n, func(idx int, o *corestub.Outcome) {
+		pollution[idx] = o.PollutedCount()
+	})
+	return pollution
+}
+
+// Not flagged: the slice is local to the callback.
+func localAppend(n int) {
+	runSweep(n, func(idx int, o *corestub.Outcome) {
+		var local []int
+		local = append(local, o.PollutedCount())
+		_ = local
+	})
+}
+
+// Not flagged: callbacks without an Outcome parameter (e.g. reducer Emit
+// functions) see indices in order and may append freely.
+func reducerAppend(n int) []int {
+	var out []int
+	emit := func(idx int, v int) {
+		out = append(out, v)
+	}
+	for i := 0; i < n; i++ {
+		emit(i, i)
+	}
+	return out
+}

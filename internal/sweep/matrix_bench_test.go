@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+)
+
+// BenchmarkMatrixShards measures in-process shard scaling on the shared
+// test matrix: the same cell space solved as 1, 2, and 4 concurrent
+// shards over a fixed worker pool. Shards add a bounded reorder window
+// per slice, so the cost of the `-shard` path shows up directly against
+// the unsharded baseline.
+func BenchmarkMatrixShards(b *testing.B) {
+	m, cells := testMatrix(b)
+	extract := func(_, _ int, o *core.Outcome) int { return o.PollutedCount() }
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sel := ShardSel{}
+			if shards > 1 {
+				sel = AllShards(shards)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := RunMatrixReduce(m, MatrixOptions{Workers: 4, Sel: sel}, extract,
+					ReduceFunc[int]{EmitFn: func(int, int) { n++ }})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != cells {
+					b.Fatalf("%d records, want %d", n, cells)
+				}
+			}
+		})
+	}
+}

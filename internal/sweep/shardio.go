@@ -1,0 +1,171 @@
+// Mergeable shard output: the on-disk handoff for multi-process matrix
+// runs. Each `-shard i/n` process writes one ShardFile holding its cell
+// range's records in cell order; a merge run reads any number of shard
+// files (in any order), validates that they tile the cell space exactly,
+// and replays the records as the single in-order stream the reducers
+// would have seen unsharded. Records round-trip through encoding/json —
+// Go prints float64 with the shortest exact representation, so merged
+// digests stay bit-identical to single-process runs.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+)
+
+// ShardFile is one shard's persisted slice of a matrix run.
+type ShardFile[T any] struct {
+	// Experiment names the workload (e.g. "fig2-vulnerability") so a
+	// merge refuses to mix shards of different runs.
+	Experiment string `json:"experiment"`
+	// Cells and Groups pin the matrix dimensions the shard was cut from.
+	Cells  int `json:"cells"`
+	Groups int `json:"groups"`
+	// Shard/Shards echo the -shard i/n selection; CellLo/CellHi is the
+	// half-open cell range the records cover, in cell order.
+	Shard   int `json:"shard"`
+	Shards  int `json:"shards"`
+	CellLo  int `json:"cell_lo"`
+	CellHi  int `json:"cell_hi"`
+	Records []T `json:"records"`
+}
+
+// WriteShardFile encodes one shard file as indented JSON.
+func WriteShardFile[T any](w io.Writer, f *ShardFile[T]) error {
+	if len(f.Records) != f.CellHi-f.CellLo {
+		return fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
+			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadShardFile decodes one shard file and checks its internal
+// consistency.
+func ReadShardFile[T any](r io.Reader) (*ShardFile[T], error) {
+	var f ShardFile[T]
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("decode shard file: %w", err)
+	}
+	if f.CellLo < 0 || f.CellHi > f.Cells || f.CellLo > f.CellHi {
+		return nil, fmt.Errorf("shard %d/%d: cell range [%d,%d) outside [0,%d)",
+			f.Shard, f.Shards, f.CellLo, f.CellHi, f.Cells)
+	}
+	if len(f.Records) != f.CellHi-f.CellLo {
+		return nil, fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
+			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
+	}
+	return &f, nil
+}
+
+// RunShard solves one shard of a matrix and returns it as a ShardFile
+// ready for WriteShardFile; opts.Sel must select a single shard.
+func RunShard[T any](m Matrix, opts MatrixOptions, experiment string, extract func(g, k int, o *core.Outcome) T) (*ShardFile[T], error) {
+	if opts.Sel.Shards > 1 && opts.Sel.Shard < 0 {
+		return nil, fmt.Errorf("sweep: RunShard needs a single shard selection, got %q", opts.Sel)
+	}
+	var out *ShardFile[T]
+	err := RunMatrix(m, opts, extract, func(s, lo, hi int) Reducer[T] {
+		out = &ShardFile[T]{
+			Experiment: experiment,
+			Cells:      m.Cells(),
+			Groups:     m.Groups,
+			Shard:      s,
+			Shards:     max(1, opts.Sel.Shards),
+			CellLo:     lo,
+			CellHi:     hi,
+		}
+		return ReduceFunc[T]{EmitFn: func(_ int, v T) { out.Records = append(out.Records, v) }}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeShards replays shard files as one in-order stream into the
+// reducers. Input order is free — shards are sorted by cell range — but
+// the set must belong to one experiment and tile [0, Cells) exactly:
+// no gap, no overlap, no missing shard. The replayed stream is
+// indistinguishable from an unsharded run's.
+func MergeShards[T any](files []*ShardFile[T], experiment string, reds ...Reducer[T]) error {
+	if len(files) == 0 {
+		return fmt.Errorf("merge %s: no shard files", experiment)
+	}
+	sorted := make([]*ShardFile[T], len(files))
+	copy(sorted, files)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CellLo < sorted[j].CellLo })
+	ref := sorted[0]
+	want := 0
+	for _, f := range sorted {
+		if f.Experiment != experiment {
+			return fmt.Errorf("merge %s: shard %d/%d is from experiment %q", experiment, f.Shard, f.Shards, f.Experiment)
+		}
+		if f.Cells != ref.Cells || f.Groups != ref.Groups || f.Shards != ref.Shards {
+			return fmt.Errorf("merge %s: shard %d/%d dimensions (%d cells, %d groups, %d shards) disagree with shard %d/%d (%d cells, %d groups, %d shards)",
+				experiment, f.Shard, f.Shards, f.Cells, f.Groups, f.Shards, ref.Shard, ref.Shards, ref.Cells, ref.Groups, ref.Shards)
+		}
+		if f.CellLo != want {
+			if f.CellLo < want {
+				return fmt.Errorf("merge %s: shards overlap at cell %d", experiment, f.CellLo)
+			}
+			return fmt.Errorf("merge %s: missing cells [%d,%d)", experiment, want, f.CellLo)
+		}
+		want = f.CellHi
+	}
+	if want != ref.Cells {
+		return fmt.Errorf("merge %s: missing cells [%d,%d)", experiment, want, ref.Cells)
+	}
+	final := Tee(reds...)
+	idx := 0
+	for _, f := range sorted {
+		for i := range f.Records {
+			final.Emit(idx, f.Records[i])
+			idx++
+		}
+	}
+	final.Finish()
+	return nil
+}
+
+// ReadShardFiles loads a list of shard file paths for MergeShards.
+func ReadShardFiles[T any](paths []string) ([]*ShardFile[T], error) {
+	files := make([]*ShardFile[T], 0, len(paths))
+	for _, p := range paths {
+		r, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		f, err := ReadShardFile[T](r)
+		cerr := r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("%s: %w", p, cerr)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// WriteShardFileTo writes one shard file to path, creating or truncating
+// it.
+func WriteShardFileTo[T any](path string, f *ShardFile[T]) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteShardFile(w, f); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

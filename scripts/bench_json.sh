@@ -1,10 +1,12 @@
 #!/bin/sh
-# Run the sweep-backed reproduction benchmarks (Figures 2, 5, 7 plus the
-# kernel scaling micro-benchmark) and write the measurements as JSON.
+# Run the sweep-backed reproduction benchmarks (Figures 2, 5, 7, the
+# kernel scaling micro-benchmarks, and the buffered-vs-streaming
+# reduction comparison) and write the measurements as JSON.
 # Usage: scripts/bench_json.sh [outfile]
 # Output: one JSON array; each element carries the benchmark name, the
 # worker count (0 when the benchmark does not parameterize workers),
-# ns/op, B/op, and allocs/op.
+# the shard count (0 likewise), ns/op, B/op, allocs/op, and the peak
+# RSS in KB (0 when the benchmark does not sample it).
 set -eu
 
 OUT="${1:-BENCH_sweep.json}"
@@ -12,11 +14,12 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkFig2VulnerabilityTier1|BenchmarkFig5IncrementalDefenseDepth1|BenchmarkFig7DetectorConfigurations|BenchmarkSweepRunWorkers' \
-  -benchmem -benchtime 1x . | tee "$RAW"
+  -bench 'BenchmarkFig2VulnerabilityTier1|BenchmarkFig5IncrementalDefenseDepth1|BenchmarkFig7DetectorConfigurations|BenchmarkSweepRunWorkers|BenchmarkMatrixShards|BenchmarkVulnerabilityReduction' \
+  -benchmem -benchtime 1x . ./internal/sweep ./internal/experiments | tee "$RAW"
 
 # Benchmark lines look like:
 #   BenchmarkSweepRunWorkers/workers=4-8  1  12345 ns/op  678 B/op  9 allocs/op  [extra metrics]
+#   BenchmarkVulnerabilityReduction/streaming-8  1  12345 ns/op  678 peakRSS-KB  9 B/op  1 allocs/op
 awk '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
@@ -25,17 +28,22 @@ BEGIN { print "["; first = 1 }
     if (match(name, /workers=[0-9]+/)) {
         workers = substr(name, RSTART + 8, RLENGTH - 8) + 0
     }
-    ns = ""; bytes = ""; allocs = ""
+    shards = 0
+    if (match(name, /shards=[0-9]+/)) {
+        shards = substr(name, RSTART + 7, RLENGTH - 7) + 0
+    }
+    ns = ""; bytes = ""; allocs = ""; rss = "0"
     for (i = 2; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "peakRSS-KB") rss = $i
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"name\": \"%s\", \"workers\": %d, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, workers, ns, (bytes == "" ? "0" : bytes), (allocs == "" ? "0" : allocs)
+    printf "  {\"name\": \"%s\", \"workers\": %d, \"shards\": %d, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"peak_rss_kb\": %s}", \
+        name, workers, shards, ns, (bytes == "" ? "0" : bytes), (allocs == "" ? "0" : allocs), rss
 }
 END { print "\n]" }
 ' "$RAW" > "$OUT"
