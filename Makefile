@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test ./internal/prefix  -fuzz FuzzParse     -fuzztime 10s
 	$(GO) test ./internal/topology -fuzz FuzzParse    -fuzztime 10s
 	$(GO) test ./internal/irr     -fuzz FuzzParse     -fuzztime 10s
+	$(GO) test ./internal/recio   -fuzz FuzzDecode    -fuzztime 10s
 
 # One benchmark per paper table/figure; metrics double as reproduction
 # evidence (see EXPERIMENTS.md).

@@ -66,23 +66,20 @@ func run() error {
 		return fmt.Errorf("unknown -target %q (want depth1, deep or both)", *target)
 	}
 	if mode == cli.RunShard {
+		store := sh.Store("deployscan", *wf.Seed, *workers)
 		if runDepth1 {
-			sf, err := experiments.Fig5Shard(w, cfg, sel)
+			rep, err := experiments.Fig5ShardTo(w, cfg, sel, store)
 			if err != nil {
 				return err
 			}
-			if err := cli.WriteShard(*sh.Dir, sf); err != nil {
-				return err
-			}
+			cli.NoteShard(rep)
 		}
 		if runDeep {
-			sf, err := experiments.Fig6Shard(w, cfg, sel)
+			rep, err := experiments.Fig6ShardTo(w, cfg, sel, store)
 			if err != nil {
 				return err
 			}
-			if err := cli.WriteShard(*sh.Dir, sf); err != nil {
-				return err
-			}
+			cli.NoteShard(rep)
 		}
 		return nil
 	}

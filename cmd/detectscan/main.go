@@ -79,11 +79,12 @@ func run() error {
 	var res *experiments.DetectionResult
 	switch mode {
 	case cli.RunShard:
-		sf, err := experiments.Fig7Shard(w, cfg, sel)
+		rep, err := experiments.Fig7ShardTo(w, cfg, sel, sh.Store("detectscan", *wf.Seed, *workers))
 		if err != nil {
 			return err
 		}
-		return cli.WriteShard(*sh.Dir, sf)
+		cli.NoteShard(rep)
+		return nil
 	case cli.RunMerge:
 		files, err := cli.ReadShards[detect.Record](*sh.Dir, experiments.TagFig7)
 		if err != nil {

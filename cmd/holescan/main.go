@@ -96,11 +96,12 @@ func run() error {
 	var res *experiments.HoleResult
 	switch mode {
 	case cli.RunShard:
-		sf, err := experiments.HoleShard(w, cfg, sel)
+		rep, err := experiments.HoleShardTo(w, cfg, sel, sh.Store("holescan", *wf.Seed, *workers))
 		if err != nil {
 			return err
 		}
-		return cli.WriteShard(*sh.Dir, sf)
+		cli.NoteShard(rep)
+		return nil
 	case cli.RunMerge:
 		files, err := cli.ReadShards[experiments.HoleRecord](*sh.Dir, experiments.TagHoles)
 		if err != nil {

@@ -61,14 +61,16 @@ func run() error {
 	cli.Describe(w)
 
 	cfg := experiments.VulnerabilityConfig{AttackerSample: *sample, Seed: *wf.Seed, Workers: *workers}
+	store := sh.Store("vulnscan", *wf.Seed, *workers)
 	if *stubFilter {
 		switch mode {
 		case cli.RunShard:
-			sf, err := experiments.Fig4Shard(w, cfg, sel)
+			rep, err := experiments.Fig4ShardTo(w, cfg, sel, store)
 			if err != nil {
 				return err
 			}
-			return cli.WriteShard(*sh.Dir, sf)
+			cli.NoteShard(rep)
+			return nil
 		case cli.RunMerge:
 			files, err := cli.ReadShards[hijack.Record](*sh.Dir, experiments.TagFig4)
 			if err != nil {
@@ -99,16 +101,17 @@ func run() error {
 	var res *experiments.VulnerabilityResult
 	switch mode {
 	case cli.RunShard:
-		var sf *sweep.ShardFile[hijack.Record]
+		var rep sweep.ShardReport
 		if tag == experiments.TagFig2 {
-			sf, err = experiments.Fig2Shard(w, cfg, sel)
+			rep, err = experiments.Fig2ShardTo(w, cfg, sel, store)
 		} else {
-			sf, err = experiments.Fig3Shard(w, cfg, sel)
+			rep, err = experiments.Fig3ShardTo(w, cfg, sel, store)
 		}
 		if err != nil {
 			return err
 		}
-		return cli.WriteShard(*sh.Dir, sf)
+		cli.NoteShard(rep)
+		return nil
 	case cli.RunMerge:
 		files, err := cli.ReadShards[hijack.Record](*sh.Dir, tag)
 		if err != nil {

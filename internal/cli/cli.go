@@ -7,8 +7,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/experiments"
@@ -48,17 +46,22 @@ func AddWorkersFlag(fs *flag.FlagSet) *int {
 // exact result a single-process run would print. World and experiment
 // flags must match across the shard and merge invocations.
 type ShardFlags struct {
-	Spec  *string
-	Dir   *string
-	Merge *bool
+	Spec   *string
+	Dir    *string
+	Merge  *bool
+	Format *string
+	Resume *bool
 }
 
-// AddShardFlags registers -shard, -shard-dir and -merge.
+// AddShardFlags registers -shard, -shard-dir, -merge, -format and
+// -resume.
 func AddShardFlags(fs *flag.FlagSet) *ShardFlags {
 	return &ShardFlags{
-		Spec:  fs.String("shard", "", `solve only shard "i/n" of each sweep, writing records to -shard-dir instead of rendering results`),
-		Dir:   fs.String("shard-dir", "", "directory holding shard files (written with -shard, read with -merge)"),
-		Merge: fs.Bool("merge", false, "merge the shard files in -shard-dir instead of solving"),
+		Spec:   fs.String("shard", "", `solve only shard "i/n" of each sweep, writing records to -shard-dir instead of rendering results`),
+		Dir:    fs.String("shard-dir", "", "directory holding shard files (written with -shard, read with -merge)"),
+		Merge:  fs.Bool("merge", false, "merge the shard files in -shard-dir instead of solving"),
+		Format: fs.String("format", sweep.FormatJSON, `shard file format: "json" (indented, human-readable) or "recio" (compressed binary, checkpointed)`),
+		Resume: fs.Bool("resume", false, "continue an interrupted -shard run from its last checkpoint (recio format only)"),
 	}
 }
 
@@ -77,12 +80,18 @@ const (
 // Mode validates the flag combination and returns the run shape plus the
 // parsed shard selection (meaningful only for RunShard).
 func (f *ShardFlags) Mode() (ShardMode, sweep.ShardSel, error) {
+	if _, err := sweep.CodecByName[struct{}](*f.Format); err != nil {
+		return RunFull, sweep.ShardSel{}, err
+	}
 	switch {
 	case *f.Merge && *f.Spec != "":
 		return RunFull, sweep.ShardSel{}, fmt.Errorf("-merge and -shard are mutually exclusive")
 	case *f.Merge:
 		if *f.Dir == "" {
 			return RunFull, sweep.ShardSel{}, fmt.Errorf("-merge needs -shard-dir")
+		}
+		if *f.Resume {
+			return RunFull, sweep.ShardSel{}, fmt.Errorf("-resume only applies to -shard runs")
 		}
 		return RunMerge, sweep.ShardSel{}, nil
 	case *f.Spec != "":
@@ -93,42 +102,52 @@ func (f *ShardFlags) Mode() (ShardMode, sweep.ShardSel, error) {
 		if *f.Dir == "" {
 			return RunFull, sweep.ShardSel{}, fmt.Errorf("-shard needs -shard-dir")
 		}
+		if *f.Resume && *f.Format != sweep.FormatRecio {
+			return RunFull, sweep.ShardSel{}, fmt.Errorf("-resume needs -format recio: json shards are written whole at the end and leave nothing to resume")
+		}
 		return RunShard, sel, nil
 	default:
 		if *f.Dir != "" {
 			return RunFull, sweep.ShardSel{}, fmt.Errorf("-shard-dir needs -shard or -merge")
 		}
+		if *f.Resume {
+			return RunFull, sweep.ShardSel{}, fmt.Errorf("-resume needs -shard and -shard-dir")
+		}
 		return RunFull, sweep.ShardSel{}, nil
 	}
 }
 
-// WriteShard persists one shard file into dir as
-// "<experiment>.<shard>of<shards>.json" and reports the path on stderr.
-func WriteShard[T any](dir string, sf *sweep.ShardFile[T]) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+// Store materializes the ShardStore the flags describe, stamping the
+// run's provenance (tool name, topology seed, worker count) into the
+// shard-file header.
+func (f *ShardFlags) Store(tool string, seed int64, workers int) sweep.ShardStore {
+	return sweep.ShardStore{
+		Dir:     *f.Dir,
+		Format:  *f.Format,
+		Resume:  *f.Resume,
+		Tool:    tool,
+		Seed:    seed,
+		Workers: workers,
 	}
-	path := filepath.Join(dir, fmt.Sprintf("%s.%dof%d.json", sf.Experiment, sf.Shard, sf.Shards))
-	if err := sweep.WriteShardFileTo(path, sf); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "shard %d/%d (cells [%d,%d)) written to %s\n",
-		sf.Shard, sf.Shards, sf.CellLo, sf.CellHi, path)
-	return nil
 }
 
-// ReadShards loads every "<tag>.*.json" shard file from dir; MergeShards
-// validates the set tiles the experiment's cell space.
+// NoteShard reports a completed shard write on stderr, including how
+// much of it a resumed run recovered instead of re-solving.
+func NoteShard(rep sweep.ShardReport) {
+	if rep.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "shard cells [%d,%d): %d records resumed from checkpoint, %d solved, written to %s\n",
+			rep.CellLo, rep.CellHi, rep.Resumed, rep.Solved, rep.Path)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "shard cells [%d,%d): %d records written to %s\n",
+		rep.CellLo, rep.CellHi, rep.Solved, rep.Path)
+}
+
+// ReadShards loads every shard file of one experiment tag from dir —
+// JSON and recio alike; MergeShards validates the set tiles the
+// experiment's cell space and carries one matrix digest.
 func ReadShards[T any](dir, tag string) ([]*sweep.ShardFile[T], error) {
-	paths, err := filepath.Glob(filepath.Join(dir, tag+".*.json"))
-	if err != nil {
-		return nil, err
-	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("merge %s: no %s.*.json shard files in %s", tag, tag, dir)
-	}
-	sort.Strings(paths)
-	return sweep.ReadShardFiles[T](paths)
+	return sweep.ReadShardDir[T](dir, tag)
 }
 
 // BuildWorld materializes the World the flags describe.

@@ -179,6 +179,10 @@ func (p *Policy) IsTier1(i int) bool { return p.tier1[i] }
 // Tier1ShortestPath reports whether the tier-1 SPF override is enabled.
 func (p *Policy) Tier1ShortestPath() bool { return p.tier1SPF }
 
+// PreferHighNextHop reports whether the final next-hop tie-break is
+// flipped (WithPreferHighNextHop).
+func (p *Policy) PreferHighNextHop() bool { return p.tieHigh }
+
 // Providers returns node i's providers.
 func (p *Policy) Providers(i int) []int32 { return p.provAdj[p.provOff[i]:p.provOff[i+1]] }
 

@@ -1,0 +1,248 @@
+package experiments
+
+// Acceptance tests for the shard→merge contract across both shard-file
+// formats: for every scan tool's experiment, the stdout a merge run
+// renders must be byte-identical to the single-process run — at workers
+// ∈ {1, 8} × shards ∈ {1, 3}, in json and recio alike — and a recio
+// shard run killed mid-flight and restarted with resume must merge to
+// the same bytes.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/detect"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
+)
+
+// formatCase wires one scan tool's experiment into the generic
+// stdout-identity sweep: solve the full run, shard it into a store,
+// merge the directory back, each rendering the tool's exact stdout.
+type formatCase struct {
+	name  string
+	tag   string
+	full  func(t *testing.T, w *World, workers int) []byte
+	shard func(t *testing.T, w *World, workers int, sel sweep.ShardSel, store sweep.ShardStore) sweep.ShardReport
+	merge func(t *testing.T, w *World, dir string) []byte
+}
+
+func render(t *testing.T, err error, buf *bytes.Buffer) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func formatCases(t *testing.T, w *World) []formatCase {
+	asnOf := func(n int) string { return w.Graph.ASN(n).String() }
+	vulnCfg := func(workers int) VulnerabilityConfig {
+		return VulnerabilityConfig{AttackerSample: 150, Seed: 3, Workers: workers}
+	}
+	deployCfg := func(workers int) DeploymentConfig {
+		return DeploymentConfig{AttackerSample: 100, Seed: 5, ResidualTop: 3, Workers: workers}
+	}
+	detectCfg := func(workers int) DetectionConfig {
+		return DetectionConfig{Attacks: 250, Seed: 9, Workers: workers}
+	}
+	holeCfg := func(workers int) HoleConfig {
+		return HoleConfig{Attacks: 250, Seed: 11, Workers: workers}
+	}
+	return []formatCase{
+		{
+			name: "vulnscan-fig2", tag: TagFig2,
+			full: func(t *testing.T, w *World, workers int) []byte {
+				res, err := Fig2(w, vulnCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf), &buf)
+			},
+			shard: func(t *testing.T, w *World, workers int, sel sweep.ShardSel, store sweep.ShardStore) sweep.ShardReport {
+				rep, err := Fig2ShardTo(w, vulnCfg(workers), sel, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			},
+			merge: func(t *testing.T, w *World, dir string) []byte {
+				files, err := sweep.ReadShardDir[hijack.Record](dir, TagFig2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Fig2Merge(w, vulnCfg(0), files)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf), &buf)
+			},
+		},
+		{
+			name: "deployscan-fig5", tag: TagFig5,
+			full: func(t *testing.T, w *World, workers int) []byte {
+				res, err := Fig5(w, deployCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf), &buf)
+			},
+			shard: func(t *testing.T, w *World, workers int, sel sweep.ShardSel, store sweep.ShardStore) sweep.ShardReport {
+				rep, err := Fig5ShardTo(w, deployCfg(workers), sel, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			},
+			merge: func(t *testing.T, w *World, dir string) []byte {
+				files, err := sweep.ReadShardDir[hijack.Record](dir, TagFig5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Fig5Merge(w, deployCfg(0), files)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf), &buf)
+			},
+		},
+		{
+			name: "detectscan-fig7", tag: TagFig7,
+			full: func(t *testing.T, w *World, workers int) []byte {
+				res, err := Fig7(w, detectCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf, asnOf), &buf)
+			},
+			shard: func(t *testing.T, w *World, workers int, sel sweep.ShardSel, store sweep.ShardStore) sweep.ShardReport {
+				rep, err := Fig7ShardTo(w, detectCfg(workers), sel, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			},
+			merge: func(t *testing.T, w *World, dir string) []byte {
+				files, err := sweep.ReadShardDir[detect.Record](dir, TagFig7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Fig7Merge(w, detectCfg(0), files)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf, asnOf), &buf)
+			},
+		},
+		{
+			name: "holescan", tag: TagHoles,
+			full: func(t *testing.T, w *World, workers int) []byte {
+				res, err := HoleAnalysis(w, holeCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf, asnOf), &buf)
+			},
+			shard: func(t *testing.T, w *World, workers int, sel sweep.ShardSel, store sweep.ShardStore) sweep.ShardReport {
+				rep, err := HoleShardTo(w, holeCfg(workers), sel, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			},
+			merge: func(t *testing.T, w *World, dir string) []byte {
+				files, err := sweep.ReadShardDir[HoleRecord](dir, TagHoles)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := HoleMerge(w, holeCfg(0), files)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				return render(t, res.WriteText(&buf, asnOf), &buf)
+			},
+		},
+	}
+}
+
+// TestFormatShardMergeStdoutIdentity is the headline acceptance matrix:
+// each scan tool's shard→merge stdout must equal the full run's bytes
+// for json and recio at workers ∈ {1, 8} × shards ∈ {1, 3}.
+func TestFormatShardMergeStdoutIdentity(t *testing.T) {
+	w := world(t)
+	for _, tc := range formatCases(t, w) {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.full(t, w, 4)
+			for _, format := range []string{sweep.FormatJSON, sweep.FormatRecio} {
+				for _, workers := range []int{1, 8} {
+					for _, shards := range []int{1, 3} {
+						dir := t.TempDir()
+						store := sweep.ShardStore{Dir: dir, Format: format}
+						// Solve shards in shuffled order, as independent
+						// machines would finish.
+						for _, s := range shardOrder {
+							if s >= shards {
+								continue
+							}
+							tc.shard(t, w, workers, sweep.OneShard(s, shards), store)
+						}
+						got := tc.merge(t, w, dir)
+						if !bytes.Equal(got, want) {
+							t.Errorf("format=%s workers=%d shards=%d: merged stdout differs from full run (%d vs %d bytes)",
+								format, workers, shards, len(got), len(want))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecioResumeStdoutIdentity is the crash acceptance test at the
+// tool level: a recio shard run killed mid-run (file truncated inside a
+// segment, i.e. after N checkpointed records) and restarted with resume
+// must merge to stdout byte-identical to an uninterrupted full run.
+func TestRecioResumeStdoutIdentity(t *testing.T) {
+	w := world(t)
+	tc := formatCases(t, w)[0] // Figure 2
+	want := tc.full(t, w, 4)
+
+	dir := t.TempDir()
+	store := sweep.ShardStore{Dir: dir, Format: sweep.FormatRecio, CheckpointEvery: 8}
+
+	// Solve shard 0 fully, then truncate its file mid-segment to
+	// simulate the process dying between two checkpoints.
+	rep := tc.shard(t, w, 4, sweep.OneShard(0, 2), store)
+	data, err := os.ReadFile(rep.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rep.Path, data[:len(data)*55/100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store.Resume = true
+	rep2 := tc.shard(t, w, 4, sweep.OneShard(0, 2), store)
+	if rep2.Resumed == 0 {
+		t.Fatal("restart recovered nothing — the truncated file should retain checkpointed records")
+	}
+	if rep2.Solved == 0 {
+		t.Fatal("restart solved nothing — truncation should have lost the open segment")
+	}
+	// Shard 1 never crashed; -resume on a missing file is a fresh run.
+	tc.shard(t, w, 4, sweep.OneShard(1, 2), store)
+
+	got := tc.merge(t, w, dir)
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed merge stdout differs from full run (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -39,6 +39,13 @@ func Fig2Shard(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel) (*sweep.Sh
 	return vulnerabilityShard(w, cfg, topology.UnderTier1, TagFig2, sel)
 }
 
+// Fig2ShardTo solves one shard of the Figure 2 matrix and persists it
+// straight into the store (streaming with checkpoint/resume when the
+// store selects the recio format).
+func Fig2ShardTo(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	return vulnerabilityShardTo(w, cfg, topology.UnderTier1, TagFig2, sel, store)
+}
+
 // Fig2Merge merges Figure 2 shard files into the full panel.
 func Fig2Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijack.Record]) (*VulnerabilityResult, error) {
 	return vulnerabilityMerge(w, cfg, topology.UnderTier1, TagFig2,
@@ -48,6 +55,12 @@ func Fig2Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijac
 // Fig3Shard solves one shard of the Figure 3 matrix.
 func Fig3Shard(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel) (*sweep.ShardFile[hijack.Record], error) {
 	return vulnerabilityShard(w, cfg, topology.UnderTier2, TagFig3, sel)
+}
+
+// Fig3ShardTo solves one shard of the Figure 3 matrix and persists it
+// straight into the store.
+func Fig3ShardTo(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	return vulnerabilityShardTo(w, cfg, topology.UnderTier2, TagFig3, sel, store)
 }
 
 // Fig3Merge merges Figure 3 shard files into the full panel.
@@ -68,6 +81,18 @@ func vulnerabilityShard(w *World, cfg VulnerabilityConfig, h topology.Hierarchy,
 	return sf, nil
 }
 
+func vulnerabilityShardTo(w *World, cfg VulnerabilityConfig, h topology.Hierarchy, tag string, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	_, wl, err := vulnerabilityWorkload(w, cfg, h)
+	if err != nil {
+		return sweep.ShardReport{}, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	rep, err := sweep.PersistShard(wl.Matrix, sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, tag, wl.Extract(), store)
+	if err != nil {
+		return rep, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	return rep, nil
+}
+
 func vulnerabilityMerge(w *World, cfg VulnerabilityConfig, h topology.Hierarchy, tag, title string, files []*sweep.ShardFile[hijack.Record]) (*VulnerabilityResult, error) {
 	targets, wl, err := vulnerabilityWorkload(w, cfg, h)
 	if err != nil {
@@ -75,7 +100,7 @@ func vulnerabilityMerge(w *World, cfg VulnerabilityConfig, h topology.Hierarchy,
 	}
 	res := &VulnerabilityResult{Title: title}
 	red := vulnerabilityReducer(w, targets, wl, res)
-	if err := sweep.MergeShards(files, tag, red); err != nil {
+	if err := sweep.MergeShards(files, tag, sweep.MatrixDigest(wl.Matrix), red); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -94,6 +119,20 @@ func Fig4Shard(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel) (*sweep.Sh
 	return sf, nil
 }
 
+// Fig4ShardTo solves one shard of the Figure 4 stub-filter matrix and
+// persists it straight into the store.
+func Fig4ShardTo(w *World, cfg VulnerabilityConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	_, wl, err := fig4Workload(w, cfg)
+	if err != nil {
+		return sweep.ShardReport{}, fmt.Errorf("fig4 shard: %w", err)
+	}
+	rep, err := sweep.PersistShard(wl.Matrix, sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagFig4, wl.Extract(), store)
+	if err != nil {
+		return rep, fmt.Errorf("fig4 shard: %w", err)
+	}
+	return rep, nil
+}
+
 // Fig4Merge merges Figure 4 shard files into the full comparison.
 func Fig4Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijack.Record]) (*Fig4Result, error) {
 	targets, wl, err := fig4Workload(w, cfg)
@@ -101,7 +140,7 @@ func Fig4Merge(w *World, cfg VulnerabilityConfig, files []*sweep.ShardFile[hijac
 		return nil, fmt.Errorf("fig4 merge: %w", err)
 	}
 	curves := make([]VulnerabilityCurve, wl.Matrix.Groups)
-	if err := sweep.MergeShards(files, TagFig4, fig4Reducer(targets, wl, curves)); err != nil {
+	if err := sweep.MergeShards(files, TagFig4, sweep.MatrixDigest(wl.Matrix), fig4Reducer(targets, wl, curves)); err != nil {
 		return nil, err
 	}
 	return fig4Assemble(targets, curves), nil
@@ -114,6 +153,16 @@ func Fig5Shard(w *World, cfg DeploymentConfig, sel sweep.ShardSel) (*sweep.Shard
 		return nil, err
 	}
 	return deploymentShard(w, newDeploymentStudy(w, cfg, t, title), TagFig5, sel)
+}
+
+// Fig5ShardTo solves one shard of the Figure 5 deployment ladder and
+// persists it straight into the store.
+func Fig5ShardTo(w *World, cfg DeploymentConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	t, title, err := fig5Panel(w)
+	if err != nil {
+		return sweep.ShardReport{}, err
+	}
+	return deploymentShardTo(w, newDeploymentStudy(w, cfg, t, title), TagFig5, sel, store)
 }
 
 // Fig5Merge merges Figure 5 shard files into the full panel.
@@ -132,6 +181,16 @@ func Fig6Shard(w *World, cfg DeploymentConfig, sel sweep.ShardSel) (*sweep.Shard
 		return nil, err
 	}
 	return deploymentShard(w, newDeploymentStudy(w, cfg, t, title), TagFig6, sel)
+}
+
+// Fig6ShardTo solves one shard of the Figure 6 deployment ladder and
+// persists it straight into the store.
+func Fig6ShardTo(w *World, cfg DeploymentConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	t, title, err := fig6Panel(w)
+	if err != nil {
+		return sweep.ShardReport{}, err
+	}
+	return deploymentShardTo(w, newDeploymentStudy(w, cfg, t, title), TagFig6, sel, store)
 }
 
 // Fig6Merge merges Figure 6 shard files into the full panel.
@@ -155,13 +214,25 @@ func deploymentShard(w *World, s *deploymentStudy, tag string, sel sweep.ShardSe
 	return sf, nil
 }
 
+func deploymentShardTo(w *World, s *deploymentStudy, tag string, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	wl, err := s.workload(w)
+	if err != nil {
+		return sweep.ShardReport{}, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	rep, err := sweep.PersistShard(wl.Matrix, sweep.MatrixOptions{Workers: s.cfg.Workers, Sel: sel}, tag, wl.Extract(), store)
+	if err != nil {
+		return rep, fmt.Errorf("%s shard: %w", tag, err)
+	}
+	return rep, nil
+}
+
 func deploymentMerge(w *World, s *deploymentStudy, tag string, files []*sweep.ShardFile[hijack.Record]) (*DeploymentResult, error) {
 	wl, err := s.workload(w)
 	if err != nil {
 		return nil, fmt.Errorf("%s merge: %w", tag, err)
 	}
 	results, red := wl.Results()
-	if err := sweep.MergeShards(files, tag, red); err != nil {
+	if err := sweep.MergeShards(files, tag, sweep.MatrixDigest(wl.Matrix), red); err != nil {
 		return nil, err
 	}
 	return s.assemble(w, deploy.Evaluations(s.ladder, results)), nil
@@ -183,6 +254,23 @@ func Fig7Shard(w *World, cfg DetectionConfig, sel sweep.ShardSel) (*sweep.ShardF
 	return sf, nil
 }
 
+// Fig7ShardTo solves one shard of the Figure 7 detection matrix and
+// persists it straight into the store.
+func Fig7ShardTo(w *World, cfg DetectionConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	cfg = cfg.withDefaults()
+	sets, attacks, err := detectionParts(w, cfg)
+	if err != nil {
+		return sweep.ShardReport{}, fmt.Errorf("fig7 shard: %w", err)
+	}
+	rep, err := sweep.PersistShard(detect.MatrixFor(w.Policy, attacks, nil),
+		sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagFig7,
+		detect.Extractor(w.Policy, sets, cfg.Semantics), store)
+	if err != nil {
+		return rep, fmt.Errorf("fig7 shard: %w", err)
+	}
+	return rep, nil
+}
+
 // Fig7Merge merges Figure 7 shard files into the full panel.
 func Fig7Merge(w *World, cfg DetectionConfig, files []*sweep.ShardFile[detect.Record]) (*DetectionResult, error) {
 	cfg = cfg.withDefaults()
@@ -191,7 +279,7 @@ func Fig7Merge(w *World, cfg DetectionConfig, files []*sweep.ShardFile[detect.Re
 		return nil, fmt.Errorf("fig7 merge: %w", err)
 	}
 	results, red := detect.Results(sets, attacks)
-	if err := sweep.MergeShards(files, TagFig7, red); err != nil {
+	if err := sweep.MergeShards(files, TagFig7, sweep.MatrixDigest(detect.MatrixFor(w.Policy, attacks, nil)), red); err != nil {
 		return nil, err
 	}
 	return assembleDetection(cfg, results), nil
@@ -210,6 +298,20 @@ func HoleShard(w *World, cfg HoleConfig, sel sweep.ShardSel) (*sweep.ShardFile[H
 	return sf, nil
 }
 
+// HoleShardTo solves one shard of the hole-analysis matrix and persists
+// it straight into the store.
+func HoleShardTo(w *World, cfg HoleConfig, sel sweep.ShardSel, store sweep.ShardStore) (sweep.ShardReport, error) {
+	s, err := newHoleStudy(w, cfg)
+	if err != nil {
+		return sweep.ShardReport{}, err
+	}
+	rep, err := sweep.PersistShard(s.matrix(w), sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagHoles, s.extract(w), store)
+	if err != nil {
+		return rep, fmt.Errorf("hole analysis shard: %w", err)
+	}
+	return rep, nil
+}
+
 // HoleMerge merges hole-analysis shard files into the full result.
 func HoleMerge(w *World, cfg HoleConfig, files []*sweep.ShardFile[HoleRecord]) (*HoleResult, error) {
 	s, err := newHoleStudy(w, cfg)
@@ -217,7 +319,7 @@ func HoleMerge(w *World, cfg HoleConfig, files []*sweep.ShardFile[HoleRecord]) (
 		return nil, err
 	}
 	res, red := s.reduce(w)
-	if err := sweep.MergeShards(files, TagHoles, red); err != nil {
+	if err := sweep.MergeShards(files, TagHoles, sweep.MatrixDigest(s.matrix(w)), red); err != nil {
 		return nil, err
 	}
 	return res, nil

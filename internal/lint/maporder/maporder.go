@@ -32,6 +32,7 @@ var Deterministic = []string{
 	"github.com/bgpsim/bgpsim/internal/experiments",
 	"github.com/bgpsim/bgpsim/internal/stats",
 	"github.com/bgpsim/bgpsim/internal/sweep",
+	"github.com/bgpsim/bgpsim/internal/recio",
 	"github.com/bgpsim/bgpsim/internal/feed",
 	"github.com/bgpsim/bgpsim/internal/chaos",
 }

@@ -1,0 +1,61 @@
+// The frame codec: every payload in a recio file — the header and each
+// record — travels as one length-prefixed, checksummed frame:
+//
+//	uvarint(len(payload)) ++ payload ++ CRC-32C(payload), 4 bytes LE
+//
+// Decoding is defensive by construction: the length prefix is checked
+// against MaxPayload and against the bytes actually present before
+// anything is sliced, so corrupt or adversarial inputs produce errors,
+// never panics or giant allocations.
+
+package recio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// castagnoli is the CRC-32C polynomial table (the same checksum family
+// used by ext4, iSCSI and most storage formats).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one frame holding payload to dst and returns the
+// extended slice.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// frameOverhead bounds the non-payload bytes of one frame (length
+// prefix plus checksum); used to size buffers.
+const frameOverhead = binary.MaxVarintLen64 + crc32.Size
+
+// parseFrame decodes the frame starting at data[off:]. It returns the
+// payload (aliasing data — callers copy if they retain it) and the
+// offset just past the frame. Errors:
+//
+//	ErrTruncated — data ends inside the length prefix, payload or CRC
+//	ErrTooLarge  — the length prefix claims more than MaxPayload
+//	ErrCRC       — the payload does not match its checksum
+func parseFrame(data []byte, off int) (payload []byte, next int, err error) {
+	n, width := binary.Uvarint(data[off:])
+	if width == 0 {
+		return nil, off, ErrTruncated
+	}
+	if width < 0 || n > MaxPayload {
+		return nil, off, fmt.Errorf("%w (length prefix %d)", ErrTooLarge, int64(n))
+	}
+	off += width
+	end := off + int(n)
+	if end+crc32.Size > len(data) {
+		return nil, off, ErrTruncated
+	}
+	payload = data[off:end]
+	want := binary.LittleEndian.Uint32(data[end : end+crc32.Size])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, off, ErrCRC
+	}
+	return payload, end + crc32.Size, nil
+}

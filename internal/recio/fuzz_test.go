@@ -1,0 +1,86 @@
+package recio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzDecode drives both decoders over arbitrary bytes. The properties
+// under test are the frame codec's safety guarantees: truncated frames,
+// corrupted CRCs and oversized varint lengths must come back as errors —
+// never a panic, never an allocation sized by a corrupt length prefix —
+// and the two decoders must agree with each other:
+//
+//  1. Recover errors only when Decode does (both require a readable
+//     magic + header; Recover tolerates everything after).
+//  2. Recover's clean size never exceeds the input length.
+//  3. The clean prefix is a fixed point: recovering data[:clean] yields
+//     the same header, records and clean size.
+//  4. If strict Decode succeeds, Recover must see the whole file as
+//     clean and return identical records.
+func FuzzDecode(f *testing.F) {
+	// Valid small file: header plus two checkpointed segments.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Experiment: "seed", Cells: 4, Groups: 1, Shards: 1, CellHi: 4,
+		MatrixDigest: "d1"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append(fmt.Appendf(nil, `{"pollution":%d}`, i)); err != nil {
+			f.Fatal(err)
+		}
+		if i == 1 {
+			if err := w.Checkpoint(); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])           // truncated final segment
+	f.Add(valid[:len(magic)+3])           // truncated header frame
+	f.Add([]byte("recio"))                // bare magic, no version
+	f.Add([]byte{})                       // empty input
+	f.Add([]byte(`{"experiment":"x"}`))   // JSON masquerading as recio
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(valid)-3] ^= 0xff // CRC damage in the last record
+	f.Add(corrupt)
+	huge := append([]byte(nil), magic...)
+	huge = append(huge, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f) // 2^62-byte header claim
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, recs, decodeErr := Decode(data)
+		rhdr, rrecs, clean, recoverErr := Recover(data)
+		if (recoverErr == nil) != (decodeErr == nil) && decodeErr == nil {
+			t.Fatalf("Decode ok but Recover failed: %v", recoverErr)
+		}
+		if recoverErr != nil {
+			return
+		}
+		if clean < 0 || clean > int64(len(data)) {
+			t.Fatalf("clean size %d outside [0,%d]", clean, len(data))
+		}
+		if decodeErr == nil {
+			if clean != int64(len(data)) || len(recs) != len(rrecs) || hdr != rhdr {
+				t.Fatalf("strict/recover disagree on a fully valid file: clean=%d/%d records=%d/%d",
+					clean, len(data), len(recs), len(rrecs))
+			}
+		}
+		hdr2, rrecs2, clean2, err2 := Recover(data[:clean])
+		if err2 != nil || clean2 != clean || len(rrecs2) != len(rrecs) || hdr2 != rhdr {
+			t.Fatalf("clean prefix not a fixed point: err=%v clean=%d→%d records=%d→%d",
+				err2, clean, clean2, len(rrecs), len(rrecs2))
+		}
+		for i := range rrecs {
+			if !bytes.Equal(rrecs[i], rrecs2[i]) {
+				t.Fatalf("record %d differs across recover passes", i)
+			}
+		}
+	})
+}

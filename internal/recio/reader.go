@@ -1,0 +1,151 @@
+// Readers: Decode is the strict path (any damage is an error — the
+// merge contract must never silently drop records), Recover is the
+// resume path (the clean prefix is returned together with the byte
+// offset where it ends, and only a damaged header is fatal).
+
+package recio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Decode strictly parses a whole recio file held in memory: every
+// segment must inflate cleanly and every frame must verify. Returns the
+// header and the record payloads in append order.
+func Decode(data []byte) (Header, [][]byte, error) {
+	hdr, payloads, clean, err := scan(data)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if clean != int64(len(data)) {
+		return hdr, nil, fmt.Errorf("recio: damaged tail after byte %d (%d clean records): %w",
+			clean, len(payloads), ErrTruncated)
+	}
+	return hdr, payloads, nil
+}
+
+// DecodeFile is Decode over a file path.
+func DecodeFile(path string) (Header, [][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	hdr, payloads, err := Decode(data)
+	if err != nil {
+		return hdr, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hdr, payloads, nil
+}
+
+// Recover parses as much of a possibly crash-truncated recio file as is
+// intact: the records of every undamaged checkpoint segment, plus the
+// byte offset where the clean prefix ends (truncate there to append).
+// Only an unreadable magic or header is an error — a run that cannot
+// prove what workload the file belongs to must not resume onto it.
+func Recover(data []byte) (hdr Header, payloads [][]byte, cleanSize int64, err error) {
+	hdr, payloads, cleanSize, scanErr := scan(data)
+	if scanErr != nil {
+		return hdr, nil, 0, scanErr
+	}
+	return hdr, payloads, cleanSize, nil
+}
+
+// RecoverFile is Recover over a file path.
+func RecoverFile(path string) (Header, [][]byte, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, 0, err
+	}
+	hdr, payloads, clean, err := Recover(data)
+	if err != nil {
+		return hdr, nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return hdr, payloads, clean, nil
+}
+
+// scan walks magic, header and segments. It returns the records of
+// every intact segment and the offset just past the last intact one;
+// err is non-nil only when the magic or header is unreadable.
+func scan(data []byte) (hdr Header, payloads [][]byte, cleanSize int64, err error) {
+	if len(data) < len(magic) {
+		return hdr, nil, 0, ErrTruncated
+	}
+	if !bytes.Equal(data[:len(magic)-1], magic[:len(magic)-1]) {
+		return hdr, nil, 0, ErrMagic
+	}
+	if data[len(magic)-1] != formatVersion {
+		return hdr, nil, 0, fmt.Errorf("%w %d (this build reads %d)", ErrVersion, data[len(magic)-1], formatVersion)
+	}
+	hj, off, err := parseFrame(data, len(magic))
+	if err != nil {
+		return hdr, nil, 0, fmt.Errorf("recio: header frame: %w", err)
+	}
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return hdr, nil, 0, fmt.Errorf("recio: decode header: %w", err)
+	}
+	if hdr.Format != formatVersion {
+		return hdr, nil, 0, fmt.Errorf("%w %d in header (this build reads %d)", ErrVersion, hdr.Format, formatVersion)
+	}
+	cleanSize = int64(off)
+	for off < len(data) {
+		recs, next, segErr := parseSegment(data, off)
+		if segErr != nil {
+			// Damaged tail: everything before this segment stays valid.
+			return hdr, payloads, cleanSize, nil
+		}
+		payloads = append(payloads, recs...)
+		off = next
+		cleanSize = int64(off)
+	}
+	return hdr, payloads, cleanSize, nil
+}
+
+// parseSegment inflates and frame-checks the segment starting at
+// data[off:]; on success it returns the segment's record payloads
+// (copied out of the inflate buffer) and the offset just past it.
+func parseSegment(data []byte, off int) (payloads [][]byte, next int, err error) {
+	clen, width := binary.Uvarint(data[off:])
+	if width <= 0 {
+		return nil, off, ErrTruncated
+	}
+	if clen > maxSegment {
+		return nil, off, fmt.Errorf("recio: segment of %d bytes: %w", int64(clen), ErrTooLarge)
+	}
+	off += width
+	end := off + int(clen)
+	if end > len(data) || end < off {
+		return nil, off, ErrTruncated
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data[off:end]))
+	if err != nil {
+		return nil, off, fmt.Errorf("recio: open segment: %w", err)
+	}
+	// A gzip member compresses at most ~1032:1; capping the inflated
+	// size keeps a corrupt length from turning into a decompression
+	// bomb.
+	inflated, err := io.ReadAll(io.LimitReader(zr, maxSegment+1))
+	if cerr := zr.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, off, fmt.Errorf("recio: inflate segment: %w", err)
+	}
+	if len(inflated) > maxSegment {
+		return nil, off, fmt.Errorf("recio: inflated segment: %w", ErrTooLarge)
+	}
+	for pos := 0; pos < len(inflated); {
+		payload, posNext, err := parseFrame(inflated, pos)
+		if err != nil {
+			return nil, off, fmt.Errorf("recio: record frame at segment byte %d: %w", pos, err)
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		pos = posNext
+	}
+	return payloads, end, nil
+}

@@ -1,0 +1,113 @@
+// Package recio is the compressed binary record store behind `-format
+// recio` shard files: a length-prefixed frame codec with per-record
+// CRC-32C integrity, a gzip-compressed stream body, and a self-describing
+// header carrying the workload's identity (experiment tag, matrix
+// dimensions, shard selector, matrix digest) plus run provenance (tool,
+// seed, workers).
+//
+// On-disk layout (DESIGN.md §9):
+//
+//	magic   "recio" + one format-version byte
+//	header  frame: uvarint(len) ++ len bytes of JSON ++ CRC-32C(payload)
+//	body    zero or more segments, each
+//	        uvarint(clen) ++ clen bytes of one gzip member
+//
+// Each gzip member inflates to a run of record frames with the same
+// shape as the header frame (uvarint length, payload, CRC-32C). A
+// segment is the checkpoint unit: the Writer buffers frames into an
+// in-memory gzip member and Checkpoint flushes it as one write followed
+// by an fsync, so a crash can only ever lose the segment being built —
+// every byte before the last checkpoint is a valid prefix of the file.
+// Recover exploits exactly that: it reads segments until the first
+// damaged one and reports the byte offset where the clean prefix ends,
+// which is where a resumed run truncates and appends.
+//
+// The package is pure I/O: payloads are opaque bytes, and the sweep
+// layer owns what a record means (internal/sweep codecs).
+package recio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// magic identifies a recio file; the trailing byte is the format
+// version and changes whenever the frame layout does.
+var magic = []byte{'r', 'e', 'c', 'i', 'o', formatVersion}
+
+// formatVersion is the current frame-layout version.
+const formatVersion = 1
+
+// MaxPayload bounds a single frame payload (header or record). A
+// decoder never allocates more than this for one frame, no matter what
+// a corrupt length prefix claims.
+const MaxPayload = 1 << 26 // 64 MiB
+
+// maxSegment bounds one compressed segment; segments are sized by the
+// writer's checkpoint cadence and stay far below this.
+const maxSegment = 1 << 30
+
+// Decode and Recover errors. Decode wraps them with the byte offset of
+// the damage.
+var (
+	ErrMagic     = errors.New("recio: not a recio file (bad magic)")
+	ErrVersion   = errors.New("recio: unsupported format version")
+	ErrCRC       = errors.New("recio: frame CRC-32C mismatch")
+	ErrTooLarge  = errors.New("recio: frame length exceeds MaxPayload")
+	ErrTruncated = errors.New("recio: truncated file")
+)
+
+// Header is the self-describing first frame of every recio file. The
+// identity fields (Experiment through MatrixDigest) pin the workload
+// the records were cut from — resume and merge refuse files whose
+// identity disagrees with the workload rebuilt from the current flags.
+// Tool, Seed and Workers are provenance only: informational, never
+// validated (a shard may legitimately be resumed with a different
+// worker count).
+type Header struct {
+	Format     int    `json:"format"`
+	Experiment string `json:"experiment"`
+	Cells      int    `json:"cells"`
+	Groups     int    `json:"groups"`
+	Shard      int    `json:"shard"`
+	Shards     int    `json:"shards"`
+	CellLo     int    `json:"cell_lo"`
+	CellHi     int    `json:"cell_hi"`
+	// MatrixDigest is the SHA-256 identity of the exact cell workload
+	// (see sweep.MatrixDigest): same world, seeds and defaults ⇒ same
+	// digest on every machine.
+	MatrixDigest string `json:"matrix_digest"`
+	Tool         string `json:"tool,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+}
+
+// SameWorkload reports whether two headers describe the same shard of
+// the same workload; provenance fields are ignored.
+func (h Header) SameWorkload(o Header) bool {
+	return h.Experiment == o.Experiment &&
+		h.Cells == o.Cells && h.Groups == o.Groups &&
+		h.Shard == o.Shard && h.Shards == o.Shards &&
+		h.CellLo == o.CellLo && h.CellHi == o.CellHi &&
+		h.MatrixDigest == o.MatrixDigest
+}
+
+// DescribeMismatch names the first identity field where h and o
+// disagree, for resume/merge diagnostics.
+func (h Header) DescribeMismatch(o Header) string {
+	switch {
+	case h.Experiment != o.Experiment:
+		return fmt.Sprintf("experiment %q != %q", h.Experiment, o.Experiment)
+	case h.Cells != o.Cells || h.Groups != o.Groups:
+		return fmt.Sprintf("matrix dimensions %d cells/%d groups != %d cells/%d groups",
+			h.Cells, h.Groups, o.Cells, o.Groups)
+	case h.Shard != o.Shard || h.Shards != o.Shards:
+		return fmt.Sprintf("shard selector %d/%d != %d/%d", h.Shard, h.Shards, o.Shard, o.Shards)
+	case h.CellLo != o.CellLo || h.CellHi != o.CellHi:
+		return fmt.Sprintf("cell range [%d,%d) != [%d,%d)", h.CellLo, h.CellHi, o.CellLo, o.CellHi)
+	case h.MatrixDigest != o.MatrixDigest:
+		return fmt.Sprintf("matrix digest %.12s… != %.12s… (different world/seed/defaults)",
+			h.MatrixDigest, o.MatrixDigest)
+	}
+	return "headers match"
+}

@@ -1,0 +1,278 @@
+package recio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		Experiment:   "fig2",
+		Cells:        1400,
+		Groups:       7,
+		Shard:        1,
+		Shards:       3,
+		CellLo:       466,
+		CellHi:       933,
+		MatrixDigest: "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+		Tool:         "recio_test",
+		Seed:         42,
+		Workers:      8,
+	}
+}
+
+// writeTestFile builds a stream of n records with a checkpoint every
+// `every` records and returns the encoded bytes plus the payloads.
+func writeTestFile(t *testing.T, n, every int) ([]byte, [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := fmt.Appendf(nil, `{"pollution":%d,"weight_frac":0.%06d}`, i*37%1000, i)
+		payloads = append(payloads, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%every == 0 {
+			if err := w.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), payloads
+}
+
+func samePayloads(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTrip: header and every record survive encode → strict
+// decode, across several checkpoint cadences (including none mid-run).
+func TestRoundTrip(t *testing.T) {
+	for _, every := range []int{1, 7, 100, 1 << 30} {
+		data, want := writeTestFile(t, 100, every)
+		hdr, got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("every=%d: %v", every, err)
+		}
+		if hdr.Format != formatVersion {
+			t.Errorf("every=%d: header format %d", every, hdr.Format)
+		}
+		wantHdr := testHeader()
+		wantHdr.Format = formatVersion
+		if hdr != wantHdr {
+			t.Errorf("every=%d: header %+v != %+v", every, hdr, wantHdr)
+		}
+		if !samePayloads(got, want) {
+			t.Errorf("every=%d: %d payloads decoded, want %d (or contents differ)", every, len(got), len(want))
+		}
+	}
+}
+
+// TestEmptyStream: a header-only file (zero records) round-trips.
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hdr, payloads, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 0 || hdr.Experiment != "fig2" {
+		t.Fatalf("got %d payloads, header %+v", len(payloads), hdr)
+	}
+}
+
+// TestRecoverEveryTruncation: for every possible truncation length the
+// recovered records must be a checkpoint-aligned prefix, the clean size
+// must never exceed the truncation, and re-recovering the clean prefix
+// must be a fixed point.
+func TestRecoverEveryTruncation(t *testing.T) {
+	const n, every = 60, 7
+	data, want := writeTestFile(t, n, every)
+	headerEnd := -1
+	for cut := 0; cut <= len(data); cut++ {
+		hdr, got, clean, err := RecoverFileBytes(t, data[:cut])
+		if err != nil {
+			// Unreadable magic/header: only legal before the header ends.
+			if headerEnd >= 0 && cut >= headerEnd {
+				t.Fatalf("cut=%d: unexpected recover error after header: %v", cut, err)
+			}
+			continue
+		}
+		if headerEnd < 0 {
+			headerEnd = cut
+		}
+		if hdr.Experiment != "fig2" {
+			t.Fatalf("cut=%d: header %+v", cut, hdr)
+		}
+		if clean > int64(cut) {
+			t.Fatalf("cut=%d: clean size %d beyond data", cut, clean)
+		}
+		if len(got)%every != 0 && len(got) != n {
+			t.Fatalf("cut=%d: %d records recovered, not checkpoint-aligned (every=%d)", cut, len(got), every)
+		}
+		if !samePayloads(got, want[:len(got)]) {
+			t.Fatalf("cut=%d: recovered records are not a prefix", cut)
+		}
+		// Idempotence: the clean prefix recovers to exactly itself.
+		_, again, clean2, err := RecoverFileBytes(t, data[:clean])
+		if err != nil || clean2 != clean || !samePayloads(again, got) {
+			t.Fatalf("cut=%d: clean prefix not a fixed point (err=%v clean=%d→%d records %d→%d)",
+				cut, err, clean, clean2, len(got), len(again))
+		}
+	}
+	if headerEnd < 0 {
+		t.Fatal("recover never succeeded")
+	}
+}
+
+// RecoverFileBytes adapts Recover for table-style tests.
+func RecoverFileBytes(t *testing.T, data []byte) (Header, [][]byte, int64, error) {
+	t.Helper()
+	return Recover(data)
+}
+
+// TestCorruption: flipping any single byte must never panic, and the
+// strict decoder must either error or (only for bytes inside ignored
+// gzip redundancy) still yield the exact records.
+func TestCorruption(t *testing.T) {
+	data, want := writeTestFile(t, 24, 8)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		hdr, got, err := Decode(mut)
+		if err != nil {
+			continue
+		}
+		if i >= len(magic) && hdr.Experiment != "fig2" {
+			t.Fatalf("byte %d: corrupt decode succeeded with header %+v", i, hdr)
+		}
+		if !samePayloads(got, want) {
+			t.Fatalf("byte %d: corrupt decode succeeded with wrong records", i)
+		}
+	}
+}
+
+// TestStrictDecodeRejectsTruncation: Decode (unlike Recover) must
+// refuse any file with a damaged tail.
+func TestStrictDecodeRejectsTruncation(t *testing.T) {
+	data, _ := writeTestFile(t, 20, 5)
+	if _, _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Fatal("strict decode accepted a truncated file")
+	}
+}
+
+// TestOversizedLength: a length prefix claiming more than MaxPayload
+// must error out (ErrTooLarge) without allocating the claimed size.
+func TestOversizedLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	// Header frame claiming 2^62 bytes.
+	buf.Write([]byte{0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f})
+	if _, _, err := Decode(buf.Bytes()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+// TestBadMagic: foreign files are rejected up front.
+func TestBadMagic(t *testing.T) {
+	if _, _, err := Decode([]byte(`{"experiment":"fig2"}`)); !errors.Is(err, ErrMagic) {
+		t.Fatalf("got %v, want ErrMagic", err)
+	}
+	bad := append([]byte{}, magic...)
+	bad[len(bad)-1] = 99
+	if _, _, err := Decode(append(bad, 0)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+// TestResumeWriter: recover a truncated file, truncate to the clean
+// size, append through ResumeWriter — the final file must decode to the
+// full record sequence.
+func TestResumeWriter(t *testing.T) {
+	const n, every = 40, 6
+	data, want := writeTestFile(t, n, every)
+
+	path := filepath.Join(t.TempDir(), "shard.rec")
+	cut := len(data) * 2 / 3
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, kept, clean, err := RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(clean); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(clean, 0); err != nil {
+		t.Fatal(err)
+	}
+	w := ResumeWriter(f)
+	for i := len(kept); i < n; i++ {
+		if err := w.Append(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := DecodeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Experiment != "fig2" || !samePayloads(got, want) {
+		t.Fatalf("resumed file decodes to %d records (want %d)", len(got), n)
+	}
+}
+
+// TestSameWorkload: identity fields gate resume/merge; provenance must
+// not.
+func TestSameWorkload(t *testing.T) {
+	a := testHeader()
+	b := a
+	b.Tool, b.Seed, b.Workers = "other", 7, 1
+	if !a.SameWorkload(b) {
+		t.Error("provenance fields must not affect workload identity")
+	}
+	b = a
+	b.MatrixDigest = "ffff"
+	if a.SameWorkload(b) {
+		t.Error("digest mismatch not detected")
+	}
+	if msg := a.DescribeMismatch(b); msg == "headers match" {
+		t.Error("DescribeMismatch found nothing")
+	}
+}

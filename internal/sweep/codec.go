@@ -1,0 +1,238 @@
+// Pluggable shard-file formats. A Codec turns one ShardFile into bytes
+// on disk and back; the CLI's -format flag selects one by name. Two
+// codecs exist: "json" (the original human-readable indented form) and
+// "recio" (the compressed binary record store, internal/recio). Both
+// round-trip records through encoding/json marshaling of T, so the
+// merged stream — and therefore every digest the tools print — is
+// bit-identical whichever format carried the shards.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/bgpsim/bgpsim/internal/recio"
+)
+
+// Shard format names accepted by CodecByName and the tools' -format
+// flag.
+const (
+	FormatJSON  = "json"
+	FormatRecio = "recio"
+)
+
+// wholeShardSegment is the records-per-segment cadence for complete
+// shard writes, where no checkpoint durability is at stake.
+const wholeShardSegment = 4096
+
+// Codec is one named on-disk shard-file format.
+type Codec[T any] interface {
+	// Name is the -format flag value selecting this codec.
+	Name() string
+	// Ext is the filename extension (without dot) the codec owns.
+	Ext() string
+	// WriteShard persists one complete shard file to path.
+	WriteShard(path string, f *ShardFile[T]) error
+	// ReadShard loads and validates one shard file from path.
+	ReadShard(path string) (*ShardFile[T], error)
+}
+
+// CodecByName resolves a -format flag value ("" means json).
+func CodecByName[T any](name string) (Codec[T], error) {
+	switch name {
+	case "", FormatJSON:
+		return JSONCodec[T]{}, nil
+	case FormatRecio:
+		return RecioCodec[T]{}, nil
+	}
+	return nil, fmt.Errorf("unknown shard format %q (want %q or %q)", name, FormatJSON, FormatRecio)
+}
+
+// ShardPath names shard files "<tag>.<i>of<n>.<ext>" inside dir — the
+// layout both ReadShardDir and the tools' -merge mode glob for.
+func ShardPath(dir, tag string, shard, shards int, ext string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%dof%d.%s", tag, shard, shards, ext))
+}
+
+// JSONCodec is the original indented-JSON shard format.
+type JSONCodec[T any] struct{}
+
+// Name implements Codec.
+func (JSONCodec[T]) Name() string { return FormatJSON }
+
+// Ext implements Codec.
+func (JSONCodec[T]) Ext() string { return "json" }
+
+// WriteShard implements Codec.
+func (JSONCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
+	return WriteShardFileTo(path, f)
+}
+
+// ReadShard implements Codec. Decode failures and digest mismatches are
+// reported with the file line they occur on.
+func (JSONCodec[T]) ReadShard(path string) (*ShardFile[T], error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ShardFile[T]
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("%s:%d: decode shard file: %w", path, lineAt(data, dec.InputOffset()), err)
+	}
+	f.Path = path
+	f.Line = digestLine(data)
+	if err := f.validate(); err != nil {
+		return nil, fmt.Errorf("%s:1: %w", path, err)
+	}
+	return &f, nil
+}
+
+// lineAt converts a byte offset into a 1-based line number.
+func lineAt(data []byte, off int64) int {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:off], []byte("\n"))
+}
+
+// digestLine locates the matrix_digest field so mismatch diagnostics
+// can point at the exact line; files predating digests report line 1.
+func digestLine(data []byte) int {
+	idx := bytes.Index(data, []byte(`"matrix_digest"`))
+	if idx < 0 {
+		return 1
+	}
+	return lineAt(data, int64(idx))
+}
+
+// RecioCodec stores shards in the compressed binary record format of
+// internal/recio: one header frame carrying the ShardFile metadata,
+// then every record as a compact-JSON payload inside checksummed,
+// gzip-compressed frames.
+type RecioCodec[T any] struct{}
+
+// Name implements Codec.
+func (RecioCodec[T]) Name() string { return FormatRecio }
+
+// Ext implements Codec.
+func (RecioCodec[T]) Ext() string { return "rec" }
+
+// WriteShard implements Codec.
+func (RecioCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
+	if len(f.Records) != f.CellHi-f.CellLo {
+		return fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
+			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
+	}
+	w, fh, err := recio.Create(path, recioHeader(f))
+	if err != nil {
+		return err
+	}
+	for i := range f.Records {
+		p, err := json.Marshal(f.Records[i])
+		if err != nil {
+			fh.Close()
+			return fmt.Errorf("%s: encode record %d: %w", path, i, err)
+		}
+		if err := w.Append(p); err != nil {
+			fh.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		// Segment whole-shard writes too, so writer memory stays bounded
+		// and a truncated file still recovers a prefix — but at a coarser
+		// cadence than streaming runs: there is no crash to survive here,
+		// and longer gzip members compress better.
+		if w.Pending() >= wholeShardSegment {
+			if err := w.Checkpoint(); err != nil {
+				fh.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		fh.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return fh.Close()
+}
+
+// ReadShard implements Codec, via the strict decoder: a recio shard
+// with any damaged byte is an error, never a silently shorter stream.
+func (RecioCodec[T]) ReadShard(path string) (*ShardFile[T], error) {
+	hdr, payloads, err := recio.DecodeFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &ShardFile[T]{
+		Experiment:   hdr.Experiment,
+		Cells:        hdr.Cells,
+		Groups:       hdr.Groups,
+		Shard:        hdr.Shard,
+		Shards:       hdr.Shards,
+		CellLo:       hdr.CellLo,
+		CellHi:       hdr.CellHi,
+		MatrixDigest: hdr.MatrixDigest,
+		Path:         path,
+		Line:         1, // the header frame opens the file
+		Records:      make([]T, 0, len(payloads)),
+	}
+	for i, p := range payloads {
+		var v T
+		if err := json.Unmarshal(p, &v); err != nil {
+			return nil, fmt.Errorf("%s:1: decode record %d: %w", path, i, err)
+		}
+		f.Records = append(f.Records, v)
+	}
+	if err := f.validate(); err != nil {
+		return nil, fmt.Errorf("%s:1: %w", path, err)
+	}
+	return f, nil
+}
+
+// recioHeader maps ShardFile metadata onto the recio file header.
+func recioHeader[T any](f *ShardFile[T]) recio.Header {
+	return recio.Header{
+		Experiment:   f.Experiment,
+		Cells:        f.Cells,
+		Groups:       f.Groups,
+		Shard:        f.Shard,
+		Shards:       f.Shards,
+		CellLo:       f.CellLo,
+		CellHi:       f.CellHi,
+		MatrixDigest: f.MatrixDigest,
+	}
+}
+
+// ReadShardAuto loads one shard file, dispatching on its extension:
+// ".rec" is recio, everything else the JSON codec.
+func ReadShardAuto[T any](path string) (*ShardFile[T], error) {
+	if filepath.Ext(path) == ".rec" {
+		return RecioCodec[T]{}.ReadShard(path)
+	}
+	return JSONCodec[T]{}.ReadShard(path)
+}
+
+// ReadShardDir loads every shard file of one experiment tag from dir,
+// whichever formats they were written in. Formats may be mixed across
+// shards — both decode to the same record stream — and MergeShards
+// still validates the set tiles the cell space and shares one matrix
+// digest.
+func ReadShardDir[T any](dir, tag string) ([]*ShardFile[T], error) {
+	var paths []string
+	for _, ext := range []string{"json", "rec"} {
+		got, err := filepath.Glob(filepath.Join(dir, tag+".*of*."+ext))
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, got...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("merge %s: no %s.*of*.{json,rec} shard files in %s", tag, tag, dir)
+	}
+	sort.Strings(paths)
+	return ReadShardFiles[T](paths)
+}

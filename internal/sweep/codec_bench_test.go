@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/recio"
+)
+
+// benchRecord mirrors the shape of the scan tools' records (see
+// hijack.Record): one small int plus one float64 whose JSON text
+// repeats field names every record — the redundancy recio's gzip body
+// exists to remove.
+type benchRecord struct {
+	Pollution  int     `json:"pollution"`
+	WeightFrac float64 `json:"weight_frac"`
+}
+
+const benchRecords = 20000
+
+func benchShard() *ShardFile[benchRecord] {
+	recs := make([]benchRecord, benchRecords)
+	for i := range recs {
+		recs[i] = benchRecord{
+			Pollution:  i * 37 % 1200,
+			WeightFrac: float64(i%997) / 997,
+		}
+	}
+	return &ShardFile[benchRecord]{
+		Experiment:   "bench",
+		Cells:        benchRecords,
+		Groups:       4,
+		Shards:       1,
+		CellHi:       benchRecords,
+		MatrixDigest: "57a7ab1e0000000000000000000000000000000000000000000000000000beef",
+		Records:      recs,
+	}
+}
+
+// BenchmarkShardEncode measures each codec writing one 20k-record
+// shard. bytes/op counts the records' logical size; disk-B reports the
+// bytes that actually landed on disk, so the recio/json ratio can be
+// read straight off the two sub-benchmarks.
+func BenchmarkShardEncode(b *testing.B) {
+	sf := benchShard()
+	for _, name := range []string{FormatJSON, FormatRecio} {
+		b.Run(name, func(b *testing.B) {
+			codec, err := CodecByName[benchRecord](name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(b.TempDir(), "shard."+codec.Ext())
+			var size int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := codec.WriteShard(path, sf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st, err := os.Stat(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = st.Size()
+			b.SetBytes(size)
+			b.ReportMetric(float64(size), "disk-B")
+		})
+	}
+}
+
+// BenchmarkShardDecode measures each codec reading the same shard back.
+func BenchmarkShardDecode(b *testing.B) {
+	sf := benchShard()
+	for _, name := range []string{FormatJSON, FormatRecio} {
+		b.Run(name, func(b *testing.B) {
+			codec, err := CodecByName[benchRecord](name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(b.TempDir(), "shard."+codec.Ext())
+			if err := codec.WriteShard(path, sf); err != nil {
+				b.Fatal(err)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(st.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := codec.ReadShard(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got.Records) != benchRecords {
+					b.Fatalf("%d records", len(got.Records))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardResumeReplay measures the resume path's fixed cost:
+// recovering a truncated recio shard's clean prefix (decompress +
+// re-frame every checkpointed record) before any solving starts.
+func BenchmarkShardResumeReplay(b *testing.B) {
+	sf := benchShard()
+	codec := RecioCodec[benchRecord]{}
+	path := filepath.Join(b.TempDir(), "shard."+codec.Ext())
+	if err := codec.WriteShard(path, sf); err != nil {
+		b.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Slice mid-file so Recover walks a damaged tail like a real crash.
+	cut := path + ".cut"
+	if err := os.WriteFile(cut, data[:len(data)*9/10], 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 9 / 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, payloads, _, err := recio.RecoverFile(cut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(payloads) == 0 || len(payloads) >= benchRecords {
+			b.Fatalf("recovered %d records from a truncated file", len(payloads))
+		}
+	}
+}

@@ -126,7 +126,7 @@ func TestMatrixShardMergeShuffled(t *testing.T) {
 	}
 
 	got := make([]int, 0, cells)
-	if err := MergeShards(files, "matrix-test", ReduceFunc[int]{
+	if err := MergeShards(files, "matrix-test", MatrixDigest(m), ReduceFunc[int]{
 		EmitFn: func(_ int, v int) { got = append(got, v) },
 	}); err != nil {
 		t.Fatal(err)
@@ -158,14 +158,14 @@ func TestMergeShardsValidation(t *testing.T) {
 		{"none", nil, "e", "no shard files"},
 	}
 	for _, tc := range cases {
-		err := MergeShards(tc.files, tc.exp, sink)
+		err := MergeShards(tc.files, tc.exp, "", sink)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
 		}
 	}
 
 	ok := []*ShardFile[int]{mk(5, 10), mk(0, 5)} // shuffled but valid
-	if err := MergeShards(ok, "e", sink); err != nil {
+	if err := MergeShards(ok, "e", "", sink); err != nil {
 		t.Errorf("shuffled valid tiling rejected: %v", err)
 	}
 }

@@ -1,0 +1,243 @@
+// Checkpointed shard persistence: PersistShard is the write side of a
+// multi-process matrix run. In the json format it solves the shard in
+// memory and writes one indented file at the end (the historical
+// behaviour). In the recio format it streams records into the shard
+// file as cells complete, checkpointing every CheckpointEvery records —
+// and with Resume set it recovers the clean prefix of a crashed run,
+// validates the file's header against the freshly rebuilt workload, and
+// continues solving from the first missing cell instead of from zero.
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"runtime"
+	"sync"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/recio"
+)
+
+// defaultCheckpointEvery is the records-per-fsync cadence when the
+// store does not set one: frequent enough that a kill loses seconds of
+// solving, rare enough that sync cost stays invisible next to BFS time.
+const defaultCheckpointEvery = 256
+
+// ShardStore says where and how PersistShard writes its shard file.
+type ShardStore struct {
+	// Dir is the shard directory (created if missing).
+	Dir string
+	// Format is a codec name (FormatJSON, FormatRecio); "" means json.
+	Format string
+	// Resume continues a previously interrupted recio run in place of
+	// starting over. Invalid with the json format — json shards are
+	// written whole at the end and leave nothing to resume.
+	Resume bool
+	// CheckpointEvery is the recio checkpoint cadence in records;
+	// 0 means defaultCheckpointEvery.
+	CheckpointEvery int
+	// Tool, Seed and Workers are provenance recorded in the recio
+	// header — informational only, never validated on resume.
+	Tool    string
+	Seed    int64
+	Workers int
+}
+
+// ShardReport summarizes one PersistShard call for the caller's logs.
+type ShardReport struct {
+	Path           string
+	Format         string
+	CellLo, CellHi int
+	// Resumed counts records recovered from a previous run's clean
+	// prefix; Solved counts cells computed (and persisted) this run.
+	Resumed int
+	Solved  int
+}
+
+// PersistShard solves one shard of the matrix and persists it to the
+// store, returning where the file went and how much of it was recovered
+// versus solved. opts.Sel must select a single shard (or be zero for an
+// unsharded 0-of-1 run), exactly as RunShard requires.
+func PersistShard[T any](m Matrix, opts MatrixOptions, experiment string, extract func(g, k int, o *core.Outcome) T, store ShardStore) (ShardReport, error) {
+	var rep ShardReport
+	codec, err := CodecByName[T](store.Format)
+	if err != nil {
+		return rep, err
+	}
+	if opts.Sel.Shards > 1 && opts.Sel.Shard < 0 {
+		return rep, fmt.Errorf("sweep: PersistShard needs a single shard selection, got %q", opts.Sel)
+	}
+	if store.Resume && codec.Name() != FormatRecio {
+		return rep, fmt.Errorf("sweep: -resume needs the recio format: %s shards are written whole at the end and leave nothing to resume", codec.Name())
+	}
+	if err := os.MkdirAll(store.Dir, 0o755); err != nil {
+		return rep, err
+	}
+	shard, shards := opts.Sel.Shard, opts.Sel.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shard < 0 {
+		shard = 0
+	}
+	lo, hi := ShardRange(m.Cells(), shard, shards)
+	rep = ShardReport{
+		Path:   ShardPath(store.Dir, experiment, shard, shards, codec.Ext()),
+		Format: codec.Name(),
+		CellLo: lo,
+		CellHi: hi,
+	}
+
+	if codec.Name() == FormatRecio {
+		return persistRecio(m, opts, experiment, extract, store, rep, shard, shards)
+	}
+	sf, err := RunShard(m, opts, experiment, extract)
+	if err != nil {
+		return rep, err
+	}
+	if err := codec.WriteShard(rep.Path, sf); err != nil {
+		return rep, err
+	}
+	rep.Solved = hi - lo
+	return rep, nil
+}
+
+// persistRecio streams the shard's records into a checkpointed recio
+// file, optionally resuming a crashed run's clean prefix.
+func persistRecio[T any](m Matrix, opts MatrixOptions, experiment string, extract func(g, k int, o *core.Outcome) T, store ShardStore, rep ShardReport, shard, shards int) (ShardReport, error) {
+	lo, hi := rep.CellLo, rep.CellHi
+	hdr := recio.Header{
+		Experiment:   experiment,
+		Cells:        m.Cells(),
+		Groups:       m.Groups,
+		Shard:        shard,
+		Shards:       shards,
+		CellLo:       lo,
+		CellHi:       hi,
+		MatrixDigest: MatrixDigest(m),
+		Tool:         store.Tool,
+		Seed:         store.Seed,
+		Workers:      store.Workers,
+	}
+
+	var (
+		w    *recio.Writer
+		fh   *os.File
+		done int
+	)
+	if store.Resume {
+		got, payloads, clean, err := recio.RecoverFile(rep.Path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume: first run of this shard.
+		case err != nil:
+			// Unreadable magic or header: the previous run died before
+			// its first sync, so there is provably nothing to keep.
+			// Starting fresh is exactly what the crashed run would redo.
+		case !got.SameWorkload(hdr):
+			return rep, fmt.Errorf("%s:1: cannot resume: %s", rep.Path, got.DescribeMismatch(hdr))
+		case len(payloads) > hi-lo:
+			return rep, fmt.Errorf("%s:1: cannot resume: %d recovered records exceed the %d-cell range [%d,%d)",
+				rep.Path, len(payloads), hi-lo, lo, hi)
+		default:
+			done = len(payloads)
+			fh, err = os.OpenFile(rep.Path, os.O_RDWR, 0)
+			if err != nil {
+				return rep, err
+			}
+			if err := fh.Truncate(clean); err != nil {
+				fh.Close()
+				return rep, fmt.Errorf("%s: truncate to clean prefix: %w", rep.Path, err)
+			}
+			if _, err := fh.Seek(clean, io.SeekStart); err != nil {
+				fh.Close()
+				return rep, fmt.Errorf("%s: %w", rep.Path, err)
+			}
+			w = recio.ResumeWriter(fh)
+		}
+	}
+	if w == nil {
+		var err error
+		w, fh, err = recio.Create(rep.Path, hdr)
+		if err != nil {
+			return rep, err
+		}
+	}
+	rep.Resumed = done
+	if done == hi-lo {
+		// The crashed run had already checkpointed every cell.
+		return rep, fh.Close()
+	}
+
+	every := store.CheckpointEvery
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var prog func(int, int)
+	if user := opts.Progress; user != nil {
+		// Completed-cell counter over the whole shard: resumed records
+		// count as already done.
+		var mu sync.Mutex
+		count := done
+		prog = func(_, _ int) {
+			mu.Lock()
+			count++
+			user(count, hi-lo)
+			mu.Unlock()
+		}
+	}
+
+	// The reducer is the file: records arrive in cell order from the
+	// reorder window and append straight into the open segment, which is
+	// checkpointed (written + fsynced) every `every` records.
+	var ioErr error
+	red := ReduceFunc[T]{EmitFn: func(_ int, v T) {
+		if ioErr != nil {
+			return
+		}
+		p, err := json.Marshal(v)
+		if err != nil {
+			ioErr = fmt.Errorf("%s: encode record: %w", rep.Path, err)
+			return
+		}
+		if err := w.Append(p); err != nil {
+			ioErr = fmt.Errorf("%s: %w", rep.Path, err)
+			return
+		}
+		if w.Pending() >= every {
+			if err := w.Checkpoint(); err != nil {
+				ioErr = fmt.Errorf("%s: %w", rep.Path, err)
+			}
+		}
+	}}
+	err := unwrapShardErr(runShard(m, m.offsets(), lo+done, hi, workers, opts.Window, prog, red, extract))
+	if err == nil {
+		err = ioErr
+	}
+	if err != nil {
+		// Best effort: the records already emitted are an in-order
+		// prefix, so checkpointing them preserves the work for -resume.
+		if ioErr == nil {
+			_ = w.Checkpoint()
+		}
+		fh.Close()
+		return rep, err
+	}
+	if err := w.Close(); err != nil {
+		fh.Close()
+		return rep, fmt.Errorf("%s: %w", rep.Path, err)
+	}
+	if err := fh.Close(); err != nil {
+		return rep, err
+	}
+	rep.Solved = hi - lo - done
+	return rep, nil
+}

@@ -28,11 +28,49 @@ type ShardFile[T any] struct {
 	Groups int `json:"groups"`
 	// Shard/Shards echo the -shard i/n selection; CellLo/CellHi is the
 	// half-open cell range the records cover, in cell order.
-	Shard   int `json:"shard"`
-	Shards  int `json:"shards"`
-	CellLo  int `json:"cell_lo"`
-	CellHi  int `json:"cell_hi"`
-	Records []T `json:"records"`
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	CellLo int `json:"cell_lo"`
+	CellHi int `json:"cell_hi"`
+	// MatrixDigest is the SHA-256 workload identity (MatrixDigest(m)) of
+	// the matrix the shard was solved from; merge refuses shards whose
+	// digest disagrees with the workload rebuilt from the current flags.
+	// Empty in files written before digests existed (checked leniently).
+	MatrixDigest string `json:"matrix_digest,omitempty"`
+	Records      []T    `json:"records"`
+
+	// Path/Line locate the file the shard was loaded from (Line points
+	// at the matrix_digest field for JSON shards, 1 for recio headers);
+	// set by readers, never serialized, used for merge diagnostics.
+	Path string `json:"-"`
+	Line int    `json:"-"`
+}
+
+// validate checks a decoded shard file's internal consistency.
+func (f *ShardFile[T]) validate() error {
+	if f.CellLo < 0 || f.CellHi > f.Cells || f.CellLo > f.CellHi {
+		return fmt.Errorf("shard %d/%d: cell range [%d,%d) outside [0,%d)",
+			f.Shard, f.Shards, f.CellLo, f.CellHi, f.Cells)
+	}
+	if len(f.Records) != f.CellHi-f.CellLo {
+		return fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
+			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
+	}
+	return nil
+}
+
+// loc renders the shard's source location for diagnostics: "path:line"
+// when the shard came from a file, a shard-selector description when it
+// was built in memory.
+func (f *ShardFile[T]) loc() string {
+	if f.Path != "" {
+		line := f.Line
+		if line < 1 {
+			line = 1
+		}
+		return fmt.Sprintf("%s:%d", f.Path, line)
+	}
+	return fmt.Sprintf("shard %d/%d", f.Shard, f.Shards)
 }
 
 // WriteShardFile encodes one shard file as indented JSON.
@@ -54,13 +92,8 @@ func ReadShardFile[T any](r io.Reader) (*ShardFile[T], error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("decode shard file: %w", err)
 	}
-	if f.CellLo < 0 || f.CellHi > f.Cells || f.CellLo > f.CellHi {
-		return nil, fmt.Errorf("shard %d/%d: cell range [%d,%d) outside [0,%d)",
-			f.Shard, f.Shards, f.CellLo, f.CellHi, f.Cells)
-	}
-	if len(f.Records) != f.CellHi-f.CellLo {
-		return nil, fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
-			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
+	if err := f.validate(); err != nil {
+		return nil, err
 	}
 	return &f, nil
 }
@@ -71,16 +104,18 @@ func RunShard[T any](m Matrix, opts MatrixOptions, experiment string, extract fu
 	if opts.Sel.Shards > 1 && opts.Sel.Shard < 0 {
 		return nil, fmt.Errorf("sweep: RunShard needs a single shard selection, got %q", opts.Sel)
 	}
+	digest := MatrixDigest(m)
 	var out *ShardFile[T]
 	err := RunMatrix(m, opts, extract, func(s, lo, hi int) Reducer[T] {
 		out = &ShardFile[T]{
-			Experiment: experiment,
-			Cells:      m.Cells(),
-			Groups:     m.Groups,
-			Shard:      s,
-			Shards:     max(1, opts.Sel.Shards),
-			CellLo:     lo,
-			CellHi:     hi,
+			Experiment:   experiment,
+			Cells:        m.Cells(),
+			Groups:       m.Groups,
+			Shard:        s,
+			Shards:       max(1, opts.Sel.Shards),
+			CellLo:       lo,
+			CellHi:       hi,
+			MatrixDigest: digest,
 		}
 		return ReduceFunc[T]{EmitFn: func(_ int, v T) { out.Records = append(out.Records, v) }}
 	})
@@ -95,7 +130,14 @@ func RunShard[T any](m Matrix, opts MatrixOptions, experiment string, extract fu
 // the set must belong to one experiment and tile [0, Cells) exactly:
 // no gap, no overlap, no missing shard. The replayed stream is
 // indistinguishable from an unsharded run's.
-func MergeShards[T any](files []*ShardFile[T], experiment string, reds ...Reducer[T]) error {
+//
+// wantDigest is the MatrixDigest of the workload the merging process
+// rebuilt from its own flags; any shard carrying a different digest was
+// produced from a different world/seed/defaults and aborts the merge
+// with a file:line diagnostic. Shards must also agree with each other.
+// Empty digests (pre-digest shard files, or wantDigest == "") are
+// exempt from the comparison they would anchor.
+func MergeShards[T any](files []*ShardFile[T], experiment, wantDigest string, reds ...Reducer[T]) error {
 	if len(files) == 0 {
 		return fmt.Errorf("merge %s: no shard files", experiment)
 	}
@@ -103,10 +145,23 @@ func MergeShards[T any](files []*ShardFile[T], experiment string, reds ...Reduce
 	copy(sorted, files)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CellLo < sorted[j].CellLo })
 	ref := sorted[0]
+	var digestRef *ShardFile[T]
 	want := 0
 	for _, f := range sorted {
 		if f.Experiment != experiment {
 			return fmt.Errorf("merge %s: shard %d/%d is from experiment %q", experiment, f.Shard, f.Shards, f.Experiment)
+		}
+		if f.MatrixDigest != "" {
+			if wantDigest != "" && f.MatrixDigest != wantDigest {
+				return fmt.Errorf("%s: merge %s: shard %d/%d matrix digest %.12s… does not match the workload rebuilt from the current flags (%.12s…): different world, seed or defaults",
+					f.loc(), experiment, f.Shard, f.Shards, f.MatrixDigest, wantDigest)
+			}
+			if digestRef == nil {
+				digestRef = f
+			} else if f.MatrixDigest != digestRef.MatrixDigest {
+				return fmt.Errorf("%s: merge %s: shard %d/%d matrix digest %.12s… disagrees with %s (%.12s…): shards were produced from different worlds",
+					f.loc(), experiment, f.Shard, f.Shards, f.MatrixDigest, digestRef.loc(), digestRef.MatrixDigest)
+			}
 		}
 		if f.Cells != ref.Cells || f.Groups != ref.Groups || f.Shards != ref.Shards {
 			return fmt.Errorf("merge %s: shard %d/%d dimensions (%d cells, %d groups, %d shards) disagree with shard %d/%d (%d cells, %d groups, %d shards)",
@@ -135,21 +190,14 @@ func MergeShards[T any](files []*ShardFile[T], experiment string, reds ...Reduce
 	return nil
 }
 
-// ReadShardFiles loads a list of shard file paths for MergeShards.
+// ReadShardFiles loads a list of shard file paths for MergeShards,
+// dispatching each to its format's codec by extension.
 func ReadShardFiles[T any](paths []string) ([]*ShardFile[T], error) {
 	files := make([]*ShardFile[T], 0, len(paths))
 	for _, p := range paths {
-		r, err := os.Open(p)
+		f, err := ReadShardAuto[T](p)
 		if err != nil {
 			return nil, err
-		}
-		f, err := ReadShardFile[T](r)
-		cerr := r.Close()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p, err)
-		}
-		if cerr != nil {
-			return nil, fmt.Errorf("%s: %w", p, cerr)
 		}
 		files = append(files, f)
 	}

@@ -1,15 +1,20 @@
 #!/bin/sh
 # Run the sweep-backed reproduction benchmarks (Figures 2, 5, 7, the
 # kernel scaling micro-benchmarks, and the buffered-vs-streaming
-# reduction comparison) and write the measurements as JSON.
-# Usage: scripts/bench_json.sh [outfile]
-# Output: one JSON array; each element carries the benchmark name, the
-# worker count (0 when the benchmark does not parameterize workers),
-# the shard count (0 likewise), ns/op, B/op, allocs/op, and the peak
-# RSS in KB (0 when the benchmark does not sample it).
+# reduction comparison) and write the measurements as JSON, then run
+# the shard-codec benchmarks (json vs recio encode/decode throughput,
+# bytes on disk, and resume-replay cost) into a second JSON file.
+# Usage: scripts/bench_json.sh [outfile] [recio-outfile]
+# Output: outfile is one JSON array; each element carries the benchmark
+# name, the worker count (0 when the benchmark does not parameterize
+# workers), the shard count (0 likewise), ns/op, B/op, allocs/op, and
+# the peak RSS in KB (0 when the benchmark does not sample it).
+# recio-outfile is one JSON object: per-codec encode/decode MB/s and
+# bytes-on-disk, the json:recio size ratio, and resume-replay ns.
 set -eu
 
 OUT="${1:-BENCH_sweep.json}"
+RECOUT="${2:-BENCH_recio.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -49,3 +54,46 @@ END { print "\n]" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Shard-codec section: the same 20k-record shard through both codecs.
+# With SetBytes (disk size) the harness prints MB/s directly; disk-B is
+# the codec's own bytes-on-disk metric.
+go test -run '^$' \
+  -bench 'BenchmarkShardEncode|BenchmarkShardDecode|BenchmarkShardResumeReplay' \
+  -benchtime 10x ./internal/sweep | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkShardEncode/json-8   10  1234 ns/op  125.50 MB/s  1547082 disk-B
+#   BenchmarkShardResumeReplay-8  10  5678 ns/op  40.20 MB/s
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; mbs = "0"; disk = "0"
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "MB/s") mbs = $i
+        if ($(i + 1) == "disk-B") disk = $i
+    }
+    if ($NF == "disk-B") disk = $(NF - 1)
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"disk_bytes\": %s}", \
+        name, ns, mbs, disk
+    if (name ~ /^BenchmarkShardEncode\/json/)  json_disk = disk
+    if (name ~ /^BenchmarkShardEncode\/recio/) recio_disk = disk
+    if (name ~ /^BenchmarkShardResumeReplay/)  replay_ns = ns
+}
+END {
+    print "\n  ],"
+    ratio = (recio_disk + 0 > 0) ? (json_disk + 0) / (recio_disk + 0) : 0
+    printf "  \"disk_bytes_json\": %s,\n", (json_disk == "" ? "0" : json_disk)
+    printf "  \"disk_bytes_recio\": %s,\n", (recio_disk == "" ? "0" : recio_disk)
+    printf "  \"compression_ratio\": %.2f,\n", ratio
+    printf "  \"resume_replay_ns\": %s\n", (replay_ns == "" ? "0" : replay_ns)
+    print "}"
+}
+' "$RAW" > "$RECOUT"
+
+echo "wrote $RECOUT"
