@@ -14,9 +14,17 @@ test: lint
 	$(GO) test ./...
 
 # bgplint: the repository's own go/analysis suite (internal/lint) enforcing
-# the determinism invariants — sorted map walks in deterministic packages,
-# no global math/rand, typed ASN conversions, no dropped module errors.
+# the determinism and concurrency invariants — sorted map walks and no wall
+# clock in the determinism closure, no global math/rand, typed ASN
+# conversions, no dropped module errors, no blocking ops under a mutex, no
+# unjoined goroutines, no per-iteration allocation in //bgplint:hotpath
+# loops. The first two runs emit the machine-readable reports (JSON for
+# tooling, SARIF for GitHub code scanning) regardless of findings — CI
+# uploads bgplint.sarif even on a red run — and the final plain-text run
+# is the gate that fails the build.
 lint:
+	-@$(GO) run ./cmd/bgplint -sarif ./... > bgplint.sarif 2>/dev/null
+	-@$(GO) run ./cmd/bgplint -json ./... > bgplint.json 2>/dev/null
 	$(GO) run ./cmd/bgplint ./...
 
 # Full test suite under the race detector (the feed collector and hijack
@@ -69,4 +77,4 @@ reproduce-paper-scale:
 	scripts/reproduce.sh 42697 reproduction-full
 
 clean:
-	rm -rf reproduction reproduction-full polar-frames view.mrt
+	rm -rf reproduction reproduction-full polar-frames view.mrt bgplint.json bgplint.sarif

@@ -1,51 +1,84 @@
 // Command bgplint runs the repository's custom static-analysis suite
-// (maporder, globalrand, asnconv, errdrop, obsappend) over the module's library
-// code and exits non-zero on any finding.
+// (maporder, globalrand, asnconv, errdrop, obsappend, walltime, lockheld,
+// goroleak, hotalloc) over the module's library code and exits non-zero
+// on any finding.
 //
 // Usage:
 //
-//	bgplint [-C dir] [-only analyzer,...] [packages]
+//	bgplint [-C dir] [-only analyzer,...] [-json | -sarif] [packages]
 //
 // The package arguments are accepted for familiarity ("./...") but the
 // driver always checks the whole module rooted at -C (default: the
 // current directory's module). Test files are not checked.
+//
+// Before running analyzers the driver computes the determinism closure
+// (lint.DeterministicClosure over the module-internal import graph) and
+// hands each package its fact via pass.Facts.Deterministic; afterwards
+// it applies //bgplint:ignore suppressions centrally, so malformed
+// directives (missing reason, unknown analyzer) surface as findings of
+// the pseudo-analyzer "directive" even in otherwise clean packages.
+//
+// Output is plain text by default; -json emits {"findings": [...]} and
+// -sarif emits a SARIF 2.1.0 log for GitHub code scanning. All formats
+// use repository-relative paths and report findings sorted by position.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"github.com/bgpsim/bgpsim/internal/lint"
 	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+	"github.com/bgpsim/bgpsim/internal/lint/directive"
 	"github.com/bgpsim/bgpsim/internal/lint/loader"
+	"github.com/bgpsim/bgpsim/internal/lint/report"
 )
 
 func main() {
 	dir := flag.String("C", ".", "module root (directory containing go.mod)")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bgplint [-C dir] [-only analyzer,...] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: bgplint [-C dir] [-only analyzer,...] [-json | -sarif] [packages]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "bgplint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgplint:", err)
 		os.Exit(2)
 	}
-	count, err := runAll(*dir, analyzers, os.Stdout)
+	findings, err := runAll(*dir, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgplint:", err)
 		os.Exit(2)
 	}
-	if count > 0 {
-		fmt.Fprintf(os.Stderr, "bgplint: %d finding(s)\n", count)
+	switch {
+	case *jsonOut:
+		err = report.JSON(os.Stdout, findings)
+	case *sarifOut:
+		err = report.SARIF(os.Stdout, rules(), findings)
+	default:
+		err = report.Text(os.Stdout, findings)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgplint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bgplint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -70,19 +103,44 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-// runAll loads every module package and applies the analyzers, printing
-// findings sorted by position. It returns the finding count.
-func runAll(root string, analyzers []*analysis.Analyzer, out *os.File) (int, error) {
+// rules builds the SARIF rule table: every analyzer plus the directive
+// pseudo-analyzer that reports malformed //bgplint comments.
+func rules() []report.Rule {
+	var out []report.Rule
+	for _, a := range lint.Analyzers() {
+		out = append(out, report.Rule{ID: a.Name, Doc: a.Doc})
+	}
+	out = append(out, report.Rule{
+		ID:  directive.Name,
+		Doc: "malformed //bgplint directive (unknown keyword or analyzer, or ignore without a reason)",
+	})
+	return out
+}
+
+// runAll loads every module package, computes the determinism closure,
+// applies the analyzers and the //bgplint:ignore suppressions, and
+// returns the surviving findings sorted by position.
+func runAll(root string, analyzers []*analysis.Analyzer) ([]report.Finding, error) {
 	l, err := loader.New(root)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	imports, err := lint.ScanModuleImports(l.Root, l.ModPath)
+	if err != nil {
+		return nil, err
+	}
+	closure := lint.DeterministicClosure(imports)
 	pkgs, err := l.LoadAll()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	var diags []analysis.Diagnostic
+	// Suppressions may name any analyzer in the suite, including ones
+	// deselected by -only: a partial run must not reject a directive the
+	// full run accepts.
+	known := lint.Names()
+	var findings []report.Finding
 	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -91,26 +149,41 @@ func runAll(root string, analyzers []*analysis.Analyzer, out *os.File) (int, err
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				PkgPath:   pkg.Path,
+				Facts:     analysis.Facts{Deterministic: closure[pkg.Path]},
 				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 			}
 			if _, err := a.Run(pass); err != nil {
-				return 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		diags = directive.Filter(l.Fset, pkg.Files, diags, known)
+		for _, d := range diags {
+			pos := l.Fset.Position(d.Pos)
+			rel, err := filepath.Rel(l.Root, pos.Filename)
+			if err != nil {
+				rel = pos.Filename
+			}
+			findings = append(findings, report.Finding{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(rel),
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Message:  d.Message,
+			})
+		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := l.Fset.Position(diags[i].Pos), l.Fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
 	})
-	for _, d := range diags {
-		pos := l.Fset.Position(d.Pos)
-		fmt.Fprintf(out, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
-	}
-	return len(diags), nil
+	return findings, nil
 }

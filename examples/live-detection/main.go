@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -56,7 +57,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	go func() { _ = collector.Serve(l) }() // returns when the listener closes
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- collector.Serve(l) }() // returns when the listener closes
 	fmt.Printf("collector listening on %s (AS%d)\n", l.Addr(), collector.LocalAS)
 
 	// Simulate a hijack and reconstruct what each probe would see. Not
@@ -141,6 +143,11 @@ found:
 	defer cancel()
 	if err := collector.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("collector shutdown: %w", err)
+	}
+	// Serve returned once the listener closed; collect its verdict so the
+	// accept-loop goroutine is fully joined before we read the alerts.
+	if err := <-serveErr; err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("collector serve: %w", err)
 	}
 
 	select {

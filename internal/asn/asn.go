@@ -70,7 +70,7 @@ func (s Set) Contains(a ASN) bool {
 // Sorted returns the members in ascending order.
 func (s Set) Sorted() []ASN {
 	out := make([]ASN, 0, len(s))
-	for a := range s {
+	for a := range s { //bgplint:ignore maporder members are sorted immediately below
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

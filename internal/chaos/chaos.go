@@ -102,10 +102,7 @@ type Conn struct {
 // each direction's fault schedule is a pure function of (seed, op
 // index).
 func Wrap(inner io.ReadWriteCloser, seed int64, cfg Config) *Conn {
-	clock := cfg.Clock
-	if clock == nil {
-		clock = tick.Real()
-	}
+	clock := tick.Or(cfg.Clock)
 	return &Conn{
 		inner: inner,
 		cfg:   cfg,

@@ -44,7 +44,15 @@ type Solver struct {
 	nextQ    []int32
 	candList []int32
 	buckets  [][]int32
+	tier1Buf []t1sel // stagePeer's SPF worklist, reused across Solve calls
 	maxDist  int
+}
+
+// t1sel is one tier-1 node with its customer-route distance, the sort key
+// of stagePeer's shortest-path-first pass.
+type t1sel struct {
+	node int32
+	d    int16
 }
 
 // NewSolver returns a Solver over the policy.
@@ -268,6 +276,8 @@ func (s *Solver) propose(i int32, d int16, nh int32, org int8) {
 // stageCustomer floods customer-learned routes up provider links,
 // level-synchronous so that equal-length ties resolve to the lowest
 // next-hop exactly as the message engine does.
+//
+//bgplint:hotpath runs once per (target, attacker, policy) cell of a sweep
 func (s *Solver) stageCustomer(blocked *asn.IndexSet) {
 	d := int16(0)
 	for len(s.frontier) > 0 {
@@ -309,6 +319,8 @@ func (s *Solver) epochBumpCands() {
 // their peers (peer-learned routes are not exported to peers); processing
 // tier-1s in ascending customer-route distance resolves that dependency in
 // one pass.
+//
+//bgplint:hotpath runs once per (target, attacker, policy) cell of a sweep
 func (s *Solver) stagePeer(blocked *asn.IndexSet) {
 	pol := s.pol
 	n := pol.N()
@@ -317,11 +329,7 @@ func (s *Solver) stagePeer(blocked *asn.IndexSet) {
 	// exports it to peers. Initially true for every routed node, because
 	// stage 1 assigned only origin/customer classes; tier-1 SPF decisions
 	// below may turn individual tier-1s off.
-	type t1sel struct {
-		node int32
-		d    int16
-	}
-	var tier1s []t1sel
+	s.tier1Buf = s.tier1Buf[:0]
 	if pol.tier1SPF {
 		for i := 0; i < n; i++ {
 			if pol.tier1[i] {
@@ -329,9 +337,10 @@ func (s *Solver) stagePeer(blocked *asn.IndexSet) {
 				if s.assigned(int32(i)) {
 					d = s.dist[i]
 				}
-				tier1s = append(tier1s, t1sel{int32(i), d})
+				s.tier1Buf = append(s.tier1Buf, t1sel{int32(i), d})
 			}
 		}
+		tier1s := s.tier1Buf
 		// Ascending customer-route distance, node id breaking ties.
 		for i := 1; i < len(tier1s); i++ {
 			for j := i; j > 0 && (tier1s[j].d < tier1s[j-1].d ||
@@ -414,6 +423,8 @@ func (s *Solver) offersToPeers(v int32) bool {
 // stageProvider floods every selected route down customer links using
 // distance buckets (sources start at different depths), assigning
 // provider-class routes to still-unrouted nodes level by level.
+//
+//bgplint:hotpath runs once per (target, attacker, policy) cell of a sweep
 func (s *Solver) stageProvider(blocked *asn.IndexSet) {
 	n := s.pol.N()
 	// Upper bound on final distances: current max + longest customer chain

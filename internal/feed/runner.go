@@ -145,10 +145,7 @@ func (r *ProbeRunner) rewind() {
 }
 
 func (r *ProbeRunner) clock() tick.Clock {
-	if r.Clock != nil {
-		return r.Clock
-	}
-	return tick.Real()
+	return tick.Or(r.Clock)
 }
 
 func (r *ProbeRunner) logf(format string, args ...any) {

@@ -157,7 +157,7 @@ func (c *Collector) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	c.mu.Lock()
-	for conn := range c.conns { //lint:maporder-ok force-close teardown; close order is immaterial
+	for conn := range c.conns { //bgplint:ignore maporder force-close teardown; close order is immaterial
 		_ = conn.Close()
 	}
 	c.mu.Unlock()
@@ -193,10 +193,7 @@ func (c *Collector) unregister(conn io.Closer) {
 }
 
 func (c *Collector) clock() tick.Clock {
-	if c.Clock != nil {
-		return c.Clock
-	}
-	return tick.Real()
+	return tick.Or(c.Clock)
 }
 
 func (c *Collector) holdTime() uint16 {
@@ -260,10 +257,7 @@ func (p *Probe) holdTime() uint16 {
 }
 
 func (p *Probe) clock() tick.Clock {
-	if p.Clock != nil {
-		return p.Clock
-	}
-	return tick.Real()
+	return tick.Or(p.Clock)
 }
 
 // handshakeDeadline bounds each handshake read/write by the local hold

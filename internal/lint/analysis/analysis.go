@@ -35,8 +35,29 @@ type Pass struct {
 	// module packages it is the full module-qualified path.
 	PkgPath string
 
+	// Facts carries the package-level facts the driver computed before
+	// running any analyzer — cross-package properties (like membership
+	// in the determinism closure) that a single-package pass cannot
+	// derive on its own.
+	Facts Facts
+
 	// Report delivers one diagnostic. The driver supplies it.
 	Report func(Diagnostic)
+}
+
+// Facts is the set of package-level facts propagated by the driver.
+// Unlike upstream go/analysis fact machinery (which serializes analyzer
+// facts between passes), bgplint's facts are derived once from the
+// module import graph and the lint configuration: they flow from the
+// config-listed roots through the import graph, so a package becomes
+// deterministic the moment deterministic code imports it — no
+// hand-maintained package list.
+type Facts struct {
+	// Deterministic reports whether the package is in the determinism
+	// closure: a config root, or (transitively) imported by a
+	// deterministic package. Analyzers guarding reproduction invariants
+	// (maporder, walltime) fire only in deterministic packages.
+	Deterministic bool
 }
 
 // Diagnostic is one finding at a source position.

@@ -1,0 +1,165 @@
+// Package directive parses bgplint's source directives and applies the
+// suppression ones centrally, so every analyzer shares one grammar:
+//
+//	//bgplint:ignore <analyzer>[,<analyzer>...] <reason>
+//	//bgplint:hotpath [note]
+//
+// An ignore directive suppresses findings of the named analyzers on its
+// own line and on the line directly below (so it works both as a
+// trailing comment and as a standalone line above the offending
+// statement). The reason is mandatory: an ignore without one — or one
+// naming an analyzer that does not exist — is itself a finding, reported
+// under the "directive" pseudo-analyzer, and fails the lint run. Any
+// other //bgplint: comment that is not a known directive is rejected the
+// same way, so typos cannot silently disable a check.
+//
+// A hotpath directive in a function's doc comment opts that function
+// into the hotalloc analyzer's per-iteration allocation budget; the
+// trailing note is free-form.
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// Name is the pseudo-analyzer malformed directives are attributed to.
+// It cannot itself be suppressed.
+const Name = "directive"
+
+const (
+	prefix        = "//bgplint:"
+	ignoreKeyword = "ignore"
+	// HotpathKeyword marks a function whose loops hotalloc budgets.
+	HotpathKeyword = "hotpath"
+)
+
+// Ignore is one well-formed //bgplint:ignore directive.
+type Ignore struct {
+	Pos       token.Pos
+	Line      int
+	Analyzers []string
+	Reason    string
+}
+
+// Hotpath reports whether fn's doc comment carries //bgplint:hotpath.
+func Hotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if kw, _, ok := parse(c.Text); ok && kw == HotpathKeyword {
+			return true
+		}
+	}
+	return false
+}
+
+// parse splits a comment into (keyword, rest) if it is a //bgplint:
+// directive. rest is the text after the keyword, space-trimmed.
+func parse(text string) (keyword, rest string, ok bool) {
+	body, found := strings.CutPrefix(text, prefix)
+	if !found {
+		return "", "", false
+	}
+	body = strings.TrimSpace(body)
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
+}
+
+// scan walks one file's comments, returning its well-formed ignores and
+// reporting each malformed directive through report. known is the set of
+// analyzer names an ignore may suppress.
+func scan(fset *token.FileSet, file *ast.File, known map[string]bool, report func(analysis.Diagnostic)) []Ignore {
+	var out []Ignore
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			kw, rest, ok := parse(c.Text)
+			if !ok {
+				continue
+			}
+			bad := func(format string, args ...interface{}) {
+				report(analysis.Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: Name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			switch kw {
+			case HotpathKeyword:
+				// Free-form note; consumed by hotalloc via Hotpath.
+			case ignoreKeyword:
+				names, reason, found := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if names == "" {
+					bad("ignore directive names no analyzer; write //bgplint:ignore <analyzer> <reason>")
+					continue
+				}
+				if !found || reason == "" {
+					bad("ignore directive for %q has no reason; every suppression must say why", names)
+					continue
+				}
+				split := strings.Split(names, ",")
+				valid := true
+				for _, n := range split {
+					if !known[n] || n == Name {
+						bad("ignore directive names unknown analyzer %q", n)
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				out = append(out, Ignore{
+					Pos:       c.Pos(),
+					Line:      fset.Position(c.Pos()).Line,
+					Analyzers: split,
+					Reason:    reason,
+				})
+			default:
+				bad("unknown bgplint directive %q (known: ignore, hotpath)", kw)
+			}
+		}
+	}
+	return out
+}
+
+// Filter applies the files' ignore directives to diags: suppressed
+// diagnostics are dropped, and every malformed directive is appended as
+// a diagnostic of the directive pseudo-analyzer. known lists the
+// analyzer names that exist (independent of which subset this run
+// enabled, so -only runs do not misreport ignores of other analyzers).
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, known map[string]bool) []analysis.Diagnostic {
+	// line -> analyzer -> suppressed
+	suppress := make(map[int]map[string]bool)
+	var out []analysis.Diagnostic
+	for _, f := range files {
+		igns := scan(fset, f, known, func(d analysis.Diagnostic) { out = append(out, d) })
+		for _, ig := range igns {
+			for _, line := range []int{ig.Line, ig.Line + 1} {
+				m := suppress[line]
+				if m == nil {
+					m = make(map[string]bool)
+					suppress[line] = m
+				}
+				for _, a := range ig.Analyzers {
+					m[a] = true
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		if d.Analyzer != Name && suppress[line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

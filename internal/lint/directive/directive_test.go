@@ -1,0 +1,188 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text    string
+		keyword string
+		rest    string
+		ok      bool
+	}{
+		{"//bgplint:ignore maporder keys sorted below", "ignore", "maporder keys sorted below", true},
+		{"//bgplint:hotpath solve kernel", "hotpath", "solve kernel", true},
+		{"//bgplint:hotpath", "hotpath", "", true},
+		{"//bgplint:ignore", "ignore", "", true},
+		{"// bgplint:ignore maporder x", "", "", false}, // space breaks the marker
+		{"//lint:maporder-ok legacy", "", "", false},
+		{"// ordinary comment", "", "", false},
+	}
+	for _, c := range cases {
+		kw, rest, ok := parse(c.text)
+		if kw != c.keyword || rest != c.rest || ok != c.ok {
+			t.Errorf("parse(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, kw, rest, ok, c.keyword, c.rest, c.ok)
+		}
+	}
+}
+
+func TestHotpath(t *testing.T) {
+	src := `package p
+
+// hot is a kernel.
+//
+//bgplint:hotpath per-cell loop
+func hot() {}
+
+// cold has no annotation.
+func cold() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			got[fn.Name.Name] = Hotpath(fn)
+		}
+	}
+	if !got["hot"] || got["cold"] {
+		t.Errorf("Hotpath detection = %v, want hot=true cold=false", got)
+	}
+}
+
+// filterSrc runs Filter over src with the given pre-existing diagnostics
+// (keyed by line) and returns the surviving messages.
+func filterSrc(t *testing.T, src string, diags map[int]string, known map[string]bool) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	var in []analysis.Diagnostic
+	for line, spec := range diags {
+		name, msg, _ := strings.Cut(spec, ":")
+		in = append(in, analysis.Diagnostic{
+			Pos:      tf.LineStart(line),
+			Analyzer: name,
+			Message:  msg,
+		})
+	}
+	var out []string
+	for _, d := range Filter(fset, []*ast.File{f}, in, known) {
+		out = append(out, d.Analyzer+":"+d.Message)
+	}
+	return out
+}
+
+func TestFilterSuppressesOwnAndNextLine(t *testing.T) {
+	src := `package p
+
+//bgplint:ignore maporder keys sorted below
+var a = 1
+var b = 2 //bgplint:ignore maporder set write
+var c = 3
+`
+	known := map[string]bool{"maporder": true}
+	// Line 3 directive covers lines 3-4; line 5 directive covers 5-6.
+	got := filterSrc(t, src, map[int]string{
+		4: "maporder:suppressed by line above",
+		5: "maporder:suppressed same line",
+		6: "maporder:suppressed by trailing directive above",
+	}, known)
+	if len(got) != 0 {
+		t.Errorf("expected all diagnostics suppressed, got %v", got)
+	}
+	// A diagnostic outside the two-line window survives.
+	got = filterSrc(t, src, map[int]string{1: "maporder:not covered"}, known)
+	if len(got) != 1 {
+		t.Errorf("expected uncovered diagnostic to survive, got %v", got)
+	}
+	// A different analyzer on a covered line survives.
+	got = filterSrc(t, src, map[int]string{4: "walltime:different analyzer"}, map[string]bool{"maporder": true, "walltime": true})
+	if len(got) != 1 {
+		t.Errorf("expected other-analyzer diagnostic to survive, got %v", got)
+	}
+}
+
+func TestFilterRejectsIgnoreWithoutReason(t *testing.T) {
+	src := `package p
+
+//bgplint:ignore maporder
+var a = 1
+`
+	got := filterSrc(t, src, map[int]string{4: "maporder:should NOT be suppressed"},
+		map[string]bool{"maporder": true})
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics (malformed directive + unsuppressed finding), got %v", got)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "has no reason") {
+		t.Errorf("missing no-reason diagnostic in %v", got)
+	}
+	if !strings.Contains(joined, "should NOT be suppressed") {
+		t.Errorf("reasonless ignore must not suppress; got %v", got)
+	}
+}
+
+func TestFilterRejectsUnknownAnalyzerAndKeyword(t *testing.T) {
+	src := `package p
+
+//bgplint:ignore mapodrer typo in the analyzer name
+//bgplint:igore maporder typo in the keyword
+var a = 1
+`
+	got := filterSrc(t, src, nil, map[string]bool{"maporder": true})
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, `unknown analyzer "mapodrer"`) {
+		t.Errorf("missing unknown-analyzer diagnostic in %v", got)
+	}
+	if !strings.Contains(joined, `unknown bgplint directive "igore"`) {
+		t.Errorf("missing unknown-keyword diagnostic in %v", got)
+	}
+}
+
+func TestDirectiveItselfCannotBeSuppressed(t *testing.T) {
+	// Naming the pseudo-analyzer is rejected even if a caller leaks it
+	// into known, and directive diagnostics survive any suppression.
+	src := `package p
+
+//bgplint:ignore directive trying to silence the grammar check
+var a = 1
+`
+	got := filterSrc(t, src, nil, map[string]bool{"maporder": true, Name: true})
+	if len(got) != 1 || !strings.Contains(got[0], `unknown analyzer "directive"`) {
+		t.Errorf("want unknown-analyzer rejection for %q, got %v", Name, got)
+	}
+}
+
+func TestFilterMultiAnalyzerIgnore(t *testing.T) {
+	src := `package p
+
+//bgplint:ignore maporder,walltime both justified here
+var a = 1
+`
+	known := map[string]bool{"maporder": true, "walltime": true}
+	got := filterSrc(t, src, map[int]string{
+		4: "maporder:m finding",
+	}, known)
+	if len(got) != 0 {
+		t.Errorf("maporder not suppressed by list directive: %v", got)
+	}
+	got = filterSrc(t, src, map[int]string{4: "walltime:w finding"}, known)
+	if len(got) != 0 {
+		t.Errorf("walltime not suppressed by list directive: %v", got)
+	}
+}

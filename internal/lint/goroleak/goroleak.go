@@ -1,0 +1,155 @@
+// Package goroleak implements the bgplint analyzer that requires every
+// go statement to have a visible join or cancel path.
+//
+// Probe supervisors, sweep workers and collector session handlers all
+// spawn goroutines; one without a WaitGroup, done channel, result
+// channel or context is a goroutine the owner can neither wait for nor
+// stop — it leaks across Shutdown, keeps connections alive after their
+// listener closed, and turns -race runs flaky. The analyzer accepts a
+// go statement when it can see any of:
+//
+//   - the goroutine body touches a sync.WaitGroup (wg.Done/wg.Wait) or
+//     calls close() — the spawner joins via Wait or a closed channel;
+//   - the body performs a channel operation (send, receive, select,
+//     range over a channel) — the goroutine is coupled to a channel the
+//     owner controls;
+//   - the body references a context.Context — cancellation reaches it;
+//   - a named (non-literal) callee is passed a channel- or
+//     context-typed argument — the join/cancel path is the argument.
+//
+// The check is lexical and intraprocedural, so a goroutine whose
+// lifecycle is managed in a way it cannot see (joined by process exit
+// in a short-lived tool, say) carries //bgplint:ignore goroleak with
+// the reason.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "flags go statements with no visible join or cancel path " +
+		"(WaitGroup, done/result channel, close, or context)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !joined(pass, g) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no visible join or cancel path; give it a WaitGroup, done/result channel, or context so Shutdown can collect it")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// joined reports whether the go statement has a visible join/cancel
+// path.
+func joined(pass *analysis.Pass, g *ast.GoStmt) bool {
+	// Channel- or context-typed arguments hand the callee its lifecycle.
+	for _, a := range g.Call.Args {
+		if isChanOrContext(pass, a) {
+			return true
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return bodyJoined(pass, lit.Body)
+	}
+	// Named callee with no channel/context argument: nothing visible
+	// couples it to the spawner.
+	return false
+}
+
+// bodyJoined scans a goroutine body (including nested literals — a
+// join anywhere in the lexical extent counts) for lifecycle plumbing.
+func bodyJoined(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "sync" && recvIsWaitGroup(fn) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanOrContext(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	return isContextType(tv.Type)
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func recvIsWaitGroup(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "WaitGroup"
+}

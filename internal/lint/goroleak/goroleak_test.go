@@ -1,0 +1,11 @@
+package goroleak
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestGoroutineLeaks(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/goroleak_a", "goroleak_a")
+}

@@ -1,0 +1,83 @@
+// Package goroleak_a exercises the goroleak analyzer: goroutines with no
+// visible join or cancel path must be flagged; WaitGroup-, channel-,
+// close- and context-coupled goroutines must not.
+package goroleak_a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Flagged: fire-and-forget literal.
+func fire() {
+	go func() { // want "goroutine has no visible join or cancel path"
+		work()
+	}()
+}
+
+// Flagged: named callee with no channel or context argument.
+func fireNamed() {
+	go work() // want "goroutine has no visible join or cancel path"
+}
+
+// Not flagged: WaitGroup join.
+func joinedWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Not flagged: result channel couples the goroutine to its reader.
+func joinedChan() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// Not flagged: close signals completion.
+func joinedClose(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// Not flagged: cancellation reaches the body through the context.
+func joinedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func pump(ch chan int) {
+	for range ch {
+	}
+}
+
+// Not flagged: the channel argument is the join path.
+func joinedArg() chan int {
+	ch := make(chan int)
+	go pump(ch)
+	return ch
+}
+
+func serve(ctx context.Context) {}
+
+// Not flagged: the context argument is the cancel path.
+func joinedCtxArg(ctx context.Context) {
+	go serve(ctx)
+}
+
+// Not flagged: suppressed with a reason.
+func sanctioned() {
+	//bgplint:ignore goroleak fixture: joined by process exit in a one-shot tool
+	go work()
+}

@@ -1,0 +1,11 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestHotpathAllocations(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/hotalloc_a", "hotalloc_a")
+}

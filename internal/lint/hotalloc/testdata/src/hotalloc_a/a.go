@@ -1,0 +1,75 @@
+// Package hotalloc_a exercises the hotalloc analyzer: per-iteration
+// allocations inside loops of //bgplint:hotpath functions must be
+// flagged; preallocated, caller-owned and field buffers must not, and
+// unannotated functions are never inspected.
+package hotalloc_a
+
+import "fmt"
+
+type solver struct {
+	buf []int
+}
+
+// Flagged: every allocation pattern in one loop.
+//
+//bgplint:hotpath fixture kernel
+func bad(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		seen := map[int]bool{x: true} // want "map literal allocates every iteration"
+		row := []int{x}               // want "slice literal allocates every iteration"
+		tmp := make([]byte, 0, 8)     // want "make allocates every iteration"
+		_, _, _ = seen, row, tmp
+		label := fmt.Sprintf("%d", x) // want "fmt.Sprintf allocates every iteration"
+		out = append(out, label)      // want "append to out grows an unpreallocated local slice"
+	}
+	return out
+}
+
+// Not flagged: preallocated locals, parameters, and field buffers are
+// reused or caller-owned.
+//
+//bgplint:hotpath
+func good(s *solver, xs []int, out []int) []int {
+	acc := make([]int, 0, len(xs))
+	for _, x := range xs {
+		acc = append(acc, x)
+		out = append(out, x)
+		s.buf = append(s.buf, x)
+	}
+	return append(acc, out...)
+}
+
+// Not flagged: allocation-free nested loops.
+//
+//bgplint:hotpath
+func nested(grid [][]int) int {
+	total := 0
+	for _, row := range grid {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// Not flagged: no hotpath annotation, no budget.
+func cold(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x))
+	}
+	return out
+}
+
+// Not flagged: suppressed with a reason.
+//
+//bgplint:hotpath
+func sanctioned(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		//bgplint:ignore hotalloc fixture: cold error path inside the kernel
+		out = append(out, fmt.Sprintf("%d", x))
+	}
+	return out
+}

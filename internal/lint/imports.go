@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ScanModuleImports builds the module-internal import graph by parsing
+// import clauses only (no type checking): each package import path maps
+// to the sorted set of module packages its non-test files import.
+// Directories named testdata, hidden directories, and _-prefixed
+// directories are skipped, matching the loader's view of the module.
+// Test files are excluded deliberately — tests wiring a package (chaos
+// fault injection, say) must not drag it into the determinism closure.
+func ScanModuleImports(root, modPath string) (map[string][]string, error) {
+	fset := token.NewFileSet()
+	graph := make(map[string][]string)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				graph[pkgPath] = append(graph[pkgPath], path)
+			}
+		}
+		if _, ok := graph[pkgPath]; !ok {
+			graph[pkgPath] = nil // package exists even with no internal imports
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, deps := range graph { //bgplint:ignore maporder per-key dedup; no cross-key effect
+		sort.Strings(deps)
+		graph[p] = dedup(deps)
+	}
+	return graph, nil
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

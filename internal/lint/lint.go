@@ -1,16 +1,33 @@
-// Package lint assembles the bgplint analyzer suite: five domain-specific
-// static-analysis passes that machine-check the simulator's determinism
-// and error-handling invariants (see DESIGN.md, "Determinism & static
-// analysis"). The driver lives in cmd/bgplint; run it via `make lint`.
+// Package lint assembles the bgplint analyzer suite: nine domain-specific
+// static-analysis passes that machine-check the simulator's determinism,
+// concurrency and allocation invariants (see DESIGN.md, "Determinism &
+// static analysis"). The driver lives in cmd/bgplint; run it via
+// `make lint`.
+//
+// The package also owns the determinism-fact configuration: instead of a
+// hand-maintained package list, coverage is computed as the transitive
+// import closure of a few roots — if deterministic code imports a
+// package, that package's behavior feeds figure digests and it inherits
+// the deterministic fact automatically. New packages therefore cannot
+// dodge the maporder/walltime analyzers by being forgotten; a test
+// (lint_test.go) fails if an internal/ package is neither covered by the
+// closure nor explicitly exempted here with a reason.
 package lint
 
 import (
+	"sort"
+	"strings"
+
 	"github.com/bgpsim/bgpsim/internal/lint/analysis"
 	"github.com/bgpsim/bgpsim/internal/lint/asnconv"
 	"github.com/bgpsim/bgpsim/internal/lint/errdrop"
 	"github.com/bgpsim/bgpsim/internal/lint/globalrand"
+	"github.com/bgpsim/bgpsim/internal/lint/goroleak"
+	"github.com/bgpsim/bgpsim/internal/lint/hotalloc"
+	"github.com/bgpsim/bgpsim/internal/lint/lockheld"
 	"github.com/bgpsim/bgpsim/internal/lint/maporder"
 	"github.com/bgpsim/bgpsim/internal/lint/obsappend"
+	"github.com/bgpsim/bgpsim/internal/lint/walltime"
 )
 
 // Analyzers returns the full bgplint suite in reporting order.
@@ -21,5 +38,91 @@ func Analyzers() []*analysis.Analyzer {
 		asnconv.Analyzer,
 		errdrop.Analyzer,
 		obsappend.Analyzer,
+		walltime.Analyzer,
+		lockheld.Analyzer,
+		goroleak.Analyzer,
+		hotalloc.Analyzer,
 	}
+}
+
+// Names returns the set of analyzer names, for directive validation.
+func Names() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range Analyzers() {
+		out[a.Name] = true
+	}
+	return out
+}
+
+// DeterministicRoots are the packages whose results ARE the reproduction:
+// everything they import (transitively) shapes figure digests and
+// inherits the deterministic fact. Keep this list to genuine roots —
+// packages nothing else in the module imports; anything reachable from a
+// root is covered automatically.
+var DeterministicRoots = []string{
+	// The facade: every figure, table and live-detection result flows
+	// through it, which pulls in core, experiments, feed, sweep and all
+	// of their dependencies.
+	"github.com/bgpsim/bgpsim",
+	// Chaos transports replay seeded fault schedules whose digests must
+	// equal fault-free runs; nothing imports the package (tests wire it).
+	"github.com/bgpsim/bgpsim/internal/chaos",
+	// ROVER origin validation: its accept/reject outcomes are
+	// reproduction inputs even though only tests exercise it today.
+	"github.com/bgpsim/bgpsim/internal/rover",
+}
+
+// Exempt maps internal packages outside the determinism contract to the
+// reason they are exempt. A path ending in "/..." exempts the subtree.
+// Exemptions are checked for staleness: if the closure ever reaches an
+// exempted package (deterministic code started importing it), the
+// coverage test fails until the entry is removed.
+var Exempt = map[string]string{
+	"github.com/bgpsim/bgpsim/internal/cli":      "process boundary: flag parsing and output-file naming for the cmd/ tools; computes no figure data itself",
+	"github.com/bgpsim/bgpsim/internal/lint/...": "host-side static-analysis tooling; never linked into a reproduction binary",
+}
+
+// Exempted reports whether path is covered by an Exempt entry, and the
+// recorded reason.
+func Exempted(path string) (string, bool) {
+	if r, ok := Exempt[path]; ok {
+		return r, true
+	}
+	for pat, r := range Exempt {
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == sub || strings.HasPrefix(path, sub+"/") {
+				return r, true
+			}
+		}
+	}
+	return "", false
+}
+
+// DeterministicClosure computes the determinism fact for every package:
+// a package is deterministic iff it is a root or any deterministic
+// package imports it. imports maps each package path to its
+// module-internal imports; the closure is a breadth-first walk from
+// DeterministicRoots down the import edges.
+func DeterministicClosure(imports map[string][]string) map[string]bool {
+	covered := make(map[string]bool)
+	queue := make([]string, 0, len(DeterministicRoots))
+	for _, r := range DeterministicRoots {
+		if !covered[r] {
+			covered[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		deps := append([]string(nil), imports[p]...)
+		sort.Strings(deps) // stable traversal; the result set is order-free anyway
+		for _, d := range deps {
+			if !covered[d] {
+				covered[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return covered
 }

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDeterministicClosureSynthetic(t *testing.T) {
+	defer func(old []string) { DeterministicRoots = old }(DeterministicRoots)
+	DeterministicRoots = []string{"root"}
+	imports := map[string][]string{
+		"root":     {"a", "b"},
+		"a":        {"c"},
+		"b":        nil,
+		"c":        {"a"}, // cycle back is fine
+		"orphan":   {"c"},
+		"isolated": nil,
+	}
+	got := DeterministicClosure(imports)
+	for _, p := range []string{"root", "a", "b", "c"} {
+		if !got[p] {
+			t.Errorf("closure should cover %s", p)
+		}
+	}
+	for _, p := range []string{"orphan", "isolated"} {
+		if got[p] {
+			t.Errorf("closure must not cover %s (nothing deterministic imports it)", p)
+		}
+	}
+}
+
+func TestExemptedPatterns(t *testing.T) {
+	defer func(old map[string]string) { Exempt = old }(Exempt)
+	Exempt = map[string]string{
+		"m/internal/cli":      "boundary",
+		"m/internal/lint/...": "tooling",
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"m/internal/cli", true},
+		{"m/internal/cli/sub", false}, // exact entries do not cover subtrees
+		{"m/internal/lint", true},
+		{"m/internal/lint/maporder", true},
+		{"m/internal/lintx", false},
+		{"m/internal/core", false},
+	}
+	for _, c := range cases {
+		if _, got := Exempted(c.path); got != c.want {
+			t.Errorf("Exempted(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// TestModuleDeterminismCoverage is the guard the hand-maintained package
+// list could never be: every internal/ package must either inherit the
+// deterministic fact through the import closure or carry an explicit
+// exemption with a reason — a new package cannot silently dodge the
+// determinism analyzers.
+func TestModuleDeterminismCoverage(t *testing.T) {
+	root := moduleRoot(t)
+	imports, err := ScanModuleImports(root, "github.com/bgpsim/bgpsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure := DeterministicClosure(imports)
+
+	for pkg := range imports {
+		if !strings.HasPrefix(pkg, "github.com/bgpsim/bgpsim/internal/") {
+			continue // cmd/, examples/ and the facade root are boundaries or roots
+		}
+		covered := closure[pkg]
+		_, exempted := Exempted(pkg)
+		switch {
+		case covered && exempted:
+			t.Errorf("%s: stale exemption — deterministic code now imports this package; remove the Exempt entry", pkg)
+		case !covered && !exempted:
+			t.Errorf("%s: neither in the determinism closure nor exempted; add an import from a root, a new root, or an Exempt entry with a reason", pkg)
+		}
+	}
+
+	// The closure must keep covering the packages whose outputs ARE the
+	// reproduction; losing one silently would disable maporder/walltime
+	// where they matter most.
+	for _, p := range []string{
+		"github.com/bgpsim/bgpsim/internal/core",
+		"github.com/bgpsim/bgpsim/internal/sweep",
+		"github.com/bgpsim/bgpsim/internal/feed",
+		"github.com/bgpsim/bgpsim/internal/tick",
+		"github.com/bgpsim/bgpsim/internal/topology",
+		"github.com/bgpsim/bgpsim/internal/experiments",
+	} {
+		if !closure[p] {
+			t.Errorf("determinism closure lost %s", p)
+		}
+	}
+}
+
+// TestExemptReasonsNonEmpty enforces the "every exemption says why" half
+// of the directive contract at the config level.
+func TestExemptReasonsNonEmpty(t *testing.T) {
+	for path, reason := range Exempt {
+		if strings.TrimSpace(reason) == "" {
+			t.Errorf("Exempt[%q] has no reason", path)
+		}
+	}
+}
+
+func TestNamesCoversSuite(t *testing.T) {
+	names := Names()
+	for _, want := range []string{
+		"maporder", "globalrand", "asnconv", "errdrop", "obsappend",
+		"walltime", "lockheld", "goroleak", "hotalloc",
+	} {
+		if !names[want] {
+			t.Errorf("analyzer %q missing from suite", want)
+		}
+	}
+	if len(names) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(names))
+	}
+}

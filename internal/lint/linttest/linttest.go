@@ -14,21 +14,46 @@ import (
 	"testing"
 
 	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+	"github.com/bgpsim/bgpsim/internal/lint/directive"
 	"github.com/bgpsim/bgpsim/internal/lint/loader"
 )
+
+// Options configures a golden run beyond the defaults.
+type Options struct {
+	// Deps maps import paths to testdata directories the package under
+	// test may import (fixture packages outside the module space).
+	Deps map[string]string
+	// NonDeterministic runs the package WITHOUT the deterministic fact
+	// (the default marks it deterministic, since most golden packages
+	// exercise determinism-gated analyzers).
+	NonDeterministic bool
+	// Known lists analyzer names valid in //bgplint:ignore directives;
+	// nil defaults to the analyzer under test plus "maporder" (the
+	// shared suppression examples).
+	Known map[string]bool
+}
 
 // Run loads the package in dir (e.g. "testdata/src/a") as import path
 // pkgPath and applies the analyzer. Every diagnostic must be matched by a
 // `// want "re"` comment on the same line, and every want comment must be
-// matched by a diagnostic.
+// matched by a diagnostic. The package is given the deterministic fact,
+// and //bgplint:ignore directives are applied exactly as the driver
+// applies them (malformed ones surface as "directive" diagnostics, which
+// want comments can assert on).
 func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
-	RunDeps(t, a, nil, dir, pkgPath)
+	RunWith(t, a, Options{}, dir, pkgPath)
 }
 
 // RunDeps is Run with auxiliary fixture packages: deps maps import paths
 // to testdata directories the package under test may import.
 func RunDeps(t *testing.T, a *analysis.Analyzer, deps map[string]string, dir, pkgPath string) {
+	t.Helper()
+	RunWith(t, a, Options{Deps: deps}, dir, pkgPath)
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(t *testing.T, a *analysis.Analyzer, opts Options, dir, pkgPath string) {
 	t.Helper()
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -42,7 +67,7 @@ func RunDeps(t *testing.T, a *analysis.Analyzer, deps map[string]string, dir, pk
 	if err != nil {
 		t.Fatal(err)
 	}
-	for path, d := range deps {
+	for path, d := range opts.Deps {
 		absDep, err := filepath.Abs(d)
 		if err != nil {
 			t.Fatal(err)
@@ -65,11 +90,17 @@ func RunDeps(t *testing.T, a *analysis.Analyzer, deps map[string]string, dir, pk
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
 		PkgPath:   pkg.Path,
+		Facts:     analysis.Facts{Deterministic: !opts.NonDeterministic},
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)
 	}
+	known := opts.Known
+	if known == nil {
+		known = map[string]bool{a.Name: true, "maporder": true}
+	}
+	diags = directive.Filter(l.Fset, pkg.Files, diags, known)
 
 	wants := collectWants(t, l.Fset, pkg)
 	for _, d := range diags {

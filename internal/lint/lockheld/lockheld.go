@@ -1,0 +1,368 @@
+// Package lockheld implements the bgplint analyzer that flags blocking
+// operations reachable while a sync.Mutex or sync.RWMutex is held.
+//
+// DESIGN.md §8 states the feed layer's locking discipline in prose:
+// mutexes guard counters and registration maps, and nothing that can
+// block — channel operations, condition waits, network I/O — may run
+// inside a critical section, or a stalled peer can wedge every other
+// session behind the lock. This pass machine-checks that discipline. It
+// is deliberately intraprocedural and conservative: within one function
+// body it tracks which lock expressions are held (x.Lock()/x.RLock()
+// until the matching x.Unlock()/x.RUnlock(); a deferred unlock holds to
+// the end of the function) and reports
+//
+//   - channel sends and receives (a select with a default clause is
+//     non-blocking and stays allowed),
+//   - for-range over a channel,
+//   - sync.Cond.Wait and sync.WaitGroup.Wait,
+//   - time.Sleep,
+//   - blocking net/net\/http/os\/exec calls (Dial, Accept, conn
+//     Read/Write, Cmd.Run, ...),
+//
+// while any lock is held. Calls into other functions are not followed;
+// a legitimate blocking call under a lock (sync.Cond.Wait on the lock
+// it atomically releases, say) carries a //bgplint:ignore lockheld with
+// its justification.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// Analyzer is the lockheld pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flags blocking operations (channel ops, Cond/WaitGroup waits, " +
+		"network I/O, exec) reachable while a sync.Mutex/RWMutex is held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		s := &scanner{pass: pass}
+		// Every function body — declarations and literals — is analyzed
+		// as its own scope: a closure does not inherit the lock state of
+		// its definition site (it may run on another goroutine entirely).
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					s.stmts(fn.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				s.stmts(fn.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement list in order, updating the held-lock set.
+func (s *scanner) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+// copyHeld snapshots the held set for a branch body.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held { //bgplint:ignore maporder lock-state set copy; map semantics are order-free
+		out[k] = v
+	}
+	return out
+}
+
+func (s *scanner) stmt(st ast.Stmt, held map[string]bool) {
+	switch n := st.(type) {
+	case *ast.ExprStmt:
+		if key, acquire, ok := lockOp(s.pass, n.X); ok {
+			if acquire {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		s.expr(n.X, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held to the end of the
+		// function; the deferred call's arguments are evaluated now.
+		if _, _, ok := lockOp(s.pass, n.Call); ok {
+			return
+		}
+		for _, a := range n.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine without our locks;
+		// only the argument evaluation happens here.
+		for _, a := range n.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.reportf(n.Pos(), held, "channel send")
+		}
+		s.expr(n.Chan, held)
+		s.expr(n.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range n.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			s.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		s.expr(n.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		s.stmts(n.List, held)
+	case *ast.LabeledStmt:
+		s.stmt(n.Stmt, held)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, held)
+		}
+		s.expr(n.Cond, held)
+		s.stmts(n.Body.List, copyHeld(held))
+		if n.Else != nil {
+			s.stmt(n.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, held)
+		}
+		if n.Cond != nil {
+			s.expr(n.Cond, held)
+		}
+		s.stmts(n.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		s.expr(n.X, held)
+		if len(held) > 0 {
+			if tv, ok := s.pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.reportf(n.Pos(), held, "range over channel")
+				}
+			}
+		}
+		s.stmts(n.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, held)
+		}
+		if n.Tag != nil {
+			s.expr(n.Tag, held)
+		}
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.expr(e, held)
+				}
+				s.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, held)
+		}
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			s.reportf(n.Pos(), held, "blocking select")
+		}
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	}
+}
+
+// expr scans one expression for blocking operations while locks are
+// held. Function literals are skipped (analyzed as their own scope).
+func (s *scanner) expr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.reportf(x.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(s.pass, x); ok {
+				s.reportf(x.Pos(), held, desc)
+			}
+		}
+		return true
+	})
+}
+
+func (s *scanner) reportf(pos token.Pos, held map[string]bool, what string) {
+	s.pass.Reportf(pos, "%s while %s is held; move it outside the critical section (deadlock risk, DESIGN.md §8)",
+		what, describeHeld(held))
+}
+
+// describeHeld names the held lock(s) deterministically.
+func describeHeld(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held { //bgplint:ignore maporder names are sorted immediately below
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) == 1 {
+		return names[0]
+	}
+	return strings.Join(names, ", ")
+}
+
+// lockOp reports whether e is a mutex Lock/RLock (acquire=true) or
+// Unlock/RUnlock (acquire=false) call, keyed by the receiver expression.
+func lockOp(pass *analysis.Pass, e ast.Expr) (key string, acquire, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// recvTypeName returns the name of fn's receiver type (sans pointer),
+// or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// blockingPkgFuncs are package-level functions that block on external
+// events.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"net":  {"Dial": true, "DialTimeout": true, "DialIP": true, "DialTCP": true, "DialUDP": true, "DialUnix": true, "Listen": true, "ListenPacket": true},
+	"net/http": {
+		"Get": true, "Post": true, "PostForm": true, "Head": true,
+		"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true, "ServeTLS": true,
+	},
+}
+
+// blockingMethods are (package, receiver-independent) method names that
+// block: condition/waitgroup waits, socket reads/writes/accepts, and
+// subprocess waits.
+var blockingMethods = map[string]map[string]bool{
+	"sync":     {"Wait": true}, // Cond.Wait, WaitGroup.Wait
+	"net":      {"Read": true, "Write": true, "Accept": true, "ReadFrom": true, "WriteTo": true, "AcceptTCP": true, "AcceptUnix": true},
+	"net/http": {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true},
+	"os/exec":  {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true},
+}
+
+// blockingCall reports whether call is a known blocking call, with a
+// description for the diagnostic.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		if blockingPkgFuncs[path][fn.Name()] {
+			return "blocking " + shortPkg(path) + "." + fn.Name() + " call", true
+		}
+		return "", false
+	}
+	if blockingMethods[path][fn.Name()] {
+		recv := recvTypeName(fn)
+		if recv == "" {
+			recv = shortPkg(path)
+		}
+		return "blocking " + recv + "." + fn.Name() + " call", true
+	}
+	return "", false
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,11 @@
+package lockheld
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/lockheld_a", "lockheld_a")
+}

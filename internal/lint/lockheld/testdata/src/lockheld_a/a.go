@@ -1,0 +1,113 @@
+// Package lockheld_a exercises the lockheld analyzer: blocking
+// operations inside critical sections must be flagged; the same
+// operations after the unlock, behind a select default, or inside an
+// escaping closure must not.
+package lockheld_a
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// Flagged: a stalled receiver wedges every caller behind c.mu.
+func (c *counter) sendLocked() {
+	c.mu.Lock()
+	c.ch <- c.n // want "channel send while c.mu is held"
+	c.mu.Unlock()
+}
+
+// Flagged: deferred unlock holds to the end of the function.
+func (c *counter) recvLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch // want "channel receive while c.mu is held"
+}
+
+// Flagged: sleeping inside the critical section.
+func (c *counter) sleepLocked() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep call while c.mu is held"
+	c.mu.Unlock()
+}
+
+// Flagged: a select without a default clause blocks.
+func (c *counter) selectLocked(done chan struct{}) {
+	c.mu.Lock()
+	select { // want "blocking select while c.mu is held"
+	case <-done:
+	case v := <-c.ch:
+		c.n = v
+	}
+	c.mu.Unlock()
+}
+
+// Flagged: draining a channel under the lock.
+func (c *counter) drainLocked() {
+	c.mu.Lock()
+	for v := range c.ch { // want "range over channel while c.mu is held"
+		c.n += v
+	}
+	c.mu.Unlock()
+}
+
+// Flagged: waiting for goroutines while holding the lock they may need.
+func (c *counter) waitLocked(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want "blocking WaitGroup.Wait call while c.mu is held"
+	c.mu.Unlock()
+}
+
+type store struct {
+	rw sync.RWMutex
+	ch chan struct{}
+}
+
+// Flagged: read locks block writers just the same.
+func (s *store) readLocked() {
+	s.rw.RLock()
+	<-s.ch // want "channel receive while s.rw is held"
+	s.rw.RUnlock()
+}
+
+// Not flagged: the send happens after the unlock.
+func (c *counter) sendAfterUnlock() {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	c.ch <- n
+}
+
+// Not flagged: a select with a default clause cannot block.
+func (c *counter) trySend() {
+	c.mu.Lock()
+	select {
+	case c.ch <- c.n:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// Not flagged: the closure runs later, on a goroutine that does not
+// inherit this critical section.
+func (c *counter) closureEscapes() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.ch <- c.n
+	}
+}
+
+// Not flagged: suppressed with a reason — Wait atomically releases the
+// mutex it was built over.
+func (c *counter) condWait(cond *sync.Cond) {
+	c.mu.Lock()
+	//bgplint:ignore lockheld Cond.Wait atomically releases c.mu while parked
+	cond.Wait()
+	c.mu.Unlock()
+}

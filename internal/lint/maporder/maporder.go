@@ -8,8 +8,13 @@
 // order-insensitive — writes into maps/sets keyed by the loop variables
 // and commutative integer accumulation — and otherwise demands either a
 // rewrite (collect keys, sort, iterate: see internal/xmaps.SortedKeys) or
-// an explicit `//lint:maporder-ok <reason>` justification on the range
-// statement.
+// an explicit `//bgplint:ignore maporder <reason>` justification on the
+// range statement.
+//
+// Whether a package is deterministic is not configured here: the driver
+// computes the determinism closure (lint.DeterministicClosure) from the
+// config roots and hands the verdict to the pass as
+// pass.Facts.Deterministic.
 package maporder
 
 import (
@@ -21,42 +26,23 @@ import (
 	"github.com/bgpsim/bgpsim/internal/lint/analysis"
 )
 
-// Deterministic lists the package import paths whose library code must
-// iterate deterministically. The bgplint driver seeds it with the
-// simulator's result-producing packages; tests override it.
-var Deterministic = []string{
-	"github.com/bgpsim/bgpsim/internal/core",
-	"github.com/bgpsim/bgpsim/internal/hijack",
-	"github.com/bgpsim/bgpsim/internal/deploy",
-	"github.com/bgpsim/bgpsim/internal/detect",
-	"github.com/bgpsim/bgpsim/internal/experiments",
-	"github.com/bgpsim/bgpsim/internal/stats",
-	"github.com/bgpsim/bgpsim/internal/sweep",
-	"github.com/bgpsim/bgpsim/internal/recio",
-	"github.com/bgpsim/bgpsim/internal/feed",
-	"github.com/bgpsim/bgpsim/internal/chaos",
-}
-
 // Analyzer is the maporder pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc: "flags for-range over maps in deterministic packages unless the " +
 		"loop body is provably order-insensitive or carries a " +
-		"//lint:maporder-ok justification",
+		"//bgplint:ignore maporder justification",
 	Run: run,
 }
 
-const okMarker = "lint:maporder-ok"
-
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !designated(pass.PkgPath) {
+	if !pass.Facts.Deterministic {
 		return nil, nil
 	}
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file.Pos()) {
 			continue
 		}
-		suppressed := suppressionLines(pass.Fset, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -69,30 +55,18 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			line := pass.Fset.Position(rng.Pos()).Line
-			if suppressed[line] || suppressed[line-1] {
-				return true
-			}
 			if orderInsensitiveBody(pass, rng) {
 				return true
 			}
 			pass.Reportf(rng.Pos(),
 				"nondeterministic map iteration in deterministic package %s; "+
-					"iterate sorted keys (xmaps.SortedKeys) or justify with //%s <reason>",
-				shortPath(pass.PkgPath), okMarker)
+					"iterate sorted keys (xmaps.SortedKeys) or justify with "+
+					"//bgplint:ignore maporder <reason>",
+				shortPath(pass.PkgPath))
 			return true
 		})
 	}
 	return nil, nil
-}
-
-func designated(pkgPath string) bool {
-	for _, p := range Deterministic {
-		if pkgPath == p {
-			return true
-		}
-	}
-	return false
 }
 
 func shortPath(p string) string {
@@ -100,21 +74,6 @@ func shortPath(p string) string {
 		return p[i+1:]
 	}
 	return p
-}
-
-// suppressionLines returns the source lines carrying a maporder-ok
-// marker (the suppression applies to a range statement on the same line
-// or the line directly below).
-func suppressionLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	out := make(map[int]bool)
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, okMarker) {
-				out[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return out
 }
 
 // orderInsensitiveBody reports whether every statement in the range body

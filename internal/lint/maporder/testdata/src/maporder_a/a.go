@@ -1,6 +1,6 @@
-// Package maporder_a exercises the maporder analyzer: the package is
-// registered as deterministic by the test, so order-sensitive map loops
-// must be flagged and order-insensitive ones must not.
+// Package maporder_a exercises the maporder analyzer: the test runs it
+// with the deterministic fact set, so order-sensitive map loops must be
+// flagged and order-insensitive ones must not.
 package maporder_a
 
 import "sort"
@@ -73,8 +73,18 @@ func invert(m map[string]int) map[int]string {
 // Not flagged: justified with an explicit reason.
 func justified(m map[string]int) []string {
 	var out []string
-	//lint:maporder-ok keys are sorted before use below
+	//bgplint:ignore maporder keys are sorted before use below
 	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Not flagged: same-line directive form.
+func justifiedInline(m map[string]int) []string {
+	var out []string
+	for k := range m { //bgplint:ignore maporder keys are sorted before use below
 		out = append(out, k)
 	}
 	sort.Strings(out)

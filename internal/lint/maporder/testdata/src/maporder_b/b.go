@@ -1,4 +1,4 @@
-// Package maporder_b is NOT registered as deterministic: even blatantly
+// Package maporder_b runs WITHOUT the deterministic fact: even blatantly
 // order-sensitive map iteration stays unflagged here.
 package maporder_b
 

@@ -1,0 +1,154 @@
+// Package report renders bgplint findings as plain text, machine-readable
+// JSON, or SARIF 2.1.0 for GitHub code-scanning annotations.
+//
+// The text form is the developer loop (make lint); the JSON form feeds
+// scripting (jq over bgplint.json); the SARIF form is the minimal subset
+// of the 2.1.0 schema that github/codeql-action/upload-sarif accepts, so
+// CI findings surface as inline PR annotations instead of a log line.
+// File paths in findings must be repository-relative with forward
+// slashes — SARIF consumers resolve them against %SRCROOT%.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Finding is one diagnostic with its source position resolved to a
+// repo-relative path.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// Rule describes one analyzer for the SARIF rule table.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// Text writes the classic file:line:col: message (analyzer) lines.
+func Text(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n",
+			f.File, f.Line, f.Column, f.Message, f.Analyzer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON writes {"findings": [...]}; an empty run encodes as an empty
+// array, never null, so jq pipelines need no guards.
+func JSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []Finding `json:"findings"`
+	}{findings})
+}
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemas/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF writes one run with the given rule table and findings. Every
+// finding's Analyzer should appear in rules (unknown ruleIds still
+// upload, but lose their description in the annotation UI).
+func SARIF(w io.Writer, rules []Rule, findings []Finding) error {
+	srules := make([]sarifRule, 0, len(rules))
+	for _, r := range rules {
+		srules = append(srules, sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifText{Text: r.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "bgplint", Rules: srules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var sample = []Finding{
+	{Analyzer: "maporder", File: "internal/core/solver.go", Line: 12, Column: 3,
+		Message: "nondeterministic map iteration"},
+	{Analyzer: "walltime", File: "internal/feed/runner.go", Line: 40, Column: 9,
+		Message: "direct time.Now in deterministic package"},
+}
+
+func TestText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Text(&buf, sample); err != nil {
+		t.Fatal(err)
+	}
+	want := "internal/core/solver.go:12:3: nondeterministic map iteration (maporder)\n"
+	if !strings.HasPrefix(buf.String(), want) {
+		t.Errorf("Text output = %q, want prefix %q", buf.String(), want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, sample); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Findings []Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 2 || got.Findings[0] != sample[0] || got.Findings[1] != sample[1] {
+		t.Errorf("round trip mismatch: %+v", got.Findings)
+	}
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty run must encode findings as [], got %s", buf.String())
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	rules := []Rule{{ID: "maporder", Doc: "map iteration order"}, {ID: "walltime", Doc: "wall clock"}}
+	var buf bytes.Buffer
+	if err := SARIF(&buf, rules, sample); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "bgplint" || len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("driver = %+v", run.Tool.Driver)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	r := run.Results[0]
+	loc := r.Locations[0].PhysicalLocation
+	if r.RuleID != "maporder" || r.Level != "error" ||
+		loc.ArtifactLocation.URI != "internal/core/solver.go" ||
+		loc.ArtifactLocation.URIBaseID != "%SRCROOT%" ||
+		loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("result[0] = %+v", r)
+	}
+}
+
+func TestSARIFEmptyResults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SARIF(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run must encode results as [], got %s", buf.String())
+	}
+}

@@ -1,0 +1,59 @@
+// Package walltime_a exercises the walltime analyzer: the test runs it
+// with the deterministic fact set, so direct wall-clock access must be
+// flagged while injected-clock use and pure time arithmetic stay quiet.
+package walltime_a
+
+import (
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// Flagged: reads the wall clock.
+func stamp() time.Time {
+	return time.Now() // want "direct time.Now in deterministic package"
+}
+
+// Flagged: Since is Now in disguise.
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "direct time.Since in deterministic package"
+}
+
+// Flagged: timers scheduled against the wall clock.
+func holdTimer() *time.Timer {
+	return time.NewTimer(30 * time.Second) // want "direct time.NewTimer in deterministic package"
+}
+
+func deadline() <-chan time.Time {
+	return time.After(time.Second) // want "direct time.After in deterministic package"
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want "direct time.Sleep in deterministic package"
+}
+
+// Flagged: Real() reintroduces the wall clock behind the injection API.
+func fallback(c tick.Clock) tick.Clock {
+	if c == nil {
+		return tick.Real() // want "tick.Real\(\) in library code bypasses clock injection"
+	}
+	return c
+}
+
+// Not flagged: the injected clock is the sanctioned path.
+func viaClock(c tick.Clock) time.Time {
+	return c.Now()
+}
+
+// Not flagged: pure constructors and Time/Duration arithmetic are
+// deterministic given their inputs.
+func pure(t time.Time) time.Duration {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return t.Add(time.Hour).Sub(epoch) + 2*time.Minute
+}
+
+// Not flagged: suppressed with a reason.
+func sanctioned() time.Time {
+	//bgplint:ignore walltime fixture: boundary shim owns the wall clock
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package walltime_b runs WITHOUT the deterministic fact (a process
+// boundary like cmd/ or examples/): direct wall-clock access is allowed.
+package walltime_b
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func nap() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,103 @@
+// Package walltime implements the bgplint analyzer that keeps the wall
+// clock out of deterministic packages.
+//
+// The live-pipeline robustness contract (DESIGN.md §8) is that every
+// duration-sensitive decision — hold timers, keepalive cadence,
+// reconnect backoff — flows through an injected tick.Clock, so the
+// deterministic tick.Fake drives the exact production code path in
+// tests. A single direct time.Now (or timer built from package time)
+// silently forks the code into a path the fake clock never exercises:
+// the test pins one schedule while production runs another. The
+// analyzer therefore flags every package-level wall-clock accessor from
+// package time inside the determinism closure, plus calls to
+// tick.Real() outside the process boundary — Real() in library code
+// reintroduces the wall clock behind the injection API. cmd/ and
+// examples/ are boundaries (not in the closure) and install Real freely;
+// package internal/tick implements Real and carries the two sanctioned
+// //bgplint:ignore directives in the whole module.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/bgpsim/bgpsim/internal/lint/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "flags direct wall-clock access (time.Now/Since/NewTimer/After/...) " +
+		"and tick.Real() in deterministic packages; inject a tick.Clock instead",
+	Run: run,
+}
+
+// tickPath is the injectable-clock package; Real() is its wall-clock
+// constructor for the process boundary.
+const tickPath = "github.com/bgpsim/bgpsim/internal/tick"
+
+// banned are the package-level functions of package time that read or
+// schedule against the wall clock. Pure constructors (time.Date,
+// time.Unix, time.Duration arithmetic) and methods on time.Time stay
+// allowed — they are deterministic given their inputs.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !pass.Facts.Deterministic {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (t.Add, t.Sub, ...) are pure
+			}
+			switch {
+			case fn.Pkg().Path() == "time" && banned[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"direct time.%s in deterministic package; route wall-clock access through an injected tick.Clock so fake-clock tests drive the production path",
+					fn.Name())
+			case fn.Pkg().Path() == tickPath && fn.Name() == "Real":
+				pass.Reportf(call.Pos(),
+					"tick.Real() in library code bypasses clock injection; accept a tick.Clock and let the process boundary (cmd/, examples/) install Real")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,19 @@
+package walltime
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/lint/linttest"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/walltime_a", "walltime_a")
+}
+
+func TestNonDeterministicPackage(t *testing.T) {
+	// Outside the determinism closure the wall clock is free: the same
+	// fixture must produce zero diagnostics, so every want comment in it
+	// would fail — use the boundary fixture instead.
+	linttest.RunWith(t, Analyzer, linttest.Options{NonDeterministic: true},
+		"testdata/src/walltime_b", "walltime_b")
+}

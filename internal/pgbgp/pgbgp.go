@@ -92,7 +92,7 @@ func (h *History) Suspicious(p prefix.Prefix, origin asn.ASN, day Day) bool {
 // deployment this is what a PGBGP router accumulates by watching BGP for
 // the history window before enforcing.
 func (h *History) SeedFromBaseline(owners map[prefix.Prefix]asn.ASN, day Day) {
-	for p, origin := range owners {
+	for p, origin := range owners { //bgplint:ignore maporder per-(prefix,origin) history updates commute; each key is visited once
 		h.Observe(p, origin, day)
 	}
 }

@@ -164,10 +164,10 @@ func Compare(g *topology.Graph, sim, ref RIB) Report {
 			rep.Missing++
 		}
 	}
-	for node := range sim {
+	for node := range sim { //bgplint:ignore maporder classify is idempotent per node and increments commutative counters
 		classify(node)
 	}
-	for node := range ref {
+	for node := range ref { //bgplint:ignore maporder classify is idempotent per node and increments commutative counters
 		classify(node)
 	}
 	return rep

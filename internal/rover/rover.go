@@ -236,6 +236,7 @@ func (r *Resolver) zoneFor(name string) (*Zone, error) {
 	z := r.anchor
 	for {
 		next := ""
+		//bgplint:ignore maporder longest-suffix selection; distinct apexes of equal length cannot both match
 		for apex := range z.children {
 			if name == apex || strings.HasSuffix(name, "."+apex) {
 				if len(apex) > len(next) {

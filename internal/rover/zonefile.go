@@ -29,7 +29,7 @@ func (z *Zone) WriteZoneFile(w io.Writer) error {
 	fmt.Fprintf(bw, "; key %s\n", base64.StdEncoding.EncodeToString(z.pub))
 
 	names := make([]string, 0, len(z.records))
-	for name := range z.records {
+	for name := range z.records { //bgplint:ignore maporder names are sorted immediately below
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -41,7 +41,7 @@ func (z *Zone) WriteZoneFile(w io.Writer) error {
 		}
 	}
 	children := make([]string, 0, len(z.children))
-	for apex := range z.children {
+	for apex := range z.children { //bgplint:ignore maporder children are sorted immediately below
 		children = append(children, apex)
 	}
 	sort.Strings(children)

@@ -166,6 +166,7 @@ func (w *Window[T]) Put(idx int, v T) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for !w.aborted && idx-w.head >= len(w.buf) {
+		//bgplint:ignore lockheld Cond.Wait atomically releases w.mu while parked
 		w.notFull.Wait()
 	}
 	if w.aborted {

@@ -67,6 +67,8 @@ func Map(n int, opts Options, fn func(i int) error) error {
 // threads the value through every fn it runs, so expensive reusable buffers
 // (a core.Solver, scratch slices) are allocated once per worker instead of
 // once per item.
+//
+//bgplint:hotpath the worker dispatch loop runs once per sweep cell
 func MapLocal[W any](n int, opts Options, local func() W, fn func(w W, i int) error) error {
 	if n <= 0 {
 		return nil

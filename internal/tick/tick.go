@@ -46,16 +46,30 @@ func Rearm(t Timer, d time.Duration) {
 // Real returns the wall-clock Clock backed by package time.
 func Real() Clock { return realClock{} }
 
+// Or returns c if non-nil, else the wall clock. It is the one sanctioned
+// nil-Clock fallback: library structs whose zero value must work call
+// tick.Or(x.Clock) instead of reaching for Real() themselves, keeping
+// every wall-clock escape hatch in this package where the walltime
+// analyzer's suppressions are audited together.
+func Or(c Clock) Clock {
+	if c != nil {
+		return c
+	}
+	//bgplint:ignore walltime sanctioned nil-Clock fallback; tests inject Fake through the Clock field
+	return Real()
+}
+
 type realClock struct{}
 
-func (realClock) Now() time.Time { return time.Now() }
+func (realClock) Now() time.Time { return time.Now() } //bgplint:ignore walltime Real is the sanctioned wall-clock implementation behind Clock
 
+//bgplint:ignore walltime Real is the sanctioned wall-clock implementation behind Clock
 func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
 
 type realTimer struct{ t *time.Timer }
 
-func (r realTimer) C() <-chan time.Time      { return r.t.C }
-func (r realTimer) Stop() bool               { return r.t.Stop() }
+func (r realTimer) C() <-chan time.Time        { return r.t.C }
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
 func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
 
 // Fake is a manually advanced Clock for deterministic tests: timers
@@ -141,6 +155,7 @@ func (f *Fake) BlockUntilTimers(n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for f.armedLocked() < n {
+		//bgplint:ignore lockheld Cond.Wait atomically releases f.mu while parked
 		f.cond.Wait()
 	}
 }

@@ -105,7 +105,7 @@ func ContractSiblings(g *Graph) (*Contraction, error) {
 		}
 	}
 	keys := make([]pair, 0, len(merged))
-	for k := range merged {
+	for k := range merged { //bgplint:ignore maporder keys are sorted immediately below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(a, b int) bool {
@@ -125,6 +125,7 @@ func ContractSiblings(g *Graph) (*Contraction, error) {
 	for i := 0; i < g.N(); i++ {
 		groupWeight[repIdx(i)] += g.AddrWeight(i)
 	}
+	//bgplint:ignore maporder keyed per-rep writes; each representative is visited once
 	for rep, w := range groupWeight {
 		b.SetAddrWeight(g.ASN(rep), w)
 		if r := g.Region(rep); r >= 0 {
@@ -144,6 +145,7 @@ func ContractSiblings(g *Graph) (*Contraction, error) {
 		nodeMap[i] = ni
 	}
 	var groups [][]int
+	//bgplint:ignore maporder groups are sorted immediately below
 	for root, ms := range members {
 		if len(ms) > 1 {
 			sort.Ints(ms)

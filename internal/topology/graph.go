@@ -248,7 +248,7 @@ func (b *Builder) Build() *Graph {
 		seen[key[1]] = struct{}{}
 	}
 	asns := make([]asn.ASN, 0, len(seen))
-	for a := range seen {
+	for a := range seen { //bgplint:ignore maporder asns are sorted immediately below
 		asns = append(asns, a)
 	}
 	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
@@ -275,7 +275,7 @@ func (b *Builder) Build() *Graph {
 
 	// Deterministic edge order: sort link keys.
 	keys := make([][2]asn.ASN, 0, len(b.links))
-	for key := range b.links {
+	for key := range b.links { //bgplint:ignore maporder keys are sorted immediately below
 		keys = append(keys, key)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -299,6 +299,7 @@ func (b *Builder) Build() *Graph {
 		for i := range g.region {
 			g.region[i] = -1
 		}
+		//bgplint:ignore maporder keyed writes into distinct indices; each ASN is visited once
 		for a, r := range b.regions {
 			if i, ok := index[a]; ok {
 				g.region[i] = r
@@ -310,6 +311,7 @@ func (b *Builder) Build() *Graph {
 		for i := range g.addrWeight {
 			g.addrWeight[i] = 1
 		}
+		//bgplint:ignore maporder keyed writes into distinct indices; each ASN is visited once
 		for a, w := range b.addrWeight {
 			if i, ok := index[a]; ok {
 				g.addrWeight[i] = w
