@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/detect"
 	"github.com/bgpsim/bgpsim/internal/experiments"
@@ -106,7 +107,7 @@ func (s *Simulator) EvaluateDetection(ps ProbeSet, attacks int, seed int64) (*De
 	if err != nil {
 		return nil, err
 	}
-	return detect.Evaluate(s.world.Policy, ps, workload, detect.SelectedRoute, nil)
+	return detect.Evaluate(s.world.Policy, ps, workload, detect.SelectedRoute, core.Defense{})
 }
 
 // --- Deployment -------------------------------------------------------------

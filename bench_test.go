@@ -339,11 +339,11 @@ func BenchmarkAblationDetectionSemantics(b *testing.B) {
 	ps := detect.Tier1Probes(w.Class)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sel, err := detect.Evaluate(w.Policy, ps, attacks, detect.SelectedRoute, nil)
+		sel, err := detect.Evaluate(w.Policy, ps, attacks, detect.SelectedRoute, core.Defense{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		rec, err := detect.Evaluate(w.Policy, ps, attacks, detect.AnyReceived, nil)
+		rec, err := detect.Evaluate(w.Policy, ps, attacks, detect.AnyReceived, core.Defense{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -476,6 +476,36 @@ func BenchmarkSweepRunWorkers(b *testing.B) {
 				if _, err := hijack.Sweep(w.Policy, hijack.SweepConfig{Target: deep, Attackers: attackers, Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioKinds measures one sweep per attack scenario against
+// the same defended deep target: the kinds share the solver's three-stage
+// kernel but differ in scenario resolution (forged-origin checks ASPA
+// plausibility per attacker; route leaks solve a defense-free baseline
+// first), so the sub-benchmarks expose the marginal cost of each kind.
+func BenchmarkScenarioKinds(b *testing.B) {
+	w := world(b)
+	deep, _ := w.DeepTarget()
+	attackers := experiments.SampleAttackers(w.Graph.TransitNodes(), 100, rand.New(rand.NewSource(1)))
+	set := asn.NewIndexSet(w.Graph.N())
+	for _, n := range topology.NodesByDegree(w.Graph)[:62] {
+		set.Add(n)
+	}
+	def := (core.MechROV | core.MechASPA | core.MechPeerlock).Deploy(set)
+	for _, kind := range core.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := hijack.Sweep(w.Policy, hijack.SweepConfig{
+					Target: deep, Attackers: attackers, Kind: kind, Defense: def,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Summary().Mean, "mean-polluted")
 			}
 		})
 	}

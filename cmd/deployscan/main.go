@@ -8,6 +8,14 @@
 //	deployscan -target deep          # Figure 6 (vulnerable target)
 //	deployscan -target both -top 5
 //
+// The ladders generalize beyond the paper's attack model: -scenario picks
+// the attack kind and -defense what the deployed sets validate, and -rank
+// runs the per-scenario deployment ranking study (random vs degree-ranked
+// vs depth-ranked, every scenario, one matrix run):
+//
+//	deployscan -scenario route-leak -defense rov+aspa
+//	deployscan -rank
+//
 // Multi-process runs shard each panel's ladder by cell range:
 //
 //	deployscan -shard 0/2 -shard-dir out
@@ -21,8 +29,10 @@ import (
 	"os"
 
 	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/experiments"
 	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 )
 
 func main() {
@@ -40,7 +50,9 @@ func run() error {
 	top := fs.Int("top", 5, "residual-attack table size")
 	subprefix := fs.Bool("subprefix", false, "also run the sub-prefix-vs-origin hijack study")
 	sbgpStudy := fs.Bool("sbgp", false, "also run the S*BGP security-rank study")
+	rank := fs.Bool("rank", false, "run the per-scenario deployment ranking study instead of the Figure 5/6 panels")
 	svgPrefix := fs.String("svg", "", "render each panel's chart to <prefix>-depth1.svg / <prefix>-deep.svg")
+	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -53,12 +65,25 @@ func run() error {
 	if mode != cli.RunFull && (*subprefix || *sbgpStudy) {
 		return fmt.Errorf("-subprefix and -sbgp do not shard; drop them from -shard/-merge runs")
 	}
+	kind, mechs, err := sc.Parse()
+	if err != nil {
+		return err
+	}
 	w, err := wf.BuildWorld()
 	if err != nil {
 		return err
 	}
 	cli.Describe(w)
-	cfg := experiments.DeploymentConfig{AttackerSample: *sample, Seed: *wf.Seed, ResidualTop: *top, Workers: *workers}
+	if *rank {
+		return runRanking(w, sh, mode, sel, *sample, *wf.Seed, mechs, *workers)
+	}
+	// The ladder defends each rung's node set with the -defense
+	// mechanisms (empty = ROV, the paper's model) against -scenario
+	// attacks.
+	cfg := experiments.DeploymentConfig{
+		AttackerSample: *sample, Seed: *wf.Seed, ResidualTop: *top,
+		Kind: kind, Mechs: mechs, Workers: *workers,
+	}
 
 	runDepth1 := *target == "depth1" || *target == "both"
 	runDeep := *target == "deep" || *target == "both"
@@ -166,4 +191,40 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runRanking runs the scenario-ranking study in whichever shard mode the
+// flags selected. mechs = 0 keeps the study's own rov+aspa default.
+func runRanking(w *experiments.World, sh *cli.ShardFlags, mode cli.ShardMode, sel sweep.ShardSel, sample int, seed int64, mechs core.DefenseMech, workers int) error {
+	cfg := experiments.ScenarioRankingConfig{
+		AttackerSample: sample,
+		Seed:           seed,
+		Mechs:          mechs,
+		Workers:        workers,
+	}
+	switch mode {
+	case cli.RunShard:
+		rep, err := experiments.ScenarioRankingShardTo(w, cfg, sel, sh.Store("deployscan", seed, workers))
+		if err != nil {
+			return err
+		}
+		cli.NoteShard(rep)
+		return nil
+	case cli.RunMerge:
+		files, err := cli.ReadShards[hijack.Record](*sh.Dir, experiments.TagScenario)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.ScenarioRankingMerge(w, cfg, files)
+		if err != nil {
+			return err
+		}
+		return res.WriteText(os.Stdout)
+	default:
+		res, err := experiments.ScenarioRanking(w, cfg)
+		if err != nil {
+			return err
+		}
+		return res.WriteText(os.Stdout)
+	}
 }

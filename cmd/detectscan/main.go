@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/detect"
 	"github.com/bgpsim/bgpsim/internal/experiments"
 )
@@ -42,12 +43,17 @@ func run() error {
 	semantics := fs.String("semantics", "selected", "probe trigger semantics: selected | received")
 	falseAlarms := fs.Bool("falsealarms", false, "also run the data-freshness false-alarm study")
 	svgPrefix := fs.String("svg", "", "render each configuration's histogram to <prefix>-caseN.svg")
+	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
 	mode, sel, err := sh.Mode()
+	if err != nil {
+		return err
+	}
+	kind, mechs, err := sc.Parse()
 	if err != nil {
 		return err
 	}
@@ -74,7 +80,14 @@ func run() error {
 		BGPmonProbes: *bgpmon,
 		TopMisses:    *top,
 		Semantics:    sem,
+		Kind:         kind,
 		Workers:      *workers,
+	}
+	// -defense deploys the selected mechanisms at the scaled 62-AS core,
+	// so detection is measured alongside prevention; the default stays
+	// the paper's detection-only model.
+	if mechs != 0 {
+		cfg.Defense = mechs.Deploy(deploy.TopDegree(w.Graph, w.ScaledCoreK()).Blocked(w.Graph.N()))
 	}
 	var res *experiments.DetectionResult
 	switch mode {

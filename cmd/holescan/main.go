@@ -41,6 +41,7 @@ func run() error {
 	minPollution := fs.Int("min-pollution", 0, "success threshold in polluted ASes (0 = 1% of ASes)")
 	filtersKind := fs.String("filters", "core", "deployed filters: core | tier1 | none")
 	probesKind := fs.String("probes", "core", "detector probes: core | tier1 | bgpmon")
+	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -50,21 +51,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	kind, mechs, err := sc.Parse()
+	if err != nil {
+		return err
+	}
 	w, err := wf.BuildWorld()
 	if err != nil {
 		return err
 	}
 	cli.Describe(w)
 
-	coreK := 62 * w.Graph.N() / 42697
-	if coreK < len(w.Class.Tier1)+3 {
-		coreK = len(w.Class.Tier1) + 3
-	}
+	coreK := w.ScaledCoreK()
 	cfg := experiments.HoleConfig{
 		Attacks:      *attacks,
 		Seed:         *wf.Seed,
 		MinPollution: *minPollution,
-		Workers:      *workers,
+		Kind:         kind,
+		// -defense picks what the -filters set deploys (empty = ROV).
+		Mechs:   mechs,
+		Workers: *workers,
 	}
 	switch *filtersKind {
 	case "core":

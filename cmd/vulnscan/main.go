@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"github.com/bgpsim/bgpsim/internal/cli"
+	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/experiments"
 	"github.com/bgpsim/bgpsim/internal/hijack"
 	"github.com/bgpsim/bgpsim/internal/sweep"
@@ -45,6 +46,7 @@ func run() error {
 	stubFilter := fs.Bool("stubfilter", false, "run the Figure 4 stub-filter comparison instead")
 	sample := fs.Int("sample", 0, "attacker sample per target (0 = every AS)")
 	svgOut := fs.String("svg", "", "also render the panel as an SVG chart to this file")
+	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -54,13 +56,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	kind, mechs, err := sc.Parse()
+	if err != nil {
+		return err
+	}
 	w, err := wf.BuildWorld()
 	if err != nil {
 		return err
 	}
 	cli.Describe(w)
 
-	cfg := experiments.VulnerabilityConfig{AttackerSample: *sample, Seed: *wf.Seed, Workers: *workers}
+	cfg := experiments.VulnerabilityConfig{AttackerSample: *sample, Seed: *wf.Seed, Kind: kind, Workers: *workers}
+	// -defense deploys the selected mechanisms at the scaled 62-AS
+	// high-degree core; the default stays the paper's undefended baseline.
+	if mechs != 0 {
+		cfg.Defense = mechs.Deploy(deploy.TopDegree(w.Graph, w.ScaledCoreK()).Blocked(w.Graph.N()))
+	}
 	store := sh.Store("vulnscan", *wf.Seed, *workers)
 	if *stubFilter {
 		switch mode {

@@ -39,6 +39,36 @@ func AddWorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "parallel solver workers (0 = all CPUs); any value gives identical results")
 }
 
+// ScenarioFlags selects the attack scenario and deployed defense
+// mechanisms for scan tools. The defaults ("origin", "") reproduce the
+// paper's model — and its workload digests — exactly.
+type ScenarioFlags struct {
+	Scenario *string
+	Defense  *string
+}
+
+// AddScenarioFlags registers -scenario and -defense.
+func AddScenarioFlags(fs *flag.FlagSet) *ScenarioFlags {
+	return &ScenarioFlags{
+		Scenario: fs.String("scenario", "", `attack scenario: "origin" (default), "forged-origin" or "route-leak"`),
+		Defense:  fs.String("defense", "", `deployed defense mechanisms, '+'-joined: "rov", "aspa", "peerlock" (tool default when empty)`),
+	}
+}
+
+// Parse resolves the flags into an attack kind and a mechanism mask.
+// An empty -defense yields mechs = 0; callers apply their tool default.
+func (f *ScenarioFlags) Parse() (core.AttackKind, core.DefenseMech, error) {
+	kind, err := core.ParseAttackKind(*f.Scenario)
+	if err != nil {
+		return 0, 0, err
+	}
+	mechs, err := core.ParseDefenseMech(*f.Defense)
+	if err != nil {
+		return 0, 0, err
+	}
+	return kind, mechs, nil
+}
+
 // ShardFlags is the multi-process matrix plumbing shared by the scan
 // tools: `-shard i/n -shard-dir d` solves one cell-range slice of every
 // experiment the invocation covers and writes it as a JSON shard file;

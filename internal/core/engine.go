@@ -25,10 +25,26 @@ type Event struct {
 type Trace struct {
 	Events      []Event
 	Generations int
+
+	// genEnd[g-1] is the index one past generation g's events: Events are
+	// appended in generation order, so generation g spans
+	// Events[genEnd[g-2]:genEnd[g-1]]. Maintained by the engine; traces
+	// assembled by hand may leave it nil and fall back to a scan.
+	genEnd []int
 }
 
 // EventsInGen returns the events delivered in generation g (1-based).
+// With engine-maintained generation offsets this is an O(1) subslice of
+// Events (polar-viz and propagation analysis call it once per generation;
+// the old full rescan made those passes O(E·G)).
 func (t *Trace) EventsInGen(g int) []Event {
+	if g >= 1 && g <= len(t.genEnd) {
+		start := 0
+		if g > 1 {
+			start = t.genEnd[g-2]
+		}
+		return t.Events[start:t.genEnd[g-1]]
+	}
 	var out []Event
 	for _, e := range t.Events {
 		if e.Gen == g {
@@ -56,6 +72,10 @@ type Engine struct {
 	// no legitimate alternative exists. Prefer-valid two-plane policies of
 	// this shape are convergence-safe.
 	Depref *asn.IndexSet
+
+	// base lazily holds the solver that computes the defense-free
+	// baseline route a leak scenario re-announces.
+	base *Solver
 
 	// SecureDeployed and SecureMode enable S*BGP-style path security
 	// (Lychev, Goldberg & Schapira, SIGCOMM 2013 — the model whose
@@ -107,9 +127,9 @@ type message struct {
 
 // engineRun holds the mutable per-run state.
 type engineRun struct {
-	pol     *Policy
-	blocked *asn.IndexSet
-	depref  *asn.IndexSet
+	pol    *Policy
+	sc     *scenario
+	depref *asn.IndexSet
 
 	secureDeployed *asn.IndexSet
 	secureMode     SecureMode
@@ -135,14 +155,28 @@ type engineRun struct {
 
 // Run executes the attack to convergence and returns the outcome plus the
 // full message trace (trace collection is cheap relative to the engine
-// itself; pass collectTrace=false to skip storing events).
+// itself; pass collectTrace=false to skip storing events). Run is
+// RunDefense under the paper's original ROV-only defense shape.
 func (e *Engine) Run(at Attack, blocked *asn.IndexSet, collectTrace bool) (*Outcome, *Trace, error) {
+	return e.RunDefense(at, Defense{Blocked: blocked}, collectTrace)
+}
+
+// RunDefense executes the attack under the full defense model (ROV, ASPA,
+// Peerlock), resolved through the same scenario layer the Solver uses —
+// the two remain bit-identical for every attack kind.
+func (e *Engine) RunDefense(at Attack, def Defense, collectTrace bool) (*Outcome, *Trace, error) {
 	n := e.pol.N()
-	if at.Target < 0 || at.Target >= n || at.Attacker < 0 || at.Attacker >= n {
-		return nil, nil, fmt.Errorf("engine: node index out of range (target %d, attacker %d, n %d)", at.Target, at.Attacker, n)
+	if err := validateAttack(e.pol, at); err != nil {
+		return nil, nil, fmt.Errorf("engine: %w", err)
 	}
-	if at.Target == at.Attacker {
-		return nil, nil, fmt.Errorf("engine: target and attacker are the same node %d", at.Target)
+	sc, err := buildScenario(e.pol, at, def, func() (int16, bool) {
+		if e.base == nil {
+			e.base = NewSolver(e.pol)
+		}
+		return e.base.baselineDist(at)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	maxGen := e.MaxGenerations
 	if maxGen == 0 {
@@ -151,7 +185,7 @@ func (e *Engine) Run(at Attack, blocked *asn.IndexSet, collectTrace bool) (*Outc
 
 	r := &engineRun{
 		pol:        e.pol,
-		blocked:    blocked,
+		sc:         &sc,
 		depref:     e.Depref,
 		secureMode: e.SecureMode,
 		ribCust:    make([]map[int32]ribEntry, n),
@@ -171,10 +205,14 @@ func (e *Engine) Run(at Attack, blocked *asn.IndexSet, collectTrace bool) (*Outc
 		r.trace = &Trace{}
 	}
 
-	originate := func(node int, org int8) {
+	// The attacker's advertised path starts at the scenario's seed depth
+	// (0 for an origin hijack, 1 for a forged-origin prepend, the leaked
+	// route's real length for a leak); a leak with no route to leak never
+	// announces at all.
+	originate := func(node int, org int8, d int16) {
 		r.has[node] = true
 		r.class[node] = ClassOrigin
-		r.dist[node] = 0
+		r.dist[node] = d
 		r.nexthop[node] = -1
 		r.origin[node] = org
 		// Only the legitimate origin can produce a route-origin signature
@@ -184,10 +222,12 @@ func (e *Engine) Run(at Attack, blocked *asn.IndexSet, collectTrace bool) (*Outc
 		r.enqueueUpdates(int32(node), ClassNone, -1)
 	}
 	if at.SubPrefix {
-		originate(at.Attacker, OriginAttacker)
+		originate(at.Attacker, OriginAttacker, sc.seedDist)
 	} else {
-		originate(at.Target, OriginTarget)
-		originate(at.Attacker, OriginAttacker)
+		originate(at.Target, OriginTarget, 0)
+		if sc.seedAttacker {
+			originate(at.Attacker, OriginAttacker, sc.seedDist)
+		}
 	}
 
 	for len(r.next) > 0 {
@@ -198,6 +238,9 @@ func (e *Engine) Run(at Attack, blocked *asn.IndexSet, collectTrace bool) (*Outc
 		r.queue, r.next = r.next, r.queue[:0]
 		touched := r.deliverAll()
 		r.recomputeAll(touched)
+		if r.trace != nil {
+			r.trace.genEnd = append(r.trace.genEnd, len(r.trace.Events))
+		}
 	}
 
 	stamp := make([]int32, n)
@@ -232,12 +275,13 @@ func (r *engineRun) deliverAll() map[int32]bool {
 				touched[m.to] = true
 			}
 		} else {
-			// Origin validation drops bogus announcements pre-RIB: the
-			// paper's prevention model ("something exists to prevent a
-			// router from accepting and propagating a bogus announcement").
-			// An update implicitly replaces the neighbor's previous
+			// Validation drops bogus announcements pre-RIB: the paper's
+			// prevention model ("something exists to prevent a router from
+			// accepting and propagating a bogus announcement"), resolved
+			// per scenario (ROV, ASPA or Peerlock — see scenario.go). An
+			// update implicitly replaces the neighbor's previous
 			// advertisement, so a rejected update still clears it.
-			if rejects(r.blocked, m.to, m.origin) {
+			if r.sc.rejects(r.pol, m.to, m.origin) {
 				if _, ok := rib[m.from]; ok {
 					delete(rib, m.from)
 					touched[m.to] = true

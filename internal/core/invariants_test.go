@@ -53,34 +53,99 @@ func TestOutcomeInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			checkInvariants(t, pol, cg, o, at, blocked)
+			checkInvariants(t, pol, cg, o, at, Defense{Blocked: blocked})
 		}
 	}
 }
 
-func checkInvariants(t *testing.T, pol *Policy, g *topology.Graph, o *Outcome, at Attack, blocked *asn.IndexSet) {
+// TestOutcomeInvariantsScenarios re-runs the invariant battery over every
+// attack kind × defense-mechanism combination: the structural properties
+// must hold whatever the scenario, with the kind-aware adjustments (the
+// attacker's origination starts at the scenario seed depth; each
+// mechanism only filters where the kind makes it applicable).
+func TestOutcomeInvariantsScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mechs := []DefenseMech{0, MechROV, MechASPA, MechPeerlock, MechROV | MechASPA, MechROV | MechASPA | MechPeerlock}
+	for trial := 0; trial < 3; trial++ {
+		p := topology.DefaultParams(400)
+		p.Seed = int64(trial + 30)
+		g := topology.MustGenerate(p)
+		con, err := topology.ContractSiblings(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg := con.Graph
+		c := topology.Classify(cg, topology.ClassifyOptions{})
+		pol, err := NewPolicy(cg, c.Tier1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSolver(pol)
+		for _, kind := range Kinds() {
+			for _, mech := range mechs {
+				for rep := 0; rep < 4; rep++ {
+					target, attacker := rng.Intn(cg.N()), rng.Intn(cg.N())
+					if target == attacker {
+						continue
+					}
+					set := asn.NewIndexSet(cg.N())
+					for k := 0; k < 30; k++ {
+						set.Add(rng.Intn(cg.N()))
+					}
+					def := mech.Deploy(set)
+					at := Attack{Target: target, Attacker: attacker, Kind: kind,
+						SubPrefix: kind != KindRouteLeak && rep%2 == 0}
+					o, err := s.SolveDefense(at, def)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkInvariants(t, pol, cg, o, at, def)
+				}
+			}
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, pol *Policy, g *topology.Graph, o *Outcome, at Attack, def Defense) {
 	t.Helper()
-	// (4) origin self-routing.
+	sc, err := buildScenario(pol, at, def, func() (int16, bool) {
+		return NewSolver(pol).baselineDist(at)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4) origin self-routing, at the scenario's seed depths.
 	if !at.SubPrefix {
 		if o.Origin(at.Target) != OriginTarget || o.Class(at.Target) != ClassOrigin {
 			t.Fatal("target does not originate its own route")
 		}
 	}
-	if o.Origin(at.Attacker) != OriginAttacker || o.Class(at.Attacker) != ClassOrigin {
-		t.Fatal("attacker does not originate its own route")
+	if sc.seedAttacker {
+		if o.Origin(at.Attacker) != OriginAttacker || o.Class(at.Attacker) != ClassOrigin {
+			t.Fatal("attacker does not originate its own route")
+		}
+		if o.Dist(at.Attacker) != sc.seedDist {
+			t.Fatalf("attacker originates at dist %d, want scenario seed %d", o.Dist(at.Attacker), sc.seedDist)
+		}
+	} else if o.Origin(at.Attacker) == OriginAttacker {
+		t.Fatal("non-announcing attacker (no-op leak) still has an attacker route")
 	}
 	for i := 0; i < o.N(); i++ {
 		if !o.HasRoute(i) {
 			continue
 		}
-		// (5) filters hold — except at the attacker itself, which always
-		// originates its own announcement.
-		if blocked != nil && blocked.Contains(i) && o.Origin(i) == OriginAttacker && i != at.Attacker {
-			t.Fatalf("filtered node %d selected the attacker route", i)
+		// (5) the scenario's resolved filters hold — except at the attacker
+		// itself, which always keeps its own announcement.
+		if i != at.Attacker && o.Origin(i) == OriginAttacker && sc.rejects(pol, int32(i), OriginAttacker) {
+			t.Fatalf("filtered node %d selected the attacker route (kind %v)", i, at.Kind)
 		}
 		if o.Class(i) == ClassOrigin {
-			if o.Dist(i) != 0 {
-				t.Fatalf("origin node %d has dist %d", i, o.Dist(i))
+			wantDist := int16(0)
+			if i == at.Attacker {
+				wantDist = sc.seedDist
+			}
+			if o.Dist(i) != wantDist {
+				t.Fatalf("origin node %d has dist %d, want %d", i, o.Dist(i), wantDist)
 			}
 			continue
 		}
@@ -127,10 +192,16 @@ func checkInvariants(t *testing.T, pol *Policy, g *topology.Graph, o *Outcome, a
 			t.Fatalf("node %d learned a route its next hop %d (class %v) may not export to a %v",
 				i, nh, o.Class(nh), relFromNH)
 		}
-		// (2) dist equals path length.
+		// (2) dist equals path length plus the origination's seed depth
+		// (forged-origin prepends and leaked routes advertise a path that
+		// starts longer than the hop count back to the announcing node).
 		path := o.Path(i)
-		if path == nil || len(path)-1 != int(o.Dist(i)) {
-			t.Fatalf("node %d dist %d but path %v", i, o.Dist(i), path)
+		want := len(path) - 1
+		if o.Origin(i) == OriginAttacker {
+			want += int(sc.seedDist)
+		}
+		if path == nil || want != int(o.Dist(i)) {
+			t.Fatalf("node %d dist %d but path %v (seed %d)", i, o.Dist(i), path, sc.seedDist)
 		}
 	}
 }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+func TestAttackKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseAttackKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseAttackKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if k, err := ParseAttackKind(""); err != nil || k != KindOrigin {
+		t.Errorf("empty scenario = %v, %v; want origin", k, err)
+	}
+	if _, err := ParseAttackKind("bogus"); err == nil {
+		t.Error("ParseAttackKind accepted bogus kind")
+	}
+}
+
+func TestDefenseMechRoundTrip(t *testing.T) {
+	cases := []DefenseMech{0, MechROV, MechASPA, MechPeerlock, MechROV | MechASPA, MechROV | MechASPA | MechPeerlock}
+	for _, m := range cases {
+		got, err := ParseDefenseMech(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseDefenseMech(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseDefenseMech("rov+bogus"); err == nil {
+		t.Error("ParseDefenseMech accepted bogus mechanism")
+	}
+	set := asn.NewIndexSet(4)
+	set.Add(1)
+	d := (MechROV | MechPeerlock).Deploy(set)
+	if d.Blocked != set || d.ASPA != nil || !d.Peerlock {
+		t.Errorf("Deploy mismatch: %+v", d)
+	}
+	if !(Defense{}).IsZero() || d.IsZero() {
+		t.Error("IsZero mismatch")
+	}
+}
+
+// scenarioWorld builds a contracted random topology and its policy for
+// scenario tests.
+func scenarioWorld(t *testing.T, n int, seed int64, opts ...PolicyOption) (*Policy, *topology.Graph, *topology.Classification) {
+	t.Helper()
+	p := topology.DefaultParams(n)
+	p.Seed = seed
+	g := topology.MustGenerate(p)
+	con, err := topology.ContractSiblings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Classify(con.Graph, topology.ClassifyOptions{})
+	pol, err := NewPolicy(con.Graph, c.Tier1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol, con.Graph, c
+}
+
+// TestSolveDefenseBackCompat: Solve(at, blocked) and the explicit
+// ROV-only Defense must be the same computation, for every kind.
+func TestSolveDefenseBackCompat(t *testing.T) {
+	pol, g, _ := scenarioWorld(t, 300, 5)
+	s := NewSolver(pol)
+	s2 := NewSolver(pol)
+	blocked := asn.NewIndexSet(g.N())
+	for i := 0; i < g.N(); i += 5 {
+		blocked.Add(i)
+	}
+	for _, kind := range Kinds() {
+		at := Attack{Target: 3, Attacker: g.N() - 2, Kind: kind}
+		a, err := s.Solve(at, blocked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s2.SolveDefense(at, RovOnly(blocked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg, ok := outcomesEqual(a, b); !ok {
+			t.Fatalf("kind %v: Solve vs SolveDefense(RovOnly): %s", kind, msg)
+		}
+	}
+}
+
+// TestScenarioSemantics checks the defense-applicability matrix directly:
+// which mechanism stops which kind.
+func TestScenarioSemantics(t *testing.T) {
+	pol, g, c := scenarioWorld(t, 400, 11)
+	n := g.N()
+	s := NewSolver(pol)
+	everyone := asn.NewIndexSet(n)
+	for i := 0; i < n; i++ {
+		everyone.Add(i)
+	}
+	target, attacker := 2, n-3
+	solve := func(kind AttackKind, def Defense) *Outcome {
+		t.Helper()
+		o, err := s.SolveDefense(Attack{Target: target, Attacker: attacker, Kind: kind}, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+
+	// Universal ROV swallows a type-0 hijack whole...
+	if p := solve(KindOrigin, RovOnly(everyone)).PollutedCount(); p != 0 {
+		t.Errorf("origin hijack under universal ROV polluted %d ASes, want 0", p)
+	}
+	// ...but is blind to a forged origin: same pollution as undefended.
+	undefended := solve(KindForgedOrigin, Defense{}).PollutedCount()
+	if p := solve(KindForgedOrigin, RovOnly(everyone)).PollutedCount(); p != undefended {
+		t.Errorf("forged-origin under universal ROV polluted %d, want undefended %d (ROV must not help)", p, undefended)
+	}
+	// Universal ASPA stops the forged origin (the attacker here is not a
+	// provider of the target — the forged adjacency is detectable).
+	if aspaAuthorizedProvider(pol, attacker, target) {
+		t.Fatalf("test setup: attacker %d is a provider of target %d", attacker, target)
+	}
+	if p := solve(KindForgedOrigin, Defense{ASPA: everyone}).PollutedCount(); p != 0 {
+		t.Errorf("forged-origin under universal ASPA polluted %d ASes, want 0", p)
+	}
+	// A forged origin from a real provider of the target is plausible:
+	// ASPA must NOT filter it.
+	var provTarget, cust int = -1, -1
+	for v := 0; v < n && provTarget < 0; v++ {
+		if len(pol.Customers(v)) > 0 && len(pol.Providers(int(pol.Customers(v)[0]))) > 0 {
+			cust = int(pol.Customers(v)[0])
+			provTarget = v
+		}
+	}
+	if provTarget >= 0 {
+		prov := int(pol.Providers(cust)[0])
+		plausible, err := s.SolveDefense(Attack{Target: cust, Attacker: prov, Kind: KindForgedOrigin}, Defense{ASPA: everyone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare, err := NewSolver(pol).SolveDefense(Attack{Target: cust, Attacker: prov, Kind: KindForgedOrigin}, Defense{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plausible.PollutedCount() != bare.PollutedCount() {
+			t.Errorf("plausible forged-origin (attacker is a real provider): ASPA changed pollution %d → %d",
+				bare.PollutedCount(), plausible.PollutedCount())
+		}
+	}
+	// Route leak: ROV blind, ASPA sees the valley.
+	leakBare := solve(KindRouteLeak, Defense{}).PollutedCount()
+	if p := solve(KindRouteLeak, RovOnly(everyone)).PollutedCount(); p != leakBare {
+		t.Errorf("route leak under universal ROV polluted %d, want undefended %d", p, leakBare)
+	}
+	if p := solve(KindRouteLeak, Defense{ASPA: everyone}).PollutedCount(); p != 0 {
+		t.Errorf("route leak under universal ASPA polluted %d ASes, want 0", p)
+	}
+	// Peerlock: every tier-1 refuses the leaked route; non-tier-1 pollution
+	// may remain, tier-1 pollution may not.
+	lock := solve(KindRouteLeak, Defense{Peerlock: true})
+	for _, t1 := range c.Tier1 {
+		if lock.Polluted(t1) {
+			t.Errorf("tier-1 %d polluted by a route leak despite Peerlock", t1)
+		}
+	}
+	// Peerlock is leak-specific: a type-0 hijack sails past it.
+	if p := solve(KindOrigin, Defense{Peerlock: true}).PollutedCount(); p == 0 {
+		t.Error("origin hijack under Peerlock polluted nothing — Peerlock must not filter origin hijacks")
+	}
+
+	// The leaked route starts at the attacker's real route length.
+	leak := solve(KindRouteLeak, Defense{})
+	bd, ok := NewSolver(pol).baselineDist(Attack{Target: target, Attacker: attacker})
+	if !ok {
+		t.Fatal("attacker has no baseline route in a connected world")
+	}
+	if leak.Dist(attacker) != bd {
+		t.Errorf("leak seeds at dist %d, want baseline %d", leak.Dist(attacker), bd)
+	}
+	// Forged origin seeds at path length 1.
+	if d := solve(KindForgedOrigin, Defense{}).Dist(attacker); d != 1 {
+		t.Errorf("forged-origin seeds at dist %d, want 1", d)
+	}
+
+	// Sub-prefix route leaks are invalid.
+	if _, err := s.SolveDefense(Attack{Target: target, Attacker: attacker, Kind: KindRouteLeak, SubPrefix: true}, Defense{}); err == nil {
+		t.Error("sub-prefix route leak accepted")
+	}
+	if _, _, err := NewEngine(pol).RunDefense(Attack{Target: target, Attacker: attacker, Kind: KindRouteLeak, SubPrefix: true}, Defense{}, false); err == nil {
+		t.Error("engine accepted sub-prefix route leak")
+	}
+}
+
+// TestEngineMatchesSolverScenarios extends the central equivalence
+// property across the full scenario space: every attack kind × defense
+// mechanism combination, on random topologies and attack pairs, under
+// all three policy variants — solver and engine must converge to the
+// bit-identical routing state.
+func TestEngineMatchesSolverScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	mechs := []DefenseMech{0, MechROV, MechASPA, MechPeerlock, MechROV | MechASPA, MechASPA | MechPeerlock, MechROV | MechASPA | MechPeerlock}
+	for trial := 0; trial < 3; trial++ {
+		for variant, opts := range [][]PolicyOption{
+			{WithTier1ShortestPath(true)},
+			{WithTier1ShortestPath(false)},
+			{WithTier1ShortestPath(true), WithPreferHighNextHop(true)},
+		} {
+			pol, g, _ := scenarioWorld(t, 300, int64(trial+40), opts...)
+			s := NewSolver(pol)
+			e := NewEngine(pol)
+			for _, kind := range Kinds() {
+				for mi, mech := range mechs {
+					target := rng.Intn(g.N())
+					attacker := rng.Intn(g.N())
+					if target == attacker {
+						continue
+					}
+					set := asn.NewIndexSet(g.N())
+					for k := 0; k < g.N()/10; k++ {
+						set.Add(rng.Intn(g.N()))
+					}
+					def := mech.Deploy(set)
+					at := Attack{Target: target, Attacker: attacker, Kind: kind,
+						SubPrefix: kind != KindRouteLeak && mi%3 == 0}
+					so, err := s.SolveDefense(at, def)
+					if err != nil {
+						t.Fatalf("trial %d variant %d kind %v mech %v: solver: %v", trial, variant, kind, mech, err)
+					}
+					eo, _, err := e.RunDefense(at, def, false)
+					if err != nil {
+						t.Fatalf("trial %d variant %d kind %v mech %v: engine: %v", trial, variant, kind, mech, err)
+					}
+					if msg, ok := outcomesEqual(so, eo); !ok {
+						for i := 0; i < g.N(); i++ {
+							if so.Origin(i) != eo.Origin(i) || so.Class(i) != eo.Class(i) || so.Dist(i) != eo.Dist(i) || so.NextHop(i) != eo.NextHop(i) {
+								t.Logf("node %d: solver{%v org=%d d=%d nh=%d} engine{%v org=%d d=%d nh=%d}",
+									i, so.Class(i), so.Origin(i), so.Dist(i), so.NextHop(i),
+									eo.Class(i), eo.Origin(i), eo.Dist(i), eo.NextHop(i))
+							}
+						}
+						t.Fatalf("trial %d variant %d kind %v mech %v attack %d→%d subprefix=%v: %s",
+							trial, variant, kind, mech, attacker, target, at.SubPrefix, msg)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceGenerationOffsets: the O(1) per-generation slicing must agree
+// with a brute-force scan over the event list.
+func TestTraceGenerationOffsets(t *testing.T) {
+	pol, g, _ := scenarioWorld(t, 300, 8)
+	e := NewEngine(pol)
+	for _, kind := range Kinds() {
+		_, tr, err := e.RunDefense(Attack{Target: 1, Attacker: g.N() - 1, Kind: kind}, Defense{}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.genEnd) != tr.Generations {
+			t.Fatalf("kind %v: %d generation offsets for %d generations", kind, len(tr.genEnd), tr.Generations)
+		}
+		for gen := 0; gen <= tr.Generations+1; gen++ {
+			var want []Event
+			for _, ev := range tr.Events {
+				if ev.Gen == gen {
+					want = append(want, ev)
+				}
+			}
+			got := tr.EventsInGen(gen)
+			if len(got) != len(want) {
+				t.Fatalf("kind %v gen %d: EventsInGen returned %d events, scan found %d", kind, gen, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("kind %v gen %d event %d: %+v != %+v", kind, gen, i, got[i], want[i])
+				}
+			}
+		}
+		// A hand-built trace without offsets must still answer correctly.
+		manual := &Trace{Events: tr.Events, Generations: tr.Generations}
+		for gen := 1; gen <= tr.Generations; gen++ {
+			if len(manual.EventsInGen(gen)) != len(tr.EventsInGen(gen)) {
+				t.Fatalf("fallback scan disagrees in gen %d", gen)
+			}
+		}
+	}
+}

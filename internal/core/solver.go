@@ -6,17 +6,22 @@ import (
 	"github.com/bgpsim/bgpsim/internal/asn"
 )
 
-// Attack describes one hijack scenario: Attacker originates address space
-// owned by Target. With SubPrefix set, the attacker announces a
-// more-specific prefix, which wins longest-prefix-match forwarding
-// everywhere it propagates — the legitimate covering announcement cannot
-// compete, so only origin-validation filters stop it.
+// Attack describes one hijack scenario: Attacker announces address space
+// owned by Target, in the shape selected by Kind (the zero value is the
+// paper's type-0 origin hijack). With SubPrefix set, the attacker
+// announces a more-specific prefix, which wins longest-prefix-match
+// forwarding everywhere it propagates — the legitimate covering
+// announcement cannot compete, so only validation filters stop it.
 type Attack struct {
 	Target   int
 	Attacker int
 	// SubPrefix selects a sub-prefix hijack instead of an exact-prefix
-	// origin hijack.
+	// one. Incompatible with KindRouteLeak (a leak re-announces the real
+	// prefix).
 	SubPrefix bool
+	// Kind selects the attack scenario; the zero value, KindOrigin, is
+	// the classic type-0 origin hijack.
+	Kind AttackKind
 }
 
 // Solver computes the converged routing outcome of an attack in O(V+E)
@@ -41,11 +46,15 @@ type Solver struct {
 	candOrig  []int8
 
 	frontier []int32
-	nextQ    []int32
 	candList []int32
 	buckets  [][]int32
 	tier1Buf []t1sel // stagePeer's SPF worklist, reused across Solve calls
 	maxDist  int
+
+	// base lazily holds a second solver for the defense-free baseline
+	// solves route leaks need (the leaked route's real length), so the
+	// main solve's buffers stay untouched.
+	base *Solver
 }
 
 // t1sel is one tier-1 node with its customer-route distance, the sort key
@@ -197,43 +206,95 @@ func (o *Outcome) Path(i int) []int {
 // Solve computes the converged outcome of the attack. blocked, if non-nil,
 // is the set of nodes performing route-origin validation: they reject (do
 // not select or re-export) routes leading to the attacker. A nil blocked
-// set means no deployed prevention.
+// set means no deployed prevention beyond whatever the attack kind itself
+// implies. Solve is SolveDefense under the paper's original ROV-only
+// defense shape.
 func (s *Solver) Solve(at Attack, blocked *asn.IndexSet) (*Outcome, error) {
-	n := s.pol.N()
+	return s.SolveDefense(at, Defense{Blocked: blocked})
+}
+
+// SolveDefense computes the converged outcome of the attack under the
+// full defense model: ROV origin filtering, ASPA path validation and
+// tier-1 Peerlock, each applied exactly where the attack kind makes it
+// applicable (see the scenario layer in scenario.go).
+func (s *Solver) SolveDefense(at Attack, def Defense) (*Outcome, error) {
+	if err := validateAttack(s.pol, at); err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+	sc, err := buildScenario(s.pol, at, def, func() (int16, bool) { return s.baselineDist(at) })
+	if err != nil {
+		return nil, err
+	}
+	return s.solveScenario(at, &sc), nil
+}
+
+// validateAttack rejects out-of-range and self-targeting attacks; shared
+// by Solver and Engine.
+func validateAttack(pol *Policy, at Attack) error {
+	n := pol.N()
 	if at.Target < 0 || at.Target >= n || at.Attacker < 0 || at.Attacker >= n {
-		return nil, fmt.Errorf("solve: node index out of range (target %d, attacker %d, n %d)", at.Target, at.Attacker, n)
+		return fmt.Errorf("node index out of range (target %d, attacker %d, n %d)", at.Target, at.Attacker, n)
 	}
 	if at.Target == at.Attacker {
-		return nil, fmt.Errorf("solve: target and attacker are the same node %d", at.Target)
+		return fmt.Errorf("target and attacker are the same node %d", at.Target)
 	}
+	return nil
+}
+
+// baselineDist solves the defense-free no-attack state (target announcing
+// alone) on the lazily-built secondary solver and returns the attacker's
+// converged route distance to the target, or ok=false if it has none.
+func (s *Solver) baselineDist(at Attack) (int16, bool) {
+	if s.base == nil {
+		s.base = NewSolver(s.pol)
+	}
+	o := s.base.solveScenario(Attack{Target: at.Target, Attacker: at.Attacker}, &scenario{})
+	if !o.HasRoute(at.Attacker) {
+		return 0, false
+	}
+	return o.Dist(at.Attacker), true
+}
+
+// solveScenario runs the three stages under a resolved scenario. The
+// attack must already be validated.
+func (s *Solver) solveScenario(at Attack, sc *scenario) *Outcome {
+	n := s.pol.N()
 	s.epoch++
 	s.maxDist = 0
 
 	// Seed the origins. In a sub-prefix hijack only the attacker's
 	// more-specific announcement exists in this prefix's routing plane.
+	// The attacker's advertised path starts at the scenario's seed depth
+	// (0 for an origin hijack, deeper for prepends and leaks).
+	s.frontier = s.frontier[:0]
 	if at.SubPrefix {
-		s.assign(at.Attacker, ClassOrigin, 0, -1, OriginAttacker)
-		s.frontier = append(s.frontier[:0], int32(at.Attacker))
+		s.assign(at.Attacker, ClassOrigin, sc.seedDist, -1, OriginAttacker)
+		s.frontier = append(s.frontier, int32(at.Attacker))
 	} else {
 		s.assign(at.Target, ClassOrigin, 0, -1, OriginTarget)
-		s.assign(at.Attacker, ClassOrigin, 0, -1, OriginAttacker)
+		if sc.seedAttacker {
+			s.assign(at.Attacker, ClassOrigin, sc.seedDist, -1, OriginAttacker)
+		}
 		// Deterministic seed order: lower node index first.
-		if at.Target < at.Attacker {
-			s.frontier = append(s.frontier[:0], int32(at.Target), int32(at.Attacker))
-		} else {
-			s.frontier = append(s.frontier[:0], int32(at.Attacker), int32(at.Target))
+		switch {
+		case !sc.seedAttacker:
+			s.frontier = append(s.frontier, int32(at.Target))
+		case at.Target < at.Attacker:
+			s.frontier = append(s.frontier, int32(at.Target), int32(at.Attacker))
+		default:
+			s.frontier = append(s.frontier, int32(at.Attacker), int32(at.Target))
 		}
 	}
 
-	s.stageCustomer(blocked)
-	s.stagePeer(blocked)
-	s.stageProvider(blocked)
+	s.stageCustomer(sc)
+	s.stagePeer(sc)
+	s.stageProvider(sc)
 
 	return &Outcome{
 		Target: at.Target, Attacker: at.Attacker,
 		n: n, epoch: s.epoch,
 		stamp: s.stamp, class: s.class, dist: s.dist, nexthop: s.nexthop, origin: s.origin,
-	}, nil
+	}
 }
 
 func (s *Solver) assign(i int, c RouteClass, d int16, nh int32, org int8) {
@@ -248,11 +309,6 @@ func (s *Solver) assign(i int, c RouteClass, d int16, nh int32, org int8) {
 }
 
 func (s *Solver) assigned(i int32) bool { return s.stamp[i] == s.epoch }
-
-// rejects reports whether node i's origin validation drops routes to org.
-func rejects(blocked *asn.IndexSet, i int32, org int8) bool {
-	return org == OriginAttacker && blocked != nil && blocked.Contains(int(i))
-}
 
 // propose records a candidate (d, nh, org) for node i within the current
 // BFS level, keeping the lowest next-hop on ties. All candidates within a
@@ -273,33 +329,46 @@ func (s *Solver) propose(i int32, d int16, nh int32, org int8) {
 	}
 }
 
-// stageCustomer floods customer-learned routes up provider links,
-// level-synchronous so that equal-length ties resolve to the lowest
-// next-hop exactly as the message engine does.
+// stageCustomer floods customer-learned routes up provider links through
+// distance buckets: seeds may start at different depths (a forged-origin
+// prepend or a leaked route starts deeper than the victim's own
+// origination), and processing buckets in ascending distance keeps the
+// flood level-synchronous per distance, so equal-length ties resolve to
+// the lowest next-hop exactly as the message engine does. With all seeds
+// at distance 0 this degenerates to the original level-synchronous BFS.
 //
 //bgplint:hotpath runs once per (target, attacker, policy) cell of a sweep
-func (s *Solver) stageCustomer(blocked *asn.IndexSet) {
-	d := int16(0)
-	for len(s.frontier) > 0 {
+func (s *Solver) stageCustomer(sc *scenario) {
+	s.resetBuckets()
+	for _, v := range s.frontier {
+		d := int(s.dist[v])
+		s.growBuckets(d + 1)
+		s.buckets[d] = append(s.buckets[d], v)
+	}
+	for d := 0; d < len(s.buckets); d++ {
+		if len(s.buckets[d]) == 0 {
+			continue
+		}
 		s.candList = s.candList[:0]
-		for _, v := range s.frontier {
+		for _, v := range s.buckets[d] {
 			org := s.origin[v]
 			for _, p := range s.pol.Providers(int(v)) {
-				if s.assigned(p) || rejects(blocked, p, org) {
+				if s.assigned(p) || sc.rejects(s.pol, p, org) {
 					continue
 				}
-				s.propose(p, d+1, v, org)
+				s.propose(p, int16(d+1), v, org)
 			}
 		}
-		s.nextQ = s.nextQ[:0]
+		if len(s.candList) == 0 {
+			continue
+		}
+		s.growBuckets(d + 2)
 		for _, i := range s.candList {
 			s.assign(int(i), ClassCustomer, s.candDist[i], s.candNH[i], s.candOrig[i])
-			s.nextQ = append(s.nextQ, i)
+			s.buckets[d+1] = append(s.buckets[d+1], i)
 		}
 		// Invalidate candidate marks for the next level.
 		s.epochBumpCands()
-		s.frontier, s.nextQ = s.nextQ, s.frontier
-		d++
 	}
 }
 
@@ -321,7 +390,7 @@ func (s *Solver) epochBumpCands() {
 // one pass.
 //
 //bgplint:hotpath runs once per (target, attacker, policy) cell of a sweep
-func (s *Solver) stagePeer(blocked *asn.IndexSet) {
+func (s *Solver) stagePeer(sc *scenario) {
 	pol := s.pol
 	n := pol.N()
 
@@ -357,7 +426,7 @@ func (s *Solver) stagePeer(blocked *asn.IndexSet) {
 					continue
 				}
 				org := s.origin[v]
-				if rejects(blocked, w, org) {
+				if sc.rejects(s.pol, w, org) {
 					continue
 				}
 				cd := s.dist[v] + 1
@@ -392,7 +461,7 @@ func (s *Solver) stagePeer(blocked *asn.IndexSet) {
 				continue
 			}
 			org := s.origin[v]
-			if rejects(blocked, int32(w), org) {
+			if sc.rejects(s.pol, int32(w), org) {
 				continue
 			}
 			cd := s.dist[v] + 1
@@ -425,18 +494,9 @@ func (s *Solver) offersToPeers(v int32) bool {
 // provider-class routes to still-unrouted nodes level by level.
 //
 //bgplint:hotpath runs once per (target, attacker, policy) cell of a sweep
-func (s *Solver) stageProvider(blocked *asn.IndexSet) {
+func (s *Solver) stageProvider(sc *scenario) {
 	n := s.pol.N()
-	// Upper bound on final distances: current max + longest customer chain
-	// is bounded by n; allocate lazily by growing.
-	if cap(s.buckets) < s.maxDist+2 {
-		s.buckets = make([][]int32, s.maxDist+2, 2*(s.maxDist+2)+8)
-	} else {
-		s.buckets = s.buckets[:s.maxDist+2]
-		for i := range s.buckets {
-			s.buckets[i] = s.buckets[i][:0]
-		}
-	}
+	s.resetBuckets()
 	for i := 0; i < n; i++ {
 		if s.assigned(int32(i)) {
 			d := int(s.dist[i])
@@ -452,7 +512,7 @@ func (s *Solver) stageProvider(blocked *asn.IndexSet) {
 		for _, v := range s.buckets[d] {
 			org := s.origin[v]
 			for _, c := range s.pol.Customers(int(v)) {
-				if s.assigned(c) || rejects(blocked, c, org) {
+				if s.assigned(c) || sc.rejects(s.pol, c, org) {
 					continue
 				}
 				s.propose(c, int16(d+1), v, org)
@@ -473,6 +533,21 @@ func (s *Solver) stageProvider(blocked *asn.IndexSet) {
 func (s *Solver) growBuckets(size int) {
 	for len(s.buckets) < size {
 		s.buckets = append(s.buckets, nil)
+	}
+}
+
+// resetBuckets readies the shared distance-bucket array for a stage:
+// sized to the current max distance plus headroom, every bucket emptied.
+// Upper bound on final distances: current max + longest chain is bounded
+// by n; allocation grows lazily via growBuckets.
+func (s *Solver) resetBuckets() {
+	if cap(s.buckets) < s.maxDist+2 {
+		s.buckets = make([][]int32, s.maxDist+2, 2*(s.maxDist+2)+8)
+	} else {
+		s.buckets = s.buckets[:s.maxDist+2]
+		for i := range s.buckets {
+			s.buckets[i] = s.buckets[i][:0]
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ package deploy
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
@@ -84,6 +85,39 @@ func TopDegree(g *topology.Graph, k int) Strategy {
 	}
 }
 
+// DepthRanked deploys at the k shallowest transit ASes — depth being the
+// provider-hop distance from the tier-1 clique — breaking ties by degree
+// (descending) then node index. The shallow core carries most valley-free
+// paths, so depth ranking is the path-coverage counterpart of the paper's
+// degree ranking; the scenario study contrasts the two per attack kind.
+func DepthRanked(g *topology.Graph, c *topology.Classification, k int) Strategy {
+	nodes := append([]int(nil), g.TransitNodes()...)
+	sort.SliceStable(nodes, func(i, j int) bool {
+		di, dj := c.Depth[nodes[i]], c.Depth[nodes[j]]
+		// Unreachable (depth -1) sorts after every finite depth.
+		if di == topology.DepthUnreachable {
+			di = int(^uint(0) >> 1)
+		}
+		if dj == topology.DepthUnreachable {
+			dj = int(^uint(0) >> 1)
+		}
+		if di != dj {
+			return di < dj
+		}
+		if gi, gj := g.Degree(nodes[i]), g.Degree(nodes[j]); gi != gj {
+			return gi > gj
+		}
+		return nodes[i] < nodes[j]
+	})
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	return Strategy{
+		Name:  fmt.Sprintf("%d shallowest transit ASes", k),
+		Nodes: nodes[:k],
+	}
+}
+
 // Custom wraps an explicit deployment set.
 func Custom(name string, nodes []int) Strategy {
 	return Strategy{Name: name, Nodes: append([]int(nil), nodes...)}
@@ -109,12 +143,23 @@ func Evaluate(pol *core.Policy, target int, attackers []int, strategies []Strate
 // one deployment set per rung. Exposed so shard CLIs can build the exact
 // workload a full run would solve.
 func Configs(pol *core.Policy, target int, attackers []int, strategies []Strategy) []hijack.SweepConfig {
+	return ConfigsScenario(pol, target, attackers, strategies, core.KindOrigin, core.MechROV)
+}
+
+// ConfigsScenario is Configs with an explicit attack kind and deployed
+// mechanism set: every rung deploys mechs at its strategy's node set and
+// is swept with kind attacks. KindOrigin + MechROV reproduces Configs
+// (and its workload digests) exactly.
+func ConfigsScenario(pol *core.Policy, target int, attackers []int, strategies []Strategy, kind core.AttackKind, mechs core.DefenseMech) []hijack.SweepConfig {
 	cfgs := make([]hijack.SweepConfig, len(strategies))
 	for i, st := range strategies {
+		def := mechs.Deploy(st.Blocked(pol.N()))
 		cfgs[i] = hijack.SweepConfig{
 			Target:    target,
 			Attackers: attackers,
-			Blocked:   st.Blocked(pol.N()),
+			Blocked:   def.Blocked,
+			Defense:   def,
+			Kind:      kind,
 		}
 	}
 	return cfgs

@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/topology"
@@ -116,6 +115,13 @@ const (
 // miss rates directly comparable, as in Figure 7. The workload is a pure
 // function of the supplied generator's state.
 func GenerateAttacks(pool []int, n int, rng *rand.Rand) ([]core.Attack, error) {
+	return GenerateAttacksOfKind(pool, n, core.KindOrigin, rng)
+}
+
+// GenerateAttacksOfKind is GenerateAttacks with an explicit attack
+// scenario. The pair stream is identical across kinds for the same
+// generator state, so per-scenario workloads stay directly comparable.
+func GenerateAttacksOfKind(pool []int, n int, kind core.AttackKind, rng *rand.Rand) ([]core.Attack, error) {
 	if len(pool) < 2 {
 		return nil, fmt.Errorf("generate attacks: pool needs ≥ 2 ASes, has %d", len(pool))
 	}
@@ -126,7 +132,7 @@ func GenerateAttacks(pool []int, n int, rng *rand.Rand) ([]core.Attack, error) {
 		if a == t {
 			continue
 		}
-		out = append(out, core.Attack{Target: t, Attacker: a})
+		out = append(out, core.Attack{Target: t, Attacker: a, Kind: kind})
 	}
 	return out, nil
 }
@@ -203,10 +209,10 @@ func (r *Result) TopMisses(k int) []MissedAttack {
 }
 
 // Evaluate runs the attack workload against one probe configuration.
-// Filters (blocked) may be nil; the paper evaluates detection without
-// prevention deployed.
-func Evaluate(pol *core.Policy, ps ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet) (*Result, error) {
-	res, err := EvaluateAll(pol, []ProbeSet{ps}, attacks, sem, blocked, 0)
+// def is the deployed prevention the detection runs under (the zero
+// Defense = none; the paper evaluates detection without prevention).
+func Evaluate(pol *core.Policy, ps ProbeSet, attacks []core.Attack, sem Semantics, def core.Defense) (*Result, error) {
+	res, err := EvaluateAll(pol, []ProbeSet{ps}, attacks, sem, def, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -224,12 +230,12 @@ type Record struct {
 // MatrixFor flattens a detection workload into a single-group matrix:
 // one cell per attack, all under one policy. Sharding splits by cells,
 // so the one big group still divides evenly across `-shard i/n` runs.
-func MatrixFor(pol *core.Policy, attacks []core.Attack, blocked *asn.IndexSet) sweep.Matrix {
+func MatrixFor(pol *core.Policy, attacks []core.Attack, def core.Defense) sweep.Matrix {
 	return sweep.Matrix{
 		Groups: 1,
 		Size:   func(int) int { return len(attacks) },
 		Policy: func(int) *core.Policy { return pol },
-		Job:    func(_, k int) (core.Attack, *asn.IndexSet) { return attacks[k], blocked },
+		Job:    func(_, k int) (core.Attack, core.Defense) { return attacks[k], def },
 	}
 }
 
@@ -324,19 +330,19 @@ func validateSets(sets []ProbeSet) error {
 // Record extracted on the worker, and the in-order record stream reduced
 // incrementally. workers bounds solve parallelism (0 = GOMAXPROCS);
 // results are bit-identical at any worker count.
-func EvaluateAll(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet, workers int) ([]*Result, error) {
-	return EvaluateMatrix(pol, sets, attacks, sem, blocked, sweep.MatrixOptions{Workers: workers})
+func EvaluateAll(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, def core.Defense, workers int) ([]*Result, error) {
+	return EvaluateMatrix(pol, sets, attacks, sem, def, sweep.MatrixOptions{Workers: workers})
 }
 
 // EvaluateMatrix is EvaluateAll under full matrix options (in-process
 // shard selections). Partial `-shard i/n` runs use MatrixFor + Extractor
 // with sweep.RunShard and merge through Results' reducer.
-func EvaluateMatrix(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, blocked *asn.IndexSet, opts sweep.MatrixOptions) ([]*Result, error) {
+func EvaluateMatrix(pol *core.Policy, sets []ProbeSet, attacks []core.Attack, sem Semantics, def core.Defense, opts sweep.MatrixOptions) ([]*Result, error) {
 	if err := validateSets(sets); err != nil {
 		return nil, err
 	}
 	out, red := Results(sets, attacks)
-	if err := sweep.RunMatrixReduce(MatrixFor(pol, attacks, blocked), opts, Extractor(pol, sets, sem), red); err != nil {
+	if err := sweep.RunMatrixReduce(MatrixFor(pol, attacks, def), opts, Extractor(pol, sets, sem), red); err != nil {
 		return nil, fmt.Errorf("evaluate detection: %w", err)
 	}
 	return out, nil

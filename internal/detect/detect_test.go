@@ -107,7 +107,7 @@ func TestEvaluateBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := TopDegreeProbes(g, 12)
-	res, err := Evaluate(pol, ps, attacks, SelectedRoute, nil)
+	res, err := Evaluate(pol, ps, attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestEvaluateBasics(t *testing.T) {
 			t.Error("TopMisses not ranked")
 		}
 	}
-	if _, err := Evaluate(pol, CustomProbes("empty", nil), attacks, SelectedRoute, nil); err == nil {
+	if _, err := Evaluate(pol, CustomProbes("empty", nil), attacks, SelectedRoute, core.Defense{}); err == nil {
 		t.Error("empty probe set accepted")
 	}
 }
@@ -154,11 +154,11 @@ func TestDetectorOrdering(t *testing.T) {
 	core62 := TopDegreeProbes(g, maxInt(len(c.Tier1)*3, 20))
 	t1 := Tier1Probes(c)
 
-	rTop, err := Evaluate(pol, core62, attacks, SelectedRoute, nil)
+	rTop, err := Evaluate(pol, core62, attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rT1, err := Evaluate(pol, t1, attacks, SelectedRoute, nil)
+	rT1, err := Evaluate(pol, t1, attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestMeanPollutionGrowsWithTriggers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Evaluate(pol, Tier1Probes(c), attacks, SelectedRoute, nil)
+	res, err := Evaluate(pol, Tier1Probes(c), attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +215,11 @@ func TestAnyReceivedSemanticsDetectsMore(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := Tier1Probes(c)
-	sel, err := Evaluate(pol, ps, attacks, SelectedRoute, nil)
+	sel, err := Evaluate(pol, ps, attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := Evaluate(pol, ps, attacks, AnyReceived, nil)
+	rec, err := Evaluate(pol, ps, attacks, AnyReceived, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}

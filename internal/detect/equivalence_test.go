@@ -114,7 +114,7 @@ func TestEvaluateAllSerialEquivalence(t *testing.T) {
 			want[j] = resultDigest(ref)
 		}
 		for _, workers := range []int{1, 4} {
-			got, err := EvaluateAll(pol, sets, attacks, sem, blocked, workers)
+			got, err := EvaluateAll(pol, sets, attacks, sem, core.RovOnly(blocked), workers)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -3,6 +3,8 @@ package detect
 import (
 	"math/rand"
 	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/core"
 )
 
 func TestGreedyProbesValidation(t *testing.T) {
@@ -71,11 +73,11 @@ func TestGreedyBeatsDegreeOnTraining(t *testing.T) {
 	}
 	degree := TopDegreeProbes(g, k)
 
-	rg, err := Evaluate(pol, greedy, attacks, SelectedRoute, nil)
+	rg, err := Evaluate(pol, greedy, attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := Evaluate(pol, degree, attacks, SelectedRoute, nil)
+	rd, err := Evaluate(pol, degree, attacks, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +104,11 @@ func TestGreedyGeneralizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rg, err := Evaluate(pol, greedy, test, SelectedRoute, nil)
+	rg, err := Evaluate(pol, greedy, test, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := Evaluate(pol, TopDegreeProbes(g, k), test, SelectedRoute, nil)
+	rd, err := Evaluate(pol, TopDegreeProbes(g, k), test, SelectedRoute, core.Defense{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,8 +5,10 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
 	"github.com/bgpsim/bgpsim/internal/viz"
 )
 
@@ -33,6 +35,12 @@ type DeploymentConfig struct {
 	Seed int64
 	// ResidualTop is the residual-attack table size (default 5).
 	ResidualTop int
+	// Kind selects the attack scenario the ladder defends against (zero
+	// = exact-origin hijack, the paper's model).
+	Kind core.AttackKind
+	// Mechs selects which mechanisms each rung deploys at its node set
+	// (zero = ROV origin validation, the paper's model).
+	Mechs core.DefenseMech
 	// Workers bounds solve parallelism (0 = GOMAXPROCS); results are
 	// bit-identical at any worker count.
 	Workers int
@@ -41,6 +49,9 @@ type DeploymentConfig struct {
 func (c DeploymentConfig) withDefaults() DeploymentConfig {
 	if c.ResidualTop == 0 {
 		c.ResidualTop = 5
+	}
+	if c.Mechs == 0 {
+		c.Mechs = core.MechROV
 	}
 	return c
 }
@@ -111,7 +122,8 @@ func newDeploymentStudy(w *World, cfg DeploymentConfig, target Target, title str
 
 // workload flattens the ladder into the hijack matrix a full run solves.
 func (s *deploymentStudy) workload(w *World) (*hijack.Workload, error) {
-	return hijack.NewWorkload(w.Policy, deploy.Configs(w.Policy, s.target.Node, s.attackers, s.ladder))
+	return hijack.NewWorkload(w.Policy,
+		deploy.ConfigsScenario(w.Policy, s.target.Node, s.attackers, s.ladder, s.cfg.Kind, s.cfg.Mechs))
 }
 
 // assemble derives the residual-attack tables from the strongest rung.
@@ -138,11 +150,13 @@ func (s *deploymentStudy) assemble(w *World, evals []deploy.Evaluation) *Deploym
 
 func deploymentPanel(w *World, cfg DeploymentConfig, target Target, title string) (*DeploymentResult, error) {
 	s := newDeploymentStudy(w, cfg, target, title)
-	evals, err := deploy.Evaluate(w.Policy, target.Node, s.attackers, s.ladder, s.cfg.Workers)
+	results, err := hijack.SweepMatrix(w.Policy,
+		deploy.ConfigsScenario(w.Policy, target.Node, s.attackers, s.ladder, s.cfg.Kind, s.cfg.Mechs),
+		sweep.MatrixOptions{Workers: s.cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", title, err)
 	}
-	return s.assemble(w, evals), nil
+	return s.assemble(w, deploy.Evaluations(s.ladder, results)), nil
 }
 
 // WriteText renders the ladder summary plus the residual-attack table.

@@ -38,6 +38,12 @@ type DetectionConfig struct {
 	// Semantics selects the detection model (default: SelectedRoute, as
 	// in the paper).
 	Semantics detect.Semantics
+	// Kind selects the attack scenario evaluated (zero = exact-origin
+	// hijack, the paper's model).
+	Kind core.AttackKind
+	// Defense is the prevention deployment the detectors run alongside
+	// (zero = none, as in the paper's Section VI).
+	Defense core.Defense
 	// Workers bounds solve parallelism (0 = GOMAXPROCS); results are
 	// bit-identical at any worker count.
 	Workers int
@@ -63,15 +69,12 @@ func (c DetectionConfig) withDefaults() DetectionConfig {
 // workload a full run would solve.
 func detectionParts(w *World, cfg DetectionConfig) ([]detect.ProbeSet, []core.Attack, error) {
 	transit := w.Graph.TransitNodes()
-	attacks, err := detect.GenerateAttacks(transit, cfg.Attacks, rngFor(cfg.Seed, "attacks"))
+	attacks, err := detect.GenerateAttacksOfKind(transit, cfg.Attacks, cfg.Kind, rngFor(cfg.Seed, "attacks"))
 	if err != nil {
 		return nil, nil, err
 	}
 	// Case 3's probe count scales the paper's 62-of-42697 core.
-	coreK := 62 * w.Graph.N() / 42697
-	if coreK < len(w.Class.Tier1)+3 {
-		coreK = len(w.Class.Tier1) + 3
-	}
+	coreK := w.ScaledCoreK()
 	sets := []detect.ProbeSet{
 		detect.Tier1Probes(w.Class),
 		detect.BGPmonLikeProbes(w.Graph, w.Class, cfg.BGPmonProbes, rngFor(cfg.Seed, "probes")),
@@ -107,7 +110,7 @@ func Fig7(w *World, cfg DetectionConfig) (*DetectionResult, error) {
 	}
 	// One parallel pass: each attack is solved once and fanned out to all
 	// three probe configurations (3× fewer solves than per-set evaluation).
-	results, err := detect.EvaluateAll(w.Policy, sets, attacks, cfg.Semantics, nil, cfg.Workers)
+	results, err := detect.EvaluateAll(w.Policy, sets, attacks, cfg.Semantics, cfg.Defense, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}

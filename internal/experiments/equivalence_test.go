@@ -64,7 +64,7 @@ func serialHoleReference(t *testing.T, w *World, cfg HoleConfig) *HoleResult {
 			Pollution:      pollution,
 			AttackerDepth:  w.Class.Depth[at.Attacker],
 			AttackerDegree: w.Graph.Degree(at.Attacker),
-			WhyMissed:      explainMisses(w, o, probes.Probes, blocked),
+			WhyMissed:      explainMisses(w, o, at, core.RovOnly(blocked), probes.Probes),
 		}
 		res.AttackerDepthHist[hole.AttackerDepth]++
 		for r, n := range hole.WhyMissed {

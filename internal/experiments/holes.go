@@ -6,7 +6,6 @@ import (
 	"sort"
 	"text/tabwriter"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/deploy"
 	"github.com/bgpsim/bgpsim/internal/detect"
@@ -85,6 +84,12 @@ type HoleConfig struct {
 	MinPollution int
 	// Filters is the deployed prevention (default: the scaled 62-core).
 	Filters *deploy.Strategy
+	// Mechs selects which mechanisms the filter set deploys (default:
+	// ROV origin validation, the paper's model).
+	Mechs core.DefenseMech
+	// Kind selects the attack scenario the workload uses (zero =
+	// exact-origin hijack).
+	Kind core.AttackKind
 	// Probes is the detector configuration (default: scaled 62-core probes).
 	Probes *detect.ProbeSet
 	// MaxHoles bounds the retained hole list (default 50).
@@ -109,7 +114,8 @@ type HoleRecord struct {
 type holeStudy struct {
 	cfg     HoleConfig
 	attacks []core.Attack
-	blocked *asn.IndexSet
+	def     core.Defense
+	mechs   core.DefenseMech
 	probes  detect.ProbeSet
 	filters deploy.Strategy
 }
@@ -127,10 +133,7 @@ func newHoleStudy(w *World, cfg HoleConfig) (*holeStudy, error) {
 	if cfg.MaxHoles == 0 {
 		cfg.MaxHoles = 50
 	}
-	coreK := 62 * w.Graph.N() / 42697
-	if coreK < len(w.Class.Tier1)+3 {
-		coreK = len(w.Class.Tier1) + 3
-	}
+	coreK := w.ScaledCoreK()
 	filters := deploy.TopDegree(w.Graph, coreK)
 	if cfg.Filters != nil {
 		filters = *cfg.Filters
@@ -139,14 +142,19 @@ func newHoleStudy(w *World, cfg HoleConfig) (*holeStudy, error) {
 	if cfg.Probes != nil {
 		probes = *cfg.Probes
 	}
-	attacks, err := detect.GenerateAttacks(w.Graph.TransitNodes(), cfg.Attacks, rngFor(cfg.Seed, "attacks"))
+	attacks, err := detect.GenerateAttacksOfKind(w.Graph.TransitNodes(), cfg.Attacks, cfg.Kind, rngFor(cfg.Seed, "attacks"))
 	if err != nil {
 		return nil, fmt.Errorf("hole analysis: %w", err)
+	}
+	mechs := cfg.Mechs
+	if mechs == 0 {
+		mechs = core.MechROV
 	}
 	return &holeStudy{
 		cfg:     cfg,
 		attacks: attacks,
-		blocked: filters.Blocked(w.Graph.N()),
+		def:     mechs.Deploy(filters.Blocked(w.Graph.N())),
+		mechs:   mechs,
 		probes:  probes,
 		filters: filters,
 	}, nil
@@ -158,14 +166,14 @@ func (s *holeStudy) matrix(w *World) sweep.Matrix {
 		Groups: 1,
 		Size:   func(int) int { return len(s.attacks) },
 		Policy: func(int) *core.Policy { return w.Policy },
-		Job:    func(_, k int) (core.Attack, *asn.IndexSet) { return s.attacks[k], s.blocked },
+		Job:    func(_, k int) (core.Attack, core.Defense) { return s.attacks[k], s.def },
 	}
 }
 
 // extract compresses one transient outcome into a HoleRecord: success,
 // detection, and — for holes only — the per-probe miss classification.
 func (s *holeStudy) extract(w *World) func(g, k int, o *core.Outcome) HoleRecord {
-	return func(_, _ int, o *core.Outcome) HoleRecord {
+	return func(_, k int, o *core.Outcome) HoleRecord {
 		rec := HoleRecord{Pollution: o.PollutedCount()}
 		if rec.Pollution >= s.cfg.MinPollution {
 			rec.Succeeded = true
@@ -176,7 +184,7 @@ func (s *holeStudy) extract(w *World) func(g, k int, o *core.Outcome) HoleRecord
 				}
 			}
 			if !rec.Triggered {
-				rec.Why = explainMisses(w, o, s.probes.Probes, s.blocked)
+				rec.Why = explainMisses(w, o, s.attacks[k], s.def, s.probes.Probes)
 			}
 		}
 		return rec
@@ -188,9 +196,14 @@ func (s *holeStudy) extract(w *World) func(g, k int, o *core.Outcome) HoleRecord
 // hole list accumulate attack by attack (identical to the pre-kernel
 // serial loop), and Finish ranks and truncates the holes.
 func (s *holeStudy) reduce(w *World) (*HoleResult, sweep.Reducer[HoleRecord]) {
+	title := fmt.Sprintf("Deployment holes: filters %q vs probes %q",
+		s.filters.Name, s.probes.Name)
+	if s.cfg.Kind != core.KindOrigin || s.mechs != core.MechROV {
+		title = fmt.Sprintf("Deployment holes (%s attacks, %s deployed): filters %q vs probes %q",
+			s.cfg.Kind, s.mechs, s.filters.Name, s.probes.Name)
+	}
 	res := &HoleResult{
-		Title: fmt.Sprintf("Deployment holes: filters %q vs probes %q",
-			s.filters.Name, s.probes.Name),
+		Title: title,
 		Attacks:           s.cfg.Attacks,
 		AttackerDepthHist: make(map[int]int),
 		ReasonTotals:      make(map[MissReason]int),
@@ -252,7 +265,7 @@ func HoleAnalysis(w *World, cfg HoleConfig) (*HoleResult, error) {
 
 // explainMisses classifies, for each probe, why it did not select the
 // bogus route in the converged outcome.
-func explainMisses(w *World, o *core.Outcome, probes []int, blocked *asn.IndexSet) map[MissReason]int {
+func explainMisses(w *World, o *core.Outcome, at core.Attack, def core.Defense, probes []int) map[MissReason]int {
 	reasons := make(map[MissReason]int)
 	g := w.Graph
 	for _, p := range probes {
@@ -301,7 +314,7 @@ func explainMisses(w *World, o *core.Outcome, probes []int, blocked *asn.IndexSe
 		switch {
 		case bestClass == core.ClassNone:
 			reasons[MissNeverReached]++
-		case blocked != nil && blocked.Contains(p):
+		case core.FiltersImport(w.Policy, at, def, p):
 			reasons[MissFiltered]++
 		case !o.HasRoute(p):
 			// Received an offer yet routeless cannot happen in a converged

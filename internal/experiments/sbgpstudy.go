@@ -32,10 +32,7 @@ func SBGPStudy(w *World, cfg DeploymentConfig) (*SBGPResult, error) {
 		return nil, fmt.Errorf("sbgp study: no deep target")
 	}
 	attackers := SampleAttackers(w.Graph.TransitNodes(), cfg.AttackerSample, rngFor(cfg.Seed, "attackers"))
-	coreK := 62 * w.Graph.N() / 42697
-	if coreK < len(w.Class.Tier1)+3 {
-		coreK = len(w.Class.Tier1) + 3
-	}
+	coreK := w.ScaledCoreK()
 	deployed := append([]int(nil), topology.NodesByDegree(w.Graph)[:coreK]...)
 	chain := providerChain(w, node)
 	deployed = append(deployed, chain...)

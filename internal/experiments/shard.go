@@ -245,7 +245,7 @@ func Fig7Shard(w *World, cfg DetectionConfig, sel sweep.ShardSel) (*sweep.ShardF
 	if err != nil {
 		return nil, fmt.Errorf("fig7 shard: %w", err)
 	}
-	sf, err := sweep.RunShard(detect.MatrixFor(w.Policy, attacks, nil),
+	sf, err := sweep.RunShard(detect.MatrixFor(w.Policy, attacks, cfg.Defense),
 		sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagFig7,
 		detect.Extractor(w.Policy, sets, cfg.Semantics))
 	if err != nil {
@@ -262,7 +262,7 @@ func Fig7ShardTo(w *World, cfg DetectionConfig, sel sweep.ShardSel, store sweep.
 	if err != nil {
 		return sweep.ShardReport{}, fmt.Errorf("fig7 shard: %w", err)
 	}
-	rep, err := sweep.PersistShard(detect.MatrixFor(w.Policy, attacks, nil),
+	rep, err := sweep.PersistShard(detect.MatrixFor(w.Policy, attacks, cfg.Defense),
 		sweep.MatrixOptions{Workers: cfg.Workers, Sel: sel}, TagFig7,
 		detect.Extractor(w.Policy, sets, cfg.Semantics), store)
 	if err != nil {
@@ -279,7 +279,7 @@ func Fig7Merge(w *World, cfg DetectionConfig, files []*sweep.ShardFile[detect.Re
 		return nil, fmt.Errorf("fig7 merge: %w", err)
 	}
 	results, red := detect.Results(sets, attacks)
-	if err := sweep.MergeShards(files, TagFig7, sweep.MatrixDigest(detect.MatrixFor(w.Policy, attacks, nil)), red); err != nil {
+	if err := sweep.MergeShards(files, TagFig7, sweep.MatrixDigest(detect.MatrixFor(w.Policy, attacks, cfg.Defense)), red); err != nil {
 		return nil, err
 	}
 	return assembleDetection(cfg, results), nil

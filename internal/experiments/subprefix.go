@@ -53,10 +53,7 @@ func SubPrefixStudy(w *World, cfg DeploymentConfig) (*SubPrefixResult, error) {
 			att = append(att, a)
 		}
 	}
-	coreK := 62 * w.Graph.N() / 42697
-	if coreK < len(w.Class.Tier1)+3 {
-		coreK = len(w.Class.Tier1) + 3
-	}
+	coreK := w.ScaledCoreK()
 	ladder := []deploy.Strategy{
 		deploy.None(),
 		deploy.Tier1(w.Class),
@@ -81,12 +78,12 @@ func SubPrefixStudy(w *World, cfg DeploymentConfig) (*SubPrefixResult, error) {
 		Groups: len(ladder),
 		Size:   func(int) int { return perRung },
 		Policy: func(int) *core.Policy { return w.Policy },
-		Job: func(r, rem int) (core.Attack, *asn.IndexSet) {
+		Job: func(r, rem int) (core.Attack, core.Defense) {
 			return core.Attack{
 				Target:    target.Node,
 				Attacker:  att[rem/2],
 				SubPrefix: rem%2 == 1,
-			}, blockeds[r]
+			}, core.RovOnly(blockeds[r])
 		},
 	}
 	sizes := make([]int, len(ladder))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/ribcompare"
 	"github.com/bgpsim/bgpsim/internal/sweep"
@@ -55,9 +54,9 @@ func ValidationStudy(w *World, cfg ValidationConfig) (*ValidationResult, error) 
 		Groups: 2,
 		Size:   func(int) int { return len(origins) },
 		Policy: func(g int) *core.Policy { return pols[g] },
-		Job: func(_, k int) (core.Attack, *asn.IndexSet) {
+		Job: func(_, k int) (core.Attack, core.Defense) {
 			origin := origins[k]
-			return core.Attack{Target: (origin + 1) % w.Graph.N(), Attacker: origin, SubPrefix: true}, nil
+			return core.Attack{Target: (origin + 1) % w.Graph.N(), Attacker: origin, SubPrefix: true}, core.Defense{}
 		},
 	}
 	// Streaming pairwise compare: the simulated RIBs (group 0) are held

@@ -124,6 +124,17 @@ func (w *World) DeepTarget() (int, bool) {
 	return node, err == nil
 }
 
+// ScaledCoreK scales the paper's 62-AS high-degree core (62 of 42697
+// ASes) to this world's size, floored just above the tier-1 count so the
+// "core" stays meaningful on small generated topologies.
+func (w *World) ScaledCoreK() int {
+	k := 62 * w.Graph.N() / 42697
+	if k < len(w.Class.Tier1)+3 {
+		k = len(w.Class.Tier1) + 3
+	}
+	return k
+}
+
 // Depth1Target returns the paper's AS98 analog: a multi-homed depth-1
 // stub (single-homed or transit fallbacks keep small worlds working).
 func (w *World) Depth1Target() (int, bool) {

@@ -208,8 +208,8 @@ func TestSweepRunDeterminism(t *testing.T) {
 	digest := func(workers int) [sha256.Size]byte {
 		polluted := make([]int64, len(attackers))
 		err := sweep.Run(pol, len(attackers),
-			func(i int) (core.Attack, *asn.IndexSet) {
-				return core.Attack{Target: target, Attacker: attackers[i]}, nil
+			func(i int) (core.Attack, core.Defense) {
+				return core.Attack{Target: target, Attacker: attackers[i]}, core.Defense{}
 			},
 			sweep.Options{Workers: workers},
 			func(i int, o *core.Outcome) { polluted[i] = int64(o.PollutedCount()) })

@@ -24,12 +24,30 @@ type SweepConfig struct {
 	// for the paper's worst case, or the transit ASes for its "optimistic"
 	// stub-filtered case.
 	Attackers []int
-	// Blocked is the origin-validation deployment set (nil = none).
+	// Blocked is the origin-validation (ROV) deployment set (nil = none);
+	// it is Defense.Blocked kept as a top-level field for the paper's
+	// original single-mechanism runs.
 	Blocked *asn.IndexSet
+	// Defense carries the full deployed-defense model (ASPA validators,
+	// Peerlock) for scenario sweeps. When Blocked is also set it takes
+	// the ROV slot unless Defense.Blocked is set too.
+	Defense core.Defense
+	// Kind selects the attack scenario swept (zero = exact/sub-prefix
+	// type-0 origin hijack).
+	Kind core.AttackKind
 	// SubPrefix switches every attack to a sub-prefix hijack.
 	SubPrefix bool
 	// Workers bounds solve parallelism; 0 means GOMAXPROCS.
 	Workers int
+}
+
+// defense resolves the configuration's effective Defense value.
+func (c *SweepConfig) defense() core.Defense {
+	d := c.Defense
+	if d.Blocked == nil {
+		d.Blocked = c.Blocked
+	}
+	return d
 }
 
 // SweepResult holds per-attack pollution measurements, parallel slices
@@ -90,6 +108,9 @@ func NewWorkload(pol *core.Policy, cfgs []SweepConfig) (*Workload, error) {
 		if cfg.Target < 0 || cfg.Target >= n {
 			return nil, fmt.Errorf("sweep: target %d out of range", cfg.Target)
 		}
+		if cfg.Kind == core.KindRouteLeak && cfg.SubPrefix {
+			return nil, fmt.Errorf("sweep: config %d: a route leak re-announces the real prefix; sub-prefix route leaks are invalid", ci)
+		}
 		attackers := make([]int, 0, len(cfg.Attackers))
 		for _, a := range cfg.Attackers {
 			if a == cfg.Target {
@@ -106,13 +127,14 @@ func NewWorkload(pol *core.Policy, cfgs []SweepConfig) (*Workload, error) {
 		Groups: len(cfgs),
 		Size:   func(c int) int { return len(w.Attackers[c]) },
 		Policy: func(int) *core.Policy { return pol },
-		Job: func(c, k int) (core.Attack, *asn.IndexSet) {
+		Job: func(c, k int) (core.Attack, core.Defense) {
 			cfg := &w.cfgs[c]
 			return core.Attack{
 				Target:    cfg.Target,
 				Attacker:  w.Attackers[c][k],
 				SubPrefix: cfg.SubPrefix,
-			}, cfg.Blocked
+				Kind:      cfg.Kind,
+			}, cfg.defense()
 		},
 	}
 	return w, nil

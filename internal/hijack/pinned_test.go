@@ -1,0 +1,70 @@
+package hijack_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/sweep"
+)
+
+// Pinned SHA-256 values captured from the pre-scenario-refactor tree.
+// The scenario layer must be behavior-preserving for the paper's original
+// attack model: an exact-origin hijack defended by a blocked set alone has
+// to reproduce both the workload identity (MatrixDigest) and the solved
+// record stream bit for bit.
+const (
+	pinnedMatrixDigest = "591e5093ad9282265a8cc203271ac5f23ae06df80035f78072e29a063a9d1b97"
+	pinnedSweepDigest  = "1b4585c9eb64a0a077604c230d30a723271e84d7822d2789c375025876de08a5"
+)
+
+// TestExactOriginPinnedDigests rebuilds the captured workload — three
+// sweep configurations over the scale-400 seed-7 world (undefended,
+// blocked-set exact-prefix, blocked-set sub-prefix) — and checks both
+// digests against the recorded constants.
+func TestExactOriginPinnedDigests(t *testing.T) {
+	w, err := experiments.NewWorld(400, 7)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	n := w.Graph.N()
+	blocked := asn.NewIndexSet(n)
+	for i := 0; i < n; i += 7 {
+		blocked.Add(i)
+	}
+	cfgs := []hijack.SweepConfig{
+		{Target: 1, Attackers: hijack.AllNodes(n)},
+		{Target: 2, Attackers: hijack.AllNodes(n), Blocked: blocked},
+		{Target: 3, Attackers: hijack.AllNodes(n), Blocked: blocked, SubPrefix: true},
+	}
+	wl, err := hijack.NewWorkload(w.Policy, cfgs)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	if got := sweep.MatrixDigest(wl.Matrix); got != pinnedMatrixDigest {
+		t.Errorf("MatrixDigest changed for exact-origin blocked-set workload:\n got %s\nwant %s", got, pinnedMatrixDigest)
+	}
+
+	results, err := hijack.SweepAll(w.Policy, cfgs, sweep.Options{Workers: 3})
+	if err != nil {
+		t.Fatalf("SweepAll: %v", err)
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for _, r := range results {
+		for i := range r.Pollution {
+			binary.BigEndian.PutUint64(buf[:], uint64(int64(r.Pollution[i])))
+			h.Write(buf[:])
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(r.WeightFrac[i]))
+			h.Write(buf[:])
+		}
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != pinnedSweepDigest {
+		t.Errorf("sweep record stream changed for exact-origin blocked-set workload:\n got %s\nwant %s", got, pinnedSweepDigest)
+	}
+}

@@ -1,0 +1,55 @@
+package hijack
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/topology"
+)
+
+// TestForgedOriginWorkerInvariance is the scenario-axis arm of the CI
+// digest job: a forged-origin sweep defended by ROV + ASPA must produce
+// byte-identical result vectors at workers ∈ {1, 8}. Forged-origin cells
+// exercise the ASPA-plausibility branch of the scenario resolver, which
+// the exact-origin determinism tests never touch.
+func TestForgedOriginWorkerInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	pol, g, c := testWorld(t, 300)
+	target, err := topology.FindTarget(g, c, topology.TargetQuery{Depth: 2, Stub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := asn.NewIndexSet(g.N())
+	aspa := asn.NewIndexSet(g.N())
+	for i := 0; i < g.N(); i += 4 {
+		blocked.Add(i)
+	}
+	for i := 0; i < g.N(); i += 3 {
+		aspa.Add(i)
+	}
+	cfg := SweepConfig{
+		Target:    target,
+		Attackers: AllNodes(g.N()),
+		Kind:      core.KindForgedOrigin,
+		Defense:   core.Defense{Blocked: blocked, ASPA: aspa},
+	}
+	var ref [32]byte
+	for i, workers := range []int{1, 8} {
+		cfg.Workers = workers
+		res, err := Sweep(pol, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		d := sweepDigest(res)
+		if i == 0 {
+			ref = d
+			continue
+		}
+		if d != ref {
+			t.Errorf("workers=%d: forged-origin sweep digest %x diverges from serial %x",
+				workers, d[:8], ref[:8])
+		}
+	}
+}

@@ -21,16 +21,16 @@ func TestMatrixDigestIdentity(t *testing.T) {
 	}
 
 	shifted := m
-	shifted.Job = func(_, k int) (core.Attack, *asn.IndexSet) {
-		return core.Attack{Target: 1, Attacker: k + 1}, nil
+	shifted.Job = func(_, k int) (core.Attack, core.Defense) {
+		return core.Attack{Target: 1, Attacker: k + 1}, core.Defense{}
 	}
 	if MatrixDigest(shifted) == d1 {
 		t.Error("different attacks, same digest")
 	}
 
 	sub := m
-	sub.Job = func(_, k int) (core.Attack, *asn.IndexSet) {
-		return core.Attack{Target: 0, Attacker: k + 1, SubPrefix: true}, nil
+	sub.Job = func(_, k int) (core.Attack, core.Defense) {
+		return core.Attack{Target: 0, Attacker: k + 1, SubPrefix: true}, core.Defense{}
 	}
 	if MatrixDigest(sub) == d1 {
 		t.Error("sub-prefix attacks, same digest")
@@ -39,8 +39,8 @@ func TestMatrixDigestIdentity(t *testing.T) {
 	blocked := asn.NewIndexSet(m.Policy(0).N())
 	blocked.Add(2)
 	defended := m
-	defended.Job = func(_, k int) (core.Attack, *asn.IndexSet) {
-		return core.Attack{Target: 0, Attacker: k + 1}, blocked
+	defended.Job = func(_, k int) (core.Attack, core.Defense) {
+		return core.Attack{Target: 0, Attacker: k + 1}, core.RovOnly(blocked)
 	}
 	if MatrixDigest(defended) == d1 {
 		t.Error("different blocked set, same digest")
@@ -219,8 +219,8 @@ func TestPersistShardResumeWrongWorkload(t *testing.T) {
 	}
 
 	other := m
-	other.Job = func(_, k int) (core.Attack, *asn.IndexSet) {
-		return core.Attack{Target: 1, Attacker: k + 1}, nil
+	other.Job = func(_, k int) (core.Attack, core.Defense) {
+		return core.Attack{Target: 1, Attacker: k + 1}, core.Defense{}
 	}
 	store.Resume = true
 	_, err := PersistShard(other, MatrixOptions{Workers: 2}, "wrong-world", extract, store)

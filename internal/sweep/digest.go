@@ -1,6 +1,7 @@
 // Workload identity: MatrixDigest hashes the exact cell space a matrix
-// describes — every attack, every blocked set, the policy's routing
-// graph — into one SHA-256 value. Two processes that rebuild the same
+// describes — every attack (scenario kind included), every deployed
+// defense (ROV blocked set, ASPA validator set, Peerlock), the policy's
+// routing graph — into one SHA-256 value. Two processes that rebuild the same
 // workload from the same flags (world scale, seeds, defaults) compute
 // the same digest, and any divergence (different topology seed, a
 // changed sample size, -no-tier1-spf toggled) changes it. Shard files
@@ -31,12 +32,20 @@ func MatrixDigest(m Matrix) string {
 		h.Write(buf[:n])
 	}
 	put(int64(m.Groups))
-	// Policies and blocked sets repeat across cells; fingerprint each
+	// Policies and deployment sets repeat across cells; fingerprint each
 	// distinct pointer once and feed the cached value per use. Pointers
 	// never enter the hash — only content does — so the digest is
 	// stable across processes and machines.
 	polFP := make(map[*core.Policy][sha256.Size]byte, 2)
-	blockedFP := make(map[*asn.IndexSet][sha256.Size]byte, 2)
+	setFP := make(map[*asn.IndexSet][sha256.Size]byte, 2)
+	setFingerprint := func(s *asn.IndexSet) [sha256.Size]byte {
+		fp, ok := setFP[s]
+		if !ok {
+			fp = blockedFingerprint(s)
+			setFP[s] = fp
+		}
+		return fp
+	}
 	for g := 0; g < m.Groups; g++ {
 		size := m.Size(g)
 		put(int64(size))
@@ -48,7 +57,25 @@ func MatrixDigest(m Matrix) string {
 		}
 		h.Write(fp[:])
 		for k := 0; k < size; k++ {
-			at, blocked := m.Job(g, k)
+			at, def := m.Job(g, k)
+			// The original cell encoding covered (target, attacker,
+			// sub-prefix, blocked set). Scenario cells — a non-origin
+			// attack kind or a defense beyond the blocked set — prefix
+			// an extension block flagged by a -1 sentinel, which a
+			// legacy cell can never produce (targets are indices ≥ 0).
+			// Exact-origin blocked-only workloads therefore hash exactly
+			// as they did before the scenario layer existed.
+			if at.Kind != core.KindOrigin || def.ASPA != nil || def.Peerlock {
+				put(-1)
+				put(int64(at.Kind))
+				if def.Peerlock {
+					put(1)
+				} else {
+					put(0)
+				}
+				afp := setFingerprint(def.ASPA)
+				h.Write(afp[:])
+			}
 			put(int64(at.Target))
 			put(int64(at.Attacker))
 			if at.SubPrefix {
@@ -56,11 +83,7 @@ func MatrixDigest(m Matrix) string {
 			} else {
 				put(0)
 			}
-			bfp, ok := blockedFP[blocked]
-			if !ok {
-				bfp = blockedFingerprint(blocked)
-				blockedFP[blocked] = bfp
-			}
+			bfp := setFingerprint(def.Blocked)
 			h.Write(bfp[:])
 		}
 	}

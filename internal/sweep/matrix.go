@@ -17,7 +17,6 @@ import (
 	"strings"
 	"sync"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 )
 
@@ -32,7 +31,7 @@ type Matrix struct {
 	Groups int
 	Size   func(g int) int
 	Policy func(g int) *core.Policy
-	Job    func(g, k int) (core.Attack, *asn.IndexSet)
+	Job    func(g, k int) (core.Attack, core.Defense)
 }
 
 // offsets returns the group→first-cell prefix sums (length Groups+1);
@@ -289,8 +288,8 @@ func runShard[T any](m Matrix, off []int, lo, hi, workers, window int, prog func
 				s = core.NewSolver(pol)
 				cache[pol] = s
 			}
-			at, blocked := m.Job(g, k)
-			o, err := s.Solve(at, blocked)
+			at, def := m.Job(g, k)
+			o, err := s.SolveDefense(at, def)
 			if err != nil {
 				win.Abort()
 				return &shardError{cell: cell, err: fmt.Errorf("matrix cell %d (group %d attack %d, attacker %d → target %d): %w",
@@ -351,7 +350,7 @@ func RunReduce[T any](pol *core.Policy, n int, job Job, opts Options, extract fu
 		Groups: 1,
 		Size:   func(int) int { return n },
 		Policy: func(int) *core.Policy { return pol },
-		Job:    func(_, k int) (core.Attack, *asn.IndexSet) { return job(k) },
+		Job:    func(_, k int) (core.Attack, core.Defense) { return job(k) },
 	}
 	return RunMatrixReduce(m, MatrixOptions{Workers: opts.Workers, Progress: opts.Progress},
 		func(_, k int, o *core.Outcome) T { return extract(k, o) }, reds...)

@@ -9,7 +9,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
@@ -33,8 +32,8 @@ func testMatrix(t testing.TB) (Matrix, int) {
 		Groups: len(pols),
 		Size:   func(int) int { return n },
 		Policy: func(g int) *core.Policy { return pols[g] },
-		Job: func(_, k int) (core.Attack, *asn.IndexSet) {
-			return core.Attack{Target: 0, Attacker: k + 1}, nil
+		Job: func(_, k int) (core.Attack, core.Defense) {
+			return core.Attack{Target: 0, Attacker: k + 1}, core.Defense{}
 		},
 	}
 	return m, m.Cells()
@@ -175,8 +174,8 @@ func TestMergeShardsValidation(t *testing.T) {
 func TestRunReduceMatchesRun(t *testing.T) {
 	pol, g := testPolicy(t, 300)
 	n := g.N() - 1
-	job := func(i int) (core.Attack, *asn.IndexSet) {
-		return core.Attack{Target: 0, Attacker: i + 1}, nil
+	job := func(i int) (core.Attack, core.Defense) {
+		return core.Attack{Target: 0, Attacker: i + 1}, core.Defense{}
 	}
 
 	buffered := make([]int, n)
@@ -209,12 +208,12 @@ func TestMatrixSolveErrorPropagates(t *testing.T) {
 		Groups: 2,
 		Size:   func(int) int { return n },
 		Policy: func(int) *core.Policy { return pol },
-		Job: func(_, k int) (core.Attack, *asn.IndexSet) {
+		Job: func(_, k int) (core.Attack, core.Defense) {
 			a := k
 			if k == 7 {
 				a = 0 // target==attacker: rejected by the solver
 			}
-			return core.Attack{Target: 0, Attacker: a}, nil
+			return core.Attack{Target: 0, Attacker: a}, core.Defense{}
 		},
 	}
 	done := make(chan error, 1)

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/core"
+)
+
+// mixedScenarioMatrix builds a matrix whose cells span every attack kind
+// and rotate through heterogeneous defenses — undefended, a blocked set,
+// an ASPA authorization set, and ROV+Peerlock — so shard and digest
+// plumbing is exercised with scenario-extended cells, not just the legacy
+// exact-origin/blocked-set shape.
+func mixedScenarioMatrix(t testing.TB) (Matrix, int) {
+	t.Helper()
+	pol, g := testPolicy(t, 300)
+	n := g.N() - 1
+	kinds := core.Kinds()
+	blocked := asn.NewIndexSet(g.N())
+	aspa := asn.NewIndexSet(g.N())
+	for i := 0; i < g.N(); i += 5 {
+		blocked.Add(i)
+	}
+	for i := 0; i < g.N(); i += 3 {
+		aspa.Add(i)
+	}
+	defs := []core.Defense{
+		{},
+		core.RovOnly(blocked),
+		core.MechASPA.Deploy(aspa),
+		(core.MechROV | core.MechPeerlock).Deploy(blocked),
+	}
+	m := Matrix{
+		Groups: len(kinds),
+		Size:   func(int) int { return n },
+		Policy: func(int) *core.Policy { return pol },
+		Job: func(gi, k int) (core.Attack, core.Defense) {
+			at := core.Attack{Target: 0, Attacker: k + 1, Kind: kinds[gi]}
+			// Sub-prefix variants on some cells; leaks don't sub-prefix.
+			at.SubPrefix = kinds[gi] != core.KindRouteLeak && k%4 == 1
+			return at, defs[(gi+k)%len(defs)]
+		},
+	}
+	return m, m.Cells()
+}
+
+// TestMixedScenarioShardMergeEquivalence: a matrix mixing all attack
+// kinds and defense mechanisms, sharded three ways with the shards
+// completing in shuffled order and round-tripped through the on-disk
+// encoding, must merge to the unsharded run's digest.
+func TestMixedScenarioShardMergeEquivalence(t *testing.T) {
+	m, cells := mixedScenarioMatrix(t)
+	extract := func(_, _ int, o *core.Outcome) int { return o.PollutedCount() }
+
+	want := make([]int, 0, cells)
+	if err := RunMatrixReduce(m, MatrixOptions{Workers: 4}, extract, ReduceFunc[int]{
+		EmitFn: func(_ int, v int) { want = append(want, v) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	files := make([]*ShardFile[int], 0, shards)
+	for _, s := range []int{2, 0, 1} {
+		f, err := RunShard(m, MatrixOptions{Workers: 2, Sel: OneShard(s, shards)}, "scenario-mix", extract)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteShardFile(&buf, f); err != nil {
+			t.Fatalf("shard %d: write: %v", s, err)
+		}
+		rt, err := ReadShardFile[int](&buf)
+		if err != nil {
+			t.Fatalf("shard %d: read: %v", s, err)
+		}
+		files = append(files, rt)
+	}
+
+	got := make([]int, 0, cells)
+	if err := MergeShards(files, "scenario-mix", MatrixDigest(m), ReduceFunc[int]{
+		EmitFn: func(_ int, v int) { got = append(got, v) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runDigest(got) != runDigest(want) {
+		t.Fatal("merged mixed-scenario shard stream diverges from unsharded run")
+	}
+}
+
+// TestMatrixDigestScenarioAxis: the workload digest must cover the
+// scenario axis — flipping one cell's attack kind, toggling Peerlock, or
+// changing the ASPA authorization set all move the digest, so a merge of
+// shards solved under different scenarios is rejected.
+func TestMatrixDigestScenarioAxis(t *testing.T) {
+	m, _ := mixedScenarioMatrix(t)
+	ref := MatrixDigest(m)
+	base := m.Job
+
+	kindFlipped := m
+	kindFlipped.Job = func(gi, k int) (core.Attack, core.Defense) {
+		at, def := base(gi, k)
+		if gi == 0 && k == 0 {
+			at.Kind = core.KindForgedOrigin
+		}
+		return at, def
+	}
+	if MatrixDigest(kindFlipped) == ref {
+		t.Error("different attack kind, same digest")
+	}
+
+	peerlockFlipped := m
+	peerlockFlipped.Job = func(gi, k int) (core.Attack, core.Defense) {
+		at, def := base(gi, k)
+		if gi == 0 && k == 0 {
+			def.Peerlock = !def.Peerlock
+		}
+		return at, def
+	}
+	if MatrixDigest(peerlockFlipped) == ref {
+		t.Error("different Peerlock deployment, same digest")
+	}
+
+	otherASPA := asn.NewIndexSet(m.Policy(0).N())
+	otherASPA.Add(1)
+	aspaSwapped := m
+	aspaSwapped.Job = func(gi, k int) (core.Attack, core.Defense) {
+		at, def := base(gi, k)
+		if def.ASPA != nil {
+			def.ASPA = otherASPA
+		}
+		return at, def
+	}
+	if MatrixDigest(aspaSwapped) == ref {
+		t.Error("different ASPA set, same digest")
+	}
+}

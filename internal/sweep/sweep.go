@@ -23,7 +23,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 )
 
@@ -131,10 +130,10 @@ func MapLocal[W any](n int, opts Options, local func() W, fn func(w W, i int) er
 	return firstErr
 }
 
-// Job yields the idx-th attack of a run and the origin-validation
-// deployment it runs under (nil = no prevention deployed). Job is called
+// Job yields the idx-th attack of a run and the defense deployment it
+// runs under (the zero Defense = no prevention deployed). Job is called
 // from multiple workers and must be a pure read.
-type Job func(idx int) (core.Attack, *asn.IndexSet)
+type Job func(idx int) (core.Attack, core.Defense)
 
 // Observer consumes one solved outcome. The outcome is transient — it
 // belongs to the worker's solver and is only valid for the duration of the
@@ -151,8 +150,8 @@ func Run(pol *core.Policy, n int, job Job, opts Options, observers ...Observer) 
 	return MapLocal(n, opts,
 		func() *core.Solver { return core.NewSolver(pol) },
 		func(s *core.Solver, i int) error {
-			at, blocked := job(i)
-			o, err := s.Solve(at, blocked)
+			at, def := job(i)
+			o, err := s.SolveDefense(at, def)
 			if err != nil {
 				return fmt.Errorf("sweep attack %d (attacker %d → target %d): %w",
 					i, at.Attacker, at.Target, err)

@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"github.com/bgpsim/bgpsim/internal/asn"
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/topology"
 )
@@ -156,13 +155,13 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	pol, g := testPolicy(t, 300)
 	target := 0
 	n := g.N() - 1
-	job := func(i int) (core.Attack, *asn.IndexSet) {
-		return core.Attack{Target: target, Attacker: i + 1}, nil
+	job := func(i int) (core.Attack, core.Defense) {
+		return core.Attack{Target: target, Attacker: i + 1}, core.Defense{}
 	}
 	var ref [sha256.Size]byte
 	for run, workers := range []int{1, 1, 2, 4, 13} {
 		pollution := make([]int, n)
-		err := Run(pol, n, func(i int) (core.Attack, *asn.IndexSet) { return job(i) },
+		err := Run(pol, n, func(i int) (core.Attack, core.Defense) { return job(i) },
 			Options{Workers: workers},
 			func(i int, o *core.Outcome) { pollution[i] = o.PollutedCount() })
 		if err != nil {
@@ -187,7 +186,7 @@ func TestRunFanOut(t *testing.T) {
 	a := make([]int, n)
 	b := make([]int, n)
 	err := Run(pol, n,
-		func(i int) (core.Attack, *asn.IndexSet) { return core.Attack{Target: 0, Attacker: i + 1}, nil },
+		func(i int) (core.Attack, core.Defense) { return core.Attack{Target: 0, Attacker: i + 1}, core.Defense{} },
 		Options{Workers: 4},
 		func(i int, o *core.Outcome) { a[i] = o.PollutedCount() },
 		func(i int, o *core.Outcome) { b[i] = o.PollutedCount() + o.N() },
@@ -208,12 +207,12 @@ func TestRunSolveErrorPropagates(t *testing.T) {
 	pol, g := testPolicy(t, 200)
 	err := Run(pol, g.N(),
 		// Index 7 is target==attacker, which the solver rejects.
-		func(i int) (core.Attack, *asn.IndexSet) {
+		func(i int) (core.Attack, core.Defense) {
 			a := i
 			if i == 7 {
 				a = 0
 			}
-			return core.Attack{Target: 0, Attacker: a}, nil
+			return core.Attack{Target: 0, Attacker: a}, core.Defense{}
 		},
 		Options{Workers: 4},
 		func(i int, o *core.Outcome) {})

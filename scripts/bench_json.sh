@@ -19,7 +19,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkFig2VulnerabilityTier1|BenchmarkFig5IncrementalDefenseDepth1|BenchmarkFig7DetectorConfigurations|BenchmarkSweepRunWorkers|BenchmarkMatrixShards|BenchmarkVulnerabilityReduction' \
+  -bench 'BenchmarkFig2VulnerabilityTier1|BenchmarkFig5IncrementalDefenseDepth1|BenchmarkFig7DetectorConfigurations|BenchmarkSweepRunWorkers|BenchmarkMatrixShards|BenchmarkVulnerabilityReduction|BenchmarkScenarioKinds' \
   -benchmem -benchtime 1x . ./internal/sweep ./internal/experiments | tee "$RAW"
 
 # Benchmark lines look like:
