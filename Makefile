@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos vulncheck fuzz bench bench-json reproduce reproduce-paper-scale clean
+.PHONY: all build test vet lint race chaos replay-check vulncheck fuzz bench bench-json reproduce reproduce-paper-scale clean
 
 all: build test
 
@@ -36,10 +36,18 @@ race:
 # through a chaotic transport (resets, truncation, corruption, stalls)
 # at two fixed seeds must produce the exact alert set of a fault-free
 # run — under the race detector, since reconnect storms are the
-# concurrency stress of record.
+# concurrency stress of record. The firehose soak replays the checked-in
+# MRT incident fixture through the same weather.
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ -args -chaos.seed=1
 	$(GO) test -race -count=1 ./internal/chaos/ -args -chaos.seed=7
+	$(GO) test -race -count=1 ./internal/firehose/ -run ChaosSoak -args -firehose.seed=1
+	$(GO) test -race -count=1 ./internal/firehose/ -run ChaosSoak -args -firehose.seed=42
+
+# Replay the checked-in incident fixture end to end through cmd/mrtreplay
+# and compare the alert-set digest to the pinned value.
+replay-check:
+	scripts/check_incident_replay.sh
 
 # Known-vulnerability scan; skips gracefully where govulncheck (or the
 # network it needs) is unavailable, e.g. offline build containers.
@@ -57,6 +65,7 @@ fuzz:
 	$(GO) test ./internal/topology -fuzz FuzzParse    -fuzztime 10s
 	$(GO) test ./internal/irr     -fuzz FuzzParse     -fuzztime 10s
 	$(GO) test ./internal/recio   -fuzz FuzzDecode    -fuzztime 10s
+	$(GO) test ./internal/mrt     -fuzz FuzzMRTReader -fuzztime 10s
 
 # One benchmark per paper table/figure; metrics double as reproduction
 # evidence (see EXPERIMENTS.md).

@@ -24,7 +24,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -33,8 +32,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -264,50 +261,13 @@ func run() error {
 	return nil
 }
 
-// loadROAs parses "prefix maxlen origin" lines into the store. Every
-// parse failure carries the file position, because real ROA dumps are
-// thousands of lines long and "bad maxlen" without a line number is a
-// needle hunt.
+// loadROAs reads a "prefix maxlen origin" file into the store and
+// registers every prefix with the detector (see rpki.LoadROAs).
 func loadROAs(store *rpki.Store, det *feed.Detector, path string) (int, error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer fh.Close()
-	sc := bufio.NewScanner(fh)
-	// Published ROA exports can exceed bufio's 64 KiB default line cap.
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	n, lineNo := 0, 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return n, fmt.Errorf("%s:%d: want 'prefix maxlen origin', got %q", path, lineNo, line)
-		}
-		p, err := prefix.Parse(fields[0])
-		if err != nil {
-			return n, fmt.Errorf("%s:%d: %w", path, lineNo, err)
-		}
-		maxLen, err := strconv.ParseUint(fields[1], 10, 8)
-		if err != nil {
-			return n, fmt.Errorf("%s:%d: bad maxlen %q", path, lineNo, fields[1])
-		}
-		origin, err := asn.Parse(fields[2])
-		if err != nil {
-			return n, fmt.Errorf("%s:%d: %w", path, lineNo, err)
-		}
-		if err := store.Add(rpki.ROA{Prefix: p, MaxLength: uint8(maxLen), Origin: origin}); err != nil {
-			return n, fmt.Errorf("%s:%d: %w", path, lineNo, err)
-		}
-		det.NotePublished(p)
-		n++
-	}
-	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("%s:%d: %w", path, lineNo+1, err)
-	}
-	return n, nil
+	return rpki.LoadROAs(store, fh, path, det.NotePublished)
 }

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/bgpsim/bgpsim/internal/bgpwire"
@@ -55,8 +57,18 @@ func inspect(path string) error {
 	updates := 0
 	for {
 		rec, err := r.Next()
-		if err != nil {
+		if err == io.EOF {
 			break
+		}
+		if mrt.Skippable(err) {
+			continue
+		}
+		if errors.Is(err, mrt.ErrTruncated) {
+			fmt.Printf("truncated after a clean %d-byte prefix: %v\n", r.Offset(), err)
+			break
+		}
+		if err != nil {
+			return err
 		}
 		m, ok := rec.(*mrt.BGP4MPMessage)
 		if !ok {
@@ -68,6 +80,9 @@ func inspect(path string) error {
 			fmt.Printf("t=%d peer %v → collector %v: announce %v origin %v path %v\n",
 				m.Timestamp, m.PeerAS, m.LocalAS, u.NLRI, origin, u.ASPath)
 		}
+	}
+	if n := r.Skipped(); n > 0 {
+		fmt.Printf("skipped %d unknown/malformed records\n", n)
 	}
 	fmt.Printf("update log: %d BGP4MP records\n", updates)
 	return nil

@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/bgpsim/bgpsim/internal/firehose"
+)
+
+// ReplayFlags declares the MRT-replay tuning knobs shared by tools that
+// drive a firehose.Engine: session pooling, pacing, per-session
+// backpressure bounds, input damage tolerance and the BGP hold time.
+type ReplayFlags struct {
+	Sessions        *int
+	Speed           *float64
+	MaxPending      *int
+	LowPending      *int
+	MalformedBudget *int
+	Hold            *uint
+}
+
+// AddReplayFlags registers -sessions, -speed, -max-pending,
+// -low-pending, -malformed-budget and -hold.
+func AddReplayFlags(fs *flag.FlagSet) *ReplayFlags {
+	return &ReplayFlags{
+		Sessions:        fs.Int("sessions", 0, "cap on concurrent probe sessions (0 = one per distinct peer AS)"),
+		Speed:           fs.Float64("speed", 0, "pace the replay by BGP4MP timestamps: 1 = real time, 2 = twice as fast, 0 = maximum speed"),
+		MaxPending:      fs.Int("max-pending", 4096, "per-session unsent-update bound; oldest updates are shed (and counted) past it (0 = unbounded)"),
+		LowPending:      fs.Int("low-pending", 0, "queue depth a shed drains to once -max-pending trips (0 = half of -max-pending)"),
+		MalformedBudget: fs.Int("malformed-budget", 0, "unknown/undecodable MRT records tolerated per input file (0 = default 64, negative = unlimited)"),
+		Hold:            fs.Uint("hold", uint(0), "hold time offered in OPEN, in seconds (0 = collector default, RFC 4271 minimum 3)"),
+	}
+}
+
+// Apply validates the flag values and copies them into cfg. The
+// remaining Config fields (inputs, Dial, retry policy, clock) stay the
+// caller's business.
+func (f *ReplayFlags) Apply(cfg *firehose.Config) error {
+	switch {
+	case *f.Hold > 65535:
+		return fmt.Errorf("-hold %d does not fit the OPEN message's 16-bit field", *f.Hold)
+	case *f.Hold != 0 && *f.Hold < 3:
+		return fmt.Errorf("-hold %d is below the RFC 4271 floor of 3 seconds", *f.Hold)
+	case *f.Speed < 0:
+		return fmt.Errorf("-speed %g: negative replay speeds do not exist", *f.Speed)
+	case *f.Sessions < 0:
+		return fmt.Errorf("-sessions %d: want 0 (per-peer) or a positive cap", *f.Sessions)
+	case *f.MaxPending < 0:
+		return fmt.Errorf("-max-pending %d: want 0 (unbounded) or a positive bound", *f.MaxPending)
+	case *f.LowPending < 0 || (*f.MaxPending > 0 && *f.LowPending > *f.MaxPending):
+		return fmt.Errorf("-low-pending %d: want 0 (half of -max-pending) up to -max-pending", *f.LowPending)
+	}
+	cfg.Sessions = *f.Sessions
+	cfg.Speed = *f.Speed
+	cfg.MaxPending = *f.MaxPending
+	cfg.LowPending = *f.LowPending
+	cfg.MalformedBudget = *f.MalformedBudget
+	cfg.HoldTime = uint16(*f.Hold)
+	return nil
+}

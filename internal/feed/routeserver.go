@@ -1,0 +1,102 @@
+package feed
+
+import (
+	"sync"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+)
+
+// RouteServer applies origin validation once at the collector boundary —
+// the IXP route-server / middlebox deployment model ("Keep Your Friends
+// Close", PAPERS.md): instead of every probe AS validating independently,
+// one validator serves the whole collector and memoizes each distinct
+// (prefix, origin) verdict. A burst of identical announcements from
+// hundreds of peers then costs one trie lookup, not hundreds; the
+// verdicts — and therefore the detector's alert set — are identical to
+// per-probe validation, because RFC 6811 validation is a pure function
+// of prefix and origin.
+//
+// RouteServer is itself an rpki.OriginValidator, so a Detector built
+// over it shares the memo: set it as both Collector.Validator (boundary
+// accounting) and the detector's validator (alerting) to run the full
+// route-server mode.
+type RouteServer struct {
+	validator rpki.OriginValidator
+
+	mu    sync.Mutex
+	cache map[routeKey]rpki.Validity
+	stats RouteServerStats
+}
+
+type routeKey struct {
+	p      prefix.Prefix
+	origin asn.ASN
+}
+
+// RouteServerStats counts the boundary validator's work.
+type RouteServerStats struct {
+	// Lookups counts underlying validator calls — one per distinct
+	// (prefix, origin) pair ever observed.
+	Lookups int
+	// Hits counts verdicts served from the memo.
+	Hits int
+	// Observed counts announcements seen via Observe.
+	Observed int
+	// Invalid counts observed announcements whose verdict was Invalid.
+	Invalid int
+}
+
+var _ rpki.OriginValidator = (*RouteServer)(nil)
+
+// NewRouteServer wraps v in a memoizing collector-boundary validator.
+func NewRouteServer(v rpki.OriginValidator) *RouteServer {
+	return &RouteServer{validator: v, cache: make(map[routeKey]rpki.Validity)}
+}
+
+// Validate returns the RFC 6811 verdict for (p, origin), consulting the
+// underlying validator only on the first sight of the pair.
+func (rs *RouteServer) Validate(p prefix.Prefix, origin asn.ASN) rpki.Validity {
+	rs.mu.Lock()
+	if v, ok := rs.cache[routeKey{p, origin}]; ok {
+		rs.stats.Hits++
+		rs.mu.Unlock()
+		return v
+	}
+	// The trie lookup runs under mu: the underlying store is not
+	// guaranteed concurrency-safe, and the collector already serializes
+	// sessions through the detector mutex at comparable cost.
+	v := rs.validator.Validate(p, origin)
+	rs.cache[routeKey{p, origin}] = v
+	rs.stats.Lookups++
+	rs.mu.Unlock()
+	return v
+}
+
+// Observe validates every prefix one update announces, counting Invalid
+// verdicts — the per-announcement accounting HandleSession drives when
+// the collector runs in route-server mode.
+func (rs *RouteServer) Observe(peer asn.ASN, u *bgpwire.Update) {
+	origin, ok := u.OriginAS()
+	if !ok {
+		return // withdrawals carry no origin
+	}
+	for _, p := range u.NLRI {
+		v := rs.Validate(p, origin)
+		rs.mu.Lock()
+		rs.stats.Observed++
+		if v == rpki.Invalid {
+			rs.stats.Invalid++
+		}
+		rs.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the boundary validator's counters.
+func (rs *RouteServer) Stats() RouteServerStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.stats
+}

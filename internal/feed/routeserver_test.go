@@ -1,0 +1,82 @@
+package feed
+
+import (
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// TestRouteServerMemoizes: in route-server mode the collector validates
+// each distinct (prefix, origin) pair exactly once, however many peers
+// announce it — and the detector's alert set is identical to per-probe
+// validation over the same stream.
+func TestRouteServerMemoizes(t *testing.T) {
+	var store rpki.Store
+	if err := store.Add(rpki.ROA{Prefix: prefix.MustParse("10.0.0.0/16"), MaxLength: 24, Origin: 100}); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewRouteServer(&store)
+	det := NewDetector(rs, nil)
+	det.NotePublished(prefix.MustParse("10.0.0.0/16"))
+	c := &Collector{
+		LocalAS: 65535, RouterID: 1,
+		Clock:     tick.NewFake(),
+		Validator: rs,
+		Detector:  det,
+	}
+
+	valid := &bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65010, 100}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/16")},
+	}
+	hijack := &bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65010, 666}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.1.0/24")},
+	}
+
+	// Two peers each announce the same valid route and the same hijack.
+	for _, as := range []asn.ASN{65001, 65002} {
+		probe, errCh := dialRaw(t, c, as)
+		if err := bgpwire.WriteMessage(probe, valid); err != nil {
+			t.Fatal(err)
+		}
+		if err := bgpwire.WriteMessage(probe, hijack); err != nil {
+			t.Fatal(err)
+		}
+		probe.Close()
+		<-errCh
+	}
+
+	st := rs.Stats()
+	if st.Lookups != 2 {
+		t.Errorf("Lookups = %d, want 2: one per distinct (prefix, origin) pair", st.Lookups)
+	}
+	if st.Observed != 4 || st.Invalid != 2 {
+		t.Errorf("stats = %+v, want Observed 4 / Invalid 2", st)
+	}
+	if st.Hits < 2 {
+		t.Errorf("Hits = %d, want ≥ 2 (repeat announcements served from the memo)", st.Hits)
+	}
+	alerts := det.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want exactly 1 (deduplicated)", len(alerts))
+	}
+	if alerts[0].Reason != ReasonSubPrefix || alerts[0].Origin != 666 {
+		t.Errorf("alert = %+v, want subprefix-hijack by 666", alerts[0])
+	}
+
+	// Per-probe validation over the same stream yields the same digest.
+	ref := NewDetector(&store, nil)
+	ref.NotePublished(prefix.MustParse("10.0.0.0/16"))
+	for _, as := range []asn.ASN{65001, 65002} {
+		ref.Process(TimedUpdate{Time: 1, PeerAS: as, Update: valid})
+		ref.Process(TimedUpdate{Time: 1, PeerAS: as, Update: hijack})
+	}
+	if AlertSetDigest(det.Alerts()) != AlertSetDigest(ref.Alerts()) {
+		t.Error("route-server alert digest differs from per-probe validation")
+	}
+}

@@ -30,6 +30,9 @@ type RunnerStats struct {
 	// Sent counts UPDATE writes that succeeded, retransmissions
 	// included.
 	Sent int
+	// Shed counts updates dropped by the bounded pending queue
+	// (MaxPending) before they were ever written.
+	Shed int
 	// Pending is the number of updates not yet written on the current
 	// session.
 	Pending int
@@ -75,25 +78,98 @@ type ProbeRunner struct {
 	Jitter *rand.Rand
 	// Logf, when non-nil, receives reconnect/backoff log lines.
 	Logf func(format string, args ...any)
+	// MaxPending bounds the unsent queue: when an Enqueue pushes the
+	// pending count past it, the oldest unsent updates are shed (counted
+	// in RunnerStats.Shed) down to LowPending, so a stalled or slow
+	// collector degrades to measured drops instead of unbounded memory.
+	// 0 means unbounded — the pre-backpressure behavior.
+	MaxPending int
+	// LowPending is the low watermark a shed drains the queue to;
+	// 0 or an out-of-range value means MaxPending/2.
+	LowPending int
 
-	mu     sync.Mutex
-	queue  []*bgpwire.Update
-	next   int // queue[next:] not yet written on the current session
-	stats  RunnerStats
-	notify chan struct{}
+	mu       sync.Mutex
+	queue    []*bgpwire.Update
+	next     int // queue[next:] not yet written on the current session
+	inflight bool
+	drainReq bool
+	stats    RunnerStats
+	notify   chan struct{}
 }
 
-// Enqueue adds one update to the runner's table. Safe from any
-// goroutine, before or during Run.
-func (r *ProbeRunner) Enqueue(u *bgpwire.Update) {
+// CloseWhenDrained switches a running probe into drain mode: once every
+// queued update has been written on a live session, the session closes
+// with a Cease NOTIFICATION and Run returns nil — the graceful end of a
+// replay, where a force-closed transport could strand written-but-unread
+// updates in the peer's buffers. Safe from any goroutine; updates
+// enqueued after the call still count toward the drain.
+func (r *ProbeRunner) CloseWhenDrained() {
 	r.mu.Lock()
-	r.queue = append(r.queue, u)
+	r.drainReq = true
 	ch := r.notifyLocked()
 	r.mu.Unlock()
 	select {
 	case ch <- struct{}{}:
 	default:
 	}
+}
+
+// draining reports whether the runner should behave as if started by
+// RunDrain: either statically (the static flag from run) or because
+// CloseWhenDrained was called.
+func (r *ProbeRunner) draining(static bool) bool {
+	if static {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drainReq
+}
+
+// Enqueue adds one update to the runner's table, shedding the oldest
+// unsent updates when MaxPending is exceeded. Safe from any goroutine,
+// before or during Run.
+func (r *ProbeRunner) Enqueue(u *bgpwire.Update) {
+	r.mu.Lock()
+	r.queue = append(r.queue, u)
+	r.shedLocked()
+	ch := r.notifyLocked()
+	r.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// shedLocked enforces MaxPending: above the high watermark it drops the
+// oldest unsent updates down to the low watermark. The update a Send has
+// in flight and the newest update are never shed, so the session loop's
+// position stays coherent and fresh data always wins over stale.
+func (r *ProbeRunner) shedLocked() {
+	if r.MaxPending <= 0 {
+		return
+	}
+	pending := len(r.queue) - r.next
+	if pending <= r.MaxPending {
+		return
+	}
+	low := r.LowPending
+	if low <= 0 || low > r.MaxPending {
+		low = r.MaxPending / 2
+	}
+	drop := pending - low
+	lo := r.next
+	if r.inflight {
+		lo++
+	}
+	if max := len(r.queue) - 1 - lo; drop > max {
+		drop = max
+	}
+	if drop <= 0 {
+		return
+	}
+	r.queue = append(r.queue[:lo], r.queue[lo+drop:]...)
+	r.stats.Shed += drop
 }
 
 func (r *ProbeRunner) notifyLocked() chan struct{} {
@@ -119,13 +195,17 @@ func (r *ProbeRunner) Stats() RunnerStats {
 	return s
 }
 
-// peek returns the next unwritten update, or nil.
+// peek returns the next unwritten update, or nil. A non-nil return marks
+// the update in flight, which pins it against shedding until advance or
+// rewind.
 func (r *ProbeRunner) peek() *bgpwire.Update {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.next < len(r.queue) {
+		r.inflight = true
 		return r.queue[r.next]
 	}
+	r.inflight = false
 	return nil
 }
 
@@ -133,6 +213,7 @@ func (r *ProbeRunner) peek() *bgpwire.Update {
 func (r *ProbeRunner) advance() {
 	r.mu.Lock()
 	r.next++
+	r.inflight = false
 	r.stats.Sent++
 	r.mu.Unlock()
 }
@@ -141,6 +222,7 @@ func (r *ProbeRunner) advance() {
 func (r *ProbeRunner) rewind() {
 	r.mu.Lock()
 	r.next = 0
+	r.inflight = false
 	r.mu.Unlock()
 }
 
@@ -202,7 +284,7 @@ func (r *ProbeRunner) run(ctx context.Context, drain bool) error {
 	clock := r.clock()
 	fails := 0
 	for {
-		if drain && r.Pending() == 0 {
+		if r.draining(drain) && r.Pending() == 0 {
 			return nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -322,7 +404,7 @@ func (r *ProbeRunner) session(ctx context.Context, conn io.ReadWriteCloser, drai
 			}
 			continue
 		}
-		if drain {
+		if r.draining(drain) {
 			_ = p.Close() // Cease; the table is fully written
 			return true, nil
 		}

@@ -1,6 +1,7 @@
 package feed
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -173,6 +174,168 @@ func TestRunnerReconnectsAndRetransmits(t *testing.T) {
 	wg.Wait()
 	if n := len(det.Alerts()); n != 1 {
 		t.Errorf("alerts = %d, want exactly 1 (retransmissions must deduplicate)", n)
+	}
+}
+
+// TestEnqueueShedOldest pins the watermark arithmetic without a session:
+// every Enqueue past MaxPending sheds the oldest unsent updates down to
+// LowPending, never the newest.
+func TestEnqueueShedOldest(t *testing.T) {
+	r := &ProbeRunner{MaxPending: 8, LowPending: 4}
+	for i := 0; i < 20; i++ {
+		r.Enqueue(&bgpwire.Update{
+			Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{asn.ASN(i + 1)}, NextHop: 1,
+			NLRI: []prefix.Prefix{prefix.MustParse("192.0.2.0/24")},
+		})
+		if p := r.Pending(); p > r.MaxPending+1 {
+			t.Fatalf("pending = %d after enqueue %d, want ≤ %d", p, i, r.MaxPending+1)
+		}
+	}
+	// 20 enqueues: pending hits 9 at #9 (shed 5 → 4), again at #14 and
+	// #19 — 15 shed, 5 pending.
+	st := r.Stats()
+	if st.Shed != 15 || st.Pending != 5 {
+		t.Errorf("stats = %+v, want Shed 15 / Pending 5", st)
+	}
+	// The newest update must have survived every shed.
+	r.mu.Lock()
+	last := r.queue[len(r.queue)-1]
+	r.mu.Unlock()
+	if got := last.ASPath[0]; got != 20 {
+		t.Errorf("newest queued update is from AS %v, want 20", got)
+	}
+	// Unbounded runner never sheds.
+	u := &ProbeRunner{}
+	for i := 0; i < 100; i++ {
+		u.Enqueue(&bgpwire.Update{})
+	}
+	if st := u.Stats(); st.Shed != 0 || st.Pending != 100 {
+		t.Errorf("unbounded stats = %+v, want Shed 0 / Pending 100", st)
+	}
+}
+
+// stalledConn scripts the collector half of a handshake from a buffer,
+// lets the probe's OPEN through, and then blocks every later write until
+// Close — a collector that accepted the session and stopped reading.
+type stalledConn struct {
+	mu        sync.Mutex
+	script    []byte // collector→probe bytes served by Read
+	wrote     int
+	stalled   chan struct{} // closed when a post-handshake write blocks
+	closed    chan struct{}
+	stallOnce sync.Once
+	closeOnce sync.Once
+}
+
+func newStalledConn(t *testing.T) *stalledConn {
+	t.Helper()
+	var script bytes.Buffer
+	if err := bgpwire.WriteMessage(&script, &bgpwire.Open{Version: 4, AS: 65535, HoldTime: 30, RouterID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bgpwire.WriteMessage(&script, bgpwire.Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	return &stalledConn{
+		script:  script.Bytes(),
+		stalled: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+}
+
+func (c *stalledConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if len(c.script) > 0 {
+		n := copy(p, c.script)
+		c.script = c.script[n:]
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	<-c.closed
+	return 0, io.EOF
+}
+
+func (c *stalledConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.wrote++
+	first := c.wrote == 1
+	c.mu.Unlock()
+	if first {
+		return len(p), nil // the probe's OPEN
+	}
+	c.stallOnce.Do(func() { close(c.stalled) })
+	<-c.closed
+	return 0, io.ErrClosedPipe
+}
+
+func (c *stalledConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// TestRunnerBoundedUnderStalledTransport: with a collector that stops
+// reading mid-session, a MaxPending-bounded runner must keep accepting
+// Enqueues at bounded memory, shedding an exactly predictable count —
+// all under a fake clock, so no wall time passes and no timer fires.
+func TestRunnerBoundedUnderStalledTransport(t *testing.T) {
+	fc := tick.NewFake()
+	conn := newStalledConn(t)
+	r := &ProbeRunner{
+		AS: 65001, RouterID: 2,
+		Dial: func() (io.ReadWriteCloser, error) {
+			select {
+			case <-conn.closed:
+				return nil, errors.New("no second conn in this test")
+			default:
+				return conn, nil
+			}
+		},
+		HoldTime:    30,
+		MaxAttempts: 1,
+		Clock:       fc,
+		MaxPending:  8,
+		LowPending:  4,
+	}
+	r.Enqueue(&bgpwire.Update{
+		Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{65001}, NextHop: 1,
+		NLRI: []prefix.Prefix{prefix.MustParse("192.0.2.0/24")},
+	})
+	done := make(chan error, 1)
+	go func() { done <- r.Run(context.Background()) }()
+
+	// Wait until the first update's write is wedged in the stalled
+	// transport, so the shed arithmetic below is exact: the in-flight
+	// update is pinned, every shed drops 5.
+	select {
+	case <-conn.stalled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("session never reached the stalled write")
+	}
+	for i := 1; i < 100; i++ {
+		r.Enqueue(&bgpwire.Update{
+			Origin: bgpwire.OriginIGP, ASPath: []asn.ASN{asn.ASN(i + 1)}, NextHop: 1,
+			NLRI: []prefix.Prefix{prefix.MustParse("192.0.2.0/24")},
+		})
+		if p := r.Pending(); p > r.MaxPending+1 {
+			t.Fatalf("pending = %d after enqueue %d, want ≤ %d", p, i, r.MaxPending+1)
+		}
+	}
+	// 100 enqueues against a stalled session: sheds of 5 fire at #9,
+	// #14, …, #99 → exactly 95 shed, 5 pending, none sent.
+	st := r.Stats()
+	if st.Shed != 95 || st.Pending != 5 || st.Sent != 0 {
+		t.Errorf("stats = %+v, want Shed 95 / Pending 5 / Sent 0", st)
+	}
+
+	conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Run = nil, want terminal error after the stalled session died")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runner never exited after conn close")
 	}
 }
 

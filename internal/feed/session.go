@@ -79,6 +79,7 @@ func (c *Collector) HandleSession(conn io.ReadWriteCloser) error {
 		_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 2, Subcode: openErrSubcode(open)}, handshakeDeadline)
 		return fmt.Errorf("collector: %w", err)
 	}
+	c.noteOpen(conn, open.AS)
 	if err := bgpwire.WriteMessageDeadline(conn, &bgpwire.Open{
 		Version: 4, AS: c.LocalAS, HoldTime: c.holdTime(), RouterID: c.RouterID,
 	}, handshakeDeadline); err != nil {
@@ -120,6 +121,11 @@ func (c *Collector) HandleSession(conn io.ReadWriteCloser) error {
 		select {
 		case rr := <-readCh:
 			if rr.err != nil {
+				// A read error on a conn that load shedding closed is the
+				// shed itself, not a transport fault.
+				if c.wasShed(conn) {
+					return fmt.Errorf("collector: session with %v: %w", open.AS, ErrSessionShed)
+				}
 				if errors.Is(rr.err, io.EOF) {
 					return nil
 				}
@@ -142,8 +148,17 @@ func (c *Collector) HandleSession(conn io.ReadWriteCloser) error {
 			}
 			switch m := rr.msg.(type) {
 			case *bgpwire.Update:
+				if c.noteUpdate(conn) {
+					// This session is the load-shed victim: the crossing
+					// update is dropped, the peer gets a Cease.
+					_ = bgpwire.WriteMessageDeadline(conn, &bgpwire.Notification{Code: 6 /* cease */}, writeDeadline())
+					return fmt.Errorf("collector: session with %v: %w", open.AS, ErrSessionShed)
+				}
 				seq++
 				c.record(open, m, seq)
+				if c.Validator != nil {
+					c.Validator.Observe(open.AS, m)
+				}
 				if c.Detector != nil {
 					c.Detector.Process(TimedUpdate{Time: seq, PeerAS: open.AS, Update: m})
 				}

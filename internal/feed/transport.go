@@ -2,6 +2,7 @@ package feed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -27,6 +28,15 @@ const DefaultMaxMalformed = 4
 // seconds is unacceptable and rejected with an OPEN error NOTIFICATION.
 const minHoldTime = 3
 
+// DefaultLoadWindow is the collector's read-rate accounting window when
+// LoadWindow is unset.
+const DefaultLoadWindow = time.Second
+
+// ErrSessionShed marks a session the collector closed under global load:
+// the aggregate update rate crossed MaxLoad and this session was the
+// noisiest in the current window.
+var ErrSessionShed = errors.New("feed: session shed under collector load")
+
 // CollectorStats is a snapshot of the collector's robustness counters.
 type CollectorStats struct {
 	// Sessions counts sessions accepted so far.
@@ -46,6 +56,35 @@ type CollectorStats struct {
 	MalformedMessages int
 	// HoldExpiries counts peers reaped by the hold timer.
 	HoldExpiries int
+	// Updates counts UPDATE messages received across all sessions,
+	// including the ones dropped by load shedding.
+	Updates int
+	// LoadSheds counts sessions closed because the aggregate update rate
+	// crossed MaxLoad.
+	LoadSheds int
+}
+
+// SessionLoad is one session's read-rate accounting snapshot.
+type SessionLoad struct {
+	// AS is the peer AS (zero until its OPEN arrives).
+	AS asn.ASN
+	// Window is the update count in the current accounting window.
+	Window int
+	// Total is the lifetime update count.
+	Total int
+	// Shed reports whether the session was closed by load shedding.
+	Shed bool
+}
+
+// sessLoad is the collector's per-session accounting record. Guarded by
+// Collector.mu; loadList preserves registration order so victim
+// selection and SessionLoads are deterministic.
+type sessLoad struct {
+	conn   io.Closer
+	as     asn.ASN
+	window int
+	total  int
+	shed   bool
 }
 
 // Collector is a BGP route collector: probe routers open BGP sessions to
@@ -74,6 +113,21 @@ type Collector struct {
 	// Clock injects time for hold/keepalive enforcement. Nil means the
 	// wall clock; tests substitute a tick.Fake.
 	Clock tick.Clock
+	// MaxLoad bounds the aggregate UPDATE count the collector accepts
+	// per LoadWindow across every session. When an update pushes the
+	// total past it, the collector sheds the noisiest session of the
+	// window — Cease NOTIFICATION, connection closed, ErrSessionShed —
+	// so one runaway feed degrades to one lost peer, never a melted
+	// collector. 0 disables load shedding.
+	MaxLoad int
+	// LoadWindow is the read-rate accounting window; 0 means
+	// DefaultLoadWindow.
+	LoadWindow time.Duration
+	// Validator, when non-nil, puts the collector in route-server mode:
+	// every announced (prefix, origin) pair is origin-validated once at
+	// the collector boundary — the IXP middlebox model — instead of by
+	// each probe. See RouteServer.
+	Validator *RouteServer
 	// Logf, when non-nil, receives operational log lines (degraded
 	// mode, reaped peers).
 	Logf func(format string, args ...any)
@@ -83,12 +137,16 @@ type Collector struct {
 	// The accept loop checks closed and registers with wg under the
 	// same critical section so Shutdown can never miss an in-flight
 	// session.
-	mu       sync.Mutex
-	sessions int
-	conns    map[io.Closer]struct{}
-	wg       sync.WaitGroup
-	closed   bool
-	stats    CollectorStats
+	mu          sync.Mutex
+	sessions    int
+	conns       map[io.Closer]struct{}
+	wg          sync.WaitGroup
+	closed      bool
+	stats       CollectorStats
+	loads       map[io.Closer]*sessLoad
+	loadList    []*sessLoad // registration order
+	windowStart time.Time
+	windowCount int
 }
 
 // Serve accepts sessions on l until l is closed. It returns the listener's
@@ -180,16 +238,118 @@ func (c *Collector) register(conn io.Closer) error {
 		c.conns = make(map[io.Closer]struct{})
 	}
 	c.conns[conn] = struct{}{}
+	if c.loads == nil {
+		c.loads = make(map[io.Closer]*sessLoad)
+	}
+	l := &sessLoad{conn: conn}
+	c.loads[conn] = l
+	c.loadList = append(c.loadList, l)
 	return nil
 }
 
 // unregister is register's counterpart: the conn stops being tracked
-// and the Shutdown wait group is released.
+// and the Shutdown wait group is released. The load record stays in
+// loadList so SessionLoads keeps reporting finished sessions.
 func (c *Collector) unregister(conn io.Closer) {
 	c.mu.Lock()
 	delete(c.conns, conn)
+	delete(c.loads, conn)
 	c.mu.Unlock()
 	c.wg.Done()
+}
+
+// noteOpen records the peer AS on the session's load entry once its
+// OPEN arrives.
+func (c *Collector) noteOpen(conn io.Closer, as asn.ASN) {
+	c.mu.Lock()
+	if l := c.loads[conn]; l != nil {
+		l.as = as
+	}
+	c.mu.Unlock()
+}
+
+// loadWindow returns the accounting window length.
+func (c *Collector) loadWindow() time.Duration {
+	if c.LoadWindow > 0 {
+		return c.LoadWindow
+	}
+	return DefaultLoadWindow
+}
+
+// noteUpdate accounts one received UPDATE against the session's window
+// and the global MaxLoad threshold. Crossing the threshold sheds the
+// noisiest unshed session of the window (earliest-registered on ties):
+// its conn is closed here — never a blocking write under mu — and its
+// session loop translates the resulting read error into ErrSessionShed.
+// The return reports whether conn's own session is now shed, so the
+// caller stops processing and closes with a Cease of its own.
+func (c *Collector) noteUpdate(conn io.Closer) (shedSelf bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock().Now()
+	if c.windowStart.IsZero() || now.Sub(c.windowStart) >= c.loadWindow() {
+		c.windowStart = now
+		c.windowCount = 0
+		for _, l := range c.loadList {
+			l.window = 0
+		}
+	}
+	l := c.loads[conn]
+	if l == nil {
+		return false
+	}
+	l.window++
+	l.total++
+	c.windowCount++
+	c.stats.Updates++
+	if l.shed {
+		return true
+	}
+	if c.MaxLoad <= 0 || c.windowCount <= c.MaxLoad {
+		return false
+	}
+	var victim *sessLoad
+	for _, cand := range c.loadList {
+		if cand.shed || c.loads[cand.conn] == nil {
+			continue // already shed, or session already gone
+		}
+		if victim == nil || cand.window > victim.window {
+			victim = cand
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.shed = true
+	c.windowCount -= victim.window
+	c.stats.LoadSheds++
+	c.logf("collector: %d updates in %v exceeds MaxLoad %d; shedding noisiest session %v (%d in window)",
+		c.stats.Updates, c.loadWindow(), c.MaxLoad, victim.as, victim.window)
+	if victim != l {
+		_ = victim.conn.Close()
+		return false
+	}
+	return true
+}
+
+// wasShed reports whether conn's session was closed by load shedding.
+func (c *Collector) wasShed(conn io.Closer) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.loads[conn]
+	return l != nil && l.shed
+}
+
+// SessionLoads returns every session's read-rate accounting snapshot,
+// finished sessions included, in registration order.
+func (c *Collector) SessionLoads() []SessionLoad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SessionLoad, 0, len(c.loadList))
+	for _, l := range c.loadList {
+		out = append(out, SessionLoad{AS: l.as, Window: l.window, Total: l.total, Shed: l.shed})
+	}
+	return out
 }
 
 func (c *Collector) clock() tick.Clock {

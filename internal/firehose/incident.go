@@ -1,0 +1,220 @@
+package firehose
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/bgpwire"
+	"github.com/bgpsim/bgpsim/internal/mrt"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+	"github.com/bgpsim/bgpsim/internal/rpki"
+)
+
+// The historical-incident fixture: a synthesized MRT replay of a
+// YouTube/Pakistan-Telecom-shaped origin hijack (February 2008, adapted
+// to this module's IPv4/AS4 record subset). The victim announces an
+// RPKI-covered /22; the hijacker originates more-specifics of it and an
+// exact-prefix forgery through its upstream, each visible at exactly one
+// vantage peer — so the alert *set* (and feed.AlertSetDigest over it) is
+// a pure function of the fixture bytes, independent of session
+// interleaving. The stream also carries the damage a real capture
+// accumulates: a record of a foreign type, a known-type record with an
+// undecodable body, and a truncated final record. Replays must skip the
+// first two, stop cleanly at the third, and still raise every alert.
+const (
+	// IncidentVictimAS originates the covered prefix.
+	IncidentVictimAS asn.ASN = 36561
+	// IncidentHijackerAS originates the hijacked routes.
+	IncidentHijackerAS asn.ASN = 17557
+	// IncidentUpstreamAS is the hijacker's transit, through which the bogus
+	// routes leak.
+	IncidentUpstreamAS asn.ASN = 3491
+	// IncidentAlerts is the number of distinct alerts the incident raises:
+	// four sub-prefix hijacks plus one exact-prefix origin forgery. The
+	// forged-origin announcement (hijacker prepending the victim) raises
+	// none — the known detection gap of origin validation.
+	IncidentAlerts = 5
+)
+
+// IncidentVictimPrefix is the covered /22 the hijack targets.
+func IncidentVictimPrefix() prefix.Prefix { return prefix.MustParse("208.65.152.0/22") }
+
+// IncidentPeers lists the collector's vantage peers, in peer-index order.
+func IncidentPeers() []asn.ASN { return []asn.ASN{7018, 3356, 2914, 3257, 1239} }
+
+// IncidentROAs returns the published route-origin data in force during
+// the incident: the victim's /22, with more-specifics down to /24
+// authorized — so the hijacked /24s are covered (hence classified as
+// sub-prefix hijacks) yet Invalid, matching RFC 6811.
+func IncidentROAs() []rpki.ROA {
+	return []rpki.ROA{
+		{Prefix: IncidentVictimPrefix(), MaxLength: 24, Origin: IncidentVictimAS},
+	}
+}
+
+// incidentBaseline lists the unrelated prefixes padding the RIB dump;
+// none has a ROA, so their routes validate NotFound and raise nothing.
+func incidentBaseline() []prefix.Prefix {
+	return []prefix.Prefix{
+		prefix.MustParse("198.51.100.0/24"),
+		prefix.MustParse("203.0.113.0/24"),
+		prefix.MustParse("192.0.2.0/24"),
+		prefix.MustParse("100.64.0.0/16"),
+	}
+}
+
+// incidentHijacks returns the alert-raising announcements: one vantage
+// peer each, so every alert's (prefix, origin, peer, path) tuple is
+// unique and the digest is interleaving-proof.
+type incidentEvent struct {
+	ts     uint32
+	peer   asn.ASN
+	update *bgpwire.Update
+}
+
+func hijackUpdate(peer asn.ASN, p prefix.Prefix, withVictim bool) *bgpwire.Update {
+	path := []asn.ASN{peer, IncidentUpstreamAS, IncidentHijackerAS}
+	if withVictim {
+		path = append(path, IncidentVictimAS)
+	}
+	return &bgpwire.Update{
+		Origin:  bgpwire.OriginIGP,
+		ASPath:  path,
+		NextHop: 0x0A000001,
+		NLRI:    []prefix.Prefix{p},
+	}
+}
+
+func incidentEvents() []incidentEvent {
+	peers := IncidentPeers()
+	victim := IncidentVictimPrefix()
+	return []incidentEvent{
+		// A benign re-announcement of the victim's own route: Valid.
+		{0, peers[0], &bgpwire.Update{
+			Origin:  bgpwire.OriginIGP,
+			ASPath:  []asn.ASN{peers[0], IncidentUpstreamAS, IncidentVictimAS},
+			NextHop: 0x0A000001,
+			NLRI:    []prefix.Prefix{victim},
+		}},
+		// Four more-specific /24 hijacks, one per vantage peer.
+		{1, peers[0], hijackUpdate(peers[0], prefix.MustParse("208.65.153.0/24"), false)},
+		{2, peers[1], hijackUpdate(peers[1], prefix.MustParse("208.65.152.0/24"), false)},
+		{3, peers[2], hijackUpdate(peers[2], prefix.MustParse("208.65.154.0/24"), false)},
+		{4, peers[3], hijackUpdate(peers[3], prefix.MustParse("208.65.155.0/24"), false)},
+		// The exact-prefix forgery: the covered /22 itself with the
+		// hijacker as origin.
+		{5, peers[4], hijackUpdate(peers[4], victim, false)},
+		// The forged-origin variant: hijacker prepends the victim, so the
+		// origin validates — no alert. Same (prefix, origin) as the benign
+		// baseline route, so it cannot perturb the digest either.
+		{6, peers[0], hijackUpdate(peers[0], victim, true)},
+	}
+}
+
+// WriteIncidentRIB writes the TABLE_DUMP_V2 baseline: the peer index
+// table and each peer's pre-incident routes (the victim's /22 plus
+// unrelated padding prefixes).
+func WriteIncidentRIB(w io.Writer) error {
+	peers := IncidentPeers()
+	pit := &mrt.PeerIndexTable{CollectorBGPID: 0x7F000001, ViewName: "incident"}
+	for i, as := range peers {
+		pit.Peers = append(pit.Peers, mrt.Peer{
+			BGPID: as.Uint32(),
+			Addr:  0x0A000001 + uint32(i),
+			AS:    as,
+		})
+	}
+	mw := mrt.NewWriter(w, 0)
+	if err := mw.WritePeerIndexTable(pit); err != nil {
+		return err
+	}
+	prefixes := append([]prefix.Prefix{IncidentVictimPrefix()}, incidentBaseline()...)
+	for seq, p := range prefixes {
+		rec := &mrt.RIBIPv4Unicast{SequenceNumber: uint32(seq), Prefix: p}
+		for i, as := range peers {
+			origin := IncidentVictimAS
+			if seq > 0 {
+				// Padding prefixes are originated by a per-prefix stub AS.
+				origin = asn.FromUint32(uint32(64496 + seq))
+			}
+			rec.Entries = append(rec.Entries, mrt.RIBEntry{
+				PeerIndex: uint16(i),
+				Origin:    bgpwire.OriginIGP,
+				ASPath:    []asn.ASN{as, IncidentUpstreamAS, origin},
+				NextHop:   0x0A000001 + uint32(i),
+			})
+		}
+		if err := mw.WriteRIB(rec); err != nil {
+			return err
+		}
+	}
+	return mw.Flush()
+}
+
+// WriteIncidentUpdates writes the BGP4MP update stream, damage included:
+// an unknown-type record and a malformed known-type record mid-stream,
+// and a final record cut off mid-body the way a capture interrupted by a
+// collector crash ends. Readers must report two skips and a truncation.
+func WriteIncidentUpdates(w io.Writer) error {
+	writeEvent := func(ev incidentEvent) error {
+		mw := mrt.NewWriter(w, ev.ts)
+		if err := mw.WriteBGP4MP(&mrt.BGP4MPMessage{
+			Timestamp: ev.ts,
+			PeerAS:    ev.peer,
+			LocalAS:   65535,
+			PeerAddr:  0x0A000001,
+			LocalAddr: 0x7F000001,
+			Message:   ev.update,
+		}); err != nil {
+			return err
+		}
+		return mw.Flush()
+	}
+	events := incidentEvents()
+	for i, ev := range events {
+		if err := writeEvent(ev); err != nil {
+			return fmt.Errorf("incident event %d: %w", i, err)
+		}
+		switch i {
+		case 1:
+			// A record of a type this module does not decode (an OSPF
+			// export, say), as mixed-capture files contain.
+			if err := writeRawRecord(w, 99, 1, []byte{0xDE, 0xAD, 0xBE}); err != nil {
+				return err
+			}
+		case 3:
+			// A known-type record whose body is garbage: BGP4MP MESSAGE_AS4
+			// shorter than its own preamble.
+			if err := writeRawRecord(w, mrt.TypeBGP4MP, mrt.SubtypeMessageAS4, []byte{0x00, 0x01, 0x02, 0x03}); err != nil {
+				return err
+			}
+		}
+	}
+	// The truncated tail: a header promising 64 body bytes, then ten.
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 7)
+	binary.BigEndian.PutUint16(hdr[4:6], mrt.TypeBGP4MP)
+	binary.BigEndian.PutUint16(hdr[6:8], mrt.SubtypeMessageAS4)
+	binary.BigEndian.PutUint32(hdr[8:12], 64)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(make([]byte, 10))
+	return err
+}
+
+// writeRawRecord emits one MRT record with an arbitrary (possibly bogus)
+// type, subtype and body — the fixture's damage injector.
+func writeRawRecord(w io.Writer, typ, subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], subtype)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}

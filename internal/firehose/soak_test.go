@@ -1,0 +1,144 @@
+package firehose_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/chaos"
+	"github.com/bgpsim/bgpsim/internal/feed"
+	"github.com/bgpsim/bgpsim/internal/firehose"
+)
+
+// -firehose.seed selects the fault schedule; CI runs the soak at two
+// fixed seeds: go test ./internal/firehose/ -args -firehose.seed=N
+var firehoseSeed = flag.Int64("firehose.seed", 1, "base seed for the chaotic replay soak")
+
+type soakOutcome struct {
+	alerts []feed.Alert
+	faults chaos.Stats
+	stats  firehose.Stats
+}
+
+// runIncidentSoak replays the checked-in incident fixture into a real
+// TCP collector, optionally through chaos-wrapped transports, and
+// returns what the detector saw once the replay drained and the
+// collector finished every session.
+func runIncidentSoak(t *testing.T, seed int64, chaotic bool) soakOutcome {
+	t.Helper()
+	det, rs := incidentDetector(t)
+	collector := &feed.Collector{
+		LocalAS: 65535, RouterID: 1,
+		Detector: det, Validator: rs,
+		HoldTime: 30, MaxMalformed: 3,
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = collector.Serve(l)
+	}()
+
+	cfg := chaos.Config{
+		PReset: 0.15, PTruncate: 0.1, PCorrupt: 0.1,
+		PStall: 0.2, Stall: 500 * time.Microsecond,
+	}
+	var (
+		mu         sync.Mutex
+		attempts   int
+		chaosConns []*chaos.Conn
+	)
+	dial := func() (io.ReadWriteCloser, error) {
+		conn, err := net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		// The first attempts fight the chaotic transport; after that the
+		// weather clears, so the drain always terminates.
+		if !chaotic || n > 40 {
+			return conn, nil
+		}
+		cc := chaos.Wrap(conn, seed*1000+int64(n), cfg)
+		mu.Lock()
+		chaosConns = append(chaosConns, cc)
+		mu.Unlock()
+		return cc, nil
+	}
+
+	e := firehose.New(firehose.Config{
+		RIB:         bytes.NewReader(readFixture(t, "incident_rib.mrt")),
+		Updates:     bytes.NewReader(readFixture(t, "incident.mrt")),
+		Dial:        dial,
+		HoldTime:    30,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+	})
+	stats, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("seed %d: replay: %v", seed, err)
+	}
+
+	// Run returning means every session wrote its full table and closed
+	// gracefully; Shutdown waits for the collector to read and process
+	// what TCP still has buffered.
+	l.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := collector.Shutdown(sctx); err != nil {
+		t.Fatalf("seed %d: shutdown: %v", seed, err)
+	}
+	<-serveDone
+
+	out := soakOutcome{alerts: det.Alerts(), stats: stats}
+	mu.Lock()
+	for _, cc := range chaosConns {
+		st := cc.Stats()
+		out.faults.Resets += st.Resets
+		out.faults.Truncations += st.Truncations
+		out.faults.Corruptions += st.Corruptions
+		out.faults.Stalls += st.Stalls
+	}
+	mu.Unlock()
+	return out
+}
+
+// TestIncidentReplayChaosSoak pins the tentpole robustness property: a
+// fixture replay pushed through transports full of resets, truncations,
+// corruption and stalls produces the exact alert-set digest of a
+// fault-free replay — delayed, reconnected and retransmitted, but never
+// losing or duplicating an alert.
+func TestIncidentReplayChaosSoak(t *testing.T) {
+	baseline := runIncidentSoak(t, 0, false)
+	if len(baseline.alerts) != firehose.IncidentAlerts {
+		t.Fatalf("fault-free alerts = %d, want %d", len(baseline.alerts), firehose.IncidentAlerts)
+	}
+	want := feed.AlertSetDigest(baseline.alerts)
+
+	for _, seed := range []int64{*firehoseSeed, *firehoseSeed + 41} {
+		res := runIncidentSoak(t, seed, true)
+		if got := feed.AlertSetDigest(res.alerts); got != want {
+			t.Errorf("seed %d: alert-set digest %x != fault-free digest %x", seed, got, want)
+		}
+		if res.faults == (chaos.Stats{}) {
+			t.Errorf("seed %d: chaotic run injected no faults; the soak exercised nothing", seed)
+		}
+		var reconnects int
+		for _, r := range res.stats.Runners {
+			reconnects += r.Stats.Reconnects
+		}
+		t.Logf("seed %d: %d sessions, %d reconnects, %d sent, faults %+v",
+			seed, res.stats.Sessions, reconnects, res.stats.Sent, res.faults)
+	}
+}

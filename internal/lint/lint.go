@@ -70,6 +70,10 @@ var DeterministicRoots = []string{
 	// ROVER origin validation: its accept/reject outcomes are
 	// reproduction inputs even though only tests exercise it today.
 	"github.com/bgpsim/bgpsim/internal/rover",
+	// MRT replay: firehose digests are pinned against checked-in
+	// fixtures, so its pacing and dispatch must be clock-injected; only
+	// cmd/mrtreplay (exempt) imports it.
+	"github.com/bgpsim/bgpsim/internal/firehose",
 }
 
 // Exempt maps internal packages outside the determinism contract to the

@@ -1,0 +1,110 @@
+package mrt_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/firehose"
+	"github.com/bgpsim/bgpsim/internal/mrt"
+)
+
+// drainStream runs a Reader to its terminal error, checking the
+// progress invariants every step: Offset never runs backwards or past
+// the input, and every call either yields a record, a skippable error,
+// or ends the stream. Returns the record count, the reader's skip
+// count, the clean-prefix offset and the terminal error (io.EOF for a
+// clean end).
+func drainStream(t *testing.T, data []byte, budget int) (recs, skipped int, off int64, term error) {
+	t.Helper()
+	r := mrt.NewReader(bytes.NewReader(data))
+	r.SetMalformedBudget(budget)
+	// A record is at least a 12-byte header, so a reader that makes
+	// progress can take at most len/12+1 steps to the terminal error.
+	maxSteps := len(data)/12 + 2
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			t.Fatalf("reader made no progress: %d steps over %d bytes", steps, len(data))
+		}
+		rec, err := r.Next()
+		if o := r.Offset(); o < off || o > int64(len(data)) {
+			t.Fatalf("offset %d outside [%d,%d]", o, off, len(data))
+		}
+		off = r.Offset()
+		switch {
+		case err == nil:
+			if rec == nil {
+				t.Fatal("nil record with nil error")
+			}
+			recs++
+		case mrt.Skippable(err):
+			continue
+		default:
+			return recs, r.Skipped(), off, err
+		}
+	}
+}
+
+// FuzzMRTReader drives the MRT reader over arbitrary bytes. The
+// properties under test are the robustness contract the firehose replay
+// engine leans on: no panic and no runaway allocation on corrupt
+// lengths, skippable errors leave the stream aligned, truncation yields
+// a clean prefix that is a fixed point under re-parsing, and the
+// malformed budget trips after exactly budget+1 skips.
+func FuzzMRTReader(f *testing.F) {
+	var rib, upd bytes.Buffer
+	if err := firehose.WriteIncidentRIB(&rib); err != nil {
+		f.Fatal(err)
+	}
+	if err := firehose.WriteIncidentUpdates(&upd); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rib.Bytes())
+	f.Add(upd.Bytes())
+	f.Add(append(rib.Bytes(), upd.Bytes()...))
+	f.Add(rib.Bytes()[:len(rib.Bytes())-7]) // truncated mid-record
+	f.Add(rib.Bytes()[:5])                  // truncated mid-header
+	f.Add([]byte{})
+	// Unknown record type, well-formed framing.
+	f.Add([]byte{0, 0, 0, 0, 0, 99, 0, 1, 0, 0, 0, 2, 0xAB, 0xCD})
+	// Implausible length claim: must be fatal, never a 2 GiB allocation.
+	f.Add([]byte{0, 0, 0, 0, 0, 16, 0, 4, 0x7f, 0xff, 0xff, 0xff})
+	corrupt := append([]byte(nil), upd.Bytes()...)
+	corrupt[20] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, skipped, off, term := drainStream(t, data, -1)
+		if errors.Is(term, mrt.ErrBudgetExhausted) {
+			t.Fatalf("unlimited budget exhausted after %d skips", skipped)
+		}
+		if errors.Is(term, mrt.ErrTruncated) {
+			// The clean prefix must re-parse to the same stream and end
+			// cleanly: Offset is the contract the replay engine trusts
+			// when it reports "replayed the intact prefix".
+			recs2, skipped2, off2, term2 := drainStream(t, data[:off], -1)
+			if term2 != io.EOF {
+				t.Fatalf("clean prefix [:%d] did not end cleanly: %v", off, term2)
+			}
+			if recs2 != recs || skipped2 != skipped || off2 != off {
+				t.Fatalf("clean prefix not a fixed point: records %d→%d, skips %d→%d, offset %d→%d",
+					recs, recs2, skipped, skipped2, off, off2)
+			}
+		}
+
+		// A budgeted reader sees a prefix of the unlimited reader's
+		// stream and trips after exactly budget+1 skippable records.
+		const budget = 2
+		brecs, bskipped, boff, bterm := drainStream(t, data, budget)
+		if boff > off || brecs > recs {
+			t.Fatalf("budgeted run overran unlimited run: offset %d>%d, records %d>%d", boff, off, brecs, recs)
+		}
+		if errors.Is(bterm, mrt.ErrBudgetExhausted) != (skipped > budget) {
+			t.Fatalf("budget %d with %d skippable records ended with %v", budget, skipped, bterm)
+		}
+		if errors.Is(bterm, mrt.ErrBudgetExhausted) && bskipped != budget+1 {
+			t.Fatalf("budget %d tripped after %d skips, want %d", budget, bskipped, budget+1)
+		}
+	})
+}

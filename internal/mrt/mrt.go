@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -190,47 +191,141 @@ func (w *Writer) WriteBGP4MP(m *BGP4MPMessage) error {
 // Flush flushes buffered records.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// ErrTruncated marks a file that ends mid-record. The records decoded
+// before it form a clean prefix of the stream (the recovery model of
+// recio.RecoverFile): Offset reports where that prefix ends.
+var ErrTruncated = errors.New("mrt: truncated record")
+
+// ErrBudgetExhausted ends a stream whose skippable-record count exceeded
+// the reader's malformed budget. It is fatal: a file this degraded is more
+// likely the wrong format than a damaged capture.
+var ErrBudgetExhausted = errors.New("mrt: malformed-record budget exhausted")
+
+// ErrUnknownRecord reports a record of a type/subtype this package does
+// not decode. The reader stays aligned on the following record, so callers
+// that tolerate foreign records skip it by calling Next again.
+type ErrUnknownRecord struct {
+	Type    uint16
+	Subtype uint16
+	Length  uint32
+}
+
+func (e *ErrUnknownRecord) Error() string {
+	return fmt.Sprintf("mrt: unknown record type %d subtype %d (%d bytes)", e.Type, e.Subtype, e.Length)
+}
+
+// ErrMalformedRecord reports a record of a known type whose body failed to
+// decode. The whole body was consumed, so the reader stays aligned and
+// callers can skip it by calling Next again.
+type ErrMalformedRecord struct {
+	Type    uint16
+	Subtype uint16
+	Err     error
+}
+
+func (e *ErrMalformedRecord) Error() string {
+	return fmt.Sprintf("mrt: malformed record type %d subtype %d: %v", e.Type, e.Subtype, e.Err)
+}
+
+func (e *ErrMalformedRecord) Unwrap() error { return e.Err }
+
+// Skippable reports whether err marks exactly one damaged or foreign
+// record after which the stream remains record-aligned, so the caller may
+// keep reading. Truncation and budget exhaustion are not skippable.
+func Skippable(err error) bool {
+	var unknown *ErrUnknownRecord
+	var malformed *ErrMalformedRecord
+	return errors.As(err, &unknown) || errors.As(err, &malformed)
+}
+
+// DefaultMalformedBudget is the per-file cap on skippable records a Reader
+// tolerates before Next turns fatal, mirroring the per-session malformed
+// budget in the feed collector.
+const DefaultMalformedBudget = 64
+
 // Reader decodes MRT records sequentially.
 type Reader struct {
-	r *bufio.Reader
+	r       *bufio.Reader
+	off     int64
+	skipped int
+	budget  int
 }
 
 // NewReader wraps r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r), budget: DefaultMalformedBudget}
+}
+
+// SetMalformedBudget caps how many skippable records (unknown type or
+// malformed body) Next tolerates before failing with ErrBudgetExhausted.
+// Negative means unlimited.
+func (r *Reader) SetMalformedBudget(n int) { r.budget = n }
+
+// Offset is the byte offset of the clean prefix read so far: the end of
+// the last fully consumed record, which is also where the next record
+// header starts. After ErrTruncated it is the safe re-write point.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Skipped counts the skippable records surfaced so far.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// skip accounts one skippable record against the malformed budget and
+// returns either the typed error or, over budget, a fatal one.
+func (r *Reader) skip(err error) error {
+	r.skipped++
+	if r.budget >= 0 && r.skipped > r.budget {
+		return fmt.Errorf("%w after %d skippable records, last: %v", ErrBudgetExhausted, r.skipped, err)
+	}
+	return err
+}
 
 // Next returns the next record, or io.EOF at a clean end of stream.
-// Records of unknown type are skipped transparently.
+// Unknown record types and undecodable bodies come back as typed
+// *ErrUnknownRecord / *ErrMalformedRecord errors with the stream still
+// aligned — call Next again to continue past them (subject to the
+// malformed budget). A stream ending mid-record yields an error wrapping
+// ErrTruncated; the records already returned are a clean prefix ending at
+// Offset.
 func (r *Reader) Next() (Record, error) {
-	for {
-		var hdr [12]byte
-		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-			if err == io.ErrUnexpectedEOF {
-				return nil, fmt.Errorf("mrt: truncated header")
-			}
-			return nil, err
+	var hdr [12]byte
+	if n, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("mrt: %d of 12 header bytes at offset %d: %w", n, r.off, ErrTruncated)
 		}
-		typ := binary.BigEndian.Uint16(hdr[4:6])
-		subtype := binary.BigEndian.Uint16(hdr[6:8])
-		length := binary.BigEndian.Uint32(hdr[8:12])
-		if length > 1<<24 {
-			return nil, fmt.Errorf("mrt: implausible record length %d", length)
-		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(r.r, body); err != nil {
-			return nil, fmt.Errorf("mrt: truncated record body: %w", err)
-		}
-		ts := binary.BigEndian.Uint32(hdr[0:4])
-		switch {
-		case typ == TypeTableDumpV2 && subtype == SubtypePeerIndexTable:
-			return parsePeerIndexTable(body)
-		case typ == TypeTableDumpV2 && subtype == SubtypeRIBIPv4Unicast:
-			return parseRIB(body)
-		case typ == TypeBGP4MP && subtype == SubtypeMessageAS4:
-			return parseBGP4MP(ts, body)
-		default:
-			continue // unknown record: skip
-		}
+		return nil, err
 	}
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	subtype := binary.BigEndian.Uint16(hdr[6:8])
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > 1<<24 {
+		// The length field itself is untrustworthy, so realignment is
+		// impossible: fatal, not skippable.
+		return nil, fmt.Errorf("mrt: implausible record length %d at offset %d", length, r.off)
+	}
+	body := make([]byte, length)
+	if n, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("mrt: %d of %d body bytes at offset %d: %w", n, length, r.off, ErrTruncated)
+	}
+	r.off += 12 + int64(length)
+	ts := binary.BigEndian.Uint32(hdr[0:4])
+	var (
+		rec Record
+		err error
+	)
+	switch {
+	case typ == TypeTableDumpV2 && subtype == SubtypePeerIndexTable:
+		rec, err = parsePeerIndexTable(body)
+	case typ == TypeTableDumpV2 && subtype == SubtypeRIBIPv4Unicast:
+		rec, err = parseRIB(body)
+	case typ == TypeBGP4MP && subtype == SubtypeMessageAS4:
+		rec, err = parseBGP4MP(ts, body)
+	default:
+		return nil, r.skip(&ErrUnknownRecord{Type: typ, Subtype: subtype, Length: length})
+	}
+	if err != nil {
+		return nil, r.skip(&ErrMalformedRecord{Type: typ, Subtype: subtype, Err: err})
+	}
+	return rec, nil
 }
 
 func parsePeerIndexTable(body []byte) (*PeerIndexTable, error) {

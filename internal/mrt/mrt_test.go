@@ -2,6 +2,8 @@ package mrt
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"reflect"
@@ -156,7 +158,7 @@ func TestMixedStream(t *testing.T) {
 	}
 }
 
-func TestReaderSkipsUnknownTypes(t *testing.T) {
+func TestReaderReportsUnknownTypes(t *testing.T) {
 	var buf bytes.Buffer
 	// Unknown record (type 99), then a valid peer index table.
 	hdr := make([]byte, 12)
@@ -171,31 +173,176 @@ func TestReaderSkipsUnknownTypes(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := NewReader(&buf).Next()
+	r := NewReader(&buf)
+	_, err := r.Next()
+	var unknown *ErrUnknownRecord
+	if !errors.As(err, &unknown) {
+		t.Fatalf("first Next error = %v, want *ErrUnknownRecord", err)
+	}
+	if unknown.Type != 99 || unknown.Length != 3 {
+		t.Errorf("unknown record = %+v, want type 99 length 3", unknown)
+	}
+	if !Skippable(err) {
+		t.Error("ErrUnknownRecord not Skippable")
+	}
+	if r.Offset() != 15 {
+		t.Errorf("Offset after skipping = %d, want 15", r.Offset())
+	}
+	rec, err := r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := rec.(*PeerIndexTable); !ok {
 		t.Errorf("got %T, want PeerIndexTable after skipping unknown", rec)
 	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped())
+	}
+}
+
+func TestReaderReportsMalformedBody(t *testing.T) {
+	var buf bytes.Buffer
+	// A TABLE_DUMP_V2 peer-index record whose body is too short to parse,
+	// followed by a valid one: the reader must stay aligned.
+	hdr := make([]byte, 12)
+	hdr[5] = TypeTableDumpV2
+	hdr[7] = SubtypePeerIndexTable
+	hdr[11] = 3
+	buf.Write(hdr)
+	buf.Write([]byte{1, 2, 3})
+	w := NewWriter(&buf, 1)
+	if err := w.WritePeerIndexTable(&PeerIndexTable{ViewName: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	_, err := r.Next()
+	var malformed *ErrMalformedRecord
+	if !errors.As(err, &malformed) {
+		t.Fatalf("first Next error = %v, want *ErrMalformedRecord", err)
+	}
+	if !Skippable(err) {
+		t.Error("ErrMalformedRecord not Skippable")
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.(*PeerIndexTable); !ok {
+		t.Errorf("got %T, want PeerIndexTable after malformed record", rec)
+	}
 }
 
 func TestReaderErrors(t *testing.T) {
 	// Truncated header.
-	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})).Next(); err == nil {
-		t.Error("truncated header accepted")
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3}))
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated header error = %v, want ErrTruncated", err)
+	}
+	if r.Offset() != 0 {
+		t.Errorf("clean-prefix offset after truncated header = %d, want 0", r.Offset())
 	}
 	// Truncated body.
 	hdr := make([]byte, 12)
 	hdr[5] = TypeTableDumpV2
 	hdr[7] = SubtypePeerIndexTable
 	hdr[11] = 200 // claims 200 bytes
-	if _, err := NewReader(bytes.NewReader(append(hdr, 1, 2))).Next(); err == nil {
-		t.Error("truncated body accepted")
+	if _, err := NewReader(bytes.NewReader(append(hdr, 1, 2))).Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated body error = %v, want ErrTruncated", err)
+	}
+	// Truncation is fatal, not skippable.
+	if Skippable(fmt.Errorf("wrap: %w", ErrTruncated)) {
+		t.Error("ErrTruncated reported Skippable")
 	}
 	// Clean EOF.
 	if _, err := NewReader(bytes.NewReader(nil)).Next(); err != io.EOF {
 		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+// TestReaderCleanPrefix writes two good records, then chops the stream
+// mid-way through a third: both good records must decode and Offset must
+// land exactly on the byte where the truncated record starts.
+func TestReaderCleanPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	if err := w.WritePeerIndexTable(&PeerIndexTable{ViewName: "v", Peers: []Peer{{AS: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(&RIBIPv4Unicast{Prefix: mp("10.0.0.0/8")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cleanLen := buf.Len()
+	if err := w.WriteRIB(&RIBIPv4Unicast{Prefix: mp("10.1.0.0/16")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chopped := buf.Bytes()[:buf.Len()-1]
+
+	r := NewReader(bytes.NewReader(chopped))
+	var recs int
+	for {
+		_, err := r.Next()
+		if err == nil {
+			recs++
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("error = %v, want ErrTruncated", err)
+		}
+		break
+	}
+	if recs != 2 {
+		t.Errorf("clean records = %d, want 2", recs)
+	}
+	if r.Offset() != int64(cleanLen) {
+		t.Errorf("Offset = %d, want clean prefix %d", r.Offset(), cleanLen)
+	}
+}
+
+func TestReaderMalformedBudget(t *testing.T) {
+	var buf bytes.Buffer
+	unknown := make([]byte, 12)
+	unknown[5] = 99
+	for i := 0; i < 4; i++ {
+		buf.Write(unknown)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.SetMalformedBudget(2)
+	var fatal error
+	for i := 0; i < 10; i++ {
+		_, err := r.Next()
+		if err == nil || Skippable(err) {
+			continue
+		}
+		fatal = err
+		break
+	}
+	if !errors.Is(fatal, ErrBudgetExhausted) {
+		t.Errorf("over-budget error = %v, want ErrBudgetExhausted", fatal)
+	}
+
+	// Negative budget: unlimited.
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	r.SetMalformedBudget(-1)
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if !Skippable(err) {
+			t.Fatalf("unlimited budget error = %v", err)
+		}
+	}
+	if r.Skipped() != 4 {
+		t.Errorf("Skipped = %d, want 4", r.Skipped())
 	}
 }
 

@@ -65,6 +65,8 @@ type Snapshot struct {
 }
 
 // ReadSnapshot decodes a full dump (peer table first, per RFC 6396).
+// Unknown or malformed records are skipped up to the reader's default
+// malformed budget.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	mr := NewReader(r)
 	s := &Snapshot{}
@@ -72,6 +74,9 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		rec, err := mr.Next()
 		if err == io.EOF {
 			break
+		}
+		if Skippable(err) {
+			continue
 		}
 		if err != nil {
 			return nil, err

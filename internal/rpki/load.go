@@ -1,0 +1,60 @@
+package rpki
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/bgpsim/bgpsim/internal/asn"
+	"github.com/bgpsim/bgpsim/internal/prefix"
+)
+
+// LoadROAs parses "prefix maxlen origin" lines from r into the store —
+// the text export format the cmd tools exchange ROA sets in. Blank lines
+// and #-comments are skipped. published, when non-nil, is invoked once
+// per loaded ROA prefix (detectors use it to register the prefix for
+// sub-prefix classification). name labels parse errors with the file
+// position, because real ROA dumps are thousands of lines long and "bad
+// maxlen" without a line number is a needle hunt.
+func LoadROAs(store *Store, r io.Reader, name string, published func(prefix.Prefix)) (int, error) {
+	sc := bufio.NewScanner(r)
+	// Published ROA exports can exceed bufio's 64 KiB default line cap.
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return n, fmt.Errorf("%s:%d: want 'prefix maxlen origin', got %q", name, lineNo, line)
+		}
+		p, err := prefix.Parse(fields[0])
+		if err != nil {
+			return n, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+		maxLen, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return n, fmt.Errorf("%s:%d: bad maxlen %q", name, lineNo, fields[1])
+		}
+		origin, err := asn.Parse(fields[2])
+		if err != nil {
+			return n, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+		if err := store.Add(ROA{Prefix: p, MaxLength: uint8(maxLen), Origin: origin}); err != nil {
+			return n, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+		if published != nil {
+			published(p)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("%s:%d: %w", name, lineNo+1, err)
+	}
+	return n, nil
+}

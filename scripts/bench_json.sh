@@ -4,7 +4,9 @@
 # reduction comparison) and write the measurements as JSON, then run
 # the shard-codec benchmarks (json vs recio encode/decode throughput,
 # bytes on disk, and resume-replay cost) into a second JSON file.
-# Usage: scripts/bench_json.sh [outfile] [recio-outfile]
+# Finally run the firehose replay-throughput benchmark (MRT updates
+# through probe sessions into a TCP collector) into a third JSON file.
+# Usage: scripts/bench_json.sh [outfile] [recio-outfile] [firehose-outfile]
 # Output: outfile is one JSON array; each element carries the benchmark
 # name, the worker count (0 when the benchmark does not parameterize
 # workers), the shard count (0 likewise), ns/op, B/op, allocs/op, and
@@ -15,6 +17,7 @@ set -eu
 
 OUT="${1:-BENCH_sweep.json}"
 RECOUT="${2:-BENCH_recio.json}"
+FHOUT="${3:-BENCH_firehose.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -97,3 +100,41 @@ END {
 ' "$RAW" > "$RECOUT"
 
 echo "wrote $RECOUT"
+
+# Firehose section: 20k synthetic updates over 8 probe sessions into a
+# real TCP collector, end to end (dispatch, session writes, collector
+# reads, route-server validation). The benchmark reports updates/s as
+# its own metric.
+go test -run '^$' \
+  -bench 'BenchmarkReplayThroughput' \
+  -benchmem -benchtime 20000x ./internal/firehose | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkReplayThroughput  20000  5728 ns/op  174587 updates/s  867 B/op  20 allocs/op
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; ups = "0"; bytes = "0"; allocs = "0"
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "updates/s") ups = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if ($NF == "allocs/op") allocs = $(NF - 1)
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_update\": %s, \"updates_per_s\": %s, \"bytes_per_update\": %s, \"allocs_per_update\": %s}", \
+        name, ns, ups, bytes, allocs
+    if (name ~ /^BenchmarkReplayThroughput/) total_ups = ups
+}
+END {
+    print "\n  ],"
+    printf "  \"replay_updates_per_s\": %s\n", (total_ups == "" ? "0" : total_ups)
+    print "}"
+}
+' "$RAW" > "$FHOUT"
+
+echo "wrote $FHOUT"

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Replay the checked-in historical-incident fixture (a YouTube-style
+# sub-prefix hijack capture with deliberate damage: an unknown record,
+# a malformed body, a truncated tail) through cmd/mrtreplay and compare
+# the resulting alert-set digest against the pinned value. A mismatch
+# means a change in the MRT decoder, the replay engine, the feed stack
+# or the detector altered what a fixed input detects — which must only
+# ever happen deliberately, via -firehose.update plus a new pin.
+# Usage: scripts/check_incident_replay.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+TESTDATA=internal/firehose/testdata
+
+WANT="$(cat "$TESTDATA/incident.digest")"
+OUT="$(go run ./cmd/mrtreplay \
+  -rib "$TESTDATA/incident_rib.mrt" \
+  -updates "$TESTDATA/incident.mrt" \
+  -roas "$TESTDATA/incident_roas.txt" 2>&1)"
+printf '%s\n' "$OUT"
+
+GOT="$(printf '%s\n' "$OUT" | awk '/^alert-set digest:/ { print $3 }')"
+if [ -z "$GOT" ]; then
+    echo "FAIL: mrtreplay printed no alert-set digest" >&2
+    exit 1
+fi
+if [ "$GOT" != "$WANT" ]; then
+    echo "FAIL: replay digest $GOT != pinned $WANT ($TESTDATA/incident.digest)" >&2
+    exit 1
+fi
+
+ALERTS="$(printf '%s\n' "$OUT" | awk '/^[0-9]+ alert\(s\)$/ { print $1 }')"
+if [ "$ALERTS" != "5" ]; then
+    echo "FAIL: replay raised $ALERTS alerts, want 5" >&2
+    exit 1
+fi
+
+echo "OK: incident replay reproduced the pinned alert-set digest ($GOT)"
