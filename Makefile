@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos replay-check vulncheck fuzz bench bench-json reproduce reproduce-paper-scale clean
+.PHONY: all build test vet lint race chaos replay-check vulncheck fuzz bench bench-json bench-trend reproduce reproduce-paper-scale clean
 
 all: build test
 
@@ -76,6 +76,12 @@ bench:
 # micro-benchmark) → BENCH_sweep.json with ns/op, allocs/op and workers.
 bench-json:
 	scripts/bench_json.sh BENCH_sweep.json
+
+# Shard-encode throughput gate: fail if recio encode regressed more than
+# 20% against the committed BENCH_recio.json baseline (skips on machines
+# with a different core count — throughput baselines don't transfer).
+bench-trend:
+	scripts/check_bench_trend.sh BENCH_recio.json 20
 
 # Every figure and table at the default working scale.
 reproduce:

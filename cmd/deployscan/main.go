@@ -36,14 +36,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "deployscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fs := flag.NewFlagSet("deployscan", flag.ExitOnError)
+func run(args []string) error {
+	fs := flag.NewFlagSet("deployscan", flag.ContinueOnError)
 	wf := cli.AddWorldFlags(fs)
 	target := fs.String("target", "both", "which target panel to run: depth1 | deep | both")
 	sample := fs.Int("sample", 0, "transit-attacker sample (0 = all transit ASes)")
@@ -55,7 +55,7 @@ func run() error {
 	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mode, sel, err := sh.Mode()

@@ -28,14 +28,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "detectscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fs := flag.NewFlagSet("detectscan", flag.ExitOnError)
+func run(args []string) error {
+	fs := flag.NewFlagSet("detectscan", flag.ContinueOnError)
 	wf := cli.AddWorldFlags(fs)
 	attacks := fs.Int("attacks", 2000, "random attack workload size (paper: 8000)")
 	bgpmon := fs.Int("bgpmon-probes", 24, "probe count for the BGPmon-like configuration")
@@ -46,7 +46,7 @@ func run() error {
 	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mode, sel, err := sh.Mode()

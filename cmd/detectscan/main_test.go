@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLevelFlagRejectedAtParse: an out-of-range -level must fail during
+// flag parsing — before any topology is built — with an error naming
+// the flag.
+func TestLevelFlagRejectedAtParse(t *testing.T) {
+	for _, bad := range []string{"0", "10", "-2", "best"} {
+		err := run([]string{"-level", bad, "-format", "recio", "-shard", "0/2", "-shard-dir", t.TempDir()})
+		if err == nil {
+			t.Fatalf("-level %q accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "level") {
+			t.Fatalf("-level %q: error %q does not name the flag", bad, err)
+		}
+	}
+}
+
+// TestLevelFlagAccepted: a legal -level survives flag parsing and mode
+// validation (the run then fails on the deliberately missing
+// -shard-dir, proving it got past the flag layer).
+func TestLevelFlagAccepted(t *testing.T) {
+	err := run([]string{"-level", "9", "-format", "recio", "-shard", "0/2"})
+	if err == nil || !strings.Contains(err.Error(), "-shard-dir") {
+		t.Fatalf("want the -shard-dir mode error after accepting -level 9, got: %v", err)
+	}
+}

@@ -28,14 +28,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "holescan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fs := flag.NewFlagSet("holescan", flag.ExitOnError)
+func run(args []string) error {
+	fs := flag.NewFlagSet("holescan", flag.ContinueOnError)
 	wf := cli.AddWorldFlags(fs)
 	attacks := fs.Int("attacks", 2000, "random attack workload size")
 	minPollution := fs.Int("min-pollution", 0, "success threshold in polluted ASes (0 = 1% of ASes)")
@@ -44,7 +44,7 @@ func run() error {
 	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mode, sel, err := sh.Mode()

@@ -33,14 +33,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vulnscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fs := flag.NewFlagSet("vulnscan", flag.ExitOnError)
+func run(args []string) error {
+	fs := flag.NewFlagSet("vulnscan", flag.ContinueOnError)
 	wf := cli.AddWorldFlags(fs)
 	hierarchy := fs.String("hierarchy", "tier1", "target hierarchy for the depth panel: tier1 | tier2")
 	stubFilter := fs.Bool("stubfilter", false, "run the Figure 4 stub-filter comparison instead")
@@ -49,7 +49,7 @@ func run() error {
 	sc := cli.AddScenarioFlags(fs)
 	workers := cli.AddWorkersFlag(fs)
 	sh := cli.AddShardFlags(fs)
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mode, sel, err := sh.Mode()

@@ -4,9 +4,11 @@
 package cli
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"github.com/bgpsim/bgpsim/internal/core"
 	"github.com/bgpsim/bgpsim/internal/experiments"
@@ -81,18 +83,50 @@ type ShardFlags struct {
 	Merge  *bool
 	Format *string
 	Resume *bool
+	Level  *GzipLevel
 }
 
-// AddShardFlags registers -shard, -shard-dir, -merge, -format and
-// -resume.
+// GzipLevel is the -level flag: a gzip compression level validated at
+// flag-parse time, so an out-of-range value fails before any topology
+// is built or file touched. The zero value means "codec default".
+type GzipLevel int
+
+// String implements flag.Value.
+func (l *GzipLevel) String() string {
+	if l == nil || *l == 0 {
+		return ""
+	}
+	return strconv.Itoa(int(*l))
+}
+
+// Set implements flag.Value, rejecting anything outside gzip's 1..9.
+// The flag package prefixes the returned error with the flag's name.
+func (l *GzipLevel) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("-level wants an integer gzip level, got %q", s)
+	}
+	if n < gzip.BestSpeed || n > gzip.BestCompression {
+		return fmt.Errorf("-level %d is outside gzip's %d (fastest) .. %d (smallest)",
+			n, gzip.BestSpeed, gzip.BestCompression)
+	}
+	*l = GzipLevel(n)
+	return nil
+}
+
+// AddShardFlags registers -shard, -shard-dir, -merge, -format, -resume
+// and -level.
 func AddShardFlags(fs *flag.FlagSet) *ShardFlags {
-	return &ShardFlags{
+	f := &ShardFlags{
 		Spec:   fs.String("shard", "", `solve only shard "i/n" of each sweep, writing records to -shard-dir instead of rendering results`),
 		Dir:    fs.String("shard-dir", "", "directory holding shard files (written with -shard, read with -merge)"),
 		Merge:  fs.Bool("merge", false, "merge the shard files in -shard-dir instead of solving"),
-		Format: fs.String("format", sweep.FormatJSON, `shard file format: "json" (indented, human-readable) or "recio" (compressed binary, checkpointed)`),
+		Format: fs.String("format", sweep.FormatJSON, `shard file format: "json" (indented, human-readable), "recio" (compressed binary, checkpointed) or "recio-col" (recio with per-field columns)`),
 		Resume: fs.Bool("resume", false, "continue an interrupted -shard run from its last checkpoint (recio format only)"),
+		Level:  new(GzipLevel),
 	}
+	fs.Var(f.Level, "level", "gzip level 1..9 for recio shard files (default: fastest)")
+	return f
 }
 
 // ShardMode says which of the three run shapes the flags select.
@@ -110,8 +144,11 @@ const (
 // Mode validates the flag combination and returns the run shape plus the
 // parsed shard selection (meaningful only for RunShard).
 func (f *ShardFlags) Mode() (ShardMode, sweep.ShardSel, error) {
-	if _, err := sweep.CodecByName[struct{}](*f.Format); err != nil {
+	if err := sweep.CheckFormat(*f.Format); err != nil {
 		return RunFull, sweep.ShardSel{}, err
+	}
+	if *f.Level != 0 && (*f.Format == "" || *f.Format == sweep.FormatJSON) {
+		return RunFull, sweep.ShardSel{}, fmt.Errorf("-level only applies to the recio formats; json shards are not compressed")
 	}
 	switch {
 	case *f.Merge && *f.Spec != "":
@@ -155,6 +192,7 @@ func (f *ShardFlags) Store(tool string, seed int64, workers int) sweep.ShardStor
 		Dir:     *f.Dir,
 		Format:  *f.Format,
 		Resume:  *f.Resume,
+		Level:   int(*f.Level),
 		Tool:    tool,
 		Seed:    seed,
 		Workers: workers,
@@ -165,8 +203,12 @@ func (f *ShardFlags) Store(tool string, seed int64, workers int) sweep.ShardStor
 // much of it a resumed run recovered instead of re-solving.
 func NoteShard(rep sweep.ShardReport) {
 	if rep.Resumed > 0 {
-		fmt.Fprintf(os.Stderr, "shard cells [%d,%d): %d records resumed from checkpoint, %d solved, written to %s\n",
-			rep.CellLo, rep.CellHi, rep.Resumed, rep.Solved, rep.Path)
+		how := "checkpoint replay"
+		if rep.SeekResume {
+			how = "index seek"
+		}
+		fmt.Fprintf(os.Stderr, "shard cells [%d,%d): %d records resumed via %s, %d solved, written to %s\n",
+			rep.CellLo, rep.CellHi, rep.Resumed, how, rep.Solved, rep.Path)
 		return
 	}
 	fmt.Fprintf(os.Stderr, "shard cells [%d,%d): %d records written to %s\n",

@@ -2,8 +2,11 @@ package cli
 
 import (
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -59,6 +62,63 @@ func TestBuildWorldFromTopoFile(t *testing.T) {
 	}
 	if w.Graph.N() != 6 {
 		t.Errorf("N = %d, want 6", w.Graph.N())
+	}
+}
+
+// shardFlagSet builds a quiet FlagSet carrying the shard flags.
+func shardFlagSet() (*flag.FlagSet, *ShardFlags) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs, AddShardFlags(fs)
+}
+
+// TestLevelFlagValidation: -level is rejected at flag-parse time when
+// outside gzip's 1..9, with an error naming the flag.
+func TestLevelFlagValidation(t *testing.T) {
+	for _, bad := range []string{"0", "10", "-3", "fast", ""} {
+		fs, _ := shardFlagSet()
+		err := fs.Parse([]string{"-level", bad})
+		if err == nil {
+			t.Errorf("-level %q accepted at parse time", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "level") {
+			t.Errorf("-level %q: error %q does not name the flag", bad, err)
+		}
+	}
+	for lvl := 1; lvl <= 9; lvl++ {
+		fs, sf := shardFlagSet()
+		if err := fs.Parse([]string{"-level", strconv.Itoa(lvl), "-format", "recio"}); err != nil {
+			t.Fatalf("-level %d rejected: %v", lvl, err)
+		}
+		if int(*sf.Level) != lvl {
+			t.Fatalf("-level %d parsed as %d", lvl, *sf.Level)
+		}
+		store := sf.Store("t", 1, 4)
+		if store.Level != lvl {
+			t.Fatalf("-level %d not threaded into ShardStore (got %d)", lvl, store.Level)
+		}
+	}
+}
+
+// TestLevelFlagModeChecks: -level with the uncompressed json format is
+// a mode error; with recio formats it passes.
+func TestLevelFlagModeChecks(t *testing.T) {
+	fs, sf := shardFlagSet()
+	if err := fs.Parse([]string{"-level", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sf.Mode(); err == nil {
+		t.Error("-level with the default json format accepted")
+	}
+	for _, format := range []string{"recio", "recio-col"} {
+		fs, sf := shardFlagSet()
+		if err := fs.Parse([]string{"-level", "5", "-format", format, "-shard", "0/2", "-shard-dir", t.TempDir()}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sf.Mode(); err != nil {
+			t.Errorf("-level 5 -format %s rejected: %v", format, err)
+		}
 	}
 }
 

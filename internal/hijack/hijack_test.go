@@ -1,6 +1,8 @@
 package hijack
 
 import (
+	"encoding/json"
+	"math"
 	"testing"
 
 	"github.com/bgpsim/bgpsim/internal/asn"
@@ -227,4 +229,38 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestRecordAppendJSON pins Record's fast-marshal path to
+// encoding/json byte for byte: shard files must carry identical
+// payloads whichever path encoded them.
+func TestRecordAppendJSON(t *testing.T) {
+	for i := 0; i < 5000; i++ {
+		r := Record{Pollution: i*13 - 7, WeightFrac: float64(i%617) / 617}
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.AppendJSON(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("AppendJSON(%+v) = %q, json.Marshal = %q", r, got, want)
+		}
+	}
+	for _, wf := range []float64{0, 1e-7, 1e21, 1e22, -3.5e-300, math.MaxFloat64} {
+		r := Record{Pollution: 1, WeightFrac: wf}
+		want, _ := json.Marshal(r)
+		got, err := r.AppendJSON(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("AppendJSON at %v = %q, want %q", wf, got, want)
+		}
+	}
+	if _, err := (Record{WeightFrac: math.NaN()}).AppendJSON(nil); err == nil {
+		t.Fatal("AppendJSON accepted NaN")
+	}
 }

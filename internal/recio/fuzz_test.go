@@ -17,13 +17,19 @@ import (
 //  2. Recover's clean size never exceeds the input length.
 //  3. The clean prefix is a fixed point: recovering data[:clean] yields
 //     the same header, records and clean size.
-//  4. If strict Decode succeeds, Recover must see the whole file as
-//     clean and return identical records.
+//  4. If strict Decode succeeds, Recover must return identical records
+//     (the clean size may be smaller than the input — a v2 trailer is
+//     not body).
+//  5. RecoverStats never errors when Recover succeeds. Through the scan
+//     path it agrees with Recover exactly; through the index it may
+//     stop earlier (the segment CRC is stricter than gzip's own
+//     redundancy) but never claims more than the scan proves.
 func FuzzDecode(f *testing.F) {
-	// Valid small file: header plus two checkpointed segments.
+	// Valid small file: header plus two checkpointed segments, ending in
+	// a v2 index trailer.
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, Header{Experiment: "seed", Cells: 4, Groups: 1, Shards: 1, CellHi: 4,
-		MatrixDigest: "d1"})
+		MatrixDigest: "d1"}, Options{})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -41,15 +47,29 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
+	rec, err := RecoverStats(valid)
+	if err != nil || !rec.ViaIndex {
+		f.Fatalf("seed file has no usable index: %v", err)
+	}
+	bodyEnd := int(rec.CleanSize)
+
 	f.Add(valid)
-	f.Add(valid[:len(valid)-5])           // truncated final segment
-	f.Add(valid[:len(magic)+3])           // truncated header frame
-	f.Add([]byte("recio"))                // bare magic, no version
-	f.Add([]byte{})                       // empty input
-	f.Add([]byte(`{"experiment":"x"}`))   // JSON masquerading as recio
+	f.Add(valid[:bodyEnd])              // trailer stripped: pure body
+	f.Add(valid[:len(valid)-5])         // truncated footer
+	f.Add(valid[:bodyEnd+3])            // truncated mid-index-frame
+	f.Add(valid[:len(magic)+3])         // truncated header frame
+	f.Add([]byte("recio"))              // bare magic, no version
+	f.Add([]byte{})                     // empty input
+	f.Add([]byte(`{"experiment":"x"}`)) // JSON masquerading as recio
 	corrupt := append([]byte(nil), valid...)
-	corrupt[len(valid)-3] ^= 0xff // CRC damage in the last record
+	corrupt[bodyEnd-3] ^= 0xff // CRC damage in the last body segment
 	f.Add(corrupt)
+	badEntry := append([]byte(nil), valid...)
+	badEntry[bodyEnd+4] ^= 0x5a // corrupt index entry under an intact footer
+	f.Add(badEntry)
+	pastEOF := append([]byte(nil), valid...)
+	copy(pastEOF[len(pastEOF)-16:], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // footer offset past EOF
+	f.Add(pastEOF)
 	huge := append([]byte(nil), magic...)
 	huge = append(huge, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f) // 2^62-byte header claim
 	f.Add(huge)
@@ -67,10 +87,26 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("clean size %d outside [0,%d]", clean, len(data))
 		}
 		if decodeErr == nil {
-			if clean != int64(len(data)) || len(recs) != len(rrecs) || hdr != rhdr {
-				t.Fatalf("strict/recover disagree on a fully valid file: clean=%d/%d records=%d/%d",
-					clean, len(data), len(recs), len(rrecs))
+			if len(recs) != len(rrecs) || hdr != rhdr {
+				t.Fatalf("strict/recover disagree on a fully valid file: records=%d/%d",
+					len(recs), len(rrecs))
 			}
+		}
+		stats, statsErr := RecoverStats(data)
+		if statsErr != nil {
+			t.Fatalf("Recover ok but RecoverStats failed: %v", statsErr)
+		}
+		if stats.Header != rhdr {
+			t.Fatalf("RecoverStats header disagrees with Recover")
+		}
+		if stats.ViaIndex {
+			if stats.Records > len(rrecs) || stats.CleanSize > clean {
+				t.Fatalf("index recovery claims more than the scan proves: records=%d/%d clean=%d/%d",
+					stats.Records, len(rrecs), stats.CleanSize, clean)
+			}
+		} else if stats.Records != len(rrecs) || stats.CleanSize != clean {
+			t.Fatalf("scan RecoverStats disagrees with Recover: records=%d/%d clean=%d/%d",
+				stats.Records, len(rrecs), stats.CleanSize, clean)
 		}
 		hdr2, rrecs2, clean2, err2 := Recover(data[:clean])
 		if err2 != nil || clean2 != clean || len(rrecs2) != len(rrecs) || hdr2 != rhdr {

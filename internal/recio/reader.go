@@ -1,7 +1,12 @@
-// Readers: Decode is the strict path (any damage is an error — the
-// merge contract must never silently drop records), Recover is the
-// resume path (the clean prefix is returned together with the byte
-// offset where it ends, and only a damaged header is fatal).
+// Readers, three tiers of them. Decode/DecodeColumns are the strict
+// paths (any body damage is an error — the merge contract must never
+// silently drop records), and go parallel over the index trailer when
+// one is present. Recover is the v1-compatible resume path (the clean
+// prefix's records are inflated and returned). RecoverStats is the seek
+// path: with a usable trailer it counts and CRC-verifies the clean
+// prefix without inflating a single segment; without one it degrades to
+// the same scan Recover does. A missing or damaged trailer is never an
+// error anywhere — the trailer is an index, the body is the truth.
 
 package recio
 
@@ -11,23 +16,79 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
+	"sync"
 )
 
-// Decode strictly parses a whole recio file held in memory: every
-// segment must inflate cleanly and every frame must verify. Returns the
-// header and the record payloads in append order.
+// ReadHeader parses just the magic and header frame, returning the
+// header and the byte offset where the body begins.
+func ReadHeader(data []byte) (Header, int64, error) {
+	var hdr Header
+	if len(data) < len(magic) {
+		return hdr, 0, ErrTruncated
+	}
+	if !bytes.Equal(data[:len(magic)-1], magic[:len(magic)-1]) {
+		return hdr, 0, ErrMagic
+	}
+	version := int(data[len(magic)-1])
+	if version != formatV1 && version != formatVersion {
+		return hdr, 0, fmt.Errorf("%w %d (this build reads %d and %d)", ErrVersion, version, formatV1, formatVersion)
+	}
+	hj, off, err := parseFrame(data, len(magic))
+	if err != nil {
+		return hdr, 0, fmt.Errorf("recio: header frame: %w", err)
+	}
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return hdr, 0, fmt.Errorf("recio: decode header: %w", err)
+	}
+	if hdr.Format != version {
+		return hdr, 0, fmt.Errorf("%w: header declares format %d inside a version-%d file", ErrVersion, hdr.Format, version)
+	}
+	return hdr, int64(off), nil
+}
+
+// Recovery is what RecoverStats learns about a possibly crash-truncated
+// file: the workload identity, how many records the clean prefix holds,
+// where it ends (truncate there to append), the per-segment index of
+// that prefix, and whether the answer came from the trailer (seek) or a
+// full scan (inflate + replay).
+type Recovery struct {
+	Header    Header
+	Records   int
+	CleanSize int64
+	Segments  []SegmentInfo
+	ViaIndex  bool
+}
+
+// Decode strictly parses a whole row-layout recio file held in memory:
+// every segment must inflate cleanly and every frame must verify.
+// Returns the header and the record payloads in append order. Damage in
+// the trailer region is not an error — the trailer is advisory and
+// regenerable; the body is not.
 func Decode(data []byte) (Header, [][]byte, error) {
-	hdr, payloads, clean, err := scan(data)
+	hdr, headerEnd, err := ReadHeader(data)
 	if err != nil {
 		return hdr, nil, err
 	}
-	if clean != int64(len(data)) {
-		return hdr, nil, fmt.Errorf("recio: damaged tail after byte %d (%d clean records): %w",
-			clean, len(payloads), ErrTruncated)
+	if hdr.Layout == LayoutColumns {
+		return hdr, nil, fmt.Errorf("%w: columnar file (use DecodeColumns)", ErrLayout)
 	}
-	return hdr, payloads, nil
+	if segs := findIndex(data, headerEnd); segs != nil {
+		payloads, err := inflateRowSegments(data, segs, 0)
+		if err != nil {
+			return hdr, nil, err
+		}
+		return hdr, payloads, nil
+	}
+	sc := scanBody(data, hdr, headerEnd, nil)
+	if !sc.complete {
+		return hdr, nil, fmt.Errorf("recio: damaged tail after byte %d (%d clean records): %w",
+			sc.cleanSize, sc.records, ErrTruncated)
+	}
+	return hdr, sc.payloads, nil
 }
 
 // DecodeFile is Decode over a file path.
@@ -43,17 +104,65 @@ func DecodeFile(path string) (Header, [][]byte, error) {
 	return hdr, payloads, nil
 }
 
-// Recover parses as much of a possibly crash-truncated recio file as is
-// intact: the records of every undamaged checkpoint segment, plus the
-// byte offset where the clean prefix ends (truncate there to append).
-// Only an unreadable magic or header is an error — a run that cannot
-// prove what workload the file belongs to must not resume onto it.
-func Recover(data []byte) (hdr Header, payloads [][]byte, cleanSize int64, err error) {
-	hdr, payloads, cleanSize, scanErr := scan(data)
-	if scanErr != nil {
-		return hdr, nil, 0, scanErr
+// DecodeColumns strictly parses a whole columnar recio file, returning
+// the header and one value slice per field (in header-field order),
+// each holding every record's value for that field.
+func DecodeColumns(data []byte) (Header, [][]uint64, error) {
+	hdr, headerEnd, err := ReadHeader(data)
+	if err != nil {
+		return hdr, nil, err
 	}
-	return hdr, payloads, cleanSize, nil
+	if hdr.Layout != LayoutColumns {
+		return hdr, nil, fmt.Errorf("%w: row file (use Decode)", ErrLayout)
+	}
+	fields, err := ParseFields(hdr.Fields)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if segs := findIndex(data, headerEnd); segs != nil {
+		cols, err := inflateColSegments(data, segs, fields)
+		if err != nil {
+			return hdr, nil, err
+		}
+		return hdr, cols, nil
+	}
+	sc := scanBody(data, hdr, headerEnd, fields)
+	if !sc.complete {
+		return hdr, nil, fmt.Errorf("recio: damaged tail after byte %d (%d clean records): %w",
+			sc.cleanSize, sc.records, ErrTruncated)
+	}
+	return hdr, sc.cols, nil
+}
+
+// DecodeColumnsFile is DecodeColumns over a file path.
+func DecodeColumnsFile(path string) (Header, [][]uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	hdr, cols, err := DecodeColumns(data)
+	if err != nil {
+		return hdr, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hdr, cols, nil
+}
+
+// Recover parses as much of a possibly crash-truncated row-layout recio
+// file as is intact: the records of every undamaged segment, plus the
+// byte offset where the clean prefix ends (truncate there to append —
+// any trailer is excluded, the writer regrows it). Only an unreadable
+// magic or header is an error — a run that cannot prove what workload
+// the file belongs to must not resume onto it.
+func Recover(data []byte) (hdr Header, payloads [][]byte, cleanSize int64, err error) {
+	hdr, headerEnd, err := ReadHeader(data)
+	if err != nil {
+		return hdr, nil, 0, err
+	}
+	if hdr.Layout == LayoutColumns {
+		return hdr, nil, 0, fmt.Errorf("%w: columnar file", ErrLayout)
+	}
+	sc := scanBody(data, hdr, headerEnd, nil)
+	return hdr, sc.payloads, sc.cleanSize, nil
 }
 
 // RecoverFile is Recover over a file path.
@@ -69,83 +178,462 @@ func RecoverFile(path string) (Header, [][]byte, int64, error) {
 	return hdr, payloads, clean, nil
 }
 
-// scan walks magic, header and segments. It returns the records of
-// every intact segment and the offset just past the last intact one;
-// err is non-nil only when the magic or header is unreadable.
-func scan(data []byte) (hdr Header, payloads [][]byte, cleanSize int64, err error) {
-	if len(data) < len(magic) {
-		return hdr, nil, 0, ErrTruncated
-	}
-	if !bytes.Equal(data[:len(magic)-1], magic[:len(magic)-1]) {
-		return hdr, nil, 0, ErrMagic
-	}
-	if data[len(magic)-1] != formatVersion {
-		return hdr, nil, 0, fmt.Errorf("%w %d (this build reads %d)", ErrVersion, data[len(magic)-1], formatVersion)
-	}
-	hj, off, err := parseFrame(data, len(magic))
+// RecoverStats is the seek-resume path: it learns the clean prefix's
+// record count and extent without returning (or, trailer permitting,
+// even inflating) the records themselves. With a usable trailer the
+// whole job is a CRC sweep over the compressed segment bytes —
+// sub-millisecond where the scan path decompresses megabytes — and a
+// damaged trailer, or a trailer whose segments no longer checksum,
+// degrades to exactly the scan Recover performs. Only an unreadable
+// magic or header is an error.
+func RecoverStats(data []byte) (*Recovery, error) {
+	hdr, headerEnd, err := ReadHeader(data)
 	if err != nil {
-		return hdr, nil, 0, fmt.Errorf("recio: header frame: %w", err)
+		return nil, err
 	}
-	if err := json.Unmarshal(hj, &hdr); err != nil {
-		return hdr, nil, 0, fmt.Errorf("recio: decode header: %w", err)
-	}
-	if hdr.Format != formatVersion {
-		return hdr, nil, 0, fmt.Errorf("%w %d in header (this build reads %d)", ErrVersion, hdr.Format, formatVersion)
-	}
-	cleanSize = int64(off)
-	for off < len(data) {
-		recs, next, segErr := parseSegment(data, off)
-		if segErr != nil {
-			// Damaged tail: everything before this segment stays valid.
-			return hdr, payloads, cleanSize, nil
+	rec := &Recovery{Header: hdr, CleanSize: headerEnd}
+	if segs := findIndex(data, headerEnd); segs != nil {
+		rec.ViaIndex = true
+		for _, s := range segs {
+			if !verifySegment(data, s) {
+				// Bit rot inside an indexed segment: everything before it
+				// is still provably clean; resume re-solves the rest.
+				break
+			}
+			rec.Segments = append(rec.Segments, s)
+			rec.Records += s.Records
+			rec.CleanSize = s.end()
 		}
-		payloads = append(payloads, recs...)
-		off = next
-		cleanSize = int64(off)
+		return rec, nil
 	}
-	return hdr, payloads, cleanSize, nil
+	var fields []Field
+	if hdr.Layout == LayoutColumns {
+		if fields, err = ParseFields(hdr.Fields); err != nil {
+			return nil, err
+		}
+	}
+	sc := scanBody(data, hdr, headerEnd, fields)
+	rec.Records = sc.records
+	rec.CleanSize = sc.cleanSize
+	rec.Segments = sc.segs
+	return rec, nil
 }
 
-// parseSegment inflates and frame-checks the segment starting at
-// data[off:]; on success it returns the segment's record payloads
-// (copied out of the inflate buffer) and the offset just past it.
-func parseSegment(data []byte, off int) (payloads [][]byte, next int, err error) {
-	clen, width := binary.Uvarint(data[off:])
-	if width <= 0 {
-		return nil, off, ErrTruncated
-	}
-	if clen > maxSegment {
-		return nil, off, fmt.Errorf("recio: segment of %d bytes: %w", int64(clen), ErrTooLarge)
-	}
-	off += width
-	end := off + int(clen)
-	if end > len(data) || end < off {
-		return nil, off, ErrTruncated
-	}
-	zr, err := gzip.NewReader(bytes.NewReader(data[off:end]))
+// RecoverStatsFile is RecoverStats over a file path.
+func RecoverStatsFile(path string) (*Recovery, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, off, fmt.Errorf("recio: open segment: %w", err)
+		return nil, err
 	}
-	// A gzip member compresses at most ~1032:1; capping the inflated
-	// size keeps a corrupt length from turning into a decompression
-	// bomb.
-	inflated, err := io.ReadAll(io.LimitReader(zr, maxSegment+1))
+	rec, err := RecoverStats(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// ReadCells returns the record payloads covering absolute cells
+// [lo, hi) of a row-layout file, clamped to what the file holds, plus
+// the cell index of the first returned payload. With a trailer only the
+// overlapping segments inflate; without one the body is scanned whole —
+// the result is identical either way. The file must be strictly intact
+// across the segments read.
+func ReadCells(data []byte, lo, hi int) (Header, [][]byte, int, error) {
+	hdr, headerEnd, err := ReadHeader(data)
+	if err != nil {
+		return hdr, nil, 0, err
+	}
+	if hdr.Layout == LayoutColumns {
+		return hdr, nil, 0, fmt.Errorf("%w: columnar file", ErrLayout)
+	}
+	if segs := findIndex(data, headerEnd); segs != nil {
+		var picked []SegmentInfo
+		for _, s := range segs {
+			if s.LastCell >= lo && s.FirstCell < hi {
+				picked = append(picked, s)
+			}
+		}
+		if len(picked) == 0 {
+			return hdr, nil, lo, nil
+		}
+		payloads, err := inflateRowSegments(data, picked, 0)
+		if err != nil {
+			return hdr, nil, 0, err
+		}
+		first := picked[0].FirstCell
+		effLo, effHi := max(lo, first), min(hi, picked[len(picked)-1].LastCell+1)
+		return hdr, payloads[effLo-first : effHi-first], effLo, nil
+	}
+	_, payloads, err2 := Decode(data)
+	if err2 != nil {
+		return hdr, nil, 0, err2
+	}
+	effLo := max(lo, hdr.CellLo)
+	effHi := min(hi, hdr.CellLo+len(payloads))
+	if effLo >= effHi {
+		return hdr, nil, lo, nil
+	}
+	return hdr, payloads[effLo-hdr.CellLo : effHi-hdr.CellLo], effLo, nil
+}
+
+// ReadCellsFile is ReadCells over a file path.
+func ReadCellsFile(path string, lo, hi int) (Header, [][]byte, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, 0, err
+	}
+	hdr, payloads, first, err := ReadCells(data, lo, hi)
+	if err != nil {
+		return hdr, nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return hdr, payloads, first, nil
+}
+
+// ReadColumn returns every record's value for one named field of a
+// columnar file, inflating only that field's members — sibling columns
+// are skipped by their length prefixes, which is the layout's point.
+func ReadColumn(data []byte, name string) ([]uint64, error) {
+	hdr, headerEnd, err := ReadHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Layout != LayoutColumns {
+		return nil, fmt.Errorf("%w: row file has no columns", ErrLayout)
+	}
+	fields, err := ParseFields(hdr.Fields)
+	if err != nil {
+		return nil, err
+	}
+	want := -1
+	for i, f := range fields {
+		if f.Name == name {
+			want = i
+		}
+	}
+	if want < 0 {
+		return nil, fmt.Errorf("recio: no column %q (file has %s)", name, hdr.Fields)
+	}
+	var vals []uint64
+	off := headerEnd
+	for off < int64(len(data)) {
+		clen, width := binary.Uvarint(data[off:])
+		if width <= 0 {
+			return nil, fmt.Errorf("recio: damaged segment length at byte %d: %w", off, ErrTruncated)
+		}
+		if clen == 0 { // trailer sentinel: body ends
+			break
+		}
+		if clen > maxSegment || off+int64(width)+int64(clen) > int64(len(data)) {
+			return nil, fmt.Errorf("recio: damaged segment at byte %d: %w", off, ErrTruncated)
+		}
+		seg := data[off+int64(width) : off+int64(width)+int64(clen)]
+		segVals, err := decodeOneColumn(seg, fields, want)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, segVals...)
+		off += int64(width) + int64(clen)
+	}
+	return vals, nil
+}
+
+// ReadColumnFile is ReadColumn over a file path.
+func ReadColumnFile(path, name string) ([]uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := ReadColumn(data, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return vals, nil
+}
+
+// decodeOneColumn extracts field `want` from one columnar segment body.
+func decodeOneColumn(seg []byte, fields []Field, want int) ([]uint64, error) {
+	recs, pos := binary.Uvarint(seg)
+	if pos <= 0 || recs > maxSegment {
+		return nil, fmt.Errorf("recio: malformed columnar segment: %w", ErrTruncated)
+	}
+	for i := range fields {
+		mlen, w := binary.Uvarint(seg[pos:])
+		if w <= 0 || int64(mlen) > maxSegment || pos+w+int(mlen) > len(seg) {
+			return nil, fmt.Errorf("recio: malformed column member %d: %w", i, ErrTruncated)
+		}
+		pos += w
+		if i == want {
+			enc, err := inflate(seg[pos:pos+int(mlen)], maxSegment)
+			if err != nil {
+				return nil, err
+			}
+			return decodeColumn(enc, fields[i].Kind, int(recs))
+		}
+		pos += int(mlen)
+	}
+	return nil, fmt.Errorf("recio: columnar segment ended before field %d", want)
+}
+
+// scanResult is everything one sequential body walk learns.
+type scanResult struct {
+	payloads  [][]byte   // row layout: record payloads, in order
+	cols      [][]uint64 // column layout: per-field values, in order
+	records   int
+	segs      []SegmentInfo
+	cleanSize int64
+	// complete is true when the body ended legitimately: at EOF on a
+	// segment boundary, or at a v2 trailer sentinel. False means the
+	// tail is damaged (crash truncation or corruption).
+	complete bool
+}
+
+// scanBody walks segments sequentially — the v1 path, and the fallback
+// whenever no usable trailer exists. fields is nil for row layouts.
+// Damage stops the walk; everything before it stays valid.
+func scanBody(data []byte, hdr Header, headerEnd int64, fields []Field) scanResult {
+	sc := scanResult{cleanSize: headerEnd}
+	if fields != nil {
+		sc.cols = make([][]uint64, len(fields))
+	}
+	nextCell := hdr.CellLo
+	off := headerEnd
+	for {
+		if off == int64(len(data)) {
+			sc.complete = true
+			return sc
+		}
+		clen, width := binary.Uvarint(data[off:])
+		if width <= 0 {
+			return sc
+		}
+		if clen == 0 {
+			// v2 trailer sentinel; v1 files never contain one, so there
+			// it is damage.
+			sc.complete = hdr.Format >= formatVersion
+			return sc
+		}
+		if clen > maxSegment || off+int64(width)+int64(clen) > int64(len(data)) {
+			return sc
+		}
+		start := off + int64(width)
+		seg := data[start : start+int64(clen)]
+		var recs int
+		var err error
+		if fields == nil {
+			var payloads [][]byte
+			payloads, err = parseRowSegment(seg)
+			recs = len(payloads)
+			if err == nil {
+				sc.payloads = append(sc.payloads, payloads...)
+			}
+		} else {
+			var segCols [][]uint64
+			segCols, err = parseColSegment(seg, fields)
+			if err == nil {
+				recs = len(segCols[0])
+				for i := range sc.cols {
+					sc.cols[i] = append(sc.cols[i], segCols[i]...)
+				}
+			}
+		}
+		if err != nil {
+			return sc
+		}
+		sc.segs = append(sc.segs, SegmentInfo{
+			Offset:    off,
+			CLen:      int64(clen),
+			Records:   recs,
+			FirstCell: nextCell,
+			LastCell:  nextCell + recs - 1,
+			CRC:       crc32.Checksum(seg, castagnoli),
+		})
+		nextCell += recs
+		sc.records += recs
+		off = start + int64(clen)
+		sc.cleanSize = off
+	}
+}
+
+// inflate decompresses one gzip member with a bound on the inflated
+// size, so a corrupt length can never become a decompression bomb.
+func inflate(comp []byte, limit int64) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		return nil, fmt.Errorf("recio: open segment: %w", err)
+	}
+	out, err := io.ReadAll(io.LimitReader(zr, limit+1))
 	if cerr := zr.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return nil, off, fmt.Errorf("recio: inflate segment: %w", err)
+		return nil, fmt.Errorf("recio: inflate segment: %w", err)
 	}
-	if len(inflated) > maxSegment {
-		return nil, off, fmt.Errorf("recio: inflated segment: %w", ErrTooLarge)
+	if int64(len(out)) > limit {
+		return nil, fmt.Errorf("recio: inflated segment: %w", ErrTooLarge)
 	}
+	return out, nil
+}
+
+// parseRowSegment inflates and frame-checks one row segment's bytes; on
+// success it returns the record payloads (copied out of the inflate
+// buffer).
+func parseRowSegment(seg []byte) ([][]byte, error) {
+	inflated, err := inflate(seg, maxSegment)
+	if err != nil {
+		return nil, err
+	}
+	var payloads [][]byte
 	for pos := 0; pos < len(inflated); {
-		payload, posNext, err := parseFrame(inflated, pos)
+		payload, next, err := parseFrame(inflated, pos)
 		if err != nil {
-			return nil, off, fmt.Errorf("recio: record frame at segment byte %d: %w", pos, err)
+			return nil, fmt.Errorf("recio: record frame at segment byte %d: %w", pos, err)
 		}
 		payloads = append(payloads, append([]byte(nil), payload...))
-		pos = posNext
+		pos = next
 	}
-	return payloads, end, nil
+	return payloads, nil
+}
+
+// parseColSegment inflates and decodes every field member of one
+// columnar segment's bytes.
+func parseColSegment(seg []byte, fields []Field) ([][]uint64, error) {
+	recs, pos := binary.Uvarint(seg)
+	if pos <= 0 || recs == 0 || recs > maxSegment {
+		return nil, fmt.Errorf("recio: malformed columnar segment: %w", ErrTruncated)
+	}
+	cols := make([][]uint64, len(fields))
+	for i, f := range fields {
+		mlen, w := binary.Uvarint(seg[pos:])
+		if w <= 0 || int64(mlen) > maxSegment || pos+w+int(mlen) > len(seg) {
+			return nil, fmt.Errorf("recio: malformed column member %d: %w", i, ErrTruncated)
+		}
+		pos += w
+		enc, err := inflate(seg[pos:pos+int(mlen)], maxSegment)
+		if err != nil {
+			return nil, err
+		}
+		cols[i], err = decodeColumn(enc, f.Kind, int(recs))
+		if err != nil {
+			return nil, err
+		}
+		pos += int(mlen)
+	}
+	if pos != len(seg) {
+		return nil, fmt.Errorf("recio: %d trailing bytes after last column", len(seg)-pos)
+	}
+	return cols, nil
+}
+
+// inflateRowSegments decompresses the given segments concurrently (in
+// index order) and concatenates their record payloads. workers ≤ 0
+// means min(GOMAXPROCS, 8). Strict: any CRC, inflate or frame failure
+// is an error.
+func inflateRowSegments(data []byte, segs []SegmentInfo, workers int) ([][]byte, error) {
+	per := make([][][]byte, len(segs))
+	err := eachSegment(segs, workers, func(i int) error {
+		s := segs[i]
+		if !verifySegment(data, s) {
+			return fmt.Errorf("recio: segment at byte %d: %w", s.Offset, ErrCRC)
+		}
+		start := s.Offset + int64(uvarintLen(uint64(s.CLen)))
+		payloads, err := parseRowSegment(data[start : start+s.CLen])
+		if err != nil {
+			return err
+		}
+		if len(payloads) != s.Records {
+			return fmt.Errorf("recio: segment at byte %d holds %d records, index says %d",
+				s.Offset, len(payloads), s.Records)
+		}
+		per[i] = payloads
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	out := make([][]byte, 0, total)
+	for _, p := range per {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// inflateColSegments is inflateRowSegments for columnar bodies: each
+// segment decodes all its field members, concurrently across segments.
+func inflateColSegments(data []byte, segs []SegmentInfo, fields []Field) ([][]uint64, error) {
+	per := make([][][]uint64, len(segs))
+	err := eachSegment(segs, 0, func(i int) error {
+		s := segs[i]
+		if !verifySegment(data, s) {
+			return fmt.Errorf("recio: segment at byte %d: %w", s.Offset, ErrCRC)
+		}
+		start := s.Offset + int64(uvarintLen(uint64(s.CLen)))
+		cols, err := parseColSegment(data[start:start+s.CLen], fields)
+		if err != nil {
+			return err
+		}
+		if len(cols[0]) != s.Records {
+			return fmt.Errorf("recio: segment at byte %d holds %d records, index says %d",
+				s.Offset, len(cols[0]), s.Records)
+		}
+		per[i] = cols
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, len(fields))
+	for _, cols := range per {
+		for i := range out {
+			out[i] = append(out[i], cols[i]...)
+		}
+	}
+	return out, nil
+}
+
+// eachSegment runs fn(i) for every segment index on a bounded worker
+// pool, returning the lowest-index error.
+func eachSegment(segs []SegmentInfo, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	workers = min(workers, len(segs))
+	if workers <= 1 {
+		for i := range segs {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(segs))
+	var next int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(segs) {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,42 +1,66 @@
 // Package recio is the compressed binary record store behind `-format
 // recio` shard files: a length-prefixed frame codec with per-record
-// CRC-32C integrity, a gzip-compressed stream body, and a self-describing
+// CRC-32C integrity, a gzip-compressed stream body, a self-describing
 // header carrying the workload's identity (experiment tag, matrix
 // dimensions, shard selector, matrix digest) plus run provenance (tool,
-// seed, workers).
+// seed, workers), and — since format version 2 — a seekable per-segment
+// index trailer and an optional per-field columnar body layout.
 //
 // On-disk layout (DESIGN.md §9):
 //
-//	magic   "recio" + one format-version byte
+//	magic   "recio" + one format-version byte (1 or 2)
 //	header  frame: uvarint(len) ++ len bytes of JSON ++ CRC-32C(payload)
 //	body    zero or more segments, each
-//	        uvarint(clen) ++ clen bytes of one gzip member
+//	        uvarint(clen) ++ clen bytes (row layout: one gzip member;
+//	        column layout: uvarint(records) ++ per-field gzip members)
+//	trailer (v2, optional) uvarint(0) sentinel ++ index frame ++ footer
 //
-// Each gzip member inflates to a run of record frames with the same
-// shape as the header frame (uvarint length, payload, CRC-32C). A
-// segment is the checkpoint unit: the Writer buffers frames into an
-// in-memory gzip member and Checkpoint flushes it as one write followed
-// by an fsync, so a crash can only ever lose the segment being built —
-// every byte before the last checkpoint is a valid prefix of the file.
-// Recover exploits exactly that: it reads segments until the first
-// damaged one and reports the byte offset where the clean prefix ends,
-// which is where a resumed run truncates and appends.
+// Row-layout gzip members inflate to a run of record frames with the
+// same shape as the header frame (uvarint length, payload, CRC-32C).
+// A segment is the checkpoint unit: the Writer buffers frames into an
+// in-memory segment, compresses sealed segments on a worker pool (gzip
+// members concatenate legally, so parallel compression of consecutive
+// segments written back in order is byte-equivalent to sequential
+// compression at the same level), and Checkpoint writes everything
+// sealed so far followed by an fsync — a crash can only ever lose the
+// segments not yet checkpointed, and every byte before the last
+// checkpoint is a valid prefix of the file.
+//
+// The v2 trailer makes that prefix seekable: one index entry per
+// segment (byte offset, compressed length, record count, first/last
+// cell index, CRC-32C of the compressed bytes) lets Recover count and
+// verify records without inflating a single segment, and lets readers
+// jump straight to the segments covering a cell range. The trailer is
+// advisory: it is rewritten at every checkpoint (on seekable
+// destinations) and on Close, and a missing or damaged trailer simply
+// degrades every reader to the v1 scan path. Version-1 files, which
+// never carry a trailer, keep reading through that same scan path.
 //
 // The package is pure I/O: payloads are opaque bytes, and the sweep
 // layer owns what a record means (internal/sweep codecs).
 package recio
 
 import (
+	"compress/gzip"
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // magic identifies a recio file; the trailing byte is the format
 // version and changes whenever the frame layout does.
 var magic = []byte{'r', 'e', 'c', 'i', 'o', formatVersion}
 
-// formatVersion is the current frame-layout version.
-const formatVersion = 1
+// Format versions. Version 1 files are plain row-layout bodies with no
+// trailer; version 2 adds the index trailer, the recorded compression
+// level, and the columnar body layout. The writer always produces
+// version 2 (except when resuming a version-1 file, which stays
+// version 1 so its declared format keeps telling the truth); the
+// readers accept both.
+const (
+	formatV1      = 1
+	formatVersion = 2
+)
 
 // MaxPayload bounds a single frame payload (header or record). A
 // decoder never allocates more than this for one frame, no matter what
@@ -47,6 +71,13 @@ const MaxPayload = 1 << 26 // 64 MiB
 // writer's checkpoint cadence and stay far below this.
 const maxSegment = 1 << 30
 
+// DefaultLevel is the gzip level used when Options.Level is zero.
+// Shard files are transport between a shard run and its merge, not
+// archives: BestSpeed keeps the encoder off the critical path (the
+// committed BENCH_recio.json has the measurements) and `-level 9`
+// remains available when bytes on the wire matter more than time.
+const DefaultLevel = gzip.BestSpeed
+
 // Decode and Recover errors. Decode wraps them with the byte offset of
 // the damage.
 var (
@@ -55,7 +86,51 @@ var (
 	ErrCRC       = errors.New("recio: frame CRC-32C mismatch")
 	ErrTooLarge  = errors.New("recio: frame length exceeds MaxPayload")
 	ErrTruncated = errors.New("recio: truncated file")
+	ErrLayout    = errors.New("recio: wrong body layout for this reader")
+	ErrLevel     = errors.New("recio: compression level outside gzip's 1..9")
 )
+
+// LayoutColumns marks a columnar-body file in Header.Layout; the empty
+// string (and any v1 header) means the row layout.
+const LayoutColumns = "columns"
+
+// Options configure a Writer. The zero value is ready to use.
+type Options struct {
+	// Level is the gzip compression level, gzip.BestSpeed (1) through
+	// gzip.BestCompression (9); 0 means DefaultLevel. Recorded in the
+	// header. Any level produces legal input for every reader —
+	// segments even mix levels across a resume.
+	Level int
+	// Workers bounds how many sealed segments compress concurrently;
+	// 0 means min(GOMAXPROCS, 8), 1 compresses on the calling
+	// goroutine. Segments are written strictly in seal order whatever
+	// the worker count, so the bytes are identical at any value.
+	Workers int
+	// CellBase is the absolute cell index of the first record appended
+	// through this writer (the header's CellLo for a fresh shard, CellLo
+	// plus the recovered record count for a resumed one); it anchors the
+	// trailer's per-segment cell ranges.
+	CellBase int
+	// NoSync skips every fsync. For whole-shard writes the durability
+	// contract is the caller's (the json codec never syncs either);
+	// checkpointed incremental writers must leave this false — without
+	// the sync, Checkpoint no longer bounds what a crash can lose.
+	NoSync bool
+}
+
+// normalize validates the level and fills defaults.
+func (o Options) normalize() (Options, error) {
+	if o.Level == 0 {
+		o.Level = DefaultLevel
+	}
+	if o.Level < gzip.BestSpeed || o.Level > gzip.BestCompression {
+		return o, fmt.Errorf("%w: %d", ErrLevel, o.Level)
+	}
+	if o.Workers <= 0 {
+		o.Workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	return o, nil
+}
 
 // Header is the self-describing first frame of every recio file. The
 // identity fields (Experiment through MatrixDigest) pin the workload
@@ -63,7 +138,9 @@ var (
 // identity disagrees with the workload rebuilt from the current flags.
 // Tool, Seed and Workers are provenance only: informational, never
 // validated (a shard may legitimately be resumed with a different
-// worker count).
+// worker count). Level, Layout and Fields describe how the body is
+// encoded: the gzip level the segments were (initially) written at,
+// and — for columnar files — the ordered per-field column map.
 type Header struct {
 	Format     int    `json:"format"`
 	Experiment string `json:"experiment"`
@@ -80,10 +157,19 @@ type Header struct {
 	Tool         string `json:"tool,omitempty"`
 	Seed         int64  `json:"seed,omitempty"`
 	Workers      int    `json:"workers,omitempty"`
+	// Level records the gzip level segments were written at (v2 files;
+	// informational — a resumed run may append at a different level).
+	Level int `json:"level,omitempty"`
+	// Layout is "" for row bodies, LayoutColumns for columnar ones.
+	Layout string `json:"layout,omitempty"`
+	// Fields is the columnar field map as "name:kind" pairs joined by
+	// commas (see FieldsSpec/ParseFields); empty for row bodies.
+	Fields string `json:"fields,omitempty"`
 }
 
 // SameWorkload reports whether two headers describe the same shard of
-// the same workload; provenance fields are ignored.
+// the same workload; provenance and encoding fields are ignored (a
+// resume may legally rewrite the shard at a different level or layout).
 func (h Header) SameWorkload(o Header) bool {
 	return h.Experiment == o.Experiment &&
 		h.Cells == o.Cells && h.Groups == o.Groups &&

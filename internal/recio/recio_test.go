@@ -30,7 +30,7 @@ func testHeader() Header {
 func writeTestFile(t *testing.T, n, every int) ([]byte, [][]byte) {
 	t.Helper()
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, testHeader())
+	w, err := NewWriter(&buf, testHeader(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +79,7 @@ func TestRoundTrip(t *testing.T) {
 		}
 		wantHdr := testHeader()
 		wantHdr.Format = formatVersion
+		wantHdr.Level = DefaultLevel
 		if hdr != wantHdr {
 			t.Errorf("every=%d: header %+v != %+v", every, hdr, wantHdr)
 		}
@@ -91,7 +92,7 @@ func TestRoundTrip(t *testing.T) {
 // TestEmptyStream: a header-only file (zero records) round-trips.
 func TestEmptyStream(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, testHeader())
+	w, err := NewWriter(&buf, testHeader(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,11 +180,16 @@ func TestCorruption(t *testing.T) {
 }
 
 // TestStrictDecodeRejectsTruncation: Decode (unlike Recover) must
-// refuse any file with a damaged tail.
+// refuse any file whose *body* has a damaged tail. (Truncation confined
+// to the trailer region is tolerated — the trailer is advisory.)
 func TestStrictDecodeRejectsTruncation(t *testing.T) {
 	data, _ := writeTestFile(t, 20, 5)
-	if _, _, err := Decode(data[:len(data)-3]); err == nil {
-		t.Fatal("strict decode accepted a truncated file")
+	rec, err := RecoverStats(data)
+	if err != nil || !rec.ViaIndex {
+		t.Fatalf("baseline: err=%v viaIndex=%v", err, rec.ViaIndex)
+	}
+	if _, _, err := Decode(data[:rec.CleanSize-3]); err == nil {
+		t.Fatal("strict decode accepted a body-truncated file")
 	}
 }
 
@@ -213,7 +219,7 @@ func TestBadMagic(t *testing.T) {
 
 // TestResumeWriter: recover a truncated file, truncate to the clean
 // size, append through ResumeWriter — the final file must decode to the
-// full record sequence.
+// full record sequence, and carry a trailer covering all of it.
 func TestResumeWriter(t *testing.T) {
 	const n, every = 40, 6
 	data, want := writeTestFile(t, n, every)
@@ -223,7 +229,7 @@ func TestResumeWriter(t *testing.T) {
 	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, kept, clean, err := RecoverFile(path)
+	rec, err := RecoverStatsFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,14 +237,17 @@ func TestResumeWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Truncate(clean); err != nil {
+	if err := f.Truncate(rec.CleanSize); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Seek(clean, 0); err != nil {
+	if _, err := f.Seek(rec.CleanSize, 0); err != nil {
 		t.Fatal(err)
 	}
-	w := ResumeWriter(f)
-	for i := len(kept); i < n; i++ {
+	w, err := ResumeWriter(f, Options{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := rec.Records; i < n; i++ {
 		if err := w.Append(want[i]); err != nil {
 			t.Fatal(err)
 		}
@@ -255,6 +264,461 @@ func TestResumeWriter(t *testing.T) {
 	}
 	if hdr.Experiment != "fig2" || !samePayloads(got, want) {
 		t.Fatalf("resumed file decodes to %d records (want %d)", len(got), n)
+	}
+	// The regrown trailer must index the whole body, including the
+	// segments written before the crash.
+	again, err := RecoverStatsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.ViaIndex || again.Records != n {
+		t.Fatalf("resumed file: ViaIndex=%v records=%d, want index covering %d",
+			again.ViaIndex, again.Records, n)
+	}
+}
+
+// writeDiskFile writes n records with a checkpoint cadence to a real
+// file (so the writer can rewind over its trailer) and returns the
+// path plus the payloads.
+func writeDiskFile(t *testing.T, n, every int, opts Options) (string, [][]byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "shard.rec")
+	w, f, err := Create(path, testHeader(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := fmt.Appendf(nil, `{"pollution":%d,"weight_frac":0.%06d}`, i*37%1000, i)
+		payloads = append(payloads, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%every == 0 {
+			if err := w.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, payloads
+}
+
+// TestTrailerSeekRecovery: an intact v2 file resolves its record count
+// through the index (ViaIndex), and the clean size it reports excludes
+// the trailer — truncating there and rescanning finds the same records.
+func TestTrailerSeekRecovery(t *testing.T) {
+	const n, every = 60, 7
+	path, _ := writeDiskFile(t, n, every, Options{})
+	rec, err := RecoverStatsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.ViaIndex {
+		t.Fatal("intact v2 file recovered via scan, want index")
+	}
+	if rec.Records != n {
+		t.Fatalf("index counted %d records, want %d", rec.Records, n)
+	}
+	wantSegs := n/every + 1 // n%every != 0 ⇒ Close seals a short tail segment
+	if len(rec.Segments) != wantSegs {
+		t.Fatalf("index holds %d segments, want %d", len(rec.Segments), wantSegs)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CleanSize >= int64(len(data)) {
+		t.Fatalf("clean size %d does not exclude the %d-byte trailer region",
+			rec.CleanSize, int64(len(data))-rec.CleanSize)
+	}
+	_, payloads, clean, err := Recover(data[:rec.CleanSize])
+	if err != nil || clean != rec.CleanSize || len(payloads) != n {
+		t.Fatalf("body prefix rescans to %d records / clean %d (err=%v), want %d / %d",
+			len(payloads), clean, err, n, rec.CleanSize)
+	}
+}
+
+// TestDamagedTrailerDegrades pins the back-compat contract of satellite
+// concern #4: any damage confined to the trailer region must degrade
+// every reader to the v1 scan path — full strict decode still succeeds,
+// recovery still counts every record — and must never surface as an
+// error.
+func TestDamagedTrailerDegrades(t *testing.T) {
+	const n, every = 30, 8
+	path, want := writeDiskFile(t, n, every, Options{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverStats(data)
+	if err != nil || !rec.ViaIndex {
+		t.Fatalf("baseline: err=%v viaIndex=%v", err, rec.ViaIndex)
+	}
+	bodyEnd := rec.CleanSize
+
+	damage := map[string]func([]byte) []byte{
+		"truncated footer": func(d []byte) []byte { return d[:len(d)-5] },
+		"truncated mid-index": func(d []byte) []byte {
+			return d[:bodyEnd+(int64(len(d))-bodyEnd)/2]
+		},
+		"corrupt index entry": func(d []byte) []byte {
+			d[bodyEnd+3] ^= 0x5a
+			return d
+		},
+		"footer offset past EOF": func(d []byte) []byte {
+			copy(d[len(d)-footerSize:], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+			return d
+		},
+		"footer offset into body": func(d []byte) []byte {
+			copy(d[len(d)-footerSize:], []byte{1, 0, 0, 0, 0, 0, 0, 0})
+			return d
+		},
+	}
+	for name, mut := range damage {
+		d := mut(append([]byte(nil), data...))
+		hdr, got, err := Decode(d)
+		if err != nil {
+			t.Errorf("%s: strict decode errored (%v), want scan-path fallback", name, err)
+			continue
+		}
+		if hdr.Experiment != "fig2" || !samePayloads(got, want) {
+			t.Errorf("%s: decode lost records (%d of %d)", name, len(got), len(want))
+		}
+		r, err := RecoverStats(d)
+		if err != nil {
+			t.Errorf("%s: RecoverStats errored: %v", name, err)
+			continue
+		}
+		if r.ViaIndex {
+			t.Errorf("%s: damaged trailer still classified as usable index", name)
+		}
+		if r.Records != n {
+			t.Errorf("%s: scan fallback counted %d records, want %d", name, r.Records, n)
+		}
+	}
+}
+
+// TestDamagedBodySegmentKeepsIndexPrefix: when an indexed segment's
+// bytes no longer match their recorded CRC, seek-recovery keeps the
+// provably-clean prefix before it instead of trusting the index.
+func TestDamagedBodySegmentKeepsIndexPrefix(t *testing.T) {
+	const n, every = 40, 10
+	path, _ := writeDiskFile(t, n, every, Options{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverStats(data)
+	if err != nil || len(rec.Segments) < 2 {
+		t.Fatalf("baseline: err=%v segments=%d", err, len(rec.Segments))
+	}
+	hurt := rec.Segments[1]
+	data[hurt.Offset+2] ^= 0x5a
+	r, err := RecoverStats(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ViaIndex || r.Records != every || r.CleanSize != rec.Segments[0].end() {
+		t.Fatalf("got viaIndex=%v records=%d clean=%d, want index prefix of %d records ending %d",
+			r.ViaIndex, r.Records, r.CleanSize, every, rec.Segments[0].end())
+	}
+}
+
+// TestParallelWriterDeterminism: the same records produce bit-identical
+// files at every worker count and flush cadence — the written order is
+// the seal order regardless of which worker finishes first.
+func TestParallelWriterDeterminism(t *testing.T) {
+	encode := func(workers, flushEvery int) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, testHeader(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if err := w.Append(fmt.Appendf(nil, `{"pollution":%d,"weight_frac":0.%06d}`, i%13, i)); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%flushEvery == 0 {
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, flushEvery := range []int{3, 50} {
+		want := encode(1, flushEvery)
+		for _, workers := range []int{2, 8} {
+			if got := encode(workers, flushEvery); !bytes.Equal(got, want) {
+				t.Errorf("flushEvery=%d: %d workers produced different bytes than 1 worker",
+					flushEvery, workers)
+			}
+		}
+	}
+}
+
+// TestWriterLevelValidation: out-of-range gzip levels are rejected at
+// writer construction.
+func TestWriterLevelValidation(t *testing.T) {
+	for _, level := range []int{-1, 10, 42} {
+		var buf bytes.Buffer
+		if _, err := NewWriter(&buf, testHeader(), Options{Level: level}); !errors.Is(err, ErrLevel) {
+			t.Errorf("level %d: got %v, want ErrLevel", level, err)
+		}
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader(), Options{Level: 9})
+	if err != nil {
+		t.Fatalf("level 9 rejected: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := Decode(buf.Bytes())
+	if err != nil || hdr.Level != 9 {
+		t.Fatalf("header level %d (err=%v), want 9", hdr.Level, err)
+	}
+}
+
+// TestReadCells: a cell-range read answers identically through the
+// index and through the scan fallback, and matches the full decode.
+func TestReadCells(t *testing.T) {
+	const n, every = 60, 7
+	path, want := writeDiskFile(t, n, every, Options{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx := append([]byte(nil), data...)
+	noIdx[len(noIdx)-1] ^= 0xff // break the footer magic: scan fallback
+	lo := testHeader().CellLo
+	for _, span := range [][2]int{{lo, lo + n}, {lo + 10, lo + 24}, {lo - 5, lo + 3}, {lo + n - 2, lo + n + 9}, {lo + n + 1, lo + n + 4}} {
+		hdr, got, first, err := ReadCells(data, span[0], span[1])
+		if err != nil {
+			t.Fatalf("span %v: %v", span, err)
+		}
+		if hdr.Experiment != "fig2" {
+			t.Fatalf("span %v: header %+v", span, hdr)
+		}
+		effLo, effHi := max(span[0], lo), min(span[1], lo+n)
+		if effLo >= effHi {
+			if len(got) != 0 {
+				t.Fatalf("span %v: %d payloads for an empty range", span, len(got))
+			}
+		} else if first != effLo || !samePayloads(got, want[effLo-lo:effHi-lo]) {
+			t.Fatalf("span %v: first=%d len=%d, want first=%d len=%d", span, first, len(got), effLo, effHi-effLo)
+		}
+		_, got2, first2, err := ReadCells(noIdx, span[0], span[1])
+		if err != nil || first2 != first || !samePayloads(got2, got) {
+			t.Fatalf("span %v: scan fallback disagrees with index (err=%v first=%d/%d len=%d/%d)",
+				span, err, first2, first, len(got2), len(got))
+		}
+	}
+}
+
+// columnarHeader is testHeader with the columnar layout for two fields
+// shaped like hijack.Record.
+func columnarHeader() Header {
+	h := testHeader()
+	h.Layout = LayoutColumns
+	h.Fields = FieldsSpec([]Field{
+		{Name: "pollution", Kind: KindDelta},
+		{Name: "weight_frac", Kind: KindFloat},
+	})
+	return h
+}
+
+// TestColumnarRoundTrip: per-field values survive encode → decode
+// exactly (floats by their bit patterns), across checkpoint cadences,
+// with and without the trailer index.
+func TestColumnarRoundTrip(t *testing.T) {
+	const n = 100
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, columnarHeader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantPol, wantWeight []uint64
+	for i := 0; i < n; i++ {
+		pol := uint64(i * 7 % 13)
+		weight := uint64(i) * 0x9e3779b97f4a7c15 // arbitrary bit patterns
+		wantPol = append(wantPol, pol)
+		wantWeight = append(wantWeight, weight)
+		if err := w.AppendRow([]uint64{pol, weight}); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%33 == 0 {
+			if err := w.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	noIdx := append([]byte(nil), data...)
+	noIdx[len(noIdx)-3] ^= 0x5a // damage the footer: scan fallback
+	for name, d := range map[string][]byte{"indexed": data, "scan": noIdx} {
+		hdr, cols, err := DecodeColumns(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hdr.Layout != LayoutColumns || len(cols) != 2 {
+			t.Fatalf("%s: layout %q, %d columns", name, hdr.Layout, len(cols))
+		}
+		for i := range wantPol {
+			if cols[0][i] != wantPol[i] || cols[1][i] != wantWeight[i] {
+				t.Fatalf("%s: record %d: got (%d,%#x) want (%d,%#x)",
+					name, i, cols[0][i], cols[1][i], wantPol[i], wantWeight[i])
+			}
+		}
+	}
+	// Single-column read inflates only that field and still sees all
+	// values.
+	weights, err := ReadColumn(data, "weight_frac")
+	if err != nil || len(weights) != n {
+		t.Fatalf("ReadColumn: %d values, err=%v", len(weights), err)
+	}
+	for i := range weights {
+		if weights[i] != wantWeight[i] {
+			t.Fatalf("ReadColumn value %d: %#x want %#x", i, weights[i], wantWeight[i])
+		}
+	}
+	if _, err := ReadColumn(data, "nope"); err == nil {
+		t.Fatal("ReadColumn accepted an unknown field")
+	}
+	// Layout mismatches are loud, both ways.
+	if _, _, err := Decode(data); !errors.Is(err, ErrLayout) {
+		t.Fatalf("row Decode of a columnar file: %v, want ErrLayout", err)
+	}
+	rowData, _ := writeTestFile(t, 5, 2)
+	if _, _, err := DecodeColumns(rowData); !errors.Is(err, ErrLayout) {
+		t.Fatalf("DecodeColumns of a row file: %v, want ErrLayout", err)
+	}
+}
+
+// TestColumnarWriterAPI: the two append entry points refuse the wrong
+// layout.
+func TestColumnarWriterAPI(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, columnarHeader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("{}")); !errors.Is(err, ErrLayout) {
+		t.Fatalf("Append on columnar writer: %v, want ErrLayout", err)
+	}
+	var buf2 bytes.Buffer
+	w2, err := NewWriter(&buf2, testHeader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendRow([]uint64{1, 2}); !errors.Is(err, ErrLayout) {
+		t.Fatalf("AppendRow on row writer: %v, want ErrLayout", err)
+	}
+}
+
+// TestColumnarResume: a crash-truncated columnar file resumes like a
+// row file — recover stats, truncate, append the remaining rows.
+func TestColumnarResume(t *testing.T) {
+	const n = 90
+	path := filepath.Join(t.TempDir(), "col.rec")
+	w, f, err := Create(path, columnarHeader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.AppendRow([]uint64{uint64(i % 11), uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%30 == 0 && i+1 < n {
+			if err := w.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 59 { // "crash" with one checkpointed segment pair durable
+			break
+		}
+	}
+	// Simulate the crash: drop the writer without Close; the file holds
+	// what the last Checkpoint wrote (body + trailer).
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverStatsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.ViaIndex || rec.Records != 60 {
+		t.Fatalf("recovered viaIndex=%v records=%d, want index with 60", rec.ViaIndex, rec.Records)
+	}
+	fh, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Truncate(rec.CleanSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Seek(rec.CleanSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ResumeWriter(fh, Options{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := rec.Records; i < n; i++ {
+		if err := w2.AppendRow([]uint64{uint64(i % 11), uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, cols, err := DecodeColumnsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[0]) != n {
+		t.Fatalf("resumed columnar file holds %d records, want %d", len(cols[0]), n)
+	}
+	for i := 0; i < n; i++ {
+		if cols[0][i] != uint64(i%11) || cols[1][i] != uint64(i) {
+			t.Fatalf("record %d: (%d,%d)", i, cols[0][i], cols[1][i])
+		}
+	}
+}
+
+// TestFieldsSpecRoundTrip: the header field-map spelling inverts.
+func TestFieldsSpecRoundTrip(t *testing.T) {
+	fields := []Field{{"a", KindDelta}, {"b", KindRLE}, {"c", KindFloat}}
+	spec := FieldsSpec(fields)
+	got, err := ParseFields(spec)
+	if err != nil || len(got) != len(fields) {
+		t.Fatalf("ParseFields(%q): %v", spec, err)
+	}
+	for i := range fields {
+		if got[i] != fields[i] {
+			t.Fatalf("field %d: %+v != %+v", i, got[i], fields[i])
+		}
+	}
+	for _, bad := range []string{"", "a", "a:", "a:nope", ":delta"} {
+		if _, err := ParseFields(bad); err == nil {
+			t.Errorf("ParseFields(%q) accepted", bad)
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+// The append-style record marshal seam. Shard encoding marshals every
+// record exactly once, and reflection-driven json.Marshal is as
+// expensive as compressing the result — so record types may opt into a
+// hand-rolled fast path by implementing JSONAppender. The contract is
+// strict: the appended bytes must be byte-identical to json.Marshal's
+// compact encoding, so the shard file carries the same payloads
+// whichever path built them (appendjson_test.go pins this for every
+// implementing type in the tree).
+
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// JSONAppender is the optional fast-marshal interface for record
+// types: append the record's compact JSON — byte-identical to what
+// json.Marshal would produce — to dst. Implementations must return an
+// error exactly where json.Marshal would (unsupported values such as
+// NaN), so the two paths stay interchangeable.
+type JSONAppender interface {
+	AppendJSON(dst []byte) ([]byte, error)
+}
+
+// appendRecordJSON marshals one record onto dst: through the type's
+// own appender when it has one, through encoding/json otherwise.
+func appendRecordJSON[T any](dst []byte, rec T) ([]byte, error) {
+	if a, ok := any(rec).(JSONAppender); ok {
+		return a.AppendJSON(dst)
+	}
+	p, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, p...), nil
+}
+
+// AppendJSONInt appends an int field value as json.Marshal encodes it.
+func AppendJSONInt(dst []byte, v int) []byte {
+	return strconv.AppendInt(dst, int64(v), 10)
+}
+
+// AppendJSONFloat appends a float64 field value using encoding/json's
+// exact algorithm: shortest round-trip form, fixed notation inside
+// [1e-6, 1e21), scientific outside it with the exponent's leading zero
+// stripped. Non-finite values error, as they do under json.Marshal.
+func AppendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("json: unsupported value: %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json rewrites "e-09" to "e-9".
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}

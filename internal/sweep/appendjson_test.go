@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// floatTortureValues covers every branch of encoding/json's float64
+// encoder: zero and signed zero, fixed-notation interior values, both
+// boundaries of the [1e-6, 1e21) fixed-notation window, scientific
+// notation with one- and two-digit exponents (the leading-zero rewrite),
+// extreme magnitudes, and shortest-round-trip decimals.
+var floatTortureValues = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 1.0 / 3.0, 0.1, 2.0 / 3.0,
+	1e-6, 9.999999999999999e-7, -9.999999999999999e-7, 1e-7, 1e-21,
+	1e21, 999999999999999934463.9, 1e22, -1e22, 1.5e300, -2.5e-300,
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	-math.SmallestNonzeroFloat64, 0.6372549019607843, 42.0, 1234567.891,
+	float64(1<<53) + 1, -0.000123456789,
+}
+
+// TestAppendJSONFloatMatchesMarshal pins the hand-rolled float encoder
+// to encoding/json byte for byte — the contract every JSONAppender in
+// the tree builds on.
+func TestAppendJSONFloatMatchesMarshal(t *testing.T) {
+	vals := append([]float64{}, floatTortureValues...)
+	for i := 0; i < 3000; i++ {
+		vals = append(vals, float64(i%997)/997, float64(i)*1.7e-9, float64(i*i)*3.14159e12)
+	}
+	for _, f := range vals {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatalf("AppendJSONFloat(%v): %v", f, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("AppendJSONFloat(%v) = %q, json.Marshal = %q", f, got, want)
+		}
+	}
+	// Non-finite values must fail exactly where json.Marshal fails.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := AppendJSONFloat(nil, f); err == nil {
+			t.Fatalf("AppendJSONFloat(%v) accepted a non-finite value", f)
+		}
+	}
+}
+
+// TestAppendRecordJSONMatchesMarshal pins the whole-record fast path
+// (benchRecord implements JSONAppender) and the reflection fallback
+// (a type that does not) against json.Marshal.
+func TestAppendRecordJSONMatchesMarshal(t *testing.T) {
+	for i := -3; i < 4000; i++ {
+		r := benchRecord{Pollution: i * 31, WeightFrac: float64(i%997) / 997}
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendRecordJSON([]byte("prefix"), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "prefix"+string(want) {
+			t.Fatalf("fast path diverged for %+v:\n got %q\nwant prefix+%q", r, got, want)
+		}
+	}
+	for _, f := range floatTortureValues {
+		r := benchRecord{Pollution: -7, WeightFrac: f}
+		want, _ := json.Marshal(r)
+		got, err := appendRecordJSON(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("fast path diverged at %v: got %q want %q", f, got, want)
+		}
+	}
+
+	// The fallback: a plain struct without AppendJSON goes through
+	// encoding/json.
+	type plain struct {
+		A string `json:"a"`
+		B int    `json:"b"`
+	}
+	want, _ := json.Marshal(plain{A: "x", B: 9})
+	got, err := appendRecordJSON(nil, plain{A: "x", B: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("fallback diverged: got %q want %q", got, want)
+	}
+
+	// A non-finite float errors on the fast path just as json.Marshal
+	// would.
+	if _, err := appendRecordJSON(nil, benchRecord{WeightFrac: math.NaN()}); err == nil {
+		t.Fatal("fast path accepted NaN")
+	}
+}

@@ -1,9 +1,11 @@
 // Pluggable shard-file formats. A Codec turns one ShardFile into bytes
-// on disk and back; the CLI's -format flag selects one by name. Two
-// codecs exist: "json" (the original human-readable indented form) and
-// "recio" (the compressed binary record store, internal/recio). Both
-// round-trip records through encoding/json marshaling of T, so the
-// merged stream — and therefore every digest the tools print — is
+// on disk and back; the CLI's -format flag selects one by name. Three
+// codecs exist: "json" (the original human-readable indented form),
+// "recio" (the compressed binary record store, internal/recio) and
+// "recio-col" (its per-field columnar variant, columnar.go). All
+// round-trip records exactly — json and recio through encoding/json
+// marshaling of T, recio-col through the type's own column mapping — so
+// the merged stream, and therefore every digest the tools print, is
 // bit-identical whichever format carried the shards.
 package sweep
 
@@ -21,13 +23,16 @@ import (
 // Shard format names accepted by CodecByName and the tools' -format
 // flag.
 const (
-	FormatJSON  = "json"
-	FormatRecio = "recio"
+	FormatJSON     = "json"
+	FormatRecio    = "recio"
+	FormatRecioCol = "recio-col"
 )
 
 // wholeShardSegment is the records-per-segment cadence for complete
-// shard writes, where no checkpoint durability is at stake.
-const wholeShardSegment = 4096
+// shard writes, where no checkpoint durability is at stake: small
+// enough to keep the writer's compression pool fed with independent
+// segments, large enough that gzip still sees long runs.
+const wholeShardSegment = 2048
 
 // Codec is one named on-disk shard-file format.
 type Codec[T any] interface {
@@ -41,15 +46,43 @@ type Codec[T any] interface {
 	ReadShard(path string) (*ShardFile[T], error)
 }
 
-// CodecByName resolves a -format flag value ("" means json).
+// CodecByName resolves a -format flag value ("" means json) at the
+// default compression level.
 func CodecByName[T any](name string) (Codec[T], error) {
+	return CodecFor[T](name, 0)
+}
+
+// CodecFor resolves a -format flag value with an explicit gzip level
+// (0 = recio.DefaultLevel; json ignores it). The columnar format
+// additionally requires T to carry a column mapping — rejected here, at
+// selection time, rather than when the first shard hits the disk.
+func CodecFor[T any](name string, level int) (Codec[T], error) {
 	switch name {
 	case "", FormatJSON:
 		return JSONCodec[T]{}, nil
 	case FormatRecio:
-		return RecioCodec[T]{}, nil
+		return RecioCodec[T]{Level: level}, nil
+	case FormatRecioCol:
+		var z T
+		if _, err := columnarOf(&z); err != nil {
+			return nil, fmt.Errorf("format %q: %w", name, err)
+		}
+		return ColumnarCodec[T]{Level: level}, nil
 	}
-	return nil, fmt.Errorf("unknown shard format %q (want %q or %q)", name, FormatJSON, FormatRecio)
+	return nil, fmt.Errorf("unknown shard format %q (want %q, %q or %q)",
+		name, FormatJSON, FormatRecio, FormatRecioCol)
+}
+
+// CheckFormat validates a -format flag value by name alone, without
+// binding a record type — the CLI's flag check, where T is not yet in
+// scope and per-type constraints (columnar mappings) cannot apply.
+func CheckFormat(name string) error {
+	switch name {
+	case "", FormatJSON, FormatRecio, FormatRecioCol:
+		return nil
+	}
+	return fmt.Errorf("unknown shard format %q (want %q, %q or %q)",
+		name, FormatJSON, FormatRecio, FormatRecioCol)
 }
 
 // ShardPath names shard files "<tag>.<i>of<n>.<ext>" inside dir — the
@@ -114,7 +147,10 @@ func digestLine(data []byte) int {
 // internal/recio: one header frame carrying the ShardFile metadata,
 // then every record as a compact-JSON payload inside checksummed,
 // gzip-compressed frames.
-type RecioCodec[T any] struct{}
+type RecioCodec[T any] struct {
+	// Level is the gzip compression level (0 = recio.DefaultLevel).
+	Level int
+}
 
 // Name implements Codec.
 func (RecioCodec[T]) Name() string { return FormatRecio }
@@ -123,17 +159,21 @@ func (RecioCodec[T]) Name() string { return FormatRecio }
 func (RecioCodec[T]) Ext() string { return "rec" }
 
 // WriteShard implements Codec.
-func (RecioCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
+func (c RecioCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
 	if len(f.Records) != f.CellHi-f.CellLo {
 		return fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
 			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
 	}
-	w, fh, err := recio.Create(path, recioHeader(f))
+	// NoSync: a whole-shard write has no checkpoint to make durable —
+	// its durability contract matches the json codec's (none beyond the
+	// OS page cache).
+	w, fh, err := recio.Create(path, recioHeader(f), recio.Options{Level: c.Level, NoSync: true})
 	if err != nil {
 		return err
 	}
+	var p []byte
 	for i := range f.Records {
-		p, err := json.Marshal(f.Records[i])
+		p, err = appendRecordJSON(p[:0], f.Records[i])
 		if err != nil {
 			fh.Close()
 			return fmt.Errorf("%s: encode record %d: %w", path, i, err)
@@ -143,11 +183,11 @@ func (RecioCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		// Segment whole-shard writes too, so writer memory stays bounded
-		// and a truncated file still recovers a prefix — but at a coarser
-		// cadence than streaming runs: there is no crash to survive here,
-		// and longer gzip members compress better.
+		// and a truncated file still recovers a prefix. Flush (not
+		// Checkpoint): there is no crash to survive mid-write, so sealed
+		// segments just feed the compression pool and Close barriers once.
 		if w.Pending() >= wholeShardSegment {
-			if err := w.Checkpoint(); err != nil {
+			if err := w.Flush(); err != nil {
 				fh.Close()
 				return fmt.Errorf("%s: %w", path, err)
 			}
@@ -163,23 +203,34 @@ func (RecioCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
 // ReadShard implements Codec, via the strict decoder: a recio shard
 // with any damaged byte is an error, never a silently shorter stream.
 func (RecioCodec[T]) ReadShard(path string) (*ShardFile[T], error) {
-	hdr, payloads, err := recio.DecodeFile(path)
+	return readRecShard[T](path)
+}
+
+// readRecShard loads any .rec shard file, row or columnar — the
+// header's layout field, not the codec the caller happened to hold,
+// decides how the body decodes. Mixed-layout merges fall out of this
+// for free.
+func readRecShard[T any](path string) (*ShardFile[T], error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	f := &ShardFile[T]{
-		Experiment:   hdr.Experiment,
-		Cells:        hdr.Cells,
-		Groups:       hdr.Groups,
-		Shard:        hdr.Shard,
-		Shards:       hdr.Shards,
-		CellLo:       hdr.CellLo,
-		CellHi:       hdr.CellHi,
-		MatrixDigest: hdr.MatrixDigest,
-		Path:         path,
-		Line:         1, // the header frame opens the file
-		Records:      make([]T, 0, len(payloads)),
+	hdr, _, err := recio.ReadHeader(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if hdr.Layout == recio.LayoutColumns {
+		hdr, cols, err := recio.DecodeColumns(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return readColumnarShard[T](path, hdr, cols)
+	}
+	hdr, payloads, err := recio.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f := shardFileOf[T](path, hdr, len(payloads))
 	for i, p := range payloads {
 		var v T
 		if err := json.Unmarshal(p, &v); err != nil {
@@ -191,6 +242,24 @@ func (RecioCodec[T]) ReadShard(path string) (*ShardFile[T], error) {
 		return nil, fmt.Errorf("%s:1: %w", path, err)
 	}
 	return f, nil
+}
+
+// shardFileOf maps a recio header back onto ShardFile metadata, with
+// capacity for n records.
+func shardFileOf[T any](path string, hdr recio.Header, n int) *ShardFile[T] {
+	return &ShardFile[T]{
+		Experiment:   hdr.Experiment,
+		Cells:        hdr.Cells,
+		Groups:       hdr.Groups,
+		Shard:        hdr.Shard,
+		Shards:       hdr.Shards,
+		CellLo:       hdr.CellLo,
+		CellHi:       hdr.CellHi,
+		MatrixDigest: hdr.MatrixDigest,
+		Path:         path,
+		Line:         1, // the header frame opens the file
+		Records:      make([]T, 0, n),
+	}
 }
 
 // recioHeader maps ShardFile metadata onto the recio file header.
@@ -208,10 +277,11 @@ func recioHeader[T any](f *ShardFile[T]) recio.Header {
 }
 
 // ReadShardAuto loads one shard file, dispatching on its extension:
-// ".rec" is recio, everything else the JSON codec.
+// ".rec" is recio (row or columnar, per its header), everything else
+// the JSON codec.
 func ReadShardAuto[T any](path string) (*ShardFile[T], error) {
 	if filepath.Ext(path) == ".rec" {
-		return RecioCodec[T]{}.ReadShard(path)
+		return readRecShard[T](path)
 	}
 	return JSONCodec[T]{}.ReadShard(path)
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,10 +12,38 @@ import (
 // benchRecord mirrors the shape of the scan tools' records (see
 // hijack.Record): one small int plus one float64 whose JSON text
 // repeats field names every record — the redundancy recio's gzip body
-// exists to remove.
+// exists to remove. It carries the columnar mapping so the recio-col
+// codec benchmarks on the same shard.
 type benchRecord struct {
 	Pollution  int     `json:"pollution"`
 	WeightFrac float64 `json:"weight_frac"`
+}
+
+func (benchRecord) ColumnFields() []recio.Field {
+	return []recio.Field{
+		{Name: "pollution", Kind: recio.KindDelta},
+		{Name: "weight_frac", Kind: recio.KindFloat},
+	}
+}
+
+func (r benchRecord) ColumnValues() []uint64 {
+	return []uint64{uint64(r.Pollution), math.Float64bits(r.WeightFrac)}
+}
+
+func (r *benchRecord) SetColumnValues(vals []uint64) {
+	r.Pollution = int(vals[0])
+	r.WeightFrac = math.Float64frombits(vals[1])
+}
+
+func (r benchRecord) AppendJSON(dst []byte) ([]byte, error) {
+	dst = append(dst, `{"pollution":`...)
+	dst = AppendJSONInt(dst, r.Pollution)
+	dst = append(dst, `,"weight_frac":`...)
+	dst, err := AppendJSONFloat(dst, r.WeightFrac)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, '}'), nil
 }
 
 const benchRecords = 20000
@@ -44,7 +73,7 @@ func benchShard() *ShardFile[benchRecord] {
 // read straight off the two sub-benchmarks.
 func BenchmarkShardEncode(b *testing.B) {
 	sf := benchShard()
-	for _, name := range []string{FormatJSON, FormatRecio} {
+	for _, name := range []string{FormatJSON, FormatRecio, FormatRecioCol} {
 		b.Run(name, func(b *testing.B) {
 			codec, err := CodecByName[benchRecord](name)
 			if err != nil {
@@ -73,7 +102,7 @@ func BenchmarkShardEncode(b *testing.B) {
 // BenchmarkShardDecode measures each codec reading the same shard back.
 func BenchmarkShardDecode(b *testing.B) {
 	sf := benchShard()
-	for _, name := range []string{FormatJSON, FormatRecio} {
+	for _, name := range []string{FormatJSON, FormatRecio, FormatRecioCol} {
 		b.Run(name, func(b *testing.B) {
 			codec, err := CodecByName[benchRecord](name)
 			if err != nil {
@@ -130,6 +159,62 @@ func BenchmarkShardResumeReplay(b *testing.B) {
 		}
 		if len(payloads) == 0 || len(payloads) >= benchRecords {
 			b.Fatalf("recovered %d records from a truncated file", len(payloads))
+		}
+	}
+}
+
+// BenchmarkShardSeekResume measures the v2 resume path over the same
+// shard: with an intact index trailer, counting and CRC-verifying the
+// clean prefix is a seek plus a checksum sweep — no segment inflates,
+// no record replays. Compare against BenchmarkShardResumeReplay, the
+// scan path's cost on the same data.
+func BenchmarkShardSeekResume(b *testing.B) {
+	sf := benchShard()
+	codec := RecioCodec[benchRecord]{}
+	path := filepath.Join(b.TempDir(), "shard."+codec.Ext())
+	if err := codec.WriteShard(path, sf); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := recio.RecoverStatsFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rec.ViaIndex || rec.Records != benchRecords {
+			b.Fatalf("seek resume fell back: viaIndex=%v records=%d", rec.ViaIndex, rec.Records)
+		}
+	}
+}
+
+// BenchmarkShardColumnRead measures the columnar layout's selling
+// point: folding one field of a recio-col shard without inflating its
+// siblings.
+func BenchmarkShardColumnRead(b *testing.B) {
+	sf := benchShard()
+	codec := ColumnarCodec[benchRecord]{}
+	path := filepath.Join(b.TempDir(), "shard."+codec.Ext())
+	if err := codec.WriteShard(path, sf); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals, err := ReadShardColumn(path, "pollution")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != benchRecords {
+			b.Fatalf("%d values", len(vals))
 		}
 	}
 }

@@ -1,0 +1,141 @@
+// The columnar shard layout ("recio-col"): the same records as a recio
+// row shard, transposed into one compressed column per field so a
+// reducer that folds a single field — a pollution histogram, a weight
+// quantile — inflates only that field's bytes. A record type opts in by
+// implementing ColumnarRecord; types carrying slices or maps (detect
+// triggers, hole maps) have no fixed-width column mapping and stay in
+// the row layout, loudly.
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/bgpsim/bgpsim/internal/recio"
+)
+
+// ColumnarRecord is the contract a record type implements to ride the
+// columnar layout. ColumnFields declares the per-field wire names and
+// encodings (stable — it becomes the file's field map); ColumnValues
+// and SetColumnValues transpose one record to and from that declared
+// order, floats travelling as IEEE-754 bits so round-trips are exact.
+// ColumnFields and ColumnValues want value receivers, SetColumnValues a
+// pointer receiver: *T implements the full interface.
+type ColumnarRecord interface {
+	ColumnFields() []recio.Field
+	ColumnValues() []uint64
+	SetColumnValues(vals []uint64)
+}
+
+// columnarOf asserts *T implements ColumnarRecord, with a diagnosis
+// naming the offending type when it does not.
+func columnarOf[T any](z *T) (ColumnarRecord, error) {
+	cr, ok := any(z).(ColumnarRecord)
+	if !ok {
+		return nil, fmt.Errorf("record type %T has no columnar mapping (slices or maps have no fixed-width column): use -format %s",
+			*z, FormatRecio)
+	}
+	return cr, nil
+}
+
+// ColumnarCodec stores shards in the per-field columnar variant of the
+// recio format. Reading is layout-blind (any .rec file decodes through
+// readRecShard); writing requires T to implement ColumnarRecord.
+type ColumnarCodec[T any] struct {
+	// Level is the gzip compression level (0 = recio.DefaultLevel).
+	Level int
+}
+
+// Name implements Codec.
+func (ColumnarCodec[T]) Name() string { return FormatRecioCol }
+
+// Ext implements Codec: columnar shards share the .rec extension — the
+// header's layout field, not the filename, says how the body decodes.
+func (ColumnarCodec[T]) Ext() string { return "rec" }
+
+// WriteShard implements Codec.
+func (c ColumnarCodec[T]) WriteShard(path string, f *ShardFile[T]) error {
+	if len(f.Records) != f.CellHi-f.CellLo {
+		return fmt.Errorf("shard %d/%d: %d records for cell range [%d,%d)",
+			f.Shard, f.Shards, len(f.Records), f.CellLo, f.CellHi)
+	}
+	var z T
+	cz, err := columnarOf(&z)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	hdr := recioHeader(f)
+	hdr.Layout = recio.LayoutColumns
+	hdr.Fields = recio.FieldsSpec(cz.ColumnFields())
+	w, fh, err := recio.Create(path, hdr, recio.Options{Level: c.Level})
+	if err != nil {
+		return err
+	}
+	for i := range f.Records {
+		cr, _ := columnarOf(&f.Records[i])
+		if err := w.AppendRow(cr.ColumnValues()); err != nil {
+			fh.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if w.Pending() >= wholeShardSegment {
+			if err := w.Flush(); err != nil {
+				fh.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		fh.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return fh.Close()
+}
+
+// ReadShard implements Codec.
+func (ColumnarCodec[T]) ReadShard(path string) (*ShardFile[T], error) {
+	return readRecShard[T](path)
+}
+
+// readColumnarShard turns decoded columns back into a validated
+// ShardFile of T records.
+func readColumnarShard[T any](path string, hdr recio.Header, cols [][]uint64) (*ShardFile[T], error) {
+	var z T
+	if _, err := columnarOf(&z); err != nil {
+		return nil, fmt.Errorf("%s:1: %w", path, err)
+	}
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
+	f := shardFileOf[T](path, hdr, n)
+	row := make([]uint64, len(cols))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		var v T
+		cr, _ := columnarOf(&v)
+		cr.SetColumnValues(row)
+		f.Records = append(f.Records, v)
+	}
+	if err := f.validate(); err != nil {
+		return nil, fmt.Errorf("%s:1: %w", path, err)
+	}
+	return f, nil
+}
+
+// ReadShardColumn reads one named column of a columnar shard file
+// without inflating its sibling columns — the fast path for reducers
+// that fold a single field. The returned values are in cell order;
+// fields declared KindFloat arrive as float64 bits.
+func ReadShardColumn(path, field string) ([]uint64, error) {
+	return recio.ReadColumnFile(path, field)
+}
+
+// ReadShardCells reads the records covering absolute cells [lo, hi) of
+// a row-layout recio shard file, seeking via the index trailer when the
+// file carries one. It returns the raw record payloads plus the cell
+// index of the first.
+func ReadShardCells(path string, lo, hi int) ([][]byte, int, error) {
+	_, payloads, first, err := recio.ReadCellsFile(path, lo, hi)
+	return payloads, first, err
+}

@@ -9,7 +9,6 @@
 package sweep
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -40,6 +39,10 @@ type ShardStore struct {
 	// CheckpointEvery is the recio checkpoint cadence in records;
 	// 0 means defaultCheckpointEvery.
 	CheckpointEvery int
+	// Level is the gzip compression level for recio formats,
+	// gzip.BestSpeed (1) through gzip.BestCompression (9); 0 means
+	// recio.DefaultLevel. The json format ignores it.
+	Level int
 	// Tool, Seed and Workers are provenance recorded in the recio
 	// header — informational only, never validated on resume.
 	Tool    string
@@ -56,6 +59,10 @@ type ShardReport struct {
 	// prefix; Solved counts cells computed (and persisted) this run.
 	Resumed int
 	Solved  int
+	// SeekResume reports that the resumed prefix was counted and
+	// CRC-verified through the file's index trailer (a seek) rather than
+	// by inflating and replaying it (the v1 scan).
+	SeekResume bool
 }
 
 // PersistShard solves one shard of the matrix and persists it to the
@@ -64,7 +71,7 @@ type ShardReport struct {
 // unsharded 0-of-1 run), exactly as RunShard requires.
 func PersistShard[T any](m Matrix, opts MatrixOptions, experiment string, extract func(g, k int, o *core.Outcome) T, store ShardStore) (ShardReport, error) {
 	var rep ShardReport
-	codec, err := CodecByName[T](store.Format)
+	codec, err := CodecFor[T](store.Format, store.Level)
 	if err != nil {
 		return rep, err
 	}
@@ -73,6 +80,9 @@ func PersistShard[T any](m Matrix, opts MatrixOptions, experiment string, extrac
 	}
 	if store.Resume && codec.Name() != FormatRecio {
 		return rep, fmt.Errorf("sweep: -resume needs the recio format: %s shards are written whole at the end and leave nothing to resume", codec.Name())
+	}
+	if store.Level != 0 && codec.Name() == FormatJSON {
+		return rep, fmt.Errorf("sweep: -level only applies to the recio formats; json shards are not compressed")
 	}
 	if err := os.MkdirAll(store.Dir, 0o755); err != nil {
 		return rep, err
@@ -130,7 +140,11 @@ func persistRecio[T any](m Matrix, opts MatrixOptions, experiment string, extrac
 		done int
 	)
 	if store.Resume {
-		got, payloads, clean, err := recio.RecoverFile(rep.Path)
+		// RecoverStats seeks: with an intact index trailer the clean
+		// prefix is counted and CRC-verified without inflating a segment;
+		// v1 files (and files whose trailer a crash damaged) fall back to
+		// the scan the old replay path performed.
+		rec, err := recio.RecoverStatsFile(rep.Path)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
 			// Nothing to resume: first run of this shard.
@@ -138,40 +152,45 @@ func persistRecio[T any](m Matrix, opts MatrixOptions, experiment string, extrac
 			// Unreadable magic or header: the previous run died before
 			// its first sync, so there is provably nothing to keep.
 			// Starting fresh is exactly what the crashed run would redo.
-		case !got.SameWorkload(hdr):
-			return rep, fmt.Errorf("%s:1: cannot resume: %s", rep.Path, got.DescribeMismatch(hdr))
-		case len(payloads) > hi-lo:
+		case !rec.Header.SameWorkload(hdr):
+			return rep, fmt.Errorf("%s:1: cannot resume: %s", rep.Path, rec.Header.DescribeMismatch(hdr))
+		case rec.Records > hi-lo:
 			return rep, fmt.Errorf("%s:1: cannot resume: %d recovered records exceed the %d-cell range [%d,%d)",
-				rep.Path, len(payloads), hi-lo, lo, hi)
+				rep.Path, rec.Records, hi-lo, lo, hi)
+		case rec.Records == hi-lo:
+			// The previous run had already persisted every cell; leave the
+			// file — body, trailer and all — untouched.
+			rep.Resumed, rep.SeekResume = rec.Records, rec.ViaIndex
+			return rep, nil
 		default:
-			done = len(payloads)
+			done = rec.Records
+			rep.SeekResume = rec.ViaIndex
 			fh, err = os.OpenFile(rep.Path, os.O_RDWR, 0)
 			if err != nil {
 				return rep, err
 			}
-			if err := fh.Truncate(clean); err != nil {
+			if err := fh.Truncate(rec.CleanSize); err != nil {
 				fh.Close()
 				return rep, fmt.Errorf("%s: truncate to clean prefix: %w", rep.Path, err)
 			}
-			if _, err := fh.Seek(clean, io.SeekStart); err != nil {
+			if _, err := fh.Seek(rec.CleanSize, io.SeekStart); err != nil {
 				fh.Close()
 				return rep, fmt.Errorf("%s: %w", rep.Path, err)
 			}
-			w = recio.ResumeWriter(fh)
+			if w, err = recio.ResumeWriter(fh, recio.Options{Level: store.Level}, rec); err != nil {
+				fh.Close()
+				return rep, fmt.Errorf("%s: %w", rep.Path, err)
+			}
 		}
 	}
 	if w == nil {
 		var err error
-		w, fh, err = recio.Create(rep.Path, hdr)
+		w, fh, err = recio.Create(rep.Path, hdr, recio.Options{Level: store.Level})
 		if err != nil {
 			return rep, err
 		}
 	}
 	rep.Resumed = done
-	if done == hi-lo {
-		// The crashed run had already checkpointed every cell.
-		return rep, fh.Close()
-	}
 
 	every := store.CheckpointEvery
 	if every <= 0 {
@@ -199,11 +218,13 @@ func persistRecio[T any](m Matrix, opts MatrixOptions, experiment string, extrac
 	// reorder window and append straight into the open segment, which is
 	// checkpointed (written + fsynced) every `every` records.
 	var ioErr error
+	var p []byte
 	red := ReduceFunc[T]{EmitFn: func(_ int, v T) {
 		if ioErr != nil {
 			return
 		}
-		p, err := json.Marshal(v)
+		var err error
+		p, err = appendRecordJSON(p[:0], v)
 		if err != nil {
 			ioErr = fmt.Errorf("%s: encode record: %w", rep.Path, err)
 			return

@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/bgpsim/bgpsim/internal/recio"
+)
+
+// The checked-in v1 fixture (testdata/v1fix.0of3.rec) was written by
+// the format-version-1 writer before the v2 refactor: row layout, no
+// level field, no index trailer. Its workload: experiment "v1fix",
+// 60 cells, 1 group, shard 0 of 3 covering cells [0,20), digest
+// v1fixDigest, and record i holding {(i*7)%13, float64(i%5)/8}.
+const (
+	v1fixDigest = "1f1f1f1f000000000000000000000000000000000000000000000000f1f1f1f1"
+	v1fixCells  = 60
+	v1fixPer    = 20
+)
+
+// fixRecord mirrors hijack.Record's wire shape without importing it
+// (hijack imports sweep). It also carries the columnar mapping so the
+// fixture's sibling shards can ride every format.
+type fixRecord struct {
+	Pollution  int     `json:"pollution"`
+	WeightFrac float64 `json:"weight_frac"`
+}
+
+func (fixRecord) ColumnFields() []recio.Field {
+	return []recio.Field{
+		{Name: "pollution", Kind: recio.KindDelta},
+		{Name: "weight_frac", Kind: recio.KindFloat},
+	}
+}
+
+func (r fixRecord) ColumnValues() []uint64 {
+	return []uint64{uint64(r.Pollution), math.Float64bits(r.WeightFrac)}
+}
+
+func (r *fixRecord) SetColumnValues(vals []uint64) {
+	r.Pollution = int(vals[0])
+	r.WeightFrac = math.Float64frombits(vals[1])
+}
+
+func (r fixRecord) AppendJSON(dst []byte) ([]byte, error) {
+	dst = append(dst, `{"pollution":`...)
+	dst = AppendJSONInt(dst, r.Pollution)
+	dst = append(dst, `,"weight_frac":`...)
+	dst, err := AppendJSONFloat(dst, r.WeightFrac)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, '}'), nil
+}
+
+// v1fixRecord reproduces the rule the fixture generator used, for any
+// absolute cell index.
+func v1fixRecord(i int) fixRecord {
+	return fixRecord{Pollution: (i * 7) % 13, WeightFrac: float64(i%5) / 8}
+}
+
+// v1fixShard builds the in-memory ShardFile for one of the fixture
+// workload's three shards.
+func v1fixShard(shard int) *ShardFile[fixRecord] {
+	lo, hi := ShardRange(v1fixCells, shard, 3)
+	f := &ShardFile[fixRecord]{
+		Experiment: "v1fix", Cells: v1fixCells, Groups: 1,
+		Shard: shard, Shards: 3, CellLo: lo, CellHi: hi,
+		MatrixDigest: v1fixDigest,
+	}
+	for i := lo; i < hi; i++ {
+		f.Records = append(f.Records, v1fixRecord(i))
+	}
+	return f
+}
+
+// TestV1FixtureReads: the version-2 reader must keep decoding the
+// checked-in version-1 file — through the scan path, since v1 files
+// carry no trailer — with full metadata and every record intact.
+func TestV1FixtureReads(t *testing.T) {
+	path := filepath.Join("testdata", "v1fix.0of3.rec")
+	f, err := ReadShardAuto[fixRecord](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Experiment != "v1fix" || f.Cells != v1fixCells || f.Groups != 1 ||
+		f.Shard != 0 || f.Shards != 3 || f.CellLo != 0 || f.CellHi != v1fixPer ||
+		f.MatrixDigest != v1fixDigest {
+		t.Fatalf("v1 metadata did not survive: %+v", f)
+	}
+	if len(f.Records) != v1fixPer {
+		t.Fatalf("%d records, want %d", len(f.Records), v1fixPer)
+	}
+	for i, r := range f.Records {
+		if r != v1fixRecord(i) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, v1fixRecord(i))
+		}
+	}
+	// The seek-recovery API must classify it as scan-recovered (no
+	// trailer to seek) while still counting every record.
+	rec, err := recio.RecoverStatsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ViaIndex || rec.Records != v1fixPer || rec.Header.Format != 1 {
+		t.Fatalf("v1 recovery: viaIndex=%v records=%d format=%d, want scan/%d/1",
+			rec.ViaIndex, rec.Records, rec.Header.Format, v1fixPer)
+	}
+}
+
+// TestMixedVersionMerge: one experiment's shards arriving as a v1 recio
+// file, a json file, and a v2 columnar file must pass digest validation
+// and merge into a record stream byte-identical to the expected one.
+func TestMixedVersionMerge(t *testing.T) {
+	dir := t.TempDir()
+	fixture := filepath.Join("testdata", "v1fix.0of3.rec")
+
+	// Shard 0: the checked-in v1 file, read in place alongside the dir's
+	// shards (ReadShardFiles takes explicit paths).
+	paths := []string{fixture}
+
+	// Shard 1: json. Shard 2: columnar v2.
+	s1 := v1fixShard(1)
+	p1 := ShardPath(dir, "v1fix", 1, 3, "json")
+	if err := (JSONCodec[fixRecord]{}).WriteShard(p1, s1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := v1fixShard(2)
+	p2 := ShardPath(dir, "v1fix", 2, 3, "rec")
+	if err := (ColumnarCodec[fixRecord]{}).WriteShard(p2, s2); err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, p1, p2)
+
+	files, err := ReadShardFiles[fixRecord](paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Digest validation: the merge must refuse a rebuilt workload whose
+	// digest disagrees with all three shards.
+	sink := ReduceFunc[fixRecord]{EmitFn: func(int, fixRecord) {}}
+	if err := MergeShards(files, "v1fix", "not-the-digest", sink); err == nil {
+		t.Fatal("merge accepted a foreign workload digest across mixed-version shards")
+	}
+
+	// The merged stream must be byte-identical to the expected records,
+	// whichever version or layout carried each shard.
+	var got []byte
+	err = MergeShards(files, "v1fix", v1fixDigest, ReduceFunc[fixRecord]{
+		EmitFn: func(_ int, r fixRecord) {
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b...)
+			got = append(got, '\n')
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < v1fixCells; i++ {
+		b, err := json.Marshal(v1fixRecord(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b...)
+		want = append(want, '\n')
+	}
+	if string(got) != string(want) {
+		t.Fatalf("merged stream diverges from expected records:\ngot %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}
+
+// TestColumnarCodecRejectsUncolumnarType: record types carrying
+// variable-width fields have no column mapping; selecting recio-col for
+// them must fail at codec selection with a clear diagnosis.
+func TestColumnarCodecRejectsUncolumnarType(t *testing.T) {
+	type triggers struct {
+		Hits []int `json:"hits"`
+	}
+	if _, err := CodecFor[triggers](FormatRecioCol, 0); err == nil {
+		t.Fatal("recio-col accepted a record type with no columnar mapping")
+	}
+	if _, err := CodecFor[fixRecord](FormatRecioCol, 0); err != nil {
+		t.Fatalf("recio-col rejected a columnar record type: %v", err)
+	}
+}

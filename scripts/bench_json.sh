@@ -12,7 +12,13 @@
 # workers), the shard count (0 likewise), ns/op, B/op, allocs/op, and
 # the peak RSS in KB (0 when the benchmark does not sample it).
 # recio-outfile is one JSON object: per-codec encode/decode MB/s and
-# bytes-on-disk, the json:recio size ratio, and resume-replay ns.
+# bytes-on-disk (json, recio, recio-col), the json:recio size ratio,
+# resume cost through both paths (checkpoint replay vs index seek), the
+# single-column read cost, and the machine's CPU count — the writer's
+# segment-compression pool scales with cores, so throughput numbers are
+# only comparable at the same gomaxprocs. The top-level
+# encode_recio_mb_per_s key is the value scripts/check_bench_trend.sh
+# gates on.
 set -eu
 
 OUT="${1:-BENCH_sweep.json}"
@@ -58,17 +64,20 @@ END { print "\n]" }
 
 echo "wrote $OUT"
 
-# Shard-codec section: the same 20k-record shard through both codecs.
-# With SetBytes (disk size) the harness prints MB/s directly; disk-B is
-# the codec's own bytes-on-disk metric.
+# Shard-codec section: the same 20k-record shard through all three
+# codecs. With SetBytes (disk size) the harness prints MB/s directly;
+# disk-B is the codec's own bytes-on-disk metric. Sub-benchmark names
+# are matched with their trailing -GOMAXPROCS suffix optional (the
+# harness omits it on single-CPU machines), and the recio matcher is
+# anchored so it cannot swallow recio-col's lines.
 go test -run '^$' \
-  -bench 'BenchmarkShardEncode|BenchmarkShardDecode|BenchmarkShardResumeReplay' \
-  -benchtime 10x ./internal/sweep | tee "$RAW"
+  -bench 'BenchmarkShardEncode|BenchmarkShardDecode|BenchmarkShardResumeReplay|BenchmarkShardSeekResume|BenchmarkShardColumnRead' \
+  -benchtime 30x ./internal/sweep | tee "$RAW"
 
 # Benchmark lines look like:
 #   BenchmarkShardEncode/json-8   10  1234 ns/op  125.50 MB/s  1547082 disk-B
 #   BenchmarkShardResumeReplay-8  10  5678 ns/op  40.20 MB/s
-awk '
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
 BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
 /^Benchmark/ {
     name = $1
@@ -84,17 +93,23 @@ BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
     first = 0
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"disk_bytes\": %s}", \
         name, ns, mbs, disk
-    if (name ~ /^BenchmarkShardEncode\/json/)  json_disk = disk
-    if (name ~ /^BenchmarkShardEncode\/recio/) recio_disk = disk
-    if (name ~ /^BenchmarkShardResumeReplay/)  replay_ns = ns
+    if (name ~ /^BenchmarkShardEncode\/json(-[0-9]+)?$/)      json_disk = disk
+    if (name ~ /^BenchmarkShardEncode\/recio(-[0-9]+)?$/)     { recio_disk = disk; recio_mbs = mbs }
+    if (name ~ /^BenchmarkShardEncode\/recio-col(-[0-9]+)?$/) col_disk = disk
+    if (name ~ /^BenchmarkShardResumeReplay/)                 replay_ns = ns
+    if (name ~ /^BenchmarkShardSeekResume/)                   seek_ns = ns
 }
 END {
     print "\n  ],"
     ratio = (recio_disk + 0 > 0) ? (json_disk + 0) / (recio_disk + 0) : 0
+    printf "  \"gomaxprocs\": %d,\n", ncpu
     printf "  \"disk_bytes_json\": %s,\n", (json_disk == "" ? "0" : json_disk)
     printf "  \"disk_bytes_recio\": %s,\n", (recio_disk == "" ? "0" : recio_disk)
+    printf "  \"disk_bytes_recio_col\": %s,\n", (col_disk == "" ? "0" : col_disk)
     printf "  \"compression_ratio\": %.2f,\n", ratio
-    printf "  \"resume_replay_ns\": %s\n", (replay_ns == "" ? "0" : replay_ns)
+    printf "  \"encode_recio_mb_per_s\": %s,\n", (recio_mbs == "" ? "0" : recio_mbs)
+    printf "  \"resume_replay_ns\": %s,\n", (replay_ns == "" ? "0" : replay_ns)
+    printf "  \"resume_seek_ns\": %s\n", (seek_ns == "" ? "0" : seek_ns)
     print "}"
 }
 ' "$RAW" > "$RECOUT"

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Shard-encode throughput regression gate. Re-runs the recio encode
+# benchmark and fails if its disk-bytes throughput (MB/s) fell more
+# than the allowed fraction below the committed baseline in
+# BENCH_recio.json — the file scripts/bench_json.sh regenerates.
+#
+# Throughput is machine-relative: the baseline is only meaningful on a
+# machine shaped like the one that produced it, so the gate compares
+# against the baseline's recorded gomaxprocs and skips (exit 0, with a
+# note) when the core counts disagree rather than fail a faster or
+# slower box for being different hardware.
+#
+# Usage: scripts/check_bench_trend.sh [baseline.json] [max-regression-%]
+set -eu
+
+BASE="${1:-BENCH_recio.json}"
+MAXPCT="${2:-20}"
+
+if [ ! -f "$BASE" ]; then
+    echo "check_bench_trend: no baseline at $BASE (run scripts/bench_json.sh to create one)" >&2
+    exit 1
+fi
+
+base_mbs="$(sed -n 's/.*"encode_recio_mb_per_s": *\([0-9.]*\).*/\1/p' "$BASE")"
+if [ -z "$base_mbs" ]; then
+    # Older baselines predate the top-level key; fall back to the
+    # benchmarks array entry.
+    base_mbs="$(sed -n 's/.*"BenchmarkShardEncode\/recio[^c"]*".*"mb_per_s": *\([0-9.]*\).*/\1/p' "$BASE" | head -1)"
+fi
+if [ -z "$base_mbs" ]; then
+    echo "check_bench_trend: $BASE carries no recio encode throughput" >&2
+    exit 1
+fi
+
+base_cpus="$(sed -n 's/.*"gomaxprocs": *\([0-9]*\).*/\1/p' "$BASE")"
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [ -n "$base_cpus" ] && [ "$base_cpus" != "$cpus" ]; then
+    echo "check_bench_trend: baseline was measured on $base_cpus CPUs, this machine has $cpus; skipping"
+    exit 0
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench 'BenchmarkShardEncode/recio$' -benchtime 30x ./internal/sweep | tee "$RAW"
+
+new_mbs="$(awk '$1 ~ /^BenchmarkShardEncode\/recio(-[0-9]+)?$/ {
+    for (i = 2; i <= NF; i++) if ($i == "MB/s") print $(i - 1)
+}' "$RAW" | head -1)"
+if [ -z "$new_mbs" ]; then
+    echo "check_bench_trend: benchmark produced no recio encode MB/s" >&2
+    exit 1
+fi
+
+awk -v base="$base_mbs" -v new="$new_mbs" -v maxpct="$MAXPCT" 'BEGIN {
+    floor = base * (1 - maxpct / 100)
+    if (new + 0 < floor) {
+        printf "check_bench_trend: FAIL — recio encode %.2f MB/s is more than %s%% below the committed %.2f MB/s (floor %.2f)\n", new, maxpct, base, floor
+        exit 1
+    }
+    printf "check_bench_trend: ok — recio encode %.2f MB/s vs committed %.2f MB/s (floor %.2f)\n", new, base, floor
+}'
