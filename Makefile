@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos replay-check vulncheck fuzz bench bench-json bench-trend reproduce reproduce-paper-scale clean
+.PHONY: all build test vet lint race chaos replay-check serve-check vulncheck fuzz bench bench-json bench-trend reproduce reproduce-paper-scale clean
 
 all: build test
 
@@ -49,6 +49,12 @@ chaos:
 replay-check:
 	scripts/check_incident_replay.sh
 
+# hijackd lifecycle smoke test: start the query daemon on a fixture
+# world, exercise every endpoint, reload (epoch bump), SIGTERM with a
+# query in flight (must be answered before the drain line prints).
+serve-check:
+	scripts/check_hijackd_smoke.sh
+
 # Known-vulnerability scan; skips gracefully where govulncheck (or the
 # network it needs) is unavailable, e.g. offline build containers.
 vulncheck:
@@ -77,11 +83,12 @@ bench:
 bench-json:
 	scripts/bench_json.sh BENCH_sweep.json
 
-# Shard-encode throughput gate: fail if recio encode regressed more than
-# 20% against the committed BENCH_recio.json baseline (skips on machines
-# with a different core count — throughput baselines don't transfer).
+# Throughput gates: fail if recio encode or firehose replay regressed
+# more than 20% against the committed BENCH_recio.json /
+# BENCH_firehose.json baselines (each gate skips on machines with a
+# different core count — throughput baselines don't transfer).
 bench-trend:
-	scripts/check_bench_trend.sh BENCH_recio.json 20
+	scripts/check_bench_trend.sh BENCH_recio.json 20 BENCH_firehose.json
 
 # Every figure and table at the default working scale.
 reproduce:

@@ -556,10 +556,11 @@ func (s *Solver) resetBuckets() {
 // whether the node "heard" the hijack even if it did not select it. This is
 // the alternative detection semantics studied as an ablation (the paper's
 // detectors trigger on routes their probe AS selects and re-exports).
-func ReceivedAttackerRoute(pol *Policy, o *Outcome) []bool {
-	received := make([]bool, o.n)
+func ReceivedAttackerRoute(pol *Policy, o OutcomeView) []bool {
+	n := o.N()
+	received := make([]bool, n)
 	g := pol.Graph()
-	for v := 0; v < o.n; v++ {
+	for v := 0; v < n; v++ {
 		if o.Origin(v) != OriginAttacker {
 			continue
 		}

@@ -245,29 +245,37 @@ func MatrixFor(pol *core.Policy, attacks []core.Attack, def core.Defense) sweep.
 // pass). It runs concurrently on the workers.
 func Extractor(pol *core.Policy, sets []ProbeSet, sem Semantics) func(g, k int, o *core.Outcome) Record {
 	return func(_, _ int, o *core.Outcome) Record {
-		var received []bool
-		if sem == AnyReceived {
-			received = core.ReceivedAttackerRoute(pol, o)
-		}
-		rec := Record{Pollution: o.PollutedCount(), Triggers: make([]int, len(sets))}
-		for j := range sets {
-			triggered := 0
-			for _, p := range sets[j].Probes {
-				switch sem {
-				case SelectedRoute:
-					if o.Polluted(p) {
-						triggered++
-					}
-				case AnyReceived:
-					if o.Polluted(p) || received[p] {
-						triggered++
-					}
+		return MeasureRecord(pol, sets, sem, o)
+	}
+}
+
+// MeasureRecord measures one converged attack against every probe set —
+// the query-shaped form of Extractor: it accepts any outcome view, so a
+// delta-repaired solve from the query service produces the exact Record
+// a batch solve of the same cell would.
+func MeasureRecord(pol *core.Policy, sets []ProbeSet, sem Semantics, o core.OutcomeView) Record {
+	var received []bool
+	if sem == AnyReceived {
+		received = core.ReceivedAttackerRoute(pol, o)
+	}
+	rec := Record{Pollution: o.PollutedCount(), Triggers: make([]int, len(sets))}
+	for j := range sets {
+		triggered := 0
+		for _, p := range sets[j].Probes {
+			switch sem {
+			case SelectedRoute:
+				if o.Polluted(p) {
+					triggered++
+				}
+			case AnyReceived:
+				if o.Polluted(p) || received[p] {
+					triggered++
 				}
 			}
-			rec.Triggers[j] = triggered
 		}
-		return rec
+		rec.Triggers[j] = triggered
 	}
+	return rec
 }
 
 // Results returns per-set result skeletons plus the streaming reducer

@@ -6,6 +6,7 @@
 package hijack
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -106,17 +107,48 @@ func (r Record) AppendJSON(dst []byte) ([]byte, error) {
 	return append(dst, '}'), nil
 }
 
-// Record's column mapping and fast-marshal path must keep satisfying
-// the codec seams they ride.
+// ParseJSON implements sweep.JSONParser, the decode twin of AppendJSON:
+// strict shard reads unmarshal every record once, and this parse path
+// decodes AppendJSON's exact byte shape without reflection (pinned
+// bit-identical to json.Unmarshal by TestRecordParseJSON). Any other
+// payload shape — whitespace, reordered fields, foreign writers — falls
+// back to encoding/json, errors and all.
+func (r *Record) ParseJSON(p []byte) error {
+	const pre = `{"pollution":`
+	const mid = `,"weight_frac":`
+	if len(p) > len(pre)+len(mid)+2 && string(p[:len(pre)]) == pre {
+		i := len(pre)
+		pol, n, ok := sweep.ParseJSONInt(p[i:])
+		if ok {
+			i += n
+			if len(p)-i > len(mid) && string(p[i:i+len(mid)]) == mid {
+				i += len(mid)
+				wf, n, ok := sweep.ParseJSONFloat(p[i:])
+				if ok && i+n+1 == len(p) && p[len(p)-1] == '}' {
+					r.Pollution = pol
+					r.WeightFrac = wf
+					return nil
+				}
+			}
+		}
+	}
+	return json.Unmarshal(p, r)
+}
+
+// Record's column mapping and fast marshal/unmarshal paths must keep
+// satisfying the codec seams they ride.
 var (
 	_ sweep.ColumnarRecord = (*Record)(nil)
 	_ sweep.JSONAppender   = Record{}
+	_ sweep.JSONParser     = (*Record)(nil)
 )
 
 // Measure compresses a transient outcome into a Record. totalWeight is
 // g.TotalAddrWeight(), hoisted by the caller so per-attack extraction
-// stays allocation-free.
-func Measure(g *topology.Graph, totalWeight int64, o *core.Outcome) Record {
+// stays allocation-free. It accepts any converged view — a batch solve
+// and a delta repair of the same attack measure identically (the weight
+// accumulator is an integer, so the sum is order-free).
+func Measure(g *topology.Graph, totalWeight int64, o core.OutcomeView) Record {
 	count := 0
 	var weight int64
 	for v := 0; v < o.N(); v++ {

@@ -84,6 +84,7 @@ var DeterministicRoots = []string{
 var Exempt = map[string]string{
 	"github.com/bgpsim/bgpsim/internal/cli":      "process boundary: flag parsing and output-file naming for the cmd/ tools; computes no figure data itself",
 	"github.com/bgpsim/bgpsim/internal/lint/...": "host-side static-analysis tooling; never linked into a reproduction binary",
+	"github.com/bgpsim/bgpsim/internal/queryd":   "wall-clock serving boundary: HTTP daemon whose uptime and latency histograms read an injected tick.Clock; computes no figure data itself — every answer delegates to the deterministic core/hijack/deploy/detect kernels, and the equivalence suite pins its responses digest-identical to the batch tools",
 }
 
 // Exempted reports whether path is covered by an Exempt entry, and the

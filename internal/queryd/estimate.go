@@ -1,0 +1,81 @@
+package queryd
+
+import (
+	"math"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+)
+
+// estimator is the fast answer tier: per-node topological features
+// precomputed once at load, combined per query in O(1). The model
+// scores the attacker against the target on two features — depth
+// (hierarchy distance from the tier-1 core, the classification the
+// solver's route preferences are built over) and log degree — and maps
+// the score difference through a sigmoid to a polluted share. On the
+// generated topologies this ranks attacks at Spearman ρ ≈ 0.69 against
+// exact solves; the customer-cone share model (Sermpezis et al.,
+// PAPERS.md) was evaluated too but collapses to a constant on the
+// stub-vs-stub pairs that dominate random workloads (ρ ≈ 0.17). The
+// calibration experiment lives in TestEstimatorTracksExact and is
+// summarized in EXPERIMENTS.md.
+type estimator struct {
+	n int
+	// score[i] = depth[i] - degCoef*log1p(degree[i]): lower is a better
+	// position in the hijack race. The per-query score difference is
+	// target minus attacker, so shallower, better-connected attackers
+	// predict larger catchments.
+	score []float64
+}
+
+// Estimate is the cheap tier's answer: predicted polluted-AS count and
+// polluted address-space fraction for an attack.
+type Estimate struct {
+	Pollution  int     `json:"pollution"`
+	WeightFrac float64 `json:"weight_frac"`
+}
+
+// Model coefficients, calibrated by MAE/Spearman sweep against exact
+// solves on generated topologies (see EXPERIMENTS.md).
+const (
+	estDegCoef  = 0.5 // weight of log-degree relative to one depth level
+	estSigScale = 1.5 // sigmoid slope per score unit (MAE minimum)
+	estLeakDamp = 8   // route leaks spread ~an order of magnitude less
+)
+
+// newEstimator precomputes the per-node score from the world's
+// classification depth and adjacency degree.
+func newEstimator(w *experiments.World) *estimator {
+	g := w.Graph
+	n := g.N()
+	e := &estimator{n: n, score: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		nbrs, _ := g.Neighbors(i)
+		e.score[i] = float64(w.Class.Depth[i]) - estDegCoef*math.Log1p(float64(len(nbrs)))
+	}
+	return e
+}
+
+// estimate predicts an attack's pollution in O(1). Forged origins
+// propagate one hop longer than the real path but race the same way, so
+// the share model carries over; route leaks mostly spread along the
+// leaker's provider chain and pollute far less, which estLeakDamp folds
+// in.
+func (e *estimator) estimate(at core.Attack) Estimate {
+	diff := e.score[at.Target] - e.score[at.Attacker]
+	share := 1 / (1 + math.Exp(-estSigScale*diff))
+	if at.SubPrefix {
+		// Longest-prefix match wins everywhere the announcement reaches:
+		// near-total pollution regardless of position.
+		share = 1
+	}
+	if at.Kind == core.KindRouteLeak {
+		share /= estLeakDamp
+	}
+	// The target and attacker themselves are never counted as polluted.
+	pred := int(share * float64(e.n-2))
+	if pred < 0 {
+		pred = 0
+	}
+	return Estimate{Pollution: pred, WeightFrac: share}
+}

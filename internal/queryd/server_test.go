@@ -1,0 +1,375 @@
+package queryd
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+	"github.com/bgpsim/bgpsim/internal/experiments"
+	"github.com/bgpsim/bgpsim/internal/hijack"
+	"github.com/bgpsim/bgpsim/internal/stats"
+	"github.com/bgpsim/bgpsim/internal/tick"
+)
+
+// serverWorld is the white-box tests' shared fixture world.
+var (
+	serverWorldOnce sync.Once
+	serverWorldVal  *experiments.World
+	serverWorldErr  error
+)
+
+func serverWorld(t testing.TB) *experiments.World {
+	t.Helper()
+	serverWorldOnce.Do(func() {
+		serverWorldVal, serverWorldErr = experiments.NewWorld(250, 3)
+	})
+	if serverWorldErr != nil {
+		t.Fatal(serverWorldErr)
+	}
+	return serverWorldVal
+}
+
+func mustServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.World == nil {
+		cfg.World = serverWorld(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func do(t testing.TB, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeInto(t testing.TB, rec *httptest.ResponseRecorder, out any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, rec.Body.String())
+	}
+}
+
+func TestHealthzAndUptime(t *testing.T) {
+	clk := tick.NewFake()
+	s := mustServer(t, Config{Workers: 1, Clock: clk})
+	var h struct {
+		Status   string `json:"status"`
+		Epoch    int64  `json:"epoch"`
+		UptimeNs int64  `json:"uptime_ns"`
+	}
+	rec := do(t, s, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	decodeInto(t, rec, &h)
+	if h.Status != "ok" || h.Epoch != 1 || h.UptimeNs != 0 {
+		t.Fatalf("healthz = %+v, want ok/epoch 1/uptime 0", h)
+	}
+	clk.Advance(3 * time.Second)
+	decodeInto(t, do(t, s, "GET", "/healthz", ""), &h)
+	if h.UptimeNs != (3 * time.Second).Nanoseconds() {
+		t.Fatalf("uptime after advance = %d", h.UptimeNs)
+	}
+}
+
+func TestReloadBumpsEpochAndDropsCache(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1})
+	// Warm the snapshot cache with an exact query.
+	rec := do(t, s, "POST", "/v1/attack", `{"target": 5, "attacker": 9, "exact": true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("attack status %d: %s", rec.Code, rec.Body.String())
+	}
+	var m metricsSnapshot
+	decodeInto(t, do(t, s, "GET", "/metrics", ""), &m)
+	if m.Snapshots.Cached != 1 || m.Snapshots.Builds != 1 {
+		t.Fatalf("after warm query: cached=%d builds=%d, want 1/1", m.Snapshots.Cached, m.Snapshots.Builds)
+	}
+
+	var r struct {
+		Epoch int64 `json:"epoch"`
+	}
+	decodeInto(t, do(t, s, "POST", "/reload", ""), &r)
+	if r.Epoch != 2 {
+		t.Fatalf("reload epoch = %d, want 2", r.Epoch)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("server epoch = %d, want 2", got)
+	}
+	decodeInto(t, do(t, s, "GET", "/metrics", ""), &m)
+	if m.Epoch != 2 || m.Reloads != 1 || m.Snapshots.Cached != 0 {
+		t.Fatalf("after reload: epoch=%d reloads=%d cached=%d, want 2/1/0", m.Epoch, m.Reloads, m.Snapshots.Cached)
+	}
+}
+
+// TestReloadDrainsInflight pins the drain contract: Reload returns only
+// after every query registered on the old epoch has finished, and such
+// a query keeps its (old-epoch) state usable throughout.
+func TestReloadDrainsInflight(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1})
+	st := s.acquireState() // a query in flight on epoch 1
+
+	done := make(chan int64, 1)
+	go func() { done <- s.Reload() }()
+
+	// Wait for the swap: new queries land on epoch 2 while the reload
+	// blocks in its drain wait.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Epoch() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch swap never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Reload returned while an old-epoch query was still in flight")
+	default:
+	}
+	if st.epoch != 1 {
+		t.Fatalf("in-flight query's state epoch = %d, want 1", st.epoch)
+	}
+
+	st.inflight.Done() // the old-epoch query finishes
+	select {
+	case epoch := <-done:
+		if epoch != 2 {
+			t.Fatalf("Reload returned epoch %d, want 2", epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Reload did not return after the last old-epoch query finished")
+	}
+	s.Drain() // no queries in flight: must not block
+}
+
+// TestShedUnderOverload pins the load-shedding contract: with every
+// admission slot held, solver-tier requests get a counted 429 with
+// Retry-After, while the estimator tier keeps answering 200.
+func TestShedUnderOverload(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1, Backlog: -1}) // slots capacity exactly 1
+	s.slots <- struct{}{}                               // occupy the only admission slot
+
+	rec := do(t, s, "POST", "/v1/attack", `{"target": 5, "attacker": 9, "exact": true}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("exact attack under overload: status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	rec = do(t, s, "POST", "/v1/vulnerability", `{"target": 5}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("vulnerability under overload: status %d, want 429", rec.Code)
+	}
+
+	// The estimator tier bypasses the worker pool: still 200.
+	rec = do(t, s, "POST", "/v1/attack", `{"target": 5, "attacker": 9}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate under overload: status %d, want 200", rec.Code)
+	}
+	var est AttackResponse
+	decodeInto(t, rec, &est)
+	if est.Path != "estimate" || est.Pollution != nil {
+		t.Fatalf("estimate answer path=%q pollution=%v", est.Path, est.Pollution)
+	}
+
+	var m metricsSnapshot
+	decodeInto(t, do(t, s, "GET", "/metrics", ""), &m)
+	if m.Endpoints["attack"].Shed != 1 || m.Endpoints["vulnerability"].Shed != 1 {
+		t.Fatalf("shed counters attack=%d vulnerability=%d, want 1/1",
+			m.Endpoints["attack"].Shed, m.Endpoints["vulnerability"].Shed)
+	}
+	if m.Endpoints["attack"].Served != 1 {
+		t.Fatalf("estimate not counted as served: %d", m.Endpoints["attack"].Served)
+	}
+
+	<-s.slots // overload over; the solver tier recovers
+	rec = do(t, s, "POST", "/v1/attack", `{"target": 5, "attacker": 9, "exact": true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("attack after recovery: status %d", rec.Code)
+	}
+}
+
+func TestMetricsCountSolvePaths(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1})
+	// Exact query builds the snapshot and answers via delta (or full
+	// fallback — either way it is counted once).
+	if rec := do(t, s, "POST", "/v1/attack", `{"target": 5, "attacker": 9, "exact": true}`); rec.Code != http.StatusOK {
+		t.Fatalf("attack status %d: %s", rec.Code, rec.Body.String())
+	}
+	var m metricsSnapshot
+	decodeInto(t, do(t, s, "GET", "/metrics", ""), &m)
+	if m.Solves.Delta+m.Solves.Full != 1 {
+		t.Fatalf("solve counters delta=%d full=%d, want exactly one solve", m.Solves.Delta, m.Solves.Full)
+	}
+	if m.Solves.Estimates != 1 {
+		t.Fatalf("estimates = %d, want 1 (every attack answer carries one)", m.Solves.Estimates)
+	}
+	if m.Endpoints["attack"].Served != 1 || m.Endpoints["attack"].Observed != 1 {
+		t.Fatalf("attack endpoint served=%d observed=%d", m.Endpoints["attack"].Served, m.Endpoints["attack"].Observed)
+	}
+	if m.Inflight != 0 {
+		t.Fatalf("inflight gauge = %d after quiesce", m.Inflight)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1})
+	n := serverWorld(t).Policy.N()
+	cases := []struct {
+		name, path, body string
+		wantErr          string
+	}{
+		{"bad kind", "/v1/attack", `{"target": 1, "attacker": 2, "kind": "teleport"}`, "attack scenario"},
+		{"target range", "/v1/attack", `{"target": 999999, "attacker": 2}`, "out of range"},
+		{"self attack", "/v1/attack", `{"target": 3, "attacker": 3}`, "differ"},
+		{"unknown field", "/v1/attack", `{"target": 1, "attacker": 2, "bogus": true}`, "bogus"},
+		{"defense range", "/v1/attack", `{"target": 1, "attacker": 2, "defense": {"rov": [-4]}}`, "defense.rov"},
+		{"leak subprefix", "/v1/vulnerability", `{"target": 1, "kind": "route-leak", "sub_prefix": true}`, "sub-prefix"},
+		{"attacker range", "/v1/vulnerability", `{"target": 1, "attackers": [5, 700000]}`, "out of range"},
+		{"no strategies", "/v1/deployment", `{"target": 1}`, "at least one strategy"},
+		{"two forms", "/v1/deployment", `{"target": 1, "strategies": [{"tier1": true, "top_degree": 5}]}`, "exactly one"},
+		{"bad mechs", "/v1/deployment", `{"target": 1, "mechs": "magic", "strategies": [{"tier1": true}]}`, "mechanism"},
+		{"no probes", "/v1/detection", `{"attacks": [{"target": 1, "attacker": 2}]}`, "at least one probe set"},
+		{"empty probe set", "/v1/detection", `{"probes": [{"name": "x", "probes": []}], "attacks": [{"target": 1, "attacker": 2}]}`, "empty"},
+		{"bad semantics", "/v1/detection", `{"semantics": "psychic", "probes": [{"name": "x", "probes": [1]}], "attacks": [{"target": 1, "attacker": 2}]}`, "semantics"},
+		{"bad attack pair", "/v1/detection", `{"probes": [{"name": "x", "probes": [1]}], "attacks": [{"target": 2, "attacker": 2}]}`, "bad"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, "POST", tc.path, tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", rec.Code, rec.Body.String())
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			decodeInto(t, rec, &e)
+			if !strings.Contains(e.Error, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.wantErr)
+			}
+		})
+	}
+	var m metricsSnapshot
+	decodeInto(t, do(t, s, "GET", "/metrics", ""), &m)
+	var errs int64
+	for _, ep := range m.Endpoints {
+		errs += ep.Errors
+	}
+	if errs != int64(len(cases)) {
+		t.Fatalf("error counter total = %d, want %d", errs, len(cases))
+	}
+	if n := s.world.Policy.N(); n != serverWorld(t).Policy.N() {
+		t.Fatalf("world mutated: n=%d", n)
+	}
+	_ = n
+}
+
+// TestSnapshotCacheEviction pins the FIFO bound: the cache never holds
+// more than SnapshotCap entries, and evicted targets rebuild on return.
+func TestSnapshotCacheEviction(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1, SnapshotCap: 2})
+	for _, target := range []int{1, 2, 3, 1} {
+		body := `{"target": ` + string(rune('0'+target)) + `, "attacker": 9, "exact": true}`
+		if rec := do(t, s, "POST", "/v1/attack", body); rec.Code != http.StatusOK {
+			t.Fatalf("target %d: status %d", target, rec.Code)
+		}
+	}
+	var m metricsSnapshot
+	decodeInto(t, do(t, s, "GET", "/metrics", ""), &m)
+	if m.Snapshots.Cached != 2 {
+		t.Fatalf("cached = %d, want cap 2", m.Snapshots.Cached)
+	}
+	// Four queries, four distinct builds: target 1 was evicted by 3 and
+	// rebuilt on its second visit.
+	if m.Snapshots.Builds != 4 {
+		t.Fatalf("builds = %d, want 4 (eviction forces a rebuild)", m.Snapshots.Builds)
+	}
+}
+
+// TestEstimatorTracksExact pins the cheap tier's usefulness: over a
+// random attack sample, the estimator's weight-fraction ranking must
+// correlate with the exact solver's (Spearman ρ — the estimator is a
+// triage tier, so rank order is what matters).
+func TestEstimatorTracksExact(t *testing.T) {
+	w := serverWorld(t)
+	s := mustServer(t, Config{Workers: 1})
+	n := w.Policy.N()
+	rng := rand.New(rand.NewSource(17))
+	var est, exact []float64
+	for len(est) < 120 {
+		target, attacker := rng.Intn(n), rng.Intn(n)
+		if target == attacker {
+			continue
+		}
+		at := core.Attack{Target: target, Attacker: attacker, Kind: core.KindOrigin}
+		e := s.est.estimate(at)
+		o, err := core.NewSolver(w.Policy).SolveDefense(at, core.Defense{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := hijack.Measure(w.Graph, w.Graph.TotalAddrWeight(), o)
+		est = append(est, e.WeightFrac)
+		exact = append(exact, rec.WeightFrac)
+	}
+	rho, err := stats.Spearman(est, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.5 {
+		t.Fatalf("estimator Spearman ρ = %.3f vs exact, want ≥ 0.5", rho)
+	}
+	t.Logf("estimator vs exact: Spearman ρ = %.3f over %d attacks", rho, len(est))
+}
+
+// TestEstimateOrdering spot-checks estimator semantics: sub-prefix
+// saturates, and a route leak is damped below the same node's origin
+// hijack.
+func TestEstimateOrdering(t *testing.T) {
+	s := mustServer(t, Config{Workers: 1})
+	n := s.world.Policy.N()
+	at := core.Attack{Target: 3, Attacker: 40, Kind: core.KindOrigin}
+	origin := s.est.estimate(at)
+
+	at.SubPrefix = true
+	sub := s.est.estimate(at)
+	if sub.Pollution != n-2 || sub.WeightFrac != 1 {
+		t.Fatalf("sub-prefix estimate = %+v, want saturation", sub)
+	}
+
+	at.SubPrefix = false
+	at.Kind = core.KindRouteLeak
+	leak := s.est.estimate(at)
+	if leak.WeightFrac >= origin.WeightFrac && origin.WeightFrac > 0 {
+		t.Fatalf("leak estimate %.4f not damped below origin %.4f", leak.WeightFrac, origin.WeightFrac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without a World must fail")
+	}
+	s := mustServer(t, Config{}) // all defaults
+	if s.workers <= 0 || cap(s.slots) != 3*s.workers || cap(s.pool) != s.workers {
+		t.Fatalf("defaults: workers=%d slots=%d pool=%d", s.workers, cap(s.slots), cap(s.pool))
+	}
+}

@@ -1,0 +1,66 @@
+package queryd
+
+import (
+	"sync"
+
+	"github.com/bgpsim/bgpsim/internal/core"
+)
+
+// epochState is one snapshot epoch: a bounded baseline cache plus the
+// in-flight count that gates its release. Queries register on exactly
+// one epoch for their whole lifetime; a reload swaps the state pointer
+// and waits for the old epoch's group to drain before letting the old
+// cache go.
+type epochState struct {
+	epoch    int64
+	inflight sync.WaitGroup
+
+	mu    sync.Mutex
+	cap   int
+	snaps map[int]*snapEntry
+	order []int // insertion order, for FIFO eviction
+}
+
+// snapEntry is one target's cached baseline. The once gate makes
+// concurrent first requests for a target build it exactly once; the
+// losers wait for the builder instead of solving redundantly.
+type snapEntry struct {
+	once sync.Once
+	snap *core.Snapshot
+	err  error
+}
+
+func newEpochState(epoch int64, cap int) *epochState {
+	return &epochState{epoch: epoch, cap: cap, snaps: make(map[int]*snapEntry, cap)}
+}
+
+// lookup returns target's cache entry. hit reports whether the entry
+// already existed. With insert=false a missing target returns (nil,
+// false) instead of creating an entry. Insertion beyond the cache cap
+// evicts the oldest entry — queries already holding an evicted entry
+// keep using it; eviction only drops the cache's reference.
+func (st *epochState) lookup(target int, insert bool) (e *snapEntry, hit bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.snaps[target]; ok {
+		return e, true
+	}
+	if !insert {
+		return nil, false
+	}
+	for len(st.snaps) >= st.cap && len(st.order) > 0 {
+		delete(st.snaps, st.order[0])
+		st.order = st.order[1:]
+	}
+	e = &snapEntry{}
+	st.snaps[target] = e
+	st.order = append(st.order, target)
+	return e, false
+}
+
+// cached returns the number of cached baselines.
+func (st *epochState) cached() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.snaps)
+}

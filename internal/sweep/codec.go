@@ -233,7 +233,7 @@ func readRecShard[T any](path string) (*ShardFile[T], error) {
 	f := shardFileOf[T](path, hdr, len(payloads))
 	for i, p := range payloads {
 		var v T
-		if err := json.Unmarshal(p, &v); err != nil {
+		if err := parseRecordJSON(p, &v); err != nil {
 			return nil, fmt.Errorf("%s:1: decode record %d: %w", path, i, err)
 		}
 		f.Records = append(f.Records, v)

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -44,6 +45,28 @@ func (r benchRecord) AppendJSON(dst []byte) ([]byte, error) {
 		return nil, err
 	}
 	return append(dst, '}'), nil
+}
+
+func (r *benchRecord) ParseJSON(p []byte) error {
+	const pre = `{"pollution":`
+	const mid = `,"weight_frac":`
+	if len(p) > len(pre)+len(mid)+2 && string(p[:len(pre)]) == pre {
+		i := len(pre)
+		pol, n, ok := ParseJSONInt(p[i:])
+		if ok {
+			i += n
+			if len(p)-i > len(mid) && string(p[i:i+len(mid)]) == mid {
+				i += len(mid)
+				wf, n, ok := ParseJSONFloat(p[i:])
+				if ok && i+n+1 == len(p) && p[len(p)-1] == '}' {
+					r.Pollution = pol
+					r.WeightFrac = wf
+					return nil
+				}
+			}
+		}
+	}
+	return json.Unmarshal(p, r)
 }
 
 const benchRecords = 20000

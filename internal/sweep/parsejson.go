@@ -1,0 +1,123 @@
+// The parse-style record unmarshal seam, symmetric to appendjson.go's
+// JSONAppender. Strict shard decoding unmarshals every record payload
+// exactly once, and reflection-driven json.Unmarshal costs more than
+// inflating the bytes it reads — so record types may opt into a
+// hand-rolled fast path by implementing JSONParser. The contract
+// mirrors the appender's: for every payload the writer produces, the
+// parsed record must equal what json.Unmarshal yields, bit for bit
+// (parsejson_test.go pins this on the float torture set). Payloads in
+// any other shape — reordered fields, whitespace, foreign writers —
+// must be handed back to encoding/json, never mis-parsed.
+
+package sweep
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// JSONParser is the optional fast-unmarshal interface for record
+// types: decode the compact JSON payload into the receiver, falling
+// back to encoding/json (and its exact errors) on any byte shape the
+// fast path does not recognize.
+type JSONParser interface {
+	ParseJSON(p []byte) error
+}
+
+// parseRecordJSON decodes one record payload: through the type's own
+// parser when it has one, through encoding/json otherwise.
+func parseRecordJSON[T any](p []byte, v *T) error {
+	if pr, ok := any(v).(JSONParser); ok {
+		return pr.ParseJSON(p)
+	}
+	return json.Unmarshal(p, v)
+}
+
+// ParseJSONInt parses a JSON integer field value at the start of p,
+// returning the value and the bytes consumed. ok=false means the bytes
+// are not an integer the fast path can vouch for — a leading zero, a
+// fraction or exponent, 19+ digits — and the caller must fall back to
+// encoding/json for the exact accept/reject behavior.
+func ParseJSONInt(p []byte) (v int, n int, ok bool) {
+	i := 0
+	neg := false
+	if i < len(p) && p[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		i++
+	}
+	digits := i - start
+	switch {
+	case digits == 0:
+		return 0, 0, false
+	case digits > 1 && p[start] == '0': // leading zero: invalid JSON
+		return 0, 0, false
+	case digits > 18: // may overflow int64; let strconv arbitrate
+		return 0, 0, false
+	}
+	if i < len(p) && (p[i] == '.' || p[i] == 'e' || p[i] == 'E') {
+		return 0, 0, false // a float landing in an int field: json's error
+	}
+	var u int64
+	for j := start; j < i; j++ {
+		u = u*10 + int64(p[j]-'0')
+	}
+	if neg {
+		u = -u
+	}
+	return int(u), i, true
+}
+
+// ParseJSONFloat parses a JSON number field value at the start of p,
+// returning the value and the bytes consumed. The scanner accepts
+// exactly the JSON number grammar; the digits then go through
+// strconv.ParseFloat, the same converter encoding/json uses, so
+// accepted values decode bit-identically to json.Unmarshal. ok=false
+// (bad grammar, range overflow) sends the caller back to encoding/json.
+func ParseJSONFloat(p []byte) (v float64, n int, ok bool) {
+	i := 0
+	if i < len(p) && p[i] == '-' {
+		i++
+	}
+	// Integer part: "0" or nonzero-led digits.
+	start := i
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		i++
+	}
+	if i == start || (i-start > 1 && p[start] == '0') {
+		return 0, 0, false
+	}
+	// Optional fraction.
+	if i < len(p) && p[i] == '.' {
+		i++
+		fs := i
+		for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+			i++
+		}
+		if i == fs {
+			return 0, 0, false
+		}
+	}
+	// Optional exponent.
+	if i < len(p) && (p[i] == 'e' || p[i] == 'E') {
+		i++
+		if i < len(p) && (p[i] == '+' || p[i] == '-') {
+			i++
+		}
+		es := i
+		for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+			i++
+		}
+		if i == es {
+			return 0, 0, false
+		}
+	}
+	f, err := strconv.ParseFloat(string(p[:i]), 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return f, i, true
+}

@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestParseJSONFloatMatchesUnmarshal pins the hand-rolled float decode
+// against encoding/json bit for bit, across the torture set and the
+// shortest-exact encodings of a dense value sweep — the round trip the
+// shard files actually take.
+func TestParseJSONFloatMatchesUnmarshal(t *testing.T) {
+	vals := append([]float64{}, floatTortureValues...)
+	for i := 0; i < 3000; i++ {
+		vals = append(vals, float64(i%997)/997, float64(i)*1.7e-9, float64(i*i)*3.14159e12)
+	}
+	for _, f := range vals {
+		enc, err := AppendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		if err := json.Unmarshal(enc, &want); err != nil {
+			t.Fatal(err)
+		}
+		got, n, ok := ParseJSONFloat(enc)
+		if !ok || n != len(enc) {
+			t.Fatalf("ParseJSONFloat(%q): ok=%v n=%d", enc, ok, n)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("ParseJSONFloat(%q) = %v (bits %x), json.Unmarshal = %v (bits %x)",
+				enc, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestParseJSONFloatStrictness pins the fallback triggers: anything the
+// scanner is not sure of must come back ok=false, never a wrong value.
+func TestParseJSONFloatStrictness(t *testing.T) {
+	for _, bad := range []string{
+		"", "-", ".", "e5", ".5", "-.5", // missing integer part
+		"01", "00.5", "-01e2", // leading zeros
+		"1.", "1.e5", // empty fraction
+		"1e", "1e+", "2E-", // empty exponent
+		"NaN", "Infinity", "+1", "0x10",
+		"1e999", "-1e999", // finite grammar, out of float64 range
+	} {
+		if v, n, ok := ParseJSONFloat([]byte(bad)); ok && n == len(bad) {
+			t.Fatalf("ParseJSONFloat(%q) accepted the whole input as %v", bad, v)
+		}
+	}
+	// Trailing bytes are the caller's to judge: the scanner stops at the
+	// number's end and reports how far it got.
+	if v, n, ok := ParseJSONFloat([]byte(`0.25,"x":1`)); !ok || n != 4 || v != 0.25 {
+		t.Fatalf("prefix parse = (%v, %d, %v)", v, n, ok)
+	}
+}
+
+// TestParseJSONIntMatchesUnmarshal pins the int decode against
+// encoding/json over boundaries and a modular sweep.
+func TestParseJSONIntMatchesUnmarshal(t *testing.T) {
+	vals := []int{0, 1, -1, 7, -900719925474099, 1<<53 + 1, math.MaxInt32, math.MinInt32}
+	for i := 0; i < 4000; i++ {
+		vals = append(vals, i*37-6000, i*i*31)
+	}
+	for _, v := range vals {
+		enc := strconv.AppendInt(nil, int64(v), 10)
+		var want int
+		if err := json.Unmarshal(enc, &want); err != nil {
+			t.Fatal(err)
+		}
+		got, n, ok := ParseJSONInt(enc)
+		if !ok || n != len(enc) || got != want {
+			t.Fatalf("ParseJSONInt(%q) = (%d, %d, %v), want %d", enc, got, n, ok, want)
+		}
+	}
+}
+
+func TestParseJSONIntStrictness(t *testing.T) {
+	for _, bad := range []string{
+		"", "-", "01", "-042", // leading zeros and bare signs
+		"1.5", "1e3", "2E1", // floats in an int slot
+		"9999999999999999999",  // 19 digits: overflow territory
+		"-9999999999999999999", // likewise
+	} {
+		if v, n, ok := ParseJSONInt([]byte(bad)); ok && n == len(bad) {
+			t.Fatalf("ParseJSONInt(%q) accepted the whole input as %v", bad, v)
+		}
+	}
+	if v, n, ok := ParseJSONInt([]byte(`42,"y":2`)); !ok || n != 2 || v != 42 {
+		t.Fatalf("prefix parse = (%v, %d, %v)", v, n, ok)
+	}
+}
+
+// TestParseRecordJSONSeam pins the dispatch: a JSONParser type decodes
+// through its own parser, a plain type through encoding/json, and both
+// agree with json.Unmarshal on every payload shape — compact, spaced,
+// reordered, and invalid alike.
+func TestParseRecordJSONSeam(t *testing.T) {
+	payloads := []string{
+		`{"pollution":37,"weight_frac":0.6372549019607843}`,
+		`{"pollution":0,"weight_frac":0}`,
+		`{"pollution":-3,"weight_frac":1.7e-9}`,
+		`{ "pollution": 5, "weight_frac": 0.25 }`,               // whitespace: fallback
+		`{"weight_frac":0.5,"pollution":9}`,                     // reordered: fallback
+		`{"pollution":7,"weight_frac":0.5,"x":1}`,               // extra field: fallback
+		`{"pollution":01,"weight_frac":0.5}`,                    // invalid JSON
+		`{"pollution":1.5,"weight_frac":0.5}`,                   // float in int slot
+		`{"pollution":2,"weight_frac":"0.5"}`,                   // wrong type
+		`{"pollution":3,"weight_frac":0.5`,                      // truncated
+		`{"pollution":4,"weight_frac":1e999}`,                   // out of range
+		`{"pollution":99999999999999999999999,"weight_frac":0}`, // int overflow
+	}
+	for _, p := range payloads {
+		var want benchRecord
+		wantErr := json.Unmarshal([]byte(p), &want)
+		var got benchRecord
+		gotErr := parseRecordJSON([]byte(p), &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: json=%v parse=%v", p, wantErr, gotErr)
+		}
+		if wantErr == nil && (got.Pollution != want.Pollution ||
+			math.Float64bits(got.WeightFrac) != math.Float64bits(want.WeightFrac)) {
+			t.Fatalf("%s: parse = %+v, json.Unmarshal = %+v", p, got, want)
+		}
+	}
+
+	// A type without ParseJSON rides encoding/json unchanged.
+	type plain struct {
+		A string `json:"a"`
+		B int    `json:"b"`
+	}
+	var pl plain
+	if err := parseRecordJSON([]byte(`{"a":"x","b":3}`), &pl); err != nil || pl.A != "x" || pl.B != 3 {
+		t.Fatalf("plain fallback: %+v, %v", pl, err)
+	}
+}
+
+// TestRecioRoundTripFastParse pins the end-to-end contract the seam
+// exists for: a recio shard written through AppendJSON and read back
+// through ParseJSON carries every record bit-identically.
+func TestRecioRoundTripFastParse(t *testing.T) {
+	sf := benchShard()
+	// Splice the torture floats into the shard so the round trip covers
+	// the encoder/decoder extremes, not just friendly fractions.
+	for i, f := range floatTortureValues {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		sf.Records[i].WeightFrac = f
+	}
+	codec := RecioCodec[benchRecord]{}
+	path := t.TempDir() + "/shard.rec"
+	if err := codec.WriteShard(path, sf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.ReadShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(sf.Records) {
+		t.Fatalf("%d records, want %d", len(got.Records), len(sf.Records))
+	}
+	for i := range sf.Records {
+		if got.Records[i].Pollution != sf.Records[i].Pollution ||
+			math.Float64bits(got.Records[i].WeightFrac) != math.Float64bits(sf.Records[i].WeightFrac) {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], sf.Records[i])
+		}
+	}
+}

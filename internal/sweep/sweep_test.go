@@ -186,7 +186,9 @@ func TestRunFanOut(t *testing.T) {
 	a := make([]int, n)
 	b := make([]int, n)
 	err := Run(pol, n,
-		func(i int) (core.Attack, core.Defense) { return core.Attack{Target: 0, Attacker: i + 1}, core.Defense{} },
+		func(i int) (core.Attack, core.Defense) {
+			return core.Attack{Target: 0, Attacker: i + 1}, core.Defense{}
+		},
 		Options{Workers: 4},
 		func(i int, o *core.Outcome) { a[i] = o.PollutedCount() },
 		func(i int, o *core.Outcome) { b[i] = o.PollutedCount() + o.N() },

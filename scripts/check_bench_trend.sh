@@ -1,25 +1,45 @@
 #!/bin/sh
-# Shard-encode throughput regression gate. Re-runs the recio encode
-# benchmark and fails if its disk-bytes throughput (MB/s) fell more
-# than the allowed fraction below the committed baseline in
-# BENCH_recio.json — the file scripts/bench_json.sh regenerates.
+# Throughput regression gate. Re-runs the recio encode benchmark and
+# the firehose replay benchmark and fails if either fell more than the
+# allowed fraction below its committed baseline (BENCH_recio.json's
+# encode_recio_mb_per_s, BENCH_firehose.json's replay_updates_per_s —
+# both files scripts/bench_json.sh regenerates).
 #
-# Throughput is machine-relative: the baseline is only meaningful on a
-# machine shaped like the one that produced it, so the gate compares
-# against the baseline's recorded gomaxprocs and skips (exit 0, with a
-# note) when the core counts disagree rather than fail a faster or
-# slower box for being different hardware.
+# Throughput is machine-relative: a baseline is only meaningful on a
+# machine shaped like the one that produced it, so each gate compares
+# against its baseline's recorded gomaxprocs and skips (with a note)
+# when the core counts disagree rather than fail a faster or slower
+# box for being different hardware. A baseline that predates the
+# gomaxprocs key gates unconditionally, as before.
 #
-# Usage: scripts/check_bench_trend.sh [baseline.json] [max-regression-%]
+# Usage: scripts/check_bench_trend.sh [baseline.json] [max-regression-%] [firehose-baseline.json]
 set -eu
 
 BASE="${1:-BENCH_recio.json}"
 MAXPCT="${2:-20}"
+FHBASE="${3:-BENCH_firehose.json}"
 
 if [ ! -f "$BASE" ]; then
     echo "check_bench_trend: no baseline at $BASE (run scripts/bench_json.sh to create one)" >&2
     exit 1
 fi
+
+cpus="$(nproc 2>/dev/null || echo 1)"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# same_shape BASELINE: 0 (true) when the baseline's recorded gomaxprocs
+# matches this machine's core count or the baseline never recorded one.
+same_shape() {
+    base_cpus="$(sed -n 's/.*"gomaxprocs": *\([0-9]*\).*/\1/p' "$1")"
+    if [ -n "$base_cpus" ] && [ "$base_cpus" != "$cpus" ]; then
+        echo "check_bench_trend: $1 was measured on $base_cpus CPUs, this machine has $cpus; skipping"
+        return 1
+    fi
+    return 0
+}
+
+# --- recio encode gate -------------------------------------------------
 
 base_mbs="$(sed -n 's/.*"encode_recio_mb_per_s": *\([0-9.]*\).*/\1/p' "$BASE")"
 if [ -z "$base_mbs" ]; then
@@ -32,30 +52,57 @@ if [ -z "$base_mbs" ]; then
     exit 1
 fi
 
-base_cpus="$(sed -n 's/.*"gomaxprocs": *\([0-9]*\).*/\1/p' "$BASE")"
-cpus="$(nproc 2>/dev/null || echo 1)"
-if [ -n "$base_cpus" ] && [ "$base_cpus" != "$cpus" ]; then
-    echo "check_bench_trend: baseline was measured on $base_cpus CPUs, this machine has $cpus; skipping"
-    exit 0
+if same_shape "$BASE"; then
+    go test -run '^$' -bench 'BenchmarkShardEncode/recio$' -benchtime 30x ./internal/sweep | tee "$RAW"
+
+    new_mbs="$(awk '$1 ~ /^BenchmarkShardEncode\/recio(-[0-9]+)?$/ {
+        for (i = 2; i <= NF; i++) if ($i == "MB/s") print $(i - 1)
+    }' "$RAW" | head -1)"
+    if [ -z "$new_mbs" ]; then
+        echo "check_bench_trend: benchmark produced no recio encode MB/s" >&2
+        exit 1
+    fi
+
+    awk -v base="$base_mbs" -v new="$new_mbs" -v maxpct="$MAXPCT" 'BEGIN {
+        floor = base * (1 - maxpct / 100)
+        if (new + 0 < floor) {
+            printf "check_bench_trend: FAIL — recio encode %.2f MB/s is more than %s%% below the committed %.2f MB/s (floor %.2f)\n", new, maxpct, base, floor
+            exit 1
+        }
+        printf "check_bench_trend: ok — recio encode %.2f MB/s vs committed %.2f MB/s (floor %.2f)\n", new, base, floor
+    }'
 fi
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
-go test -run '^$' -bench 'BenchmarkShardEncode/recio$' -benchtime 30x ./internal/sweep | tee "$RAW"
+# --- firehose replay gate ----------------------------------------------
 
-new_mbs="$(awk '$1 ~ /^BenchmarkShardEncode\/recio(-[0-9]+)?$/ {
-    for (i = 2; i <= NF; i++) if ($i == "MB/s") print $(i - 1)
-}' "$RAW" | head -1)"
-if [ -z "$new_mbs" ]; then
-    echo "check_bench_trend: benchmark produced no recio encode MB/s" >&2
+if [ ! -f "$FHBASE" ]; then
+    echo "check_bench_trend: no firehose baseline at $FHBASE (run scripts/bench_json.sh to create one)" >&2
     exit 1
 fi
 
-awk -v base="$base_mbs" -v new="$new_mbs" -v maxpct="$MAXPCT" 'BEGIN {
-    floor = base * (1 - maxpct / 100)
-    if (new + 0 < floor) {
-        printf "check_bench_trend: FAIL — recio encode %.2f MB/s is more than %s%% below the committed %.2f MB/s (floor %.2f)\n", new, maxpct, base, floor
+base_ups="$(sed -n 's/.*"replay_updates_per_s": *\([0-9.]*\).*/\1/p' "$FHBASE" | head -1)"
+if [ -z "$base_ups" ]; then
+    echo "check_bench_trend: $FHBASE carries no replay throughput" >&2
+    exit 1
+fi
+
+if same_shape "$FHBASE"; then
+    go test -run '^$' -bench 'BenchmarkReplayThroughput' -benchtime 20000x ./internal/firehose | tee "$RAW"
+
+    new_ups="$(awk '$1 ~ /^BenchmarkReplayThroughput(-[0-9]+)?$/ {
+        for (i = 2; i <= NF; i++) if ($i == "updates/s") print $(i - 1)
+    }' "$RAW" | head -1)"
+    if [ -z "$new_ups" ]; then
+        echo "check_bench_trend: benchmark produced no replay updates/s" >&2
         exit 1
-    }
-    printf "check_bench_trend: ok — recio encode %.2f MB/s vs committed %.2f MB/s (floor %.2f)\n", new, base, floor
-}'
+    fi
+
+    awk -v base="$base_ups" -v new="$new_ups" -v maxpct="$MAXPCT" 'BEGIN {
+        floor = base * (1 - maxpct / 100)
+        if (new + 0 < floor) {
+            printf "check_bench_trend: FAIL — firehose replay %.0f updates/s is more than %s%% below the committed %.0f updates/s (floor %.0f)\n", new, maxpct, base, floor
+            exit 1
+        }
+        printf "check_bench_trend: ok — firehose replay %.0f updates/s vs committed %.0f updates/s (floor %.0f)\n", new, base, floor
+    }'
+fi
